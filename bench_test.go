@@ -1,0 +1,236 @@
+package lotterybus
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (see DESIGN.md §5 for the experiment index). Each
+// iteration regenerates the corresponding result end to end — workload
+// generation, simulation and metric extraction — so the benchmarks also
+// serve as a one-command reproduction run:
+//
+//	go test -bench=. -benchmem
+//
+// The cmd/paperfigs binary prints the same results as formatted tables.
+
+import (
+	"testing"
+
+	"lotterybus/internal/expt"
+)
+
+// benchOpts keeps one benchmark iteration around a second; cmd/paperfigs
+// uses the full default horizon for the published numbers.
+var benchOpts = expt.Options{Cycles: 50000, Seed: 42}
+
+func BenchmarkFig4PriorityBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig4(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5TDMAAlignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig5(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6aLotteryBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig6a(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6bLatencyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig6b(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12aBandwidthClasses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFig12a(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12bTDMALatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFig12b(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12bOneLevelTDMALatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFig12bOneLevel(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12cLotteryLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFig12c(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1ATMSwitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunTable1(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHWComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = expt.RunHWComplexity()
+	}
+}
+
+func BenchmarkGateLevelSynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunGateLevel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStarvationBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunStarvation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicTickets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunDynamicTickets(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBridgeHierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunBridge(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlackAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunSlackAblation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunPipelineAblation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompensationTickets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunCompensation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBurstAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunBurstAblation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunModelValidation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunTailLatency(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunReplay(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplitAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunSplitAblation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunScalability(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptationTransient(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunAdaptation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWRRComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunWRRComparison(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationThroughput measures raw simulator speed: bus cycles
+// per second on a saturated four-master lottery system.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	sys := NewSystem(Config{Seed: 1})
+	mem := sys.AddSlave("mem", 0)
+	for i := 0; i < 4; i++ {
+		sys.AddMaster("m", uint64(i+1), SaturatingTraffic(16, mem))
+	}
+	if err := sys.UseLottery(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := sys.Run(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Command lotteryrtl emits synthesizable Verilog RTL for the LOTTERYBUS
+// lottery managers (paper Figs. 9 and 10), plus a self-checking
+// testbench whose expected grants come from the Go reference model.
+//
+// Usage:
+//
+//	lotteryrtl -design static -tickets 1,2,3,4 -width 6 -policy redraw
+//	lotteryrtl -design static -netlist > lottery_grant_netlist.v
+//	lotteryrtl -design static -tb -vectors 64 > lottery_static_tb.v
+//	lotteryrtl -design dynamic -masters 4 -width 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lotterybus/internal/core"
+	"lotterybus/internal/hw"
+	"lotterybus/internal/netlist"
+	"lotterybus/internal/prng"
+)
+
+func main() {
+	design := flag.String("design", "static", "manager variant: static or dynamic")
+	ticketsFlag := flag.String("tickets", "1,2,3,4", "comma-separated ticket holdings (static)")
+	masters := flag.Int("masters", 4, "master count (dynamic)")
+	width := flag.Uint("width", 6, "datapath width in bits")
+	policyFlag := flag.String("policy", "redraw", "slack policy: redraw or absorb-last")
+	module := flag.String("module", "", "module name (defaults per design)")
+	net := flag.Bool("netlist", false, "emit the gate-level structural netlist instead of behavioural RTL (static design)")
+	tb := flag.Bool("tb", false, "emit the self-checking testbench instead of the RTL")
+	vectors := flag.Int("vectors", 32, "request vectors in the testbench")
+	seed := flag.Uint64("seed", 1, "vector-generation seed")
+	flag.Parse()
+
+	if err := run(*design, *ticketsFlag, *masters, *width, *policyFlag, *module, *net, *tb, *vectors, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "lotteryrtl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(design, ticketsFlag string, masters int, width uint, policyFlag, module string, net, tb bool, vectors int, seed uint64) error {
+	policy, err := parsePolicy(policyFlag)
+	if err != nil {
+		return err
+	}
+	switch design {
+	case "static":
+		tickets, err := parseTickets(ticketsFlag)
+		if err != nil {
+			return err
+		}
+		if net {
+			nl, err := netlist.BuildStaticGrant(tickets, width, policy)
+			if err != nil {
+				return err
+			}
+			if module == "" {
+				module = "lottery_grant_netlist"
+			}
+			return nl.WriteVerilog(os.Stdout, module)
+		}
+		if tb {
+			if vectors <= 0 {
+				return fmt.Errorf("need a positive vector count")
+			}
+			src := prng.NewXorShift64Star(seed)
+			reqs := make([]uint64, vectors)
+			for i := range reqs {
+				reqs[i] = prng.Uintn(src, uint64(1)<<uint(len(tickets)))
+			}
+			return hw.EmitStaticTestbench(os.Stdout, tickets, width, policy, module, reqs)
+		}
+		return hw.EmitStaticVerilog(os.Stdout, tickets, width, policy, module)
+	case "dynamic":
+		if tb {
+			return fmt.Errorf("testbench emission supports the static design only")
+		}
+		return hw.EmitDynamicVerilog(os.Stdout, masters, width, module)
+	default:
+		return fmt.Errorf("unknown design %q", design)
+	}
+}
+
+func parseTickets(s string) ([]uint64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]uint64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad ticket %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePolicy(s string) (core.SlackPolicy, error) {
+	switch s {
+	case "redraw":
+		return core.PolicyRedraw, nil
+	case "absorb-last":
+		return core.PolicyAbsorbLast, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (redraw or absorb-last)", s)
+	}
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lotterybus"
+)
+
+// SimConfig is the JSON schema of a lotterysim run.
+type SimConfig struct {
+	// Cycles is the simulation length in bus cycles.
+	Cycles int64 `json:"cycles"`
+	// Seed drives all stochastic elements.
+	Seed uint64 `json:"seed"`
+	// MaxBurst caps a single grant in words (default 16).
+	MaxBurst int `json:"maxBurst,omitempty"`
+	// ArbLatency is the idle cycles per arbitration (default 0).
+	ArbLatency int `json:"arbLatency,omitempty"`
+	// Arbiter selects the communication architecture.
+	Arbiter ArbiterConfig `json:"arbiter"`
+	// Slaves lists the slave interfaces in index order.
+	Slaves []SlaveConfig `json:"slaves"`
+	// Masters lists the master interfaces in index order.
+	Masters []MasterConfig `json:"masters"`
+}
+
+// ArbiterConfig selects and parameterizes the arbitration scheme.
+type ArbiterConfig struct {
+	// Kind is one of: lottery, dynamic-lottery, compensated-lottery,
+	// priority, tdma, tdma1, round-robin, token-ring.
+	Kind string `json:"kind"`
+	// SlotsPerWeight sizes TDMA reservation blocks (default 16).
+	SlotsPerWeight int `json:"slotsPerWeight,omitempty"`
+}
+
+// SlaveConfig describes one slave interface.
+type SlaveConfig struct {
+	Name       string `json:"name"`
+	WaitStates int    `json:"waitStates,omitempty"`
+	// SplitLatency, when positive, makes this a split-transaction
+	// target: the bus is released for this many cycles between the
+	// request beat and the data phase.
+	SplitLatency int `json:"splitLatency,omitempty"`
+}
+
+// MasterConfig describes one master interface.
+type MasterConfig struct {
+	Name string `json:"name"`
+	// Weight is the master's QoS weight (tickets/slots/priority).
+	Weight  uint64        `json:"weight"`
+	Traffic TrafficConfig `json:"traffic"`
+}
+
+// TrafficConfig describes one master's arrival process.
+type TrafficConfig struct {
+	// Kind is one of: saturating, bernoulli, bursty, periodic, class,
+	// none.
+	Kind string `json:"kind"`
+	// MsgWords is the message size in words.
+	MsgWords int `json:"msgWords,omitempty"`
+	// Slave is the destination slave index.
+	Slave int `json:"slave,omitempty"`
+	// Load is the offered load in words/cycle (bernoulli, bursty).
+	Load float64 `json:"load,omitempty"`
+	// LoadOn is the in-burst load (bursty).
+	LoadOn float64 `json:"loadOn,omitempty"`
+	// MeanOn is the mean burst dwell in cycles (bursty).
+	MeanOn float64 `json:"meanOn,omitempty"`
+	// Period and Phase configure periodic traffic.
+	Period int64 `json:"period,omitempty"`
+	Phase  int64 `json:"phase,omitempty"`
+	// Class names a predefined traffic class (T1..T9, L1..L6).
+	Class string `json:"class,omitempty"`
+}
+
+// ParseConfig decodes and validates a SimConfig.
+func ParseConfig(r io.Reader) (*SimConfig, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg SimConfig
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("parsing config: %w", err)
+	}
+	if cfg.Cycles <= 0 {
+		return nil, fmt.Errorf("config: cycles must be positive")
+	}
+	if len(cfg.Masters) == 0 {
+		return nil, fmt.Errorf("config: at least one master required")
+	}
+	if len(cfg.Slaves) == 0 {
+		return nil, fmt.Errorf("config: at least one slave required")
+	}
+	for i, m := range cfg.Masters {
+		if m.Traffic.Slave < 0 || m.Traffic.Slave >= len(cfg.Slaves) {
+			return nil, fmt.Errorf("config: master %d targets invalid slave %d", i, m.Traffic.Slave)
+		}
+	}
+	return &cfg, nil
+}
+
+// Build constructs the System described by the config.
+func (cfg *SimConfig) Build() (*lotterybus.System, error) {
+	sys := lotterybus.NewSystem(lotterybus.Config{
+		MaxBurst:   cfg.MaxBurst,
+		ArbLatency: cfg.ArbLatency,
+		Seed:       cfg.Seed,
+	})
+	for _, s := range cfg.Slaves {
+		if s.SplitLatency > 0 {
+			sys.AddSplitSlave(s.Name, s.SplitLatency)
+		} else {
+			sys.AddSlave(s.Name, s.WaitStates)
+		}
+	}
+	for i, m := range cfg.Masters {
+		gen, err := m.Traffic.build(i, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("master %s: %w", m.Name, err)
+		}
+		sys.AddMaster(m.Name, m.Weight, gen)
+	}
+	switch cfg.Arbiter.Kind {
+	case "lottery", "":
+		return sys, sys.UseLottery()
+	case "dynamic-lottery":
+		return sys, sys.UseDynamicLottery()
+	case "compensated-lottery":
+		return sys, sys.UseCompensatedLottery()
+	case "priority":
+		return sys, sys.UsePriority()
+	case "tdma":
+		spw := cfg.Arbiter.SlotsPerWeight
+		if spw == 0 {
+			spw = 16
+		}
+		return sys, sys.UseTDMA(spw, true)
+	case "tdma1":
+		spw := cfg.Arbiter.SlotsPerWeight
+		if spw == 0 {
+			spw = 16
+		}
+		return sys, sys.UseTDMA(spw, false)
+	case "round-robin":
+		return sys, sys.UseRoundRobin()
+	case "token-ring":
+		return sys, sys.UseTokenRing()
+	default:
+		return nil, fmt.Errorf("unknown arbiter kind %q", cfg.Arbiter.Kind)
+	}
+}
+
+// build constructs one master's generator.
+func (t *TrafficConfig) build(master int, seed uint64) (lotterybus.Generator, error) {
+	streamSeed := seed*0x9e3779b97f4a7c15 + uint64(master+1)
+	switch t.Kind {
+	case "saturating":
+		return lotterybus.SaturatingTraffic(defaultWords(t.MsgWords), t.Slave), nil
+	case "bernoulli":
+		return lotterybus.BernoulliTraffic(t.Load, defaultWords(t.MsgWords), t.Slave, streamSeed)
+	case "bursty":
+		meanOn := t.MeanOn
+		if meanOn == 0 {
+			meanOn = 40 * float64(defaultWords(t.MsgWords))
+		}
+		loadOn := t.LoadOn
+		if loadOn == 0 {
+			loadOn = 5 * t.Load
+			if loadOn > 0.9 {
+				loadOn = 0.9
+			}
+		}
+		return lotterybus.BurstyTraffic(t.Load, loadOn, meanOn, defaultWords(t.MsgWords), t.Slave, streamSeed)
+	case "periodic":
+		if t.Period <= 0 {
+			return nil, fmt.Errorf("periodic traffic needs a positive period")
+		}
+		return lotterybus.PeriodicTraffic(t.Period, t.Phase, defaultWords(t.MsgWords), t.Slave), nil
+	case "class":
+		return lotterybus.TrafficClass(t.Class, master, t.Slave, seed)
+	case "none":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown traffic kind %q", t.Kind)
+	}
+}
+
+func defaultWords(w int) int {
+	if w <= 0 {
+		return 16
+	}
+	return w
+}
+
+// SampleConfig returns a documented example configuration.
+func SampleConfig() *SimConfig {
+	return &SimConfig{
+		Cycles:   200000,
+		Seed:     42,
+		MaxBurst: 16,
+		Arbiter:  ArbiterConfig{Kind: "lottery"},
+		Slaves:   []SlaveConfig{{Name: "shared-memory"}},
+		Masters: []MasterConfig{
+			{Name: "cpu", Weight: 4, Traffic: TrafficConfig{Kind: "bernoulli", Load: 0.4, MsgWords: 16}},
+			{Name: "dsp", Weight: 3, Traffic: TrafficConfig{Kind: "bursty", Load: 0.2, MsgWords: 16}},
+			{Name: "dma", Weight: 2, Traffic: TrafficConfig{Kind: "saturating", MsgWords: 16}},
+			{Name: "io", Weight: 1, Traffic: TrafficConfig{Kind: "periodic", Period: 100, MsgWords: 4}},
+		},
+	}
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseConfigValid(t *testing.T) {
+	in := `{
+		"cycles": 1000, "seed": 7,
+		"arbiter": {"kind": "lottery"},
+		"slaves": [{"name": "mem"}],
+		"masters": [
+			{"name": "cpu", "weight": 2, "traffic": {"kind": "saturating", "msgWords": 8}}
+		]
+	}`
+	cfg, err := ParseConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cycles != 1000 || len(cfg.Masters) != 1 || cfg.Masters[0].Weight != 2 {
+		t.Fatalf("config %+v", cfg)
+	}
+}
+
+func TestParseConfigRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"unknown field": `{"cycles": 1, "bogus": true, "slaves": [{"name":"m"}], "masters": [{"name":"c","traffic":{"kind":"saturating"}}]}`,
+		"no cycles":     `{"slaves": [{"name":"m"}], "masters": [{"name":"c","traffic":{"kind":"saturating"}}]}`,
+		"no masters":    `{"cycles": 1, "slaves": [{"name":"m"}], "masters": []}`,
+		"no slaves":     `{"cycles": 1, "slaves": [], "masters": [{"name":"c","traffic":{"kind":"saturating"}}]}`,
+		"bad slave ref": `{"cycles": 1, "slaves": [{"name":"m"}], "masters": [{"name":"c","traffic":{"kind":"saturating","slave":3}}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ParseConfig(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBuildAndRunAllArbiters(t *testing.T) {
+	for _, kind := range []string{"lottery", "dynamic-lottery", "compensated-lottery", "priority", "tdma", "tdma1", "round-robin", "token-ring"} {
+		cfg := SampleConfig()
+		cfg.Cycles = 5000
+		cfg.Arbiter.Kind = kind
+		sys, err := cfg.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := sys.Run(cfg.Cycles); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if sys.Report().Utilization == 0 {
+			t.Fatalf("%s: idle simulation", kind)
+		}
+	}
+}
+
+func TestBuildRejectsUnknownKinds(t *testing.T) {
+	cfg := SampleConfig()
+	cfg.Arbiter.Kind = "fcfs"
+	if _, err := cfg.Build(); err == nil {
+		t.Fatal("unknown arbiter accepted")
+	}
+	cfg = SampleConfig()
+	cfg.Masters[0].Traffic.Kind = "warp"
+	if _, err := cfg.Build(); err == nil {
+		t.Fatal("unknown traffic accepted")
+	}
+	cfg = SampleConfig()
+	cfg.Masters[0].Traffic = TrafficConfig{Kind: "periodic"}
+	if _, err := cfg.Build(); err == nil {
+		t.Fatal("zero-period periodic accepted")
+	}
+}
+
+func TestShippedConfigsRun(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.json")
+	if err != nil || len(files) < 3 {
+		t.Fatalf("testdata configs: %v %v", files, err)
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := ParseConfig(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		sys, err := cfg.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if err := sys.Run(20000); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if sys.Report().Utilization == 0 {
+			t.Fatalf("%s: idle simulation", path)
+		}
+	}
+}
+
+func TestSampleConfigRoundTrips(t *testing.T) {
+	raw, err := json.Marshal(SampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ParseConfig(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatalf("sample config invalid: %v", err)
+	}
+	sys, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSlaveFromConfig(t *testing.T) {
+	in := `{
+		"cycles": 50, "seed": 3,
+		"arbiter": {"kind": "lottery"},
+		"slaves": [{"name": "ddr", "splitLatency": 10}],
+		"masters": [
+			{"name": "cpu", "weight": 1, "traffic": {"kind": "periodic", "period": 40, "msgWords": 4}}
+		]
+	}`
+	cfg, err := ParseConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(cfg.Cycles); err != nil {
+		t.Fatal(err)
+	}
+	// Address beat + 10-cycle split latency + 4 data words = 14.
+	if lat := sys.Report().Masters[0].AvgMessageLatency; lat != 14 {
+		t.Fatalf("split latency %v", lat)
+	}
+}
+
+func TestLotterySharesFromConfig(t *testing.T) {
+	in := `{
+		"cycles": 100000, "seed": 3,
+		"arbiter": {"kind": "lottery"},
+		"slaves": [{"name": "mem"}],
+		"masters": [
+			{"name": "a", "weight": 1, "traffic": {"kind": "saturating", "msgWords": 16}},
+			{"name": "b", "weight": 3, "traffic": {"kind": "saturating", "msgWords": 16}}
+		]
+	}`
+	cfg, err := ParseConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(cfg.Cycles); err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Report()
+	if math.Abs(r.Masters[1].BandwidthFraction-0.75) > 0.02 {
+		t.Fatalf("weighted share %v", r.Masters[1].BandwidthFraction)
+	}
+}

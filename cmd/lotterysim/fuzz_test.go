@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseConfig feeds arbitrary bytes to the JSON config parser: it
+// must reject or accept without panicking, and anything it accepts must
+// build and run a short simulation cleanly.
+func FuzzParseConfig(f *testing.F) {
+	f.Add(`{"cycles":100,"slaves":[{"name":"m"}],"masters":[{"name":"c","weight":1,"traffic":{"kind":"saturating"}}]}`)
+	f.Add(`{"cycles":-5}`)
+	f.Add(`not json at all`)
+	f.Add(`{"cycles":10,"arbiter":{"kind":"tdma"},"slaves":[{"name":"m"}],"masters":[{"name":"c","weight":3,"traffic":{"kind":"periodic","period":7,"msgWords":2}}]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		cfg, err := ParseConfig(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		sys, err := cfg.Build()
+		if err != nil {
+			return
+		}
+		cycles := cfg.Cycles
+		if cycles > 2000 {
+			cycles = 2000
+		}
+		if err := sys.Run(cycles); err != nil {
+			t.Fatalf("accepted config failed to run: %v\nconfig: %s", err, in)
+		}
+	})
+}

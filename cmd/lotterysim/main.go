@@ -1,0 +1,80 @@
+// Command lotterysim runs a JSON-configured shared-bus simulation and
+// prints per-master bandwidth and latency statistics.
+//
+// Usage:
+//
+//	lotterysim -config system.json
+//	lotterysim -sample > system.json   # print a starter configuration
+//	lotterysim < system.json           # read the configuration from stdin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	path := flag.String("config", "", "path to a JSON system configuration (default: stdin)")
+	sample := flag.Bool("sample", false, "print a sample configuration and exit")
+	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this path")
+	waveform := flag.Int("waveform", 0, "print an ASCII waveform of the first N cycles")
+	flag.Parse()
+
+	if *sample {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(SampleConfig()); err != nil {
+			fmt.Fprintln(os.Stderr, "lotterysim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	in := os.Stdin
+	if *path != "" {
+		f, err := os.Open(*path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lotterysim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	cfg, err := ParseConfig(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lotterysim:", err)
+		os.Exit(1)
+	}
+	sys, err := cfg.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lotterysim:", err)
+		os.Exit(1)
+	}
+	if *vcdPath != "" || *waveform > 0 {
+		sys.EnableTrace(0)
+	}
+	if err := sys.Run(cfg.Cycles); err != nil {
+		fmt.Fprintln(os.Stderr, "lotterysim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(sys.Report())
+	if *waveform > 0 {
+		fmt.Println()
+		fmt.Print(sys.Waveform(0, *waveform))
+	}
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lotterysim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := sys.WriteVCD(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lotterysim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nVCD written to %s\n", *vcdPath)
+	}
+}

@@ -1,0 +1,351 @@
+// Command paperfigs regenerates every table and figure of the
+// LOTTERYBUS paper's evaluation (plus the extension experiments listed
+// in DESIGN.md) and prints them as aligned text tables.
+//
+// Usage:
+//
+//	paperfigs [-fig all|4|5|6a|6b|12a|12b|12b1|12c|table1|hw|gates|starvation|dynamic|bridge|
+//	           slack|pipeline|compensation|burst|models|tail|replay|split|scale|adaptation|wrr]
+//	          [-cycles N] [-seed S] [-csv DIR]
+//
+// With -csv DIR, every table and figure is additionally written as an
+// RFC-4180 CSV file under DIR for downstream plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"lotterybus/internal/expt"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure/table to regenerate")
+	cycles := flag.Int64("cycles", 0, "simulated bus cycles per measurement (0 = default 200000)")
+	seed := flag.Uint64("seed", 0, "experiment seed (0 = default 42)")
+	csvDir := flag.String("csv", "", "also write each table/figure as CSV into this directory")
+	flag.Parse()
+
+	o := expt.Options{Cycles: *cycles, Seed: *seed}
+	if err := run(os.Stdout, *fig, o, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+// csvWritable is anything renderable as CSV (stats.Table and
+// stats.Figure both qualify).
+type csvWritable interface {
+	WriteCSV(w io.Writer) error
+}
+
+func run(w io.Writer, fig string, o expt.Options, csvDir string) error {
+	all := fig == "all"
+	did := false
+	current := ""
+	section := func(id, title string) bool {
+		if !all && fig != id {
+			return false
+		}
+		did = true
+		current = id
+		fmt.Fprintf(w, "==== %s — %s ====\n", id, title)
+		return true
+	}
+	csv := func(v csvWritable) error {
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(csvDir, current+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return v.WriteCSV(f)
+	}
+
+	if section("4", "Fig. 4: bandwidth sharing under static priority") {
+		r, err := expt.Fig4(o)
+		if err != nil {
+			return err
+		}
+		r.Figure().Render(w)
+		if err := csv(r.Figure()); err != nil {
+			return err
+		}
+		lo, hi := r.MasterRange(0)
+		fmt.Fprintf(w, "C1 bandwidth range across assignments: %.1f%% .. %.1f%% (paper: 0.6%% .. 71.8%%)\n\n", 100*lo, 100*hi)
+	}
+	if section("5", "Fig. 5: TDMA alignment sensitivity") {
+		r, err := expt.Fig5(o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r)
+		fmt.Fprintln(w)
+	}
+	if section("6a", "Fig. 6(a): bandwidth sharing under LOTTERYBUS") {
+		r, err := expt.Fig6a(o)
+		if err != nil {
+			return err
+		}
+		r.Figure().Render(w)
+		if err := csv(r.Figure()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "avg share by ticket value: %.2f : %.2f : %.2f : %.2f (paper: 1.05 : 1.9 : 2.96 : 3.83, ideal 1:2:3:4)\n\n",
+			10*r.AvgShareByValue(1), 10*r.AvgShareByValue(2), 10*r.AvgShareByValue(3), 10*r.AvgShareByValue(4))
+	}
+	if section("6b", "Fig. 6(b): latency, TDMA vs LOTTERYBUS") {
+		r, err := expt.Fig6b(o)
+		if err != nil {
+			return err
+		}
+		r.Figure().Render(w)
+		if err := csv(r.Figure()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "high-weight improvement: %.2fx vs 2-level TDMA, %.2fx vs 1-level TDMA (paper: ~7x)\n\n",
+			r.HighPriorityImprovement(), r.HighPriorityImprovementOneLevel())
+	}
+	if section("12a", "Fig. 12(a): LOTTERYBUS bandwidth across traffic classes") {
+		r, err := expt.RunFig12a(o)
+		if err != nil {
+			return err
+		}
+		r.Figure().Render(w)
+		if err := csv(r.Figure()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("12b", "Fig. 12(b): latency under two-level TDMA") {
+		r, err := expt.RunFig12b(o)
+		if err != nil {
+			return err
+		}
+		r.Figure().Render(w)
+		if err := csv(r.Figure()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "worst high-weight latency: %.2f cycles/word; inversions: %d\n\n",
+			r.MaxHighWeightLatency(), r.Inversions())
+	}
+	if section("12b1", "Fig. 12(b) variant: latency under single-level TDMA") {
+		r, err := expt.RunFig12bOneLevel(o)
+		if err != nil {
+			return err
+		}
+		r.Figure().Render(w)
+		if err := csv(r.Figure()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "worst high-weight latency: %.2f cycles/word\n\n", r.MaxHighWeightLatency())
+	}
+	if section("12c", "Fig. 12(c): latency under LOTTERYBUS") {
+		r, err := expt.RunFig12c(o)
+		if err != nil {
+			return err
+		}
+		r.Figure().Render(w)
+		if err := csv(r.Figure()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "worst high-weight latency: %.2f cycles/word; inversions: %d (paper: none)\n\n",
+			r.MaxHighWeightLatency(), r.Inversions())
+	}
+	if section("table1", "Table 1: ATM switch QoS") {
+		r, err := expt.RunTable1(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("hw", "§5.2: hardware complexity") {
+		r := expt.RunHWComplexity()
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		r.BreakdownTable().Render(w)
+		fmt.Fprintln(w, "paper data point: 1458 cell grids, 3.06 ns, one-cycle arbitration up to 326.5 MHz")
+		fmt.Fprintln(w)
+	}
+	if section("gates", "§5.2 cross-check: gate-level netlist") {
+		r, err := expt.RunGateLevel()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("starvation", "§4.2: starvation bound") {
+		r, err := expt.RunStarvation(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("dynamic", "§4.4 extension: dynamic ticket re-provisioning") {
+		r, err := expt.RunDynamicTickets(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("bridge", "§2.3 extension: bridged two-bus hierarchy") {
+		r, err := expt.RunBridge(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("slack", "ablation: slack policies") {
+		r, err := expt.RunSlackAblation(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("pipeline", "ablation: arbitration pipelining") {
+		r, err := expt.RunPipelineAblation(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("compensation", "extension: compensation tickets for mixed message sizes") {
+		r, err := expt.RunCompensation(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("burst", "ablation: maximum transfer size") {
+		r, err := expt.RunBurstAblation(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("models", "validation: analytic models vs simulation") {
+		r, err := expt.RunModelValidation(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("tail", "extension: latency tails under randomized arbitration") {
+		r, err := expt.RunTailLatency(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("replay", "extension: all architectures on one recorded workload") {
+		r, err := expt.RunReplay(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("split", "extension: split transactions vs blocking slave") {
+		r, err := expt.RunSplitAblation(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("scale", "extension: proportional sharing at scale") {
+		r, err := expt.RunScalability(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("adaptation", "extension: dynamic re-provisioning transient") {
+		r, err := expt.RunAdaptation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ticket swap at cycle %d settles within %d cycles (window %d)\n\n",
+			r.SwapCycle, r.SettleCycles, r.Window)
+	}
+	if section("wrr", "extension: lottery vs weighted round robin") {
+		r, err := expt.RunWRRComparison(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if !did {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}

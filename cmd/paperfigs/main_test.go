@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lotterybus/internal/expt"
+)
+
+// fastOpts keeps the smoke test quick; statistical quality is asserted
+// by the expt package's own tests.
+var fastOpts = expt.Options{Cycles: 20000, Seed: 3}
+
+func TestRunAllSectionsRender(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "all", fastOpts, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"==== 4 —", "==== 5 —", "==== 6a —", "==== 6b —",
+		"==== 12a —", "==== 12b —", "==== 12b1 —", "==== 12c —",
+		"==== table1 —", "==== hw —", "==== gates —", "==== starvation —",
+		"==== dynamic —", "==== bridge —", "==== slack —", "==== pipeline —",
+		"==== compensation —", "==== burst —", "==== models —",
+		"==== tail —", "==== replay —", "==== split —", "==== scale —", "==== adaptation —", "==== wrr —",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("section %q missing", want)
+		}
+	}
+}
+
+func TestRunSingleSection(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "hw", fastOpts, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "cell grids") {
+		t.Fatalf("hw section:\n%s", out)
+	}
+	if strings.Contains(out, "==== 4 —") {
+		t.Fatal("unrequested section rendered")
+	}
+}
+
+func TestRunUnknownSection(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "nope", fastOpts, ""); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run(&b, "table1", fastOpts, dir); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "architecture,port1 bw%") {
+		t.Fatalf("csv:\n%s", raw)
+	}
+}

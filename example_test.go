@@ -1,0 +1,49 @@
+package lotterybus_test
+
+import (
+	"fmt"
+
+	"lotterybus"
+)
+
+// The canonical flow: build a system, pick the lottery, run, report.
+func Example() {
+	sys := lotterybus.NewSystem(lotterybus.Config{Seed: 7})
+	mem := sys.AddSlave("shared-memory", 0)
+	sys.AddMaster("cpu", 1, lotterybus.SaturatingTraffic(16, mem))
+	sys.AddMaster("dma", 3, lotterybus.SaturatingTraffic(16, mem))
+	if err := sys.UseLottery(); err != nil {
+		panic(err)
+	}
+	if err := sys.Run(400000); err != nil {
+		panic(err)
+	}
+	r := sys.Report()
+	fmt.Printf("cpu %.0f%%, dma %.0f%%\n",
+		100*r.Masters[0].BandwidthFraction,
+		100*r.Masters[1].BandwidthFraction)
+	// Output: cpu 25%, dma 75%
+}
+
+// Turning designer bandwidth targets into lottery tickets.
+func ExampleTicketsForShares() {
+	tickets, worstErr, err := lotterybus.TicketsForShares([]float64{10, 30, 60}, 0.01)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tickets, worstErr)
+	// Output: [1 3 6] 0
+}
+
+// The paper's §4.2 starvation bound.
+func ExampleAccessProbability() {
+	p := lotterybus.AccessProbability(1, 10, 22)
+	fmt.Printf("%.2f\n", p)
+	// Output: 0.90
+}
+
+// How many lotteries until a small ticket holder is near-certain to win.
+func ExampleDrawsForConfidence() {
+	fmt.Println(lotterybus.DrawsForConfidence(1, 10, 0.999))
+	// Output: 66
+}

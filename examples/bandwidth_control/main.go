@@ -1,0 +1,55 @@
+// Bandwidth control: the same heavily loaded system under static
+// priority, two-level TDMA and LOTTERYBUS arbitration — reproducing the
+// paper's motivating comparison. Static priority starves the low-
+// priority masters; TDMA tracks reservations but dilutes them through
+// round-robin reclamation; the lottery delivers the requested 1:2:3:4
+// split.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lotterybus"
+)
+
+// build constructs the example system of the paper's Fig. 3: four
+// masters offering more traffic than the bus can carry, with QoS
+// weights 1:2:3:4.
+func build() *lotterybus.System {
+	sys := lotterybus.NewSystem(lotterybus.Config{Seed: 7})
+	mem := sys.AddSlave("shared-memory", 0)
+	for i, name := range []string{"C1", "C2", "C3", "C4"} {
+		gen, err := lotterybus.BernoulliTraffic(0.72, 16, mem, uint64(1000+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.AddMaster(name, uint64(i+1), gen)
+	}
+	return sys
+}
+
+func main() {
+	cases := []struct {
+		name string
+		use  func(*lotterybus.System) error
+	}{
+		{"static priority", (*lotterybus.System).UsePriority},
+		{"two-level TDMA", func(s *lotterybus.System) error { return s.UseTDMA(16, true) }},
+		{"LOTTERYBUS", (*lotterybus.System).UseLottery},
+	}
+	for _, c := range cases {
+		sys := build()
+		if err := c.use(sys); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Run(300000); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s ---\n%s\n\n", c.name, sys.Report())
+	}
+	fmt.Println("Static priority starves the low-priority masters outright, while")
+	fmt.Println("both proportional schemes deliver the requested 1:2:3:4 split under")
+	fmt.Println("this saturating load. The schemes separate on latency for sparse")
+	fmt.Println("high-priority traffic — see cmd/paperfigs -fig 6b and -fig table1.")
+}

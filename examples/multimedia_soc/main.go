@@ -1,0 +1,96 @@
+// Multimedia SoC: a video-decoder-style system of the kind the paper's
+// introduction motivates — a CPU, a VLD/IDCT datapath, a motion-
+// compensation engine and a display DMA sharing one bus to frame
+// memory. The designer states bandwidth targets as percentages and
+// TicketsForShares turns them into the smallest integer lottery
+// tickets.
+//
+// The example then demonstrates a subtlety this repository's
+// reproduction surfaced: the plain lottery allocates *grants*
+// proportionally, so the CPU — whose control reads are 4 words against
+// everyone else's 16-word bursts — receives far less *bandwidth* than
+// its ticket share and starves. Switching to the compensated lottery
+// (Waldspurger-Weihl compensation tickets) restores the provisioned
+// allocation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lotterybus"
+)
+
+type block struct {
+	name     string
+	target   float64 // desired bandwidth share, percent
+	load     float64 // offered words/cycle
+	msgWords int
+	bursty   bool
+}
+
+// The decode pipeline's bandwidth budget: display refresh dominates,
+// motion compensation and the VLD/IDCT stream split most of the rest,
+// and the control CPU needs a small but guaranteed slice.
+var blocks = []block{
+	{"cpu", 10, 0.08, 4, false},
+	{"vld-idct", 25, 0.30, 16, true},
+	{"motion-comp", 25, 0.30, 16, true},
+	{"display-dma", 40, 0.38, 16, false},
+}
+
+func build(tickets []uint64) *lotterybus.System {
+	sys := lotterybus.NewSystem(lotterybus.Config{Seed: 404})
+	frameMem := sys.AddSlave("frame-memory", 0)
+	for i, b := range blocks {
+		var gen lotterybus.Generator
+		var err error
+		if b.bursty {
+			gen, err = lotterybus.BurstyTraffic(b.load, 4*b.load, 512, b.msgWords, frameMem, uint64(900+i))
+		} else {
+			gen, err = lotterybus.BernoulliTraffic(b.load, b.msgWords, frameMem, uint64(900+i))
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.AddMaster(b.name, tickets[i], gen)
+	}
+	return sys
+}
+
+func main() {
+	targets := make([]float64, len(blocks))
+	for i, b := range blocks {
+		targets[i] = b.target
+	}
+	tickets, achieved, err := lotterybus.TicketsForShares(targets, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bandwidth targets %v%% -> tickets %v (worst error %.2f%%)\n\n",
+		targets, tickets, 100*achieved)
+
+	for _, c := range []struct {
+		name string
+		use  func(*lotterybus.System) error
+	}{
+		{"plain lottery", (*lotterybus.System).UseLottery},
+		{"compensated lottery", (*lotterybus.System).UseCompensatedLottery},
+	} {
+		sys := build(tickets)
+		if err := c.use(sys); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Run(1000000); err != nil {
+			log.Fatal(err)
+		}
+		r := sys.Report()
+		fmt.Printf("--- %s ---\n%s\n", c.name, r)
+		fmt.Printf("cpu: %.1f%% of bus (target 10%%), %.1f cycles/word\n\n",
+			100*r.Masters[0].BandwidthFraction, r.Masters[0].PerWordLatency)
+	}
+	fmt.Println("The plain lottery under-serves the CPU (its 4-word messages move a")
+	fmt.Println("quarter of a full grant), so its queue overflows and latency explodes;")
+	fmt.Println("compensation tickets carry its full offered load with zero drops and")
+	fmt.Println("latency three orders of magnitude lower.")
+}

@@ -1,0 +1,3 @@
+module lotterybus
+
+go 1.22

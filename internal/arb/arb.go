@@ -1,0 +1,341 @@
+// Package arb implements the bus arbitration schemes evaluated in the
+// LOTTERYBUS paper behind the bus.Arbiter interface:
+//
+//   - Priority: the static priority based shared bus (paper §2.1);
+//   - TDMA: the two-level time-division multiplexed access architecture
+//     with a timing wheel and round-robin reclamation of idle slots
+//     (paper §2.2);
+//   - RoundRobin: plain round-robin token passing with zero-cost skips;
+//   - TokenRing: round-robin where the token takes one cycle per hop
+//     (paper §2.3's token-ring architectures, in spirit);
+//   - StaticLottery / DynamicLottery: adapters over the core lottery
+//     managers — the paper's contribution (§4).
+//
+// All burst-capable arbiters request the head message's full remaining
+// word count; the bus clamps to its configured maximum transfer size.
+package arb
+
+import (
+	"fmt"
+
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+)
+
+// Priority is a static-priority arbiter: among pending requests it always
+// grants the master with the highest priority value (ties broken by lower
+// index). Under sustained contention, lower-priority masters starve —
+// the behaviour Example 1 / Fig. 4 of the paper demonstrates.
+type Priority struct {
+	prio []uint64
+}
+
+// NewPriority builds a static-priority arbiter; prio[i] is master i's
+// priority, larger values winning. Values need not be unique.
+func NewPriority(prio []uint64) (*Priority, error) {
+	if len(prio) == 0 {
+		return nil, fmt.Errorf("arb: priority table empty")
+	}
+	return &Priority{prio: append([]uint64(nil), prio...)}, nil
+}
+
+// Name identifies the scheme.
+func (p *Priority) Name() string { return "static-priority" }
+
+// Arbitrate grants the highest-priority pending master a full burst.
+func (p *Priority) Arbitrate(_ int64, req bus.Requests) (bus.Grant, bool) {
+	best := -1
+	n := req.NumMasters()
+	if n > len(p.prio) {
+		n = len(p.prio)
+	}
+	for i := 0; i < n; i++ {
+		if !req.Pending(i) {
+			continue
+		}
+		if best == -1 || p.prio[i] > p.prio[best] {
+			best = i
+		}
+	}
+	if best == -1 {
+		return bus.Grant{}, false
+	}
+	return bus.Grant{Master: best, Words: req.PendingWords(best)}, true
+}
+
+// Preempt grants a pending master whose priority strictly exceeds the
+// current burst owner's, implementing bus.Preemptor: with
+// bus.Config.Preemption set, a high-priority request interrupts a
+// lower-priority burst instead of waiting for it to drain.
+func (p *Priority) Preempt(cycle int64, owner int, req bus.Requests) (bus.Grant, bool) {
+	g, ok := p.Arbitrate(cycle, req)
+	if !ok {
+		return bus.Grant{}, false
+	}
+	if owner >= 0 && owner < len(p.prio) && p.prio[g.Master] <= p.prio[owner] {
+		return bus.Grant{}, false
+	}
+	return g, true
+}
+
+// RoundRobin grants pending masters in cyclic order, skipping idle
+// masters at zero cost; each grant covers a full burst.
+type RoundRobin struct {
+	n    int
+	last int
+}
+
+// NewRoundRobin builds a round-robin arbiter over n masters.
+func NewRoundRobin(n int) (*RoundRobin, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("arb: round-robin needs masters")
+	}
+	return &RoundRobin{n: n, last: n - 1}, nil
+}
+
+// Name identifies the scheme.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Arbitrate grants the next pending master after the previous winner.
+func (r *RoundRobin) Arbitrate(_ int64, req bus.Requests) (bus.Grant, bool) {
+	for k := 1; k <= r.n; k++ {
+		i := (r.last + k) % r.n
+		if req.Pending(i) {
+			r.last = i
+			return bus.Grant{Master: i, Words: req.PendingWords(i)}, true
+		}
+	}
+	return bus.Grant{}, false
+}
+
+// TokenRing passes a token around the masters; only the token holder may
+// transfer, and moving the token to the next master costs one bus cycle.
+// High clock rates make rings attractive for e.g. ATM switches (paper
+// §2.3), but skip latency hurts sparse traffic on a bus-style fabric.
+type TokenRing struct {
+	n     int
+	token int
+	burst int
+}
+
+// NewTokenRing builds a token-ring arbiter over n masters; each token
+// tenure covers at most burst words (0 means unlimited within the bus's
+// own MaxBurst clamp).
+func NewTokenRing(n, burst int) (*TokenRing, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("arb: token ring needs masters")
+	}
+	if burst <= 0 {
+		burst = 1 << 30
+	}
+	return &TokenRing{n: n, burst: burst}, nil
+}
+
+// Name identifies the scheme.
+func (t *TokenRing) Name() string { return "token-ring" }
+
+// Arbitrate grants the token holder if pending, else advances the token
+// one position and declines (consuming the cycle).
+func (t *TokenRing) Arbitrate(_ int64, req bus.Requests) (bus.Grant, bool) {
+	if req.Pending(t.token) {
+		g := bus.Grant{Master: t.token, Words: min(t.burst, req.PendingWords(t.token))}
+		t.token = (t.token + 1) % t.n
+		return g, true
+	}
+	t.token = (t.token + 1) % t.n
+	return bus.Grant{}, false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TDMA is the two-level time-division multiplexed access arbiter of
+// paper §2.2. The first level is a timing wheel whose slots are
+// statically reserved for masters; each slot grants a single word
+// transfer. The wheel is free-running: slot position is the bus cycle
+// modulo the wheel length, exactly like the hardware's slot counter, so
+// reservations keep their real-time alignment even across idle periods.
+// The second level reclaims slots whose owner has no pending request,
+// granting the next pending master in round-robin order; disabling it
+// reproduces the plain (wasteful) single-level TDMA.
+type TDMA struct {
+	wheel    []int
+	rr       int
+	n        int
+	twoLevel bool
+
+	reclaimed int64
+	wasted    int64
+}
+
+// NewTDMA builds a TDMA arbiter from an explicit timing wheel: wheel[k]
+// is the master index owning slot k. twoLevel enables round-robin
+// reclamation of idle slots.
+func NewTDMA(wheel []int, masters int, twoLevel bool) (*TDMA, error) {
+	if len(wheel) == 0 {
+		return nil, fmt.Errorf("arb: empty timing wheel")
+	}
+	if masters <= 0 {
+		return nil, fmt.Errorf("arb: tdma needs masters")
+	}
+	for k, m := range wheel {
+		if m < 0 || m >= masters {
+			return nil, fmt.Errorf("arb: wheel slot %d reserved for invalid master %d", k, m)
+		}
+	}
+	return &TDMA{
+		wheel:    append([]int(nil), wheel...),
+		n:        masters,
+		rr:       masters - 1,
+		twoLevel: twoLevel,
+	}, nil
+}
+
+// ContiguousWheel builds a timing wheel where master i owns slots[i]
+// contiguous slots, in master order — the reservation pattern of the
+// paper's Fig. 5 example ("6 contiguous slots defining the size of a
+// burst").
+func ContiguousWheel(slots []int) []int {
+	var wheel []int
+	for m, s := range slots {
+		for k := 0; k < s; k++ {
+			wheel = append(wheel, m)
+		}
+	}
+	return wheel
+}
+
+// InterleavedWheel builds a timing wheel that spreads each master's
+// slots as evenly as possible (useful as an ablation against the
+// contiguous pattern). Masters with larger reservations appear
+// proportionally more often.
+func InterleavedWheel(slots []int) []int {
+	total := 0
+	for _, s := range slots {
+		total += s
+	}
+	wheel := make([]int, 0, total)
+	// Bresenham-style accumulation: at each step pick the master whose
+	// emitted share lags its reservation most.
+	emitted := make([]int, len(slots))
+	for k := 0; k < total; k++ {
+		best, bestLag := -1, -1.0
+		for m, s := range slots {
+			if s == 0 {
+				continue
+			}
+			lag := float64(s)*float64(k+1)/float64(total) - float64(emitted[m])
+			if lag > bestLag {
+				best, bestLag = m, lag
+			}
+		}
+		wheel = append(wheel, best)
+		emitted[best]++
+	}
+	return wheel
+}
+
+// Name identifies the scheme.
+func (t *TDMA) Name() string {
+	if t.twoLevel {
+		return "tdma-2level"
+	}
+	return "tdma-1level"
+}
+
+// WheelSize returns the number of slots in the timing wheel.
+func (t *TDMA) WheelSize() int { return len(t.wheel) }
+
+// Reclaimed returns how many idle slots the second level handed to other
+// masters.
+func (t *TDMA) Reclaimed() int64 { return t.reclaimed }
+
+// Wasted returns how many slots went unused (owner idle and no
+// reclamation possible or enabled).
+func (t *TDMA) Wasted() int64 { return t.wasted }
+
+// Arbitrate grants a single word to the current slot's owner, or — under
+// two-level operation — to the next pending master in round-robin order
+// when the owner is idle. The slot is determined by the bus cycle, so
+// the wheel keeps turning during idle cycles.
+func (t *TDMA) Arbitrate(cycle int64, req bus.Requests) (bus.Grant, bool) {
+	owner := t.wheel[int(cycle%int64(len(t.wheel)))]
+	if req.Pending(owner) {
+		return bus.Grant{Master: owner, Words: 1}, true
+	}
+	if t.twoLevel {
+		for k := 1; k <= t.n; k++ {
+			i := (t.rr + k) % t.n
+			if req.Pending(i) {
+				t.rr = i
+				t.reclaimed++
+				return bus.Grant{Master: i, Words: 1}, true
+			}
+		}
+	}
+	t.wasted++
+	return bus.Grant{}, false
+}
+
+// StaticLottery adapts core.StaticLottery to the bus: each arbitration
+// runs one lottery over the request map and grants the winner a full
+// burst (the bus clamps to its maximum transfer size).
+type StaticLottery struct {
+	mgr *core.StaticLottery
+}
+
+// NewStaticLottery wraps a configured lottery manager.
+func NewStaticLottery(mgr *core.StaticLottery) *StaticLottery {
+	return &StaticLottery{mgr: mgr}
+}
+
+// Manager exposes the underlying lottery manager.
+func (l *StaticLottery) Manager() *core.StaticLottery { return l.mgr }
+
+// Name identifies the scheme.
+func (l *StaticLottery) Name() string { return "lottery-static" }
+
+// Arbitrate draws one lottery; a redraw-policy slack miss declines the
+// grant for this cycle.
+func (l *StaticLottery) Arbitrate(_ int64, req bus.Requests) (bus.Grant, bool) {
+	w := l.mgr.Draw(req.Mask())
+	if w == core.NoWinner {
+		return bus.Grant{}, false
+	}
+	return bus.Grant{Master: w, Words: req.PendingWords(w)}, true
+}
+
+// DynamicLottery adapts core.DynamicLottery: each arbitration samples the
+// masters' live ticket lines alongside the request map.
+type DynamicLottery struct {
+	mgr     *core.DynamicLottery
+	tickets []uint64
+}
+
+// NewDynamicLottery wraps a configured dynamic lottery manager.
+func NewDynamicLottery(mgr *core.DynamicLottery) *DynamicLottery {
+	return &DynamicLottery{mgr: mgr, tickets: make([]uint64, mgr.N())}
+}
+
+// Manager exposes the underlying lottery manager.
+func (l *DynamicLottery) Manager() *core.DynamicLottery { return l.mgr }
+
+// Name identifies the scheme.
+func (l *DynamicLottery) Name() string { return "lottery-dynamic" }
+
+// Arbitrate draws one lottery over the live ticket holdings.
+func (l *DynamicLottery) Arbitrate(_ int64, req bus.Requests) (bus.Grant, bool) {
+	n := l.mgr.N()
+	for i := 0; i < n; i++ {
+		l.tickets[i] = req.Tickets(i)
+	}
+	w := l.mgr.Draw(req.Mask(), l.tickets)
+	if w == core.NoWinner {
+		return bus.Grant{}, false
+	}
+	return bus.Grant{Master: w, Words: req.PendingWords(w)}, true
+}

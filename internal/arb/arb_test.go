@@ -1,0 +1,457 @@
+package arb
+
+import (
+	"math"
+	"testing"
+
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+)
+
+// fakeReq is a hand-rolled Requests view for unit tests.
+type fakeReq struct {
+	pending []bool
+	words   []int
+	tickets []uint64
+}
+
+func (f *fakeReq) NumMasters() int { return len(f.pending) }
+
+func (f *fakeReq) Pending(i int) bool { return f.pending[i] }
+
+func (f *fakeReq) Mask() uint64 {
+	var m uint64
+	for i, p := range f.pending {
+		if p {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+func (f *fakeReq) PendingWords(i int) int {
+	if f.words == nil {
+		if f.pending[i] {
+			return 1
+		}
+		return 0
+	}
+	return f.words[i]
+}
+
+func (f *fakeReq) Tickets(i int) uint64 {
+	if f.tickets == nil {
+		return 0
+	}
+	return f.tickets[i]
+}
+
+func TestPriorityGrantsHighest(t *testing.T) {
+	p, err := NewPriority([]uint64{1, 4, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &fakeReq{pending: []bool{true, true, true, true}, words: []int{5, 6, 7, 8}}
+	g, ok := p.Arbitrate(0, req)
+	if !ok || g.Master != 1 || g.Words != 6 {
+		t.Fatalf("grant %+v ok=%v", g, ok)
+	}
+	req.pending[1] = false
+	g, _ = p.Arbitrate(0, req)
+	if g.Master != 3 {
+		t.Fatalf("next highest = %d", g.Master)
+	}
+}
+
+func TestPriorityTieBreaksByIndex(t *testing.T) {
+	p, _ := NewPriority([]uint64{2, 2, 2})
+	g, ok := p.Arbitrate(0, &fakeReq{pending: []bool{false, true, true}, words: []int{0, 1, 1}})
+	if !ok || g.Master != 1 {
+		t.Fatalf("tie grant %+v", g)
+	}
+}
+
+func TestPriorityDeclinesWhenEmpty(t *testing.T) {
+	p, _ := NewPriority([]uint64{1, 2})
+	if _, ok := p.Arbitrate(0, &fakeReq{pending: []bool{false, false}}); ok {
+		t.Fatal("granted with no requests")
+	}
+}
+
+func TestPriorityEmptyTableRejected(t *testing.T) {
+	if _, err := NewPriority(nil); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	r, err := NewRoundRobin(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &fakeReq{pending: []bool{true, true, true}, words: []int{1, 1, 1}}
+	var order []int
+	for i := 0; i < 6; i++ {
+		g, ok := r.Arbitrate(0, req)
+		if !ok {
+			t.Fatal("declined")
+		}
+		order = append(order, g.Master)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestRoundRobinSkipsIdleFree(t *testing.T) {
+	r, _ := NewRoundRobin(4)
+	req := &fakeReq{pending: []bool{false, true, false, true}, words: []int{0, 1, 0, 1}}
+	g1, _ := r.Arbitrate(0, req)
+	g2, _ := r.Arbitrate(0, req)
+	g3, _ := r.Arbitrate(0, req)
+	if g1.Master != 1 || g2.Master != 3 || g3.Master != 1 {
+		t.Fatalf("skip order %d %d %d", g1.Master, g2.Master, g3.Master)
+	}
+}
+
+func TestRoundRobinValidation(t *testing.T) {
+	if _, err := NewRoundRobin(0); err == nil {
+		t.Fatal("zero masters accepted")
+	}
+}
+
+func TestTokenRingSkipCostsCycle(t *testing.T) {
+	tr, err := NewTokenRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only master 2 pending: two declined arbitrations (token hops)
+	// before the grant.
+	req := &fakeReq{pending: []bool{false, false, true}, words: []int{0, 0, 4}}
+	if _, ok := tr.Arbitrate(0, req); ok {
+		t.Fatal("granted on first hop")
+	}
+	if _, ok := tr.Arbitrate(1, req); ok {
+		t.Fatal("granted on second hop")
+	}
+	g, ok := tr.Arbitrate(2, req)
+	if !ok || g.Master != 2 || g.Words != 4 {
+		t.Fatalf("grant %+v ok=%v", g, ok)
+	}
+}
+
+func TestTokenRingBurstCap(t *testing.T) {
+	tr, _ := NewTokenRing(1, 2)
+	g, ok := tr.Arbitrate(0, &fakeReq{pending: []bool{true}, words: []int{10}})
+	if !ok || g.Words != 2 {
+		t.Fatalf("grant %+v", g)
+	}
+}
+
+func TestContiguousWheel(t *testing.T) {
+	w := ContiguousWheel([]int{1, 2, 3})
+	want := []int{0, 1, 1, 2, 2, 2}
+	if len(w) != len(want) {
+		t.Fatalf("wheel %v", w)
+	}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("wheel %v, want %v", w, want)
+		}
+	}
+}
+
+func TestInterleavedWheel(t *testing.T) {
+	w := InterleavedWheel([]int{2, 2})
+	if len(w) != 4 {
+		t.Fatalf("wheel %v", w)
+	}
+	counts := map[int]int{}
+	for _, m := range w {
+		counts[m]++
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("wheel shares %v", w)
+	}
+	// Must alternate rather than clump.
+	if w[0] == w[1] && w[2] == w[3] && w[0] == w[2] {
+		t.Fatalf("wheel not interleaved: %v", w)
+	}
+	// Zero-slot masters never appear.
+	w2 := InterleavedWheel([]int{0, 3})
+	for _, m := range w2 {
+		if m == 0 {
+			t.Fatalf("zero-reservation master scheduled: %v", w2)
+		}
+	}
+}
+
+func TestTDMAValidation(t *testing.T) {
+	if _, err := NewTDMA(nil, 2, true); err == nil {
+		t.Fatal("empty wheel accepted")
+	}
+	if _, err := NewTDMA([]int{0, 5}, 2, true); err == nil {
+		t.Fatal("invalid slot owner accepted")
+	}
+	if _, err := NewTDMA([]int{0}, 0, true); err == nil {
+		t.Fatal("zero masters accepted")
+	}
+}
+
+func TestTDMAGrantsSlotOwnerSingleWord(t *testing.T) {
+	td, _ := NewTDMA([]int{0, 1, 1}, 2, true)
+	req := &fakeReq{pending: []bool{true, true}, words: []int{9, 9}}
+	var owners []int
+	for i := 0; i < 6; i++ {
+		g, ok := td.Arbitrate(int64(i), req)
+		if !ok || g.Words != 1 {
+			t.Fatalf("slot %d grant %+v ok=%v", i, g, ok)
+		}
+		owners = append(owners, g.Master)
+	}
+	want := []int{0, 1, 1, 0, 1, 1}
+	for i := range want {
+		if owners[i] != want[i] {
+			t.Fatalf("owners %v", owners)
+		}
+	}
+}
+
+func TestTDMASecondLevelReclaims(t *testing.T) {
+	// Paper §2.2 example: current slot reserved for an idle master; the
+	// second-level pointer advances round-robin to the next pending
+	// request.
+	td, _ := NewTDMA([]int{0, 0, 0}, 3, true)
+	req := &fakeReq{pending: []bool{false, true, true}, words: []int{0, 1, 1}}
+	g1, ok1 := td.Arbitrate(0, req)
+	g2, ok2 := td.Arbitrate(1, req)
+	if !ok1 || !ok2 {
+		t.Fatal("reclamation failed")
+	}
+	if g1.Master != 1 || g2.Master != 2 {
+		t.Fatalf("reclaimed to %d then %d, want 1 then 2", g1.Master, g2.Master)
+	}
+	if td.Reclaimed() != 2 {
+		t.Fatalf("reclaimed count %d", td.Reclaimed())
+	}
+}
+
+func TestTDMAOneLevelWastesSlots(t *testing.T) {
+	td, _ := NewTDMA([]int{0, 1}, 2, false)
+	req := &fakeReq{pending: []bool{false, true}, words: []int{0, 1}}
+	if _, ok := td.Arbitrate(0, req); ok {
+		t.Fatal("one-level TDMA granted an idle slot")
+	}
+	if td.Wasted() != 1 {
+		t.Fatalf("wasted %d", td.Wasted())
+	}
+	g, ok := td.Arbitrate(1, req)
+	if !ok || g.Master != 1 {
+		t.Fatalf("owner slot grant %+v", g)
+	}
+}
+
+func TestStaticLotteryAdapter(t *testing.T) {
+	mgr, err := core.NewStaticLottery(core.StaticConfig{
+		Tickets: []uint64{1, 3},
+		Source:  prng.NewXorShift64Star(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewStaticLottery(mgr)
+	req := &fakeReq{pending: []bool{true, true}, words: []int{4, 8}}
+	counts := [2]int{}
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		g, ok := l.Arbitrate(int64(i), req)
+		if !ok {
+			t.Fatal("exact-policy lottery declined")
+		}
+		if g.Words != req.words[g.Master] {
+			t.Fatalf("grant words %d", g.Words)
+		}
+		counts[g.Master]++
+	}
+	if got := float64(counts[1]) / draws; math.Abs(got-0.75) > 0.01 {
+		t.Fatalf("share %v, want 0.75", got)
+	}
+}
+
+func TestDynamicLotteryAdapterReadsTicketLines(t *testing.T) {
+	mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: 2,
+		Source:  prng.NewXorShift64Star(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewDynamicLottery(mgr)
+	req := &fakeReq{pending: []bool{true, true}, words: []int{1, 1}, tickets: []uint64{9, 1}}
+	c0 := 0
+	for i := 0; i < 10000; i++ {
+		g, ok := l.Arbitrate(int64(i), req)
+		if !ok {
+			t.Fatal("declined")
+		}
+		if g.Master == 0 {
+			c0++
+		}
+	}
+	if got := float64(c0) / 10000; math.Abs(got-0.9) > 0.02 {
+		t.Fatalf("share %v, want 0.9", got)
+	}
+	// Flip the ticket lines; the adapter must follow immediately.
+	req.tickets = []uint64{1, 9}
+	c0 = 0
+	for i := 0; i < 10000; i++ {
+		g, _ := l.Arbitrate(int64(i), req)
+		if g.Master == 0 {
+			c0++
+		}
+	}
+	if got := float64(c0) / 10000; math.Abs(got-0.1) > 0.02 {
+		t.Fatalf("post-flip share %v, want 0.1", got)
+	}
+}
+
+// --- integration with the bus model ---
+
+type satGen struct{ words int }
+
+func (g *satGen) Tick(_ int64, queued int, emit func(words, slave int)) {
+	for ; queued < 2; queued++ {
+		emit(g.words, 0)
+	}
+}
+
+// runSaturated builds a 4-master bus with every master saturating and the
+// given arbiter, runs it, and returns the bandwidth fractions.
+func runSaturated(t *testing.T, a bus.Arbiter, cycles int64) []float64 {
+	t.Helper()
+	b := bus.New(bus.Config{MaxBurst: 16})
+	for i := 0; i < 4; i++ {
+		b.AddMaster("m", &satGen{words: 8}, bus.MasterOpts{Tickets: uint64(i + 1)})
+	}
+	b.AddSlave("mem", bus.SlaveOpts{})
+	b.SetArbiter(a)
+	if err := b.Run(cycles); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 4)
+	for i := range out {
+		out[i] = b.Collector().BandwidthFraction(i)
+	}
+	return out
+}
+
+func TestIntegrationLotteryProportionalBandwidth(t *testing.T) {
+	// The headline LOTTERYBUS claim on a real bus: with all masters
+	// saturating, bandwidth fractions track ticket ratios 1:2:3:4.
+	mgr, _ := core.NewStaticLottery(core.StaticConfig{
+		Tickets: []uint64{1, 2, 3, 4},
+		Source:  prng.NewXorShift64Star(11),
+	})
+	bw := runSaturated(t, NewStaticLottery(mgr), 200000)
+	for i, want := range []float64{0.1, 0.2, 0.3, 0.4} {
+		if math.Abs(bw[i]-want) > 0.02 {
+			t.Fatalf("bandwidth %v, want ~1:2:3:4", bw)
+		}
+	}
+}
+
+func TestIntegrationPriorityStarves(t *testing.T) {
+	p, _ := NewPriority([]uint64{1, 2, 3, 4})
+	bw := runSaturated(t, p, 50000)
+	if bw[3] < 0.99 {
+		t.Fatalf("highest priority bandwidth %v", bw)
+	}
+	if bw[0] > 0.005 {
+		t.Fatalf("lowest priority not starved: %v", bw)
+	}
+}
+
+func TestIntegrationTDMAProportionalToSlots(t *testing.T) {
+	td, _ := NewTDMA(ContiguousWheel([]int{1, 2, 3, 4}), 4, true)
+	bw := runSaturated(t, td, 100000)
+	for i, want := range []float64{0.1, 0.2, 0.3, 0.4} {
+		if math.Abs(bw[i]-want) > 0.02 {
+			t.Fatalf("tdma bandwidth %v, want slots/10", bw)
+		}
+	}
+}
+
+func TestIntegrationRoundRobinEqualShares(t *testing.T) {
+	r, _ := NewRoundRobin(4)
+	bw := runSaturated(t, r, 100000)
+	for i := range bw {
+		if math.Abs(bw[i]-0.25) > 0.02 {
+			t.Fatalf("round-robin bandwidth %v", bw)
+		}
+	}
+}
+
+func TestIntegrationDynamicLotteryTracksTicketChange(t *testing.T) {
+	mgr, _ := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: 2,
+		Source:  prng.NewXorShift64Star(13),
+	})
+	b := bus.New(bus.Config{MaxBurst: 16})
+	b.AddMaster("m0", &satGen{words: 8}, bus.MasterOpts{Tickets: 9})
+	b.AddMaster("m1", &satGen{words: 8}, bus.MasterOpts{Tickets: 1})
+	b.AddSlave("mem", bus.SlaveOpts{})
+	b.SetArbiter(NewDynamicLottery(mgr))
+	if err := b.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	phase1 := b.Collector().BandwidthFraction(0)
+	// Re-provision at run time: master 1 now holds 9 of 10 tickets.
+	b.Master(0).SetTickets(1)
+	b.Master(1).SetTickets(9)
+	w0 := b.Collector().Words(0)
+	if err := b.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	phase2 := float64(b.Collector().Words(0)-w0) / 100000
+	if math.Abs(phase1-0.9) > 0.03 {
+		t.Fatalf("phase1 share %v, want 0.9", phase1)
+	}
+	if math.Abs(phase2-0.1) > 0.03 {
+		t.Fatalf("phase2 share %v, want 0.1", phase2)
+	}
+}
+
+func BenchmarkTDMAArbitrate(b *testing.B) {
+	td, _ := NewTDMA(ContiguousWheel([]int{1, 2, 3, 4}), 4, true)
+	req := &fakeReq{pending: []bool{true, false, true, true}, words: []int{1, 0, 1, 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		td.Arbitrate(int64(i), req)
+	}
+}
+
+func BenchmarkPriorityArbitrate(b *testing.B) {
+	p, _ := NewPriority([]uint64{1, 2, 3, 4})
+	req := &fakeReq{pending: []bool{true, false, true, true}, words: []int{1, 0, 1, 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Arbitrate(int64(i), req)
+	}
+}
+
+func BenchmarkLotteryArbitrate(b *testing.B) {
+	mgr, _ := core.NewStaticLottery(core.StaticConfig{
+		Tickets: []uint64{1, 2, 3, 4},
+		Source:  prng.NewXorShift64Star(1),
+	})
+	l := NewStaticLottery(mgr)
+	req := &fakeReq{pending: []bool{true, false, true, true}, words: []int{1, 0, 1, 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Arbitrate(int64(i), req)
+	}
+}

@@ -1,0 +1,112 @@
+package arb
+
+import (
+	"fmt"
+
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+)
+
+// CompensatedLottery extends the lottery arbiter with Waldspurger-Weihl
+// compensation tickets (the mechanism from the lottery-scheduling work
+// the paper builds on, reference [16]). The plain LOTTERYBUS allocates
+// bandwidth proportionally to tickets only when every master transfers
+// equal-sized bursts: ticket ratios control the fraction of *grants*,
+// and a master whose messages are shorter than the maximum transfer
+// size moves fewer words per grant. Compensation repairs this: a winner
+// that uses only words w of its quantum q has its effective holding
+// inflated by q/w until its next win, so long-run *bandwidth* tracks
+// the ticket ratios regardless of message-size mix.
+type CompensatedLottery struct {
+	mgr     *core.DynamicLottery
+	base    []uint64
+	quantum int
+	// compNum/compDen[i] is the compensation factor q/w of master i's
+	// last win, kept as a rational so effective holdings stay integral.
+	compNum []uint64
+	compDen []uint64
+	scratch []uint64
+}
+
+// NewCompensatedLottery builds the arbiter over the base ticket
+// holdings; quantum must equal the bus's maximum transfer size (the
+// words a full grant could move).
+func NewCompensatedLottery(base []uint64, quantum int, mgr *core.DynamicLottery) (*CompensatedLottery, error) {
+	if len(base) == 0 {
+		return nil, fmt.Errorf("arb: compensated lottery needs masters")
+	}
+	if mgr == nil || mgr.N() != len(base) {
+		return nil, fmt.Errorf("arb: manager size mismatch")
+	}
+	if quantum <= 0 {
+		return nil, fmt.Errorf("arb: quantum must be positive")
+	}
+	for i, t := range base {
+		if t == 0 {
+			return nil, fmt.Errorf("arb: master %d has zero tickets", i)
+		}
+		if t > 1<<24 {
+			return nil, fmt.Errorf("arb: ticket count %d too large for compensation scaling", t)
+		}
+	}
+	c := &CompensatedLottery{
+		mgr:     mgr,
+		base:    append([]uint64(nil), base...),
+		quantum: quantum,
+		compNum: make([]uint64, len(base)),
+		compDen: make([]uint64, len(base)),
+		scratch: make([]uint64, len(base)),
+	}
+	for i := range c.compNum {
+		c.compNum[i], c.compDen[i] = 1, 1
+	}
+	return c, nil
+}
+
+// Name identifies the scheme.
+func (c *CompensatedLottery) Name() string { return "lottery-compensated" }
+
+// EffectiveTickets returns the current compensated holdings (for
+// inspection and tests).
+func (c *CompensatedLottery) EffectiveTickets() []uint64 {
+	out := make([]uint64, len(c.base))
+	for i := range c.base {
+		out[i] = c.effective(i)
+	}
+	return out
+}
+
+// effective returns master i's live holding: base[i] scaled by its
+// compensation rational q/w (1/1 for a master whose last win used its
+// full quantum), floored at one ticket so integer division can never
+// erase a holding.
+func (c *CompensatedLottery) effective(i int) uint64 {
+	e := c.base[i] * c.compNum[i] / c.compDen[i]
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
+// Arbitrate draws one lottery over the compensated holdings and updates
+// the winner's compensation from its quantum usage.
+func (c *CompensatedLottery) Arbitrate(_ int64, req bus.Requests) (bus.Grant, bool) {
+	for i := range c.base {
+		c.scratch[i] = c.effective(i)
+	}
+	w := c.mgr.Draw(req.Mask(), c.scratch)
+	if w == core.NoWinner {
+		return bus.Grant{}, false
+	}
+	used := req.PendingWords(w)
+	if used > c.quantum {
+		used = c.quantum
+	}
+	if used <= 0 {
+		used = 1
+	}
+	// Waldspurger compensation: inflate by q/used until the next win.
+	c.compNum[w] = uint64(c.quantum)
+	c.compDen[w] = uint64(used)
+	return bus.Grant{Master: w, Words: used}, true
+}

@@ -1,0 +1,144 @@
+package arb
+
+import (
+	"math"
+	"testing"
+
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+)
+
+func newCompensated(t *testing.T, base []uint64, quantum int, seed uint64) *CompensatedLottery {
+	t.Helper()
+	mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: len(base),
+		Source:  prng.NewXorShift64Star(seed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCompensatedLottery(base, quantum, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCompensatedValidation(t *testing.T) {
+	mgr, _ := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: 2, Source: prng.NewXorShift64Star(1),
+	})
+	if _, err := NewCompensatedLottery(nil, 16, mgr); err == nil {
+		t.Fatal("empty base accepted")
+	}
+	if _, err := NewCompensatedLottery([]uint64{1, 2}, 0, mgr); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+	if _, err := NewCompensatedLottery([]uint64{1, 0}, 16, mgr); err == nil {
+		t.Fatal("zero ticket accepted")
+	}
+	if _, err := NewCompensatedLottery([]uint64{1, 2, 3}, 16, mgr); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestCompensationFactorUpdatesOnWin(t *testing.T) {
+	c := newCompensated(t, []uint64{1, 1}, 16, 2)
+	// Master 0 alone, pending 2 words of a 16-word quantum: after its
+	// win, its effective holding inflates 8x.
+	req := &fakeReq{pending: []bool{true, false}, words: []int{2, 0}}
+	g, ok := c.Arbitrate(0, req)
+	if !ok || g.Master != 0 || g.Words != 2 {
+		t.Fatalf("grant %+v ok=%v", g, ok)
+	}
+	eff := c.EffectiveTickets()
+	if eff[0] != 8 || eff[1] != 1 {
+		t.Fatalf("effective tickets %v, want [8 1]", eff)
+	}
+	// A full-quantum win resets the factor.
+	req.words[0] = 16
+	if g, _ = c.Arbitrate(1, req); g.Words != 16 {
+		t.Fatalf("grant %+v", g)
+	}
+	if eff := c.EffectiveTickets(); eff[0] != 1 {
+		t.Fatalf("factor not reset: %v", eff)
+	}
+}
+
+// sizedGen keeps the queue topped with fixed-size messages.
+type sizedGen struct{ words int }
+
+func (g *sizedGen) Tick(_ int64, queued int, emit func(words, slave int)) {
+	for ; queued < 2; queued++ {
+		emit(g.words, 0)
+	}
+}
+
+// runMixedSizes runs two saturating masters with equal tickets but
+// different message sizes (2 vs 16 words) under the given arbiter and
+// returns their bandwidth fractions.
+func runMixedSizes(t *testing.T, a bus.Arbiter) [2]float64 {
+	t.Helper()
+	b := bus.New(bus.Config{MaxBurst: 16})
+	b.AddMaster("small", &sizedGen{words: 2}, bus.MasterOpts{Tickets: 1})
+	b.AddMaster("large", &sizedGen{words: 16}, bus.MasterOpts{Tickets: 1})
+	b.AddSlave("mem", bus.SlaveOpts{})
+	b.SetArbiter(a)
+	if err := b.Run(200000); err != nil {
+		t.Fatal(err)
+	}
+	return [2]float64{
+		b.Collector().BandwidthFraction(0),
+		b.Collector().BandwidthFraction(1),
+	}
+}
+
+func TestCompensationRestoresBandwidthProportionality(t *testing.T) {
+	// Plain lottery: equal tickets but 2- vs 16-word messages skews
+	// bandwidth to the large-message master (2/18 ~ 11% vs 89%).
+	mgr, _ := core.NewStaticLottery(core.StaticConfig{
+		Tickets: []uint64{1, 1},
+		Source:  prng.NewXorShift64Star(5),
+	})
+	plain := runMixedSizes(t, NewStaticLottery(mgr))
+	if plain[0] > 0.2 {
+		t.Fatalf("plain lottery small-message share %v; skew expected", plain[0])
+	}
+
+	// Compensated lottery: bandwidth returns to the 50/50 the equal
+	// tickets promise.
+	comp := newCompensated(t, []uint64{1, 1}, 16, 5)
+	fixed := runMixedSizes(t, comp)
+	if math.Abs(fixed[0]-0.5) > 0.03 || math.Abs(fixed[1]-0.5) > 0.03 {
+		t.Fatalf("compensated shares %v, want ~50/50", fixed)
+	}
+}
+
+func TestCompensationPreservesWeightedRatios(t *testing.T) {
+	// Tickets 1:3 with mixed sizes must yield 25/75 bandwidth.
+	comp := newCompensated(t, []uint64{1, 3}, 16, 7)
+	b := bus.New(bus.Config{MaxBurst: 16})
+	b.AddMaster("small", &sizedGen{words: 4}, bus.MasterOpts{})
+	b.AddMaster("large", &sizedGen{words: 16}, bus.MasterOpts{})
+	b.AddSlave("mem", bus.SlaveOpts{})
+	b.SetArbiter(comp)
+	if err := b.Run(300000); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Collector().BandwidthFraction(1)
+	if math.Abs(got-0.75) > 0.03 {
+		t.Fatalf("weighted compensated share %v, want 0.75", got)
+	}
+}
+
+func TestCompensatedNeverGrantsNonRequester(t *testing.T) {
+	c := newCompensated(t, []uint64{1, 2, 3}, 16, 9)
+	req := &fakeReq{pending: []bool{false, true, false}, words: []int{0, 5, 0}}
+	for i := 0; i < 200; i++ {
+		g, ok := c.Arbitrate(int64(i), req)
+		if !ok || g.Master != 1 {
+			t.Fatalf("grant %+v ok=%v", g, ok)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package arb
+
+import (
+	"testing"
+
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+)
+
+func TestArbiterNames(t *testing.T) {
+	p, _ := NewPriority([]uint64{1})
+	rr, _ := NewRoundRobin(2)
+	tr, _ := NewTokenRing(2, 0)
+	td1, _ := NewTDMA([]int{0, 1}, 2, false)
+	td2, _ := NewTDMA([]int{0, 1}, 2, true)
+	wrr, _ := NewWeightedRoundRobin([]uint64{1, 2}, 4)
+	smgr, _ := core.NewStaticLottery(core.StaticConfig{
+		Tickets: []uint64{1, 2}, Source: prng.NewXorShift64Star(1),
+	})
+	dmgr, _ := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: 2, Source: prng.NewXorShift64Star(1),
+	})
+	cmgr, _ := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: 2, Source: prng.NewXorShift64Star(1),
+	})
+	comp, _ := NewCompensatedLottery([]uint64{1, 2}, 16, cmgr)
+	for a, want := range map[interface{ Name() string }]string{
+		p:                       "static-priority",
+		rr:                      "round-robin",
+		tr:                      "token-ring",
+		td1:                     "tdma-1level",
+		td2:                     "tdma-2level",
+		wrr:                     "weighted-round-robin",
+		NewStaticLottery(smgr):  "lottery-static",
+		NewDynamicLottery(dmgr): "lottery-dynamic",
+		comp:                    "lottery-compensated",
+	} {
+		if a.Name() != want {
+			t.Fatalf("Name() = %q, want %q", a.Name(), want)
+		}
+	}
+}
+
+func TestManagersExposed(t *testing.T) {
+	smgr, _ := core.NewStaticLottery(core.StaticConfig{
+		Tickets: []uint64{1, 2}, Source: prng.NewXorShift64Star(1),
+	})
+	if NewStaticLottery(smgr).Manager() != smgr {
+		t.Fatal("static manager accessor")
+	}
+	dmgr, _ := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: 2, Source: prng.NewXorShift64Star(1),
+	})
+	if NewDynamicLottery(dmgr).Manager() != dmgr {
+		t.Fatal("dynamic manager accessor")
+	}
+}
+
+func TestTDMAWheelSize(t *testing.T) {
+	td, _ := NewTDMA(ContiguousWheel([]int{1, 2, 3}), 3, true)
+	if td.WheelSize() != 6 {
+		t.Fatalf("wheel size %d", td.WheelSize())
+	}
+}
+
+func TestPriorityWithFewerPrioritiesThanMasters(t *testing.T) {
+	// A priority table shorter than the request view must not panic and
+	// must simply ignore the extra masters.
+	p, _ := NewPriority([]uint64{5})
+	req := &fakeReq{pending: []bool{false, true}, words: []int{0, 1}}
+	if _, ok := p.Arbitrate(0, req); ok {
+		t.Fatal("granted master beyond priority table")
+	}
+}
+
+func TestPreemptDeclinesWhenNothingPending(t *testing.T) {
+	p, _ := NewPriority([]uint64{1, 2})
+	req := &fakeReq{pending: []bool{false, false}}
+	if _, ok := p.Preempt(0, 0, req); ok {
+		t.Fatal("preempted with no requests")
+	}
+}
+
+func TestRoundRobinDeclinesWhenIdle(t *testing.T) {
+	rr, _ := NewRoundRobin(3)
+	if _, ok := rr.Arbitrate(0, &fakeReq{pending: []bool{false, false, false}}); ok {
+		t.Fatal("granted with no requests")
+	}
+}
+
+func TestTokenRingValidation(t *testing.T) {
+	if _, err := NewTokenRing(0, 4); err == nil {
+		t.Fatal("zero masters accepted")
+	}
+}
+
+func TestStaticLotteryAdapterDeclinesOnRedrawMiss(t *testing.T) {
+	// With a tiny holding and redraw policy, some arbitrations decline.
+	mgr, _ := core.NewStaticLottery(core.StaticConfig{
+		Tickets: []uint64{1, 63},
+		Source:  prng.NewXorShift64Star(4),
+		Policy:  core.PolicyRedraw,
+	})
+	l := NewStaticLottery(mgr)
+	req := &fakeReq{pending: []bool{true, false}, words: []int{1, 0}}
+	declined := 0
+	for i := 0; i < 2000; i++ {
+		if _, ok := l.Arbitrate(int64(i), req); !ok {
+			declined++
+		}
+	}
+	if declined == 0 {
+		t.Fatal("redraw adapter never declined")
+	}
+}
+
+func TestCompensatedEffectiveFloor(t *testing.T) {
+	// Integer division in the compensation rational can underflow to
+	// zero; effective holdings must clamp to one ticket.
+	cmgr, _ := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: 2, Source: prng.NewXorShift64Star(2),
+	})
+	c, _ := NewCompensatedLottery([]uint64{1, 1}, 16, cmgr)
+	// Force a compensation state of 16/16 (full use) then inspect.
+	req := &fakeReq{pending: []bool{true, true}, words: []int{16, 16}}
+	c.Arbitrate(0, req)
+	for _, e := range c.EffectiveTickets() {
+		if e == 0 {
+			t.Fatal("effective ticket underflowed to zero")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package arb
+
+import (
+	"fmt"
+
+	"lotterybus/internal/bus"
+)
+
+// WeightedRoundRobin is a deficit-style weighted round-robin arbiter —
+// the deterministic proportional-share baseline from the packet
+// scheduling literature the paper cites (Zhang, "Service Disciplines
+// for Guaranteed Performance Service"). Masters are visited in cyclic
+// order; each visit tops the master's deficit up by weight*quantum
+// words and grants up to the accumulated deficit. Long-run bandwidth
+// shares converge to the weight ratios like the lottery's, but the
+// service pattern is periodic rather than memoryless — the ablation
+// experiments quantify the difference in latency jitter.
+type WeightedRoundRobin struct {
+	weights []uint64
+	quantum int
+	deficit []int
+	pos     int
+}
+
+// NewWeightedRoundRobin builds the arbiter; quantum is the per-weight
+// word allowance per visit (0 selects 4). Choose weights[i]*quantum no
+// larger than the bus's MaxBurst: the bus clamps oversized grants and
+// the arbiter cannot observe the clamp, which would skew the deficit
+// accounting.
+func NewWeightedRoundRobin(weights []uint64, quantum int) (*WeightedRoundRobin, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("arb: wrr needs masters")
+	}
+	for i, w := range weights {
+		if w == 0 {
+			return nil, fmt.Errorf("arb: wrr master %d has zero weight", i)
+		}
+	}
+	if quantum <= 0 {
+		quantum = 4
+	}
+	return &WeightedRoundRobin{
+		weights: append([]uint64(nil), weights...),
+		quantum: quantum,
+		deficit: make([]int, len(weights)),
+		pos:     len(weights) - 1,
+	}, nil
+}
+
+// Name identifies the scheme.
+func (w *WeightedRoundRobin) Name() string { return "weighted-round-robin" }
+
+// Arbitrate advances the cyclic pointer to the next pending master,
+// topping deficits up as masters are visited, and grants up to the
+// winner's accumulated deficit. Idle masters' deficits are cleared, as
+// in deficit round robin, so bandwidth unused by an idle master is not
+// hoarded.
+func (w *WeightedRoundRobin) Arbitrate(_ int64, req bus.Requests) (bus.Grant, bool) {
+	n := len(w.weights)
+	for k := 1; k <= n; k++ {
+		i := (w.pos + k) % n
+		if !req.Pending(i) {
+			w.deficit[i] = 0
+			continue
+		}
+		w.pos = i
+		w.deficit[i] += int(w.weights[i]) * w.quantum
+		words := w.deficit[i]
+		if pw := req.PendingWords(i); words > pw {
+			words = pw
+		}
+		if words <= 0 {
+			words = 1
+		}
+		w.deficit[i] -= words
+		return bus.Grant{Master: i, Words: words}, true
+	}
+	return bus.Grant{}, false
+}

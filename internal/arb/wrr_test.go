@@ -1,0 +1,156 @@
+package arb
+
+import (
+	"math"
+	"testing"
+
+	"lotterybus/internal/bus"
+)
+
+func TestWRRValidation(t *testing.T) {
+	if _, err := NewWeightedRoundRobin(nil, 4); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := NewWeightedRoundRobin([]uint64{1, 0}, 4); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestWRRGrantSizesFollowWeights(t *testing.T) {
+	w, err := NewWeightedRoundRobin([]uint64{1, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &fakeReq{pending: []bool{true, true}, words: []int{100, 100}}
+	g1, ok1 := w.Arbitrate(0, req)
+	g2, ok2 := w.Arbitrate(1, req)
+	if !ok1 || !ok2 {
+		t.Fatal("declined")
+	}
+	if g1.Master != 0 || g1.Words != 4 {
+		t.Fatalf("first grant %+v", g1)
+	}
+	if g2.Master != 1 || g2.Words != 12 {
+		t.Fatalf("second grant %+v", g2)
+	}
+}
+
+func TestWRRDeficitCarriesOver(t *testing.T) {
+	// A master with fewer pending words than its allowance keeps the
+	// remainder for its next visit.
+	w, _ := NewWeightedRoundRobin([]uint64{2}, 4)
+	req := &fakeReq{pending: []bool{true}, words: []int{3}}
+	g, _ := w.Arbitrate(0, req)
+	if g.Words != 3 {
+		t.Fatalf("grant %+v", g)
+	}
+	// Deficit now 8-3=5; next visit tops up to 13, but only 6 pending.
+	req.words[0] = 6
+	g, _ = w.Arbitrate(1, req)
+	if g.Words != 6 {
+		t.Fatalf("carried grant %+v", g)
+	}
+}
+
+func TestWRRIdleMastersLoseDeficit(t *testing.T) {
+	w, _ := NewWeightedRoundRobin([]uint64{5, 1}, 4)
+	// Master 0 idle: its deficit clears while master 1 is served.
+	req := &fakeReq{pending: []bool{false, true}, words: []int{0, 100}}
+	for i := 0; i < 5; i++ {
+		g, ok := w.Arbitrate(int64(i), req)
+		if !ok || g.Master != 1 {
+			t.Fatalf("grant %+v ok=%v", g, ok)
+		}
+	}
+	// Master 0 wakes: first grant is exactly one allowance, no hoard.
+	req.pending[0] = true
+	req.words[0] = 100
+	g, _ := w.Arbitrate(9, req)
+	if g.Master != 0 || g.Words != 20 {
+		t.Fatalf("post-idle grant %+v, want 20 words", g)
+	}
+}
+
+func TestWRRDeclinesWhenAllIdle(t *testing.T) {
+	w, _ := NewWeightedRoundRobin([]uint64{1, 1}, 4)
+	if _, ok := w.Arbitrate(0, &fakeReq{pending: []bool{false, false}}); ok {
+		t.Fatal("granted with no requests")
+	}
+}
+
+func TestWRRIntegrationProportionalShares(t *testing.T) {
+	b := bus.New(bus.Config{MaxBurst: 16})
+	for i := 0; i < 4; i++ {
+		b.AddMaster("m", &satGen{words: 16}, bus.MasterOpts{})
+	}
+	b.AddSlave("mem", bus.SlaveOpts{})
+	w, err := NewWeightedRoundRobin([]uint64{1, 2, 3, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetArbiter(w)
+	if err := b.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{0.1, 0.2, 0.3, 0.4} {
+		got := b.Collector().BandwidthFraction(i)
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("wrr share %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestPriorityPreemption(t *testing.T) {
+	// Low-priority master streams long bursts; a high-priority message
+	// arriving mid-burst is served immediately when preemption is on.
+	run := func(preempt bool) (hiLatency float64, preemptions int64) {
+		b := bus.New(bus.Config{MaxBurst: 16, Preemption: preempt})
+		b.AddMaster("lo", &satGen{words: 16}, bus.MasterOpts{})
+		b.AddMaster("hi", nil, bus.MasterOpts{})
+		b.AddSlave("mem", bus.SlaveOpts{})
+		p, err := NewPriority([]uint64{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.SetArbiter(p)
+		// Inject the high-priority message mid-burst.
+		b.OnCycle = func(cycle int64, bb *bus.Bus) {
+			if cycle%40 == 8 {
+				bb.Inject(1, 2, 0)
+			}
+		}
+		if err := b.Run(4000); err != nil {
+			t.Fatal(err)
+		}
+		return b.Collector().PerWordLatency(1), b.Preemptions()
+	}
+
+	latNo, preNo := run(false)
+	latYes, preYes := run(true)
+	if preNo != 0 {
+		t.Fatalf("preemptions counted while disabled: %d", preNo)
+	}
+	if preYes == 0 {
+		t.Fatal("no preemptions occurred")
+	}
+	// Without preemption the message waits out the 16-word burst
+	// (~half on average); with it, service is immediate.
+	if latYes >= latNo {
+		t.Fatalf("preemption did not help: %v vs %v", latYes, latNo)
+	}
+	if latYes > 1.6 {
+		t.Fatalf("preempted latency %v, want ~1", latYes)
+	}
+}
+
+func TestPreemptDeclinesForEqualPriority(t *testing.T) {
+	p, _ := NewPriority([]uint64{2, 2})
+	req := &fakeReq{pending: []bool{true, true}, words: []int{1, 1}}
+	if _, ok := p.Preempt(0, 0, req); ok {
+		t.Fatal("equal-priority preemption allowed")
+	}
+	p2, _ := NewPriority([]uint64{1, 3})
+	if g, ok := p2.Preempt(0, 0, req); !ok || g.Master != 1 {
+		t.Fatalf("higher-priority preemption refused: %+v %v", g, ok)
+	}
+}

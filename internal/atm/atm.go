@@ -1,0 +1,231 @@
+// Package atm models the cell-forwarding unit of a 4-port output-queued
+// ATM switch — the example system of LOTTERYBUS paper §5.3 (Fig. 13).
+//
+// Arriving cell payloads are written into a dual-ported shared memory by
+// the scheduler (that path does not contend for the system bus), while
+// the starting address of each cell is pushed into the destination
+// port's local address queue. Each output port polls its queue; when a
+// cell is present the port requests the shared system bus, reads the
+// payload from the shared memory, and forwards it on its output link.
+// The output ports are therefore bus masters contending for the shared
+// memory, and the communication architecture determines both the
+// bandwidth each port receives and the cell-forwarding latency.
+package atm
+
+import (
+	"fmt"
+
+	"lotterybus/internal/bus"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/traffic"
+)
+
+// DefaultCellWords is the bus words per ATM cell: a 53-byte cell on a
+// 32-bit bus occupies 14 words (rounded up, as a real switch would).
+const DefaultCellWords = 14
+
+// PortConfig describes one output port's traffic and queueing.
+type PortConfig struct {
+	// Name labels the port in reports; defaults to "port<i>".
+	Name string
+	// Load is the offered load on this port's output in bus words per
+	// bus cycle (cells arrive at Load/CellWords per cycle on average).
+	Load float64
+	// Bursty selects ON/OFF-modulated cell arrivals instead of
+	// Bernoulli arrivals.
+	Bursty bool
+	// QueueCells bounds the port's local address queue; arriving cells
+	// beyond it are dropped (counted). Zero selects 256.
+	QueueCells int
+	// Weight is the port's QoS weight: its lottery tickets, its TDMA
+	// slot count, and its static priority, so one figure configures all
+	// three architectures identically (paper: "lottery tickets,
+	// time-slots, and priorities were assigned uniformly").
+	Weight uint64
+}
+
+// Config parameterizes the switch.
+type Config struct {
+	// Ports describes each output port.
+	Ports []PortConfig
+	// CellWords is the bus words per cell; zero selects
+	// DefaultCellWords.
+	CellWords int
+	// MaxBurst caps a single bus grant in words; zero selects 16.
+	MaxBurst int
+	// Seed drives all stochastic arrival processes.
+	Seed uint64
+}
+
+// Switch is a constructed cell-forwarding unit awaiting an arbiter.
+type Switch struct {
+	cfg       Config
+	bus       *bus.Bus
+	cellWords int
+}
+
+// New builds the switch: one bus master per output port and the shared
+// payload memory as the single slave.
+func New(cfg Config) (*Switch, error) {
+	if len(cfg.Ports) == 0 {
+		return nil, fmt.Errorf("atm: no ports")
+	}
+	if cfg.CellWords == 0 {
+		cfg.CellWords = DefaultCellWords
+	}
+	if cfg.CellWords <= 0 {
+		return nil, fmt.Errorf("atm: invalid cell size %d", cfg.CellWords)
+	}
+	if cfg.MaxBurst == 0 {
+		cfg.MaxBurst = 16
+	}
+	b := bus.New(bus.Config{MaxBurst: cfg.MaxBurst})
+	memory := b.AddSlave("shared-payload-memory", bus.SlaveOpts{})
+	for i := range cfg.Ports {
+		p := &cfg.Ports[i]
+		if p.Name == "" {
+			p.Name = fmt.Sprintf("port%d", i+1)
+		}
+		if p.QueueCells == 0 {
+			p.QueueCells = 256
+		}
+		if p.Load < 0 {
+			return nil, fmt.Errorf("atm: %s has negative load", p.Name)
+		}
+		gen, err := cellArrivals(p, cfg.CellWords, memory, cfg.Seed, i)
+		if err != nil {
+			return nil, fmt.Errorf("atm: %s: %w", p.Name, err)
+		}
+		b.AddMaster(p.Name, gen, bus.MasterOpts{
+			QueueCap: p.QueueCells,
+			Tickets:  p.Weight,
+		})
+	}
+	return &Switch{cfg: cfg, bus: b, cellWords: cfg.CellWords}, nil
+}
+
+// cellArrivals builds the scheduler-side arrival process for one port:
+// every arriving cell enqueues one CellWords-sized bus read.
+func cellArrivals(p *PortConfig, cellWords, memory int, seed uint64, idx int) (bus.Generator, error) {
+	streamSeed := seed*0x9e3779b97f4a7c15 + uint64(idx+1)*0x100000001b3
+	if p.Load == 0 {
+		return nil, nil
+	}
+	if p.Bursty {
+		loadOn := 4 * p.Load
+		if loadOn > 0.9 {
+			loadOn = 0.9
+		}
+		if loadOn < p.Load {
+			loadOn = p.Load
+		}
+		duty := p.Load / loadOn
+		meanOn := 6 * float64(cellWords)
+		return traffic.NewOnOff(traffic.OnOffConfig{
+			MeanOn:  meanOn,
+			MeanOff: meanOn * (1 - duty) / duty,
+			LoadOn:  loadOn,
+			Size:    traffic.Fixed(cellWords),
+			Slave:   memory,
+			Seed:    streamSeed,
+		})
+	}
+	return traffic.NewBernoulli(p.Load, traffic.Fixed(cellWords), memory, streamSeed)
+}
+
+// Bus exposes the underlying bus, e.g. to attach an arbiter built from
+// the port weights (see Weights).
+func (s *Switch) Bus() *bus.Bus { return s.bus }
+
+// AttachArbiter sets the communication architecture under test.
+func (s *Switch) AttachArbiter(a bus.Arbiter) { s.bus.SetArbiter(a) }
+
+// Weights returns the per-port QoS weights in port order.
+func (s *Switch) Weights() []uint64 {
+	w := make([]uint64, len(s.cfg.Ports))
+	for i, p := range s.cfg.Ports {
+		w[i] = p.Weight
+	}
+	return w
+}
+
+// CellWords returns the bus words per cell.
+func (s *Switch) CellWords() int { return s.cellWords }
+
+// NumPorts returns the port count.
+func (s *Switch) NumPorts() int { return len(s.cfg.Ports) }
+
+// Run simulates the switch for the given number of bus cycles.
+func (s *Switch) Run(cycles int64) error { return s.bus.Run(cycles) }
+
+// PortReport is the per-port outcome of a run.
+type PortReport struct {
+	Name string
+	// BandwidthFraction is the share of total bus cycles spent moving
+	// this port's cells.
+	BandwidthFraction float64
+	// LatencyPerWord is the average bus cycles per transferred word,
+	// waiting included (the paper's latency metric).
+	LatencyPerWord float64
+	// AvgCellLatency is the mean cycles from cell arrival to the last
+	// payload word leaving the shared memory.
+	AvgCellLatency float64
+	// Forwarded is the number of cells fully forwarded.
+	Forwarded int64
+	// Dropped is the number of cells lost to address-queue overflow.
+	Dropped int64
+	// Queued is the address-queue depth at the end of the run.
+	Queued int
+}
+
+// Report summarizes the run per port.
+func (s *Switch) Report() []PortReport {
+	col := s.bus.Collector()
+	out := make([]PortReport, len(s.cfg.Ports))
+	for i := range s.cfg.Ports {
+		m := s.bus.Master(i)
+		out[i] = PortReport{
+			Name:              m.Name(),
+			BandwidthFraction: col.BandwidthFraction(i),
+			LatencyPerWord:    col.PerWordLatency(i),
+			AvgCellLatency:    col.AvgMessageLatency(i),
+			Forwarded:         col.Messages(i),
+			Dropped:           m.Dropped(),
+			Queued:            m.QueueLen(),
+		}
+	}
+	return out
+}
+
+// Collector exposes the raw statistics.
+func (s *Switch) Collector() *stats.Collector { return s.bus.Collector() }
+
+// QoSPorts returns the paper's Table 1 workload: ports 1-3 carry heavy
+// bursty traffic with demands in ratio 1:2:4 (aggregate slightly above
+// the bus capacity, so the trio contends continuously), port 4 carries
+// sparse latency-critical traffic; QoS weights (tickets = slots =
+// priorities) are 1:2:4:6.
+func QoSPorts() []PortConfig {
+	return []PortConfig{
+		{Name: "port1", Load: 0.15, Bursty: true, Weight: 1},
+		{Name: "port2", Load: 0.30, Bursty: true, Weight: 2},
+		{Name: "port3", Load: 0.60, Bursty: true, Weight: 4},
+		{Name: "port4", Load: 0.05, Bursty: true, Weight: 6},
+	}
+}
+
+// QoSWheelScale is the TDMA reservation-block size used by the Table 1
+// experiment, in cells per weight unit: reservations are contiguous
+// burst-sized blocks (paper Fig. 5), and four cells per weight unit
+// reproduces the latency magnitudes the paper reports for the two-level
+// TDMA architecture.
+const QoSWheelScale = 4
+
+// QoSWheel builds the Table 1 timing wheel from the port weights.
+func (s *Switch) QoSWheel() []int {
+	slots := make([]int, len(s.cfg.Ports))
+	for i, p := range s.cfg.Ports {
+		slots[i] = int(p.Weight) * QoSWheelScale * s.cellWords
+	}
+	return slots
+}

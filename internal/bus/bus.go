@@ -1,0 +1,581 @@
+// Package bus implements a cycle-accurate model of a shared system-on-chip
+// bus: masters posting communication transactions, slaves with optional
+// wait states, bounded master-interface queues, burst transfers capped by
+// a maximum transfer size, and a pluggable arbiter — the substrate on
+// which every LOTTERYBUS experiment runs.
+//
+// The timing model is synchronous, one word per bus cycle:
+//
+//  1. traffic generators deliver newly arrived messages to the master
+//     interfaces;
+//  2. if the bus is idle, the arbiter examines the accumulated request
+//     map and may issue a grant (arbitration is pipelined with data
+//     transfer by default, matching paper §4.1; Config.ArbLatency
+//     inserts idle cycles per grant for non-pipelined designs);
+//  3. the granted master transfers one word (plus any slave wait
+//     states); a grant covers at most MaxBurst words of a single
+//     message, "to prevent a master from monopolizing the bus".
+//
+// The model has no opinion about arbitration policy: package arb provides
+// static-priority, TDMA, round-robin and lottery arbiters behind the
+// Arbiter interface defined here.
+package bus
+
+import (
+	"fmt"
+
+	"lotterybus/internal/stats"
+)
+
+// Grant is an arbiter's decision: the winning master and the maximum
+// number of words this grant covers. The bus additionally clamps the
+// burst to the head message's remaining words and Config.MaxBurst.
+type Grant struct {
+	Master int
+	Words  int
+}
+
+// Requests is the arbiter's view of the master interfaces at one cycle:
+// the request map plus the per-master state a hardware arbiter would see
+// on its input lines (pending word counts for burst sizing, current
+// lottery ticket holdings for a dynamic lottery manager).
+type Requests interface {
+	// NumMasters returns the number of master interfaces on the bus.
+	NumMasters() int
+	// Pending reports whether master i has a pending request (r_i).
+	Pending(i int) bool
+	// Mask returns the request map as a bit mask (bit i == r_i).
+	Mask() uint64
+	// PendingWords returns the remaining word count of master i's head
+	// message, or 0 when idle.
+	PendingWords(i int) int
+	// Tickets returns master i's current lottery ticket holding.
+	Tickets(i int) uint64
+}
+
+// Arbiter decides bus ownership. Arbitrate is called whenever the bus
+// needs a new grant (it is never called with an empty request map). An
+// arbiter may decline to grant (ok == false), costing one idle cycle —
+// the redraw slack policy of a hardware lottery manager does exactly
+// that.
+type Arbiter interface {
+	// Name identifies the arbitration scheme in reports.
+	Name() string
+	// Arbitrate picks a winner among the pending requests.
+	Arbitrate(cycle int64, req Requests) (Grant, bool)
+}
+
+// Preemptor is an optional Arbiter extension enabling transfer
+// pre-emption (paper §2.3 lists pre-emption among the features any of
+// these architectures can add). When the bus runs with
+// Config.Preemption and its arbiter implements Preemptor, Preempt is
+// consulted every cycle of an ongoing burst; returning a grant for a
+// different master aborts the burst (the interrupted message keeps its
+// queue position and re-arbitrates for its remaining words).
+type Preemptor interface {
+	Arbiter
+	// Preempt reports whether, given the current request map, the burst
+	// held by owner should be interrupted in favour of another master.
+	Preempt(cycle int64, owner int, req Requests) (Grant, bool)
+}
+
+// Generator produces the communication transactions of one master.
+// Implementations live in package traffic.
+type Generator interface {
+	// Tick is called once per cycle, before arbitration, with the
+	// master's current queue depth. The generator calls emit once per
+	// message arriving this cycle (words >= 1, slave is the destination
+	// slave index).
+	Tick(cycle int64, queued int, emit func(words, slave int))
+}
+
+// Config parameterizes a Bus.
+type Config struct {
+	// MaxBurst caps the words a single grant may cover. Zero selects
+	// the paper's default of 16 (Fig. 1, BURST_SIZE=16).
+	MaxBurst int
+	// ArbLatency is the number of idle bus cycles consumed by each
+	// arbitration before the first word of the burst moves. Zero models
+	// arbitration fully pipelined with data transfer (paper §4.1).
+	ArbLatency int
+	// DefaultQueueCap bounds each master-interface queue (messages).
+	// Zero selects 1024; arrivals beyond the cap are dropped and
+	// counted.
+	DefaultQueueCap int
+	// Preemption lets a Preemptor arbiter interrupt ongoing bursts.
+	Preemption bool
+}
+
+func (c *Config) fill() {
+	if c.MaxBurst == 0 {
+		c.MaxBurst = 16
+	}
+	if c.DefaultQueueCap == 0 {
+		c.DefaultQueueCap = 1024
+	}
+}
+
+// message is one queued communication transaction.
+type message struct {
+	arrival   int64
+	words     int
+	remaining int
+	slave     int
+	started   bool
+}
+
+// Master is one master interface on the bus.
+type Master struct {
+	name     string
+	gen      Generator
+	queue    []message
+	queueCap int
+	tickets  uint64
+	dropped  int64
+	// outstanding is the split transaction awaiting its response phase
+	// (at most one per master); respReady is the cycle its data becomes
+	// available.
+	outstanding *message
+	respReady   int64
+}
+
+// Name returns the master's name.
+func (m *Master) Name() string { return m.name }
+
+// Tickets returns the master's current lottery ticket holding.
+func (m *Master) Tickets() uint64 { return m.tickets }
+
+// SetTickets updates the master's lottery ticket holding; a dynamic
+// lottery arbiter observes the new value at its next arbitration.
+func (m *Master) SetTickets(t uint64) { m.tickets = t }
+
+// QueueLen returns the number of queued messages.
+func (m *Master) QueueLen() int { return len(m.queue) }
+
+// Dropped returns how many arrivals were discarded on queue overflow.
+func (m *Master) Dropped() int64 { return m.dropped }
+
+// Outstanding reports whether a split transaction is awaiting its
+// response phase.
+func (m *Master) Outstanding() bool { return m.outstanding != nil }
+
+// Slave is one slave interface on the bus.
+type Slave struct {
+	name         string
+	waitStates   int
+	splitLatency int
+	words        int64
+}
+
+// Name returns the slave's name.
+func (s *Slave) Name() string { return s.name }
+
+// Words returns the number of words transferred to/from this slave.
+func (s *Slave) Words() int64 { return s.words }
+
+// MasterOpts configures AddMaster.
+type MasterOpts struct {
+	// QueueCap overrides Config.DefaultQueueCap when nonzero.
+	QueueCap int
+	// Tickets is the initial lottery ticket holding (ignored by
+	// non-lottery arbiters). Zero is allowed but a dynamic lottery will
+	// never grant a zero-ticket master while others hold tickets.
+	Tickets uint64
+}
+
+// SlaveOpts configures AddSlave.
+type SlaveOpts struct {
+	// WaitStates is the number of extra bus cycles each word transfer
+	// to this slave consumes.
+	WaitStates int
+	// SplitLatency, when positive, makes the slave a split-transaction
+	// target (paper §2.3's "multithreaded transactions"): a granted
+	// request occupies the bus for a single address beat, the bus is
+	// released while the slave processes for SplitLatency cycles, and
+	// the master then re-arbitrates to move the data words. Each master
+	// may have one split transaction outstanding.
+	SplitLatency int
+}
+
+// burst tracks the transfer in progress. It deliberately does not hold
+// a *message: queue-head messages live in a slice whose backing array
+// can move when the generator appends, so the live message is re-fetched
+// each cycle.
+type burst struct {
+	master int
+	words  int // words covered by this grant
+	done   int
+	// control marks a split-request address beat (one bus cycle, no
+	// data words).
+	control bool
+	// fromOutstanding marks a split response-phase transfer.
+	fromOutstanding bool
+	waitLeft        int // cycles to stall before the next word moves
+}
+
+// Bus is a shared bus instance. Construct with New, populate with
+// AddMaster/AddSlave, attach an arbiter with SetArbiter, then Run.
+type Bus struct {
+	cfg     Config
+	masters []*Master
+	slaves  []*Slave
+	arb     Arbiter
+	col     *stats.Collector
+	cycle   int64
+	cur     *burst
+	// preemptions counts bursts aborted by a Preemptor arbiter.
+	preemptions int64
+	// OnOwner, when non-nil, is invoked once per cycle with the index of
+	// the master that transferred a word this cycle, or -1 for an idle
+	// (or stalled) cycle. Package trace uses it to record waveforms.
+	OnOwner func(cycle int64, master int)
+	// OnCycle, when non-nil, is invoked at the start of every cycle,
+	// before traffic generation — the hook dynamic-ticket policies use
+	// to re-provision holdings at run time.
+	OnCycle func(cycle int64, b *Bus)
+	// OnMessageComplete, when non-nil, is invoked when the last word of
+	// a message transfers. Bridges use it to forward transactions onto
+	// another bus.
+	OnMessageComplete func(master, words, slave int, arrival, completion int64)
+
+	reqView requestView
+}
+
+// New returns an empty bus with the given configuration.
+func New(cfg Config) *Bus {
+	cfg.fill()
+	b := &Bus{cfg: cfg}
+	b.reqView.b = b
+	return b
+}
+
+// AddMaster attaches a master interface driven by gen and returns it.
+// gen may be nil for a master fed only by Inject.
+func (b *Bus) AddMaster(name string, gen Generator, opts MasterOpts) *Master {
+	cap := opts.QueueCap
+	if cap == 0 {
+		cap = b.cfg.DefaultQueueCap
+	}
+	m := &Master{name: name, gen: gen, queueCap: cap, tickets: opts.Tickets}
+	b.masters = append(b.masters, m)
+	return m
+}
+
+// AddSlave attaches a slave interface and returns its index.
+func (b *Bus) AddSlave(name string, opts SlaveOpts) int {
+	b.slaves = append(b.slaves, &Slave{
+		name:         name,
+		waitStates:   opts.WaitStates,
+		splitLatency: opts.SplitLatency,
+	})
+	return len(b.slaves) - 1
+}
+
+// SetArbiter attaches the arbitration scheme.
+func (b *Bus) SetArbiter(a Arbiter) { b.arb = a }
+
+// Arbiter returns the attached arbiter.
+func (b *Bus) Arbiter() Arbiter { return b.arb }
+
+// Masters returns the master interfaces in index order.
+func (b *Bus) Masters() []*Master { return b.masters }
+
+// Master returns master i.
+func (b *Bus) Master(i int) *Master { return b.masters[i] }
+
+// Slave returns slave i.
+func (b *Bus) Slave(i int) *Slave { return b.slaves[i] }
+
+// NumMasters returns the number of master interfaces.
+func (b *Bus) NumMasters() int { return len(b.masters) }
+
+// NumSlaves returns the number of slave interfaces.
+func (b *Bus) NumSlaves() int { return len(b.slaves) }
+
+// Collector returns the statistics collector (created on first use or by
+// Run).
+func (b *Bus) Collector() *stats.Collector {
+	if b.col == nil {
+		b.col = stats.NewCollector(len(b.masters))
+	}
+	return b.col
+}
+
+// Cycle returns the current simulation cycle (the next cycle to execute).
+func (b *Bus) Cycle() int64 { return b.cycle }
+
+// Busy reports whether a burst transfer is in progress.
+func (b *Bus) Busy() bool { return b.cur != nil }
+
+// Preemptions returns the number of bursts aborted by pre-emption.
+func (b *Bus) Preemptions() int64 { return b.preemptions }
+
+// Inject enqueues a message on master m programmatically, bypassing its
+// generator. It reports whether the message was accepted (false on queue
+// overflow, which is also counted against the master).
+func (b *Bus) Inject(m int, words, slave int) bool {
+	return b.enqueue(m, words, slave, b.cycle)
+}
+
+func (b *Bus) enqueue(m int, words, slave int, cycle int64) bool {
+	mm := b.masters[m]
+	if len(mm.queue) >= mm.queueCap {
+		mm.dropped++
+		return false
+	}
+	if words <= 0 {
+		panic(fmt.Sprintf("bus: master %d emitted %d-word message", m, words))
+	}
+	if len(b.slaves) > 0 && (slave < 0 || slave >= len(b.slaves)) {
+		panic(fmt.Sprintf("bus: master %d addressed invalid slave %d", m, slave))
+	}
+	mm.queue = append(mm.queue, message{arrival: cycle, words: words, remaining: words, slave: slave})
+	return true
+}
+
+// validate checks the bus is runnable.
+func (b *Bus) validate() error {
+	if len(b.masters) == 0 {
+		return fmt.Errorf("bus: no masters")
+	}
+	if len(b.masters) > 64 {
+		return fmt.Errorf("bus: %d masters exceeds 64", len(b.masters))
+	}
+	if b.arb == nil {
+		return fmt.Errorf("bus: no arbiter attached")
+	}
+	if b.col != nil && b.col.N() != len(b.masters) {
+		return fmt.Errorf("bus: collector tracks %d masters, bus has %d", b.col.N(), len(b.masters))
+	}
+	return nil
+}
+
+// Run executes n bus cycles. It may be called repeatedly to continue the
+// simulation. Statistics accumulate in Collector().
+func (b *Bus) Run(n int64) error {
+	if err := b.validate(); err != nil {
+		return err
+	}
+	col := b.Collector()
+	end := b.cycle + n
+	for ; b.cycle < end; b.cycle++ {
+		cycle := b.cycle
+		if b.OnCycle != nil {
+			b.OnCycle(cycle, b)
+		}
+
+		// Phase 1: traffic arrival.
+		for i, m := range b.masters {
+			if m.gen == nil {
+				continue
+			}
+			idx := i
+			m.gen.Tick(cycle, len(m.queue), func(words, slave int) {
+				b.enqueue(idx, words, slave, cycle)
+			})
+		}
+
+		// Phase 2: arbitration when idle; pre-emption check otherwise.
+		if b.cur == nil {
+			if mask := b.requestMask(); mask != 0 {
+				if g, ok := b.arb.Arbitrate(cycle, &b.reqView); ok {
+					if err := b.startBurst(g, col); err != nil {
+						return err
+					}
+				}
+			}
+		} else if b.cfg.Preemption {
+			if p, isP := b.arb.(Preemptor); isP {
+				if g, ok := p.Preempt(cycle, b.cur.master, &b.reqView); ok && g.Master != b.cur.master {
+					b.preemptions++
+					b.cur = nil
+					if err := b.startBurst(g, col); err != nil {
+						return err
+					}
+				}
+			}
+		}
+
+		// Phase 3: word transfer.
+		owner := -1
+		if b.cur != nil {
+			if b.cur.waitLeft > 0 {
+				b.cur.waitLeft--
+			} else {
+				owner = b.transferWord(col)
+			}
+		}
+		if b.OnOwner != nil {
+			b.OnOwner(cycle, owner)
+		}
+		col.AdvanceCycles(1)
+	}
+	return nil
+}
+
+func (b *Bus) requestMask() uint64 {
+	var mask uint64
+	for i := range b.masters {
+		if b.masterPending(i) {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// masterPending reports whether master i's request line is asserted: a
+// ready split response takes precedence; a master with an outstanding
+// split transaction is otherwise masked (one outstanding per master).
+func (b *Bus) masterPending(i int) bool {
+	m := b.masters[i]
+	if m.outstanding != nil {
+		return b.cycle >= m.respReady
+	}
+	return len(m.queue) > 0
+}
+
+func (b *Bus) startBurst(g Grant, col *stats.Collector) error {
+	if g.Master < 0 || g.Master >= len(b.masters) {
+		return fmt.Errorf("bus: arbiter %q granted invalid master %d", b.arb.Name(), g.Master)
+	}
+	m := b.masters[g.Master]
+	if !b.masterPending(g.Master) {
+		return fmt.Errorf("bus: arbiter %q granted idle master %d", b.arb.Name(), g.Master)
+	}
+	if g.Words <= 0 {
+		return fmt.Errorf("bus: arbiter %q granted %d words", b.arb.Name(), g.Words)
+	}
+	col.Granted(g.Master)
+
+	// Split response phase: move the outstanding transaction's data.
+	if m.outstanding != nil {
+		words := g.Words
+		if words > b.cfg.MaxBurst {
+			words = b.cfg.MaxBurst
+		}
+		if words > m.outstanding.remaining {
+			words = m.outstanding.remaining
+		}
+		b.cur = &burst{
+			master:          g.Master,
+			words:           words,
+			fromOutstanding: true,
+			waitLeft:        b.cfg.ArbLatency + b.slaves[m.outstanding.slave].waitStates,
+		}
+		return nil
+	}
+
+	head := &m.queue[0]
+	// Split request phase: a single address beat, then the bus is
+	// released while the slave processes.
+	if len(b.slaves) > 0 && b.slaves[head.slave].splitLatency > 0 {
+		b.cur = &burst{
+			master:   g.Master,
+			words:    1,
+			control:  true,
+			waitLeft: b.cfg.ArbLatency,
+		}
+		return nil
+	}
+
+	words := g.Words
+	if words > b.cfg.MaxBurst {
+		words = b.cfg.MaxBurst
+	}
+	if words > head.remaining {
+		words = head.remaining
+	}
+	waitStates := 0
+	if len(b.slaves) > 0 {
+		waitStates = b.slaves[head.slave].waitStates
+	}
+	b.cur = &burst{
+		master:   g.Master,
+		words:    words,
+		waitLeft: b.cfg.ArbLatency + waitStates,
+	}
+	return nil
+}
+
+// transferWord moves one word of the active burst and returns the owning
+// master index.
+func (b *Bus) transferWord(col *stats.Collector) int {
+	cur := b.cur
+	m := b.masters[cur.master]
+	var msg *message
+	if cur.fromOutstanding {
+		msg = m.outstanding
+	} else {
+		msg = &m.queue[0]
+	}
+
+	if !msg.started {
+		msg.started = true
+		col.MessageStarted(cur.master, msg.arrival, b.cycle)
+	}
+
+	// Split request address beat: one control cycle, then the bus is
+	// released while the slave processes.
+	if cur.control {
+		col.ControlCycle(cur.master)
+		pending := *msg
+		m.outstanding = &pending
+		m.respReady = b.cycle + int64(b.slaves[msg.slave].splitLatency)
+		m.queue = m.queue[1:]
+		b.cur = nil
+		return cur.master
+	}
+
+	msg.remaining--
+	cur.done++
+	col.WordTransferred(cur.master)
+	if len(b.slaves) > 0 {
+		b.slaves[msg.slave].words++
+	}
+
+	if msg.remaining == 0 {
+		col.MessageCompleted(cur.master, msg.words, msg.arrival, b.cycle)
+		if b.OnMessageComplete != nil {
+			b.OnMessageComplete(cur.master, msg.words, msg.slave, msg.arrival, b.cycle)
+		}
+		if cur.fromOutstanding {
+			m.outstanding = nil
+		} else {
+			m.queue = m.queue[1:]
+		}
+		b.cur = nil
+		return cur.master
+	}
+	if cur.done == cur.words {
+		// Burst budget exhausted mid-message: the master re-contends.
+		b.cur = nil
+		return cur.master
+	}
+	// More words in this burst; charge the slave's wait states again.
+	if len(b.slaves) > 0 {
+		cur.waitLeft = b.slaves[msg.slave].waitStates
+	}
+	return cur.master
+}
+
+// requestView adapts Bus to the Requests interface without allocation.
+type requestView struct{ b *Bus }
+
+func (v *requestView) NumMasters() int { return len(v.b.masters) }
+
+func (v *requestView) Pending(i int) bool { return v.b.masterPending(i) }
+
+func (v *requestView) Mask() uint64 { return v.b.requestMask() }
+
+func (v *requestView) PendingWords(i int) int {
+	if !v.b.masterPending(i) {
+		return 0
+	}
+	m := v.b.masters[i]
+	if m.outstanding != nil {
+		return m.outstanding.remaining
+	}
+	return m.queue[0].remaining
+}
+
+func (v *requestView) Tickets(i int) uint64 { return v.b.masters[i].tickets }

@@ -1,0 +1,423 @@
+package bus
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fixedArb always grants the lowest-indexed requester up to words per
+// grant (a degenerate priority arbiter for unit testing).
+type fixedArb struct{ words int }
+
+func (a fixedArb) Name() string { return "fixed" }
+
+func (a fixedArb) Arbitrate(_ int64, req Requests) (Grant, bool) {
+	for i := 0; i < req.NumMasters(); i++ {
+		if req.Pending(i) {
+			return Grant{Master: i, Words: a.words}, true
+		}
+	}
+	return Grant{}, false
+}
+
+// badArb misbehaves in configurable ways to exercise bus validation.
+type badArb struct{ mode string }
+
+func (a badArb) Name() string { return "bad" }
+
+func (a badArb) Arbitrate(_ int64, req Requests) (Grant, bool) {
+	switch a.mode {
+	case "invalid-master":
+		return Grant{Master: 99, Words: 1}, true
+	case "idle-master":
+		for i := 0; i < req.NumMasters(); i++ {
+			if !req.Pending(i) {
+				return Grant{Master: i, Words: 1}, true
+			}
+		}
+		return Grant{}, false
+	case "zero-words":
+		return Grant{Master: 0, Words: 0}, true
+	}
+	return Grant{}, false
+}
+
+// pulseGen emits one message of the given size every period cycles,
+// starting at phase.
+type pulseGen struct {
+	period int64
+	phase  int64
+	words  int
+	slave  int
+}
+
+func (g *pulseGen) Tick(cycle int64, _ int, emit func(words, slave int)) {
+	if g.period <= 0 {
+		return
+	}
+	if cycle >= g.phase && (cycle-g.phase)%g.period == 0 {
+		emit(g.words, g.slave)
+	}
+}
+
+// satGen keeps the queue topped up with fixed-size messages.
+type satGen struct {
+	words int
+	slave int
+}
+
+func (g *satGen) Tick(_ int64, queued int, emit func(words, slave int)) {
+	for ; queued < 2; queued++ {
+		emit(g.words, g.slave)
+	}
+}
+
+func newTestBus(t *testing.T, cfg Config) *Bus {
+	t.Helper()
+	b := New(cfg)
+	return b
+}
+
+func TestRunValidation(t *testing.T) {
+	b := New(Config{})
+	if err := b.Run(10); err == nil || !strings.Contains(err.Error(), "no masters") {
+		t.Fatalf("expected no-masters error, got %v", err)
+	}
+	b.AddMaster("m0", nil, MasterOpts{})
+	if err := b.Run(10); err == nil || !strings.Contains(err.Error(), "no arbiter") {
+		t.Fatalf("expected no-arbiter error, got %v", err)
+	}
+	b.SetArbiter(fixedArb{words: 1})
+	if err := b.Run(10); err != nil {
+		t.Fatalf("valid bus failed: %v", err)
+	}
+}
+
+func TestArbiterMisbehaviourDetected(t *testing.T) {
+	for _, mode := range []string{"invalid-master", "zero-words"} {
+		b := New(Config{})
+		b.AddMaster("m0", &satGen{words: 1, slave: 0}, MasterOpts{})
+		b.AddSlave("s0", SlaveOpts{})
+		b.SetArbiter(badArb{mode: mode})
+		if err := b.Run(10); err == nil {
+			t.Fatalf("mode %s: error not detected", mode)
+		}
+	}
+	// idle-master grant: master 1 never requests.
+	b := New(Config{})
+	b.AddMaster("m0", &satGen{words: 1, slave: 0}, MasterOpts{})
+	b.AddMaster("m1", nil, MasterOpts{})
+	b.AddSlave("s0", SlaveOpts{})
+	b.SetArbiter(badArb{mode: "idle-master"})
+	if err := b.Run(10); err == nil || !strings.Contains(err.Error(), "idle master") {
+		t.Fatalf("idle-master grant not detected: %v", err)
+	}
+}
+
+func TestSingleMasterFullBandwidth(t *testing.T) {
+	b := New(Config{MaxBurst: 16})
+	b.AddMaster("m0", &satGen{words: 8, slave: 0}, MasterOpts{})
+	b.AddSlave("mem", SlaveOpts{})
+	b.SetArbiter(fixedArb{words: 1 << 20})
+	if err := b.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	col := b.Collector()
+	if bw := col.BandwidthFraction(0); bw != 1.0 {
+		t.Fatalf("sole saturating master bandwidth %v, want 1.0", bw)
+	}
+	if u := col.Utilization(); u != 1.0 {
+		t.Fatalf("utilization %v", u)
+	}
+	if w := b.Slave(0).Words(); w != 1000 {
+		t.Fatalf("slave words %d", w)
+	}
+}
+
+func TestPerWordLatencyMinimal(t *testing.T) {
+	// A lone master sending 1-word messages every 10 cycles is granted
+	// immediately: per-word latency exactly 1.0 (the transfer cycle).
+	b := New(Config{})
+	b.AddMaster("m0", &pulseGen{period: 10, words: 1}, MasterOpts{})
+	b.AddSlave("mem", SlaveOpts{})
+	b.SetArbiter(fixedArb{words: 1})
+	if err := b.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if lat := b.Collector().PerWordLatency(0); math.Abs(lat-1.0) > 1e-12 {
+		t.Fatalf("per-word latency %v, want 1.0", lat)
+	}
+	if w := b.Collector().AvgWait(0); math.Abs(w) > 1e-12 {
+		t.Fatalf("avg wait %v, want 0", w)
+	}
+}
+
+func TestBurstMessageLatency(t *testing.T) {
+	// An 8-word message granted immediately completes in 8 cycles:
+	// per-word latency 1.0; message latency 8.
+	b := New(Config{MaxBurst: 16})
+	b.AddMaster("m0", &pulseGen{period: 100, words: 8}, MasterOpts{})
+	b.AddSlave("mem", SlaveOpts{})
+	b.SetArbiter(fixedArb{words: 1 << 20})
+	if err := b.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	col := b.Collector()
+	if lat := col.PerWordLatency(0); math.Abs(lat-1.0) > 1e-12 {
+		t.Fatalf("per-word latency %v", lat)
+	}
+	if ml := col.AvgMessageLatency(0); math.Abs(ml-8.0) > 1e-12 {
+		t.Fatalf("message latency %v", ml)
+	}
+}
+
+func TestMaxBurstSplitsMessage(t *testing.T) {
+	// MaxBurst 4 splits a 10-word message into grants of 4+4+2.
+	b := New(Config{MaxBurst: 4})
+	b.AddMaster("m0", nil, MasterOpts{})
+	b.AddSlave("mem", SlaveOpts{})
+	b.SetArbiter(fixedArb{words: 1 << 20})
+	if !b.Inject(0, 10, 0) {
+		t.Fatal("inject rejected")
+	}
+	if err := b.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	col := b.Collector()
+	if g := col.Grants(0); g != 3 {
+		t.Fatalf("grants %d, want 3", g)
+	}
+	if w := col.Words(0); w != 10 {
+		t.Fatalf("words %d", w)
+	}
+	// Pipelined arbitration: no idle cycles between bursts, so the
+	// message still completes in 10 cycles.
+	if ml := col.AvgMessageLatency(0); math.Abs(ml-10.0) > 1e-12 {
+		t.Fatalf("message latency %v, want 10", ml)
+	}
+}
+
+func TestArbLatencyCost(t *testing.T) {
+	// With ArbLatency 2 and MaxBurst 4, a 8-word message takes
+	// 2+4 + 2+4 = 12 cycles.
+	b := New(Config{MaxBurst: 4, ArbLatency: 2})
+	b.AddMaster("m0", nil, MasterOpts{})
+	b.AddSlave("mem", SlaveOpts{})
+	b.SetArbiter(fixedArb{words: 1 << 20})
+	b.Inject(0, 8, 0)
+	if err := b.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	col := b.Collector()
+	if ml := col.AvgMessageLatency(0); math.Abs(ml-12.0) > 1e-12 {
+		t.Fatalf("message latency %v, want 12", ml)
+	}
+}
+
+func TestSlaveWaitStates(t *testing.T) {
+	// Wait state 1: every word takes 2 cycles. A 4-word message takes 8.
+	b := New(Config{MaxBurst: 16})
+	b.AddMaster("m0", nil, MasterOpts{})
+	slow := b.AddSlave("slow", SlaveOpts{WaitStates: 1})
+	b.SetArbiter(fixedArb{words: 1 << 20})
+	b.Inject(0, 4, slow)
+	if err := b.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if ml := b.Collector().AvgMessageLatency(0); math.Abs(ml-8.0) > 1e-12 {
+		t.Fatalf("wait-state latency %v, want 8", ml)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	b := New(Config{})
+	m := b.AddMaster("m0", nil, MasterOpts{QueueCap: 2})
+	b.AddSlave("mem", SlaveOpts{})
+	b.SetArbiter(fixedArb{words: 1})
+	for i := 0; i < 5; i++ {
+		b.Inject(0, 1, 0)
+	}
+	if m.Dropped() != 3 {
+		t.Fatalf("dropped %d, want 3", m.Dropped())
+	}
+	if m.QueueLen() != 2 {
+		t.Fatalf("queue length %d", m.QueueLen())
+	}
+}
+
+func TestTwoMastersShareFairlyUnderAlternation(t *testing.T) {
+	// fixedArb favours master 0 absolutely; with both saturating, master
+	// 1 must starve — validating that the bus lets the arbiter decide
+	// and that starvation is observable.
+	b := New(Config{MaxBurst: 4})
+	b.AddMaster("m0", &satGen{words: 4}, MasterOpts{})
+	b.AddMaster("m1", &satGen{words: 4}, MasterOpts{})
+	b.AddSlave("mem", SlaveOpts{})
+	b.SetArbiter(fixedArb{words: 1 << 20})
+	if err := b.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	col := b.Collector()
+	if bw0 := col.BandwidthFraction(0); bw0 < 0.99 {
+		t.Fatalf("priority-0 bandwidth %v", bw0)
+	}
+	if bw1 := col.BandwidthFraction(1); bw1 > 0.01 {
+		t.Fatalf("starved master got %v", bw1)
+	}
+}
+
+func TestOnOwnerTrace(t *testing.T) {
+	b := New(Config{})
+	b.AddMaster("m0", &pulseGen{period: 4, words: 2}, MasterOpts{})
+	b.AddSlave("mem", SlaveOpts{})
+	b.SetArbiter(fixedArb{words: 1})
+	var owners []int
+	b.OnOwner = func(_ int64, m int) { owners = append(owners, m) }
+	if err := b.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 0: message arrives, granted, word 1. Cycle 1: word 2 (grant
+	// of 1 word -> re-grant). Cycles 2-3 idle. Repeat.
+	want := []int{0, 0, -1, -1, 0, 0, -1, -1}
+	if len(owners) != len(want) {
+		t.Fatalf("trace length %d", len(owners))
+	}
+	for i := range want {
+		if owners[i] != want[i] {
+			t.Fatalf("owners = %v, want %v", owners, want)
+		}
+	}
+}
+
+func TestOnCycleHookTicketUpdate(t *testing.T) {
+	b := New(Config{})
+	m := b.AddMaster("m0", &satGen{words: 1}, MasterOpts{Tickets: 1})
+	b.AddSlave("mem", SlaveOpts{})
+	b.SetArbiter(fixedArb{words: 1})
+	b.OnCycle = func(cycle int64, bb *Bus) {
+		bb.Master(0).SetTickets(uint64(cycle + 1))
+	}
+	if err := b.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tickets() != 5 {
+		t.Fatalf("tickets %d, want 5", m.Tickets())
+	}
+}
+
+func TestRunContinuation(t *testing.T) {
+	b := New(Config{})
+	b.AddMaster("m0", &satGen{words: 1}, MasterOpts{})
+	b.AddSlave("mem", SlaveOpts{})
+	b.SetArbiter(fixedArb{words: 1})
+	if err := b.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if b.Cycle() != 200 {
+		t.Fatalf("cycle %d", b.Cycle())
+	}
+	if c := b.Collector().Cycles(); c != 200 {
+		t.Fatalf("collector cycles %d", c)
+	}
+}
+
+func TestRequestViewExposesState(t *testing.T) {
+	b := New(Config{})
+	b.AddMaster("m0", nil, MasterOpts{Tickets: 7})
+	b.AddMaster("m1", nil, MasterOpts{Tickets: 3})
+	b.AddSlave("mem", SlaveOpts{})
+	b.Inject(0, 5, 0)
+	v := &b.reqView
+	if v.NumMasters() != 2 {
+		t.Fatal("NumMasters")
+	}
+	if !v.Pending(0) || v.Pending(1) {
+		t.Fatal("Pending")
+	}
+	if v.Mask() != 0b01 {
+		t.Fatalf("Mask %b", v.Mask())
+	}
+	if v.PendingWords(0) != 5 || v.PendingWords(1) != 0 {
+		t.Fatal("PendingWords")
+	}
+	if v.Tickets(0) != 7 || v.Tickets(1) != 3 {
+		t.Fatal("Tickets")
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	b := New(Config{})
+	b.AddMaster("m0", nil, MasterOpts{})
+	b.AddSlave("mem", SlaveOpts{})
+	t.Run("zero words", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("zero-word inject did not panic")
+			}
+		}()
+		b.Inject(0, 0, 0)
+	})
+	t.Run("bad slave", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bad slave inject did not panic")
+			}
+		}()
+		b.Inject(0, 1, 5)
+	})
+}
+
+func TestDecliningArbiterIdlesBus(t *testing.T) {
+	// An arbiter that never grants leaves the bus idle without error.
+	b := New(Config{})
+	b.AddMaster("m0", &satGen{words: 1}, MasterOpts{})
+	b.AddSlave("mem", SlaveOpts{})
+	b.SetArbiter(badArb{mode: "decline"})
+	if err := b.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if u := b.Collector().Utilization(); u != 0 {
+		t.Fatalf("utilization %v, want 0", u)
+	}
+}
+
+func TestNoSlavesAllowed(t *testing.T) {
+	// A bus without explicit slaves still works (slave index ignored).
+	b := New(Config{})
+	b.AddMaster("m0", &satGen{words: 2}, MasterOpts{})
+	b.SetArbiter(fixedArb{words: 8})
+	if err := b.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if b.Collector().Words(0) != 100 {
+		t.Fatalf("words %d", b.Collector().Words(0))
+	}
+}
+
+func TestCollectorMismatchDetected(t *testing.T) {
+	b := New(Config{})
+	b.AddMaster("m0", nil, MasterOpts{})
+	_ = b.Collector() // created for 1 master
+	b.AddMaster("m1", nil, MasterOpts{})
+	b.SetArbiter(fixedArb{words: 1})
+	if err := b.Run(1); err == nil || !strings.Contains(err.Error(), "collector") {
+		t.Fatalf("collector mismatch not detected: %v", err)
+	}
+}
+
+func BenchmarkBusCycleSaturated4Masters(b *testing.B) {
+	bb := New(Config{MaxBurst: 16})
+	for i := 0; i < 4; i++ {
+		bb.AddMaster("m", &satGen{words: 8}, MasterOpts{})
+	}
+	bb.AddSlave("mem", SlaveOpts{})
+	bb.SetArbiter(fixedArb{words: 1 << 20})
+	b.ResetTimer()
+	if err := bb.Run(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}

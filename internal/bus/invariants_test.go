@@ -1,0 +1,172 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lotterybus/internal/prng"
+)
+
+// chaosGen drives a master with randomized arrivals from a private
+// stream: message sizes 1..20, arrival probability p per cycle, and it
+// tracks exactly how many words it emitted.
+type chaosGen struct {
+	src     *prng.XorShift64Star
+	p       float64
+	slaves  int
+	emitted int64
+}
+
+func (g *chaosGen) Tick(_ int64, _ int, emit func(words, slave int)) {
+	if prng.Bernoulli(g.src, g.p) {
+		words := prng.IntRange(g.src, 1, 20)
+		slave := prng.Intn(g.src, g.slaves)
+		g.emitted += int64(words)
+		emit(words, slave)
+	}
+}
+
+// chaosArb grants a uniformly random pending master a random word count
+// — a worst-case-behaviour arbiter that is still legal.
+type chaosArb struct{ src *prng.XorShift64Star }
+
+func (a *chaosArb) Name() string { return "chaos" }
+
+func (a *chaosArb) Arbitrate(_ int64, req Requests) (Grant, bool) {
+	if prng.Bernoulli(a.src, 0.05) {
+		return Grant{}, false // occasionally decline
+	}
+	var pending []int
+	for i := 0; i < req.NumMasters(); i++ {
+		if req.Pending(i) {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return Grant{}, false
+	}
+	m := pending[prng.Intn(a.src, len(pending))]
+	return Grant{Master: m, Words: prng.IntRange(a.src, 1, 32)}, true
+}
+
+// TestConservationInvariants drives randomized systems and checks the
+// accounting laws that must hold for any legal arbiter and workload:
+//
+//   - words transferred per master <= words emitted for it;
+//   - total transferred words == sum of per-slave word counters;
+//   - transferred + still-queued + dropped words account for every
+//     emission (in messages: completed + queued + dropped == emitted);
+//   - bandwidth fractions sum to utilization;
+//   - the collector's busy count never exceeds the cycle count.
+func TestConservationInvariants(t *testing.T) {
+	f := func(seed uint64, nMastersRaw, nSlavesRaw uint8, burstRaw uint8, arbLatRaw uint8) bool {
+		nMasters := int(nMastersRaw%5) + 1
+		nSlaves := int(nSlavesRaw%3) + 1
+		maxBurst := int(burstRaw%31) + 1
+		arbLat := int(arbLatRaw % 3)
+
+		b := New(Config{MaxBurst: maxBurst, ArbLatency: arbLat, DefaultQueueCap: 8})
+		gens := make([]*chaosGen, nMasters)
+		sm := prng.NewSplitMix64(seed)
+		for i := 0; i < nMasters; i++ {
+			gens[i] = &chaosGen{
+				src:    prng.NewXorShift64Star(sm.Uint64()),
+				p:      0.3,
+				slaves: nSlaves,
+			}
+			b.AddMaster("m", gens[i], MasterOpts{})
+		}
+		for i := 0; i < nSlaves; i++ {
+			b.AddSlave("s", SlaveOpts{WaitStates: i % 2})
+		}
+		b.SetArbiter(&chaosArb{src: prng.NewXorShift64Star(sm.Uint64())})
+		if err := b.Run(2000); err != nil {
+			t.Log(err)
+			return false
+		}
+
+		col := b.Collector()
+		var totalWords int64
+		var bwSum float64
+		for i := 0; i < nMasters; i++ {
+			w := col.Words(i)
+			totalWords += w
+			bwSum += col.BandwidthFraction(i)
+			// Words moved never exceed words emitted.
+			if w > gens[i].emitted {
+				t.Logf("master %d moved %d > emitted %d", i, w, gens[i].emitted)
+				return false
+			}
+		}
+		var slaveWords int64
+		for i := 0; i < nSlaves; i++ {
+			slaveWords += b.Slave(i).Words()
+		}
+		if slaveWords != totalWords {
+			t.Logf("slave words %d != master words %d", slaveWords, totalWords)
+			return false
+		}
+		if diff := bwSum - col.Utilization(); diff > 1e-9 || diff < -1e-9 {
+			t.Logf("bw sum %v != utilization %v", bwSum, col.Utilization())
+			return false
+		}
+		if col.TotalWords() != totalWords {
+			t.Log("TotalWords mismatch")
+			return false
+		}
+		if col.TotalWords() > col.Cycles() {
+			t.Log("more words than cycles")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMessageAccounting verifies completed + queued + dropped == emitted
+// messages for every master under randomized load.
+func TestMessageAccounting(t *testing.T) {
+	f := func(seed uint64, pRaw uint8) bool {
+		p := float64(pRaw%90)/100 + 0.05
+		b := New(Config{MaxBurst: 8, DefaultQueueCap: 4})
+		var emittedMsgs [3]int64
+		for i := 0; i < 3; i++ {
+			idx := i
+			src := prng.NewXorShift64Star(seed + uint64(i))
+			b.AddMaster("m", generatorFunc(func(_ int64, _ int, emit func(words, slave int)) {
+				if prng.Bernoulli(src, p) {
+					emittedMsgs[idx]++
+					emit(prng.IntRange(src, 1, 10), 0)
+				}
+			}), MasterOpts{})
+		}
+		b.AddSlave("s", SlaveOpts{})
+		b.SetArbiter(fixedArb{words: 1 << 20})
+		if err := b.Run(3000); err != nil {
+			return false
+		}
+		col := b.Collector()
+		for i := 0; i < 3; i++ {
+			m := b.Master(i)
+			got := col.Messages(i) + int64(m.QueueLen()) + m.Dropped()
+			if got != emittedMsgs[i] {
+				t.Logf("master %d: completed %d + queued %d + dropped %d != emitted %d",
+					i, col.Messages(i), m.QueueLen(), m.Dropped(), emittedMsgs[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// generatorFunc adapts a function to the Generator interface.
+type generatorFunc func(cycle int64, queued int, emit func(words, slave int))
+
+func (g generatorFunc) Tick(cycle int64, queued int, emit func(words, slave int)) {
+	g(cycle, queued, emit)
+}

@@ -1,0 +1,169 @@
+package bus
+
+import (
+	"math"
+	"testing"
+)
+
+// splitBus builds a bus with one blocking memory (slave 0) and one
+// split-transaction memory (slave 1, the given latency).
+func splitBus(latency int) *Bus {
+	b := New(Config{MaxBurst: 16})
+	b.AddMaster("m0", nil, MasterOpts{})
+	b.AddMaster("m1", nil, MasterOpts{})
+	b.AddSlave("blocking-mem", SlaveOpts{})
+	b.AddSlave("split-mem", SlaveOpts{SplitLatency: latency})
+	b.SetArbiter(fixedArb{words: 1 << 20})
+	return b
+}
+
+func TestSplitTransactionTiming(t *testing.T) {
+	// A 4-word read from a split slave with latency 10: address beat at
+	// cycle 0, response ready at cycle 10, data moves cycles 10-13.
+	// Message latency = 14 cycles.
+	b := splitBus(10)
+	b.Inject(0, 4, 1)
+	if err := b.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	col := b.Collector()
+	if got := col.AvgMessageLatency(0); math.Abs(got-14) > 1e-12 {
+		t.Fatalf("split message latency %v, want 14", got)
+	}
+	if col.ControlCycles(0) != 1 {
+		t.Fatalf("control cycles %d, want 1", col.ControlCycles(0))
+	}
+	if col.Words(0) != 4 {
+		t.Fatalf("data words %d", col.Words(0))
+	}
+	// Two grants: one for the address beat, one for the data phase.
+	if col.Grants(0) != 2 {
+		t.Fatalf("grants %d", col.Grants(0))
+	}
+	if b.Slave(1).Words() != 4 {
+		t.Fatalf("slave words %d", b.Slave(1).Words())
+	}
+}
+
+func TestSplitReleasesBusDuringLatency(t *testing.T) {
+	// Master 0 issues a split read; master 1's blocking traffic fills
+	// the latency window instead of the bus idling.
+	b := splitBus(12)
+	b.Inject(0, 4, 1)
+	b.Inject(1, 12, 0)
+	if err := b.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	col := b.Collector()
+	// Cycle 0: m0 address beat. Cycles 1-12: m1's words move while the
+	// split slave processes. m0's response (ready at 12) then contends.
+	if col.Words(1) != 12 {
+		t.Fatalf("m1 words %d", col.Words(1))
+	}
+	if col.Words(0) != 4 {
+		t.Fatalf("m0 words %d", col.Words(0))
+	}
+	// Utilization: 1 control + 16 data cycles in the first 17 cycles.
+	busyCycles := float64(col.TotalWords()+col.ControlCycles(0)+col.ControlCycles(1)) / float64(col.Cycles())
+	if math.Abs(col.Utilization()-busyCycles) > 1e-12 {
+		t.Fatalf("utilization %v vs busy accounting %v", col.Utilization(), busyCycles)
+	}
+}
+
+func TestSplitMasterMaskedWhileOutstanding(t *testing.T) {
+	// While a split transaction is outstanding, the master's other
+	// queued messages must not be granted (one outstanding per master).
+	b := splitBus(20)
+	b.Inject(0, 2, 1) // split read
+	b.Inject(0, 8, 0) // blocking message queued behind it
+	if err := b.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	col := b.Collector()
+	if col.Words(0) != 0 {
+		t.Fatalf("words moved during mask window: %d", col.Words(0))
+	}
+	if !b.Master(0).Outstanding() {
+		t.Fatal("no outstanding transaction")
+	}
+	// After the response completes, the queued message proceeds.
+	if err := b.Run(45); err != nil {
+		t.Fatal(err)
+	}
+	if col.Messages(0) != 2 {
+		t.Fatalf("messages %d", col.Messages(0))
+	}
+	if b.Master(0).Outstanding() {
+		t.Fatal("outstanding not cleared")
+	}
+}
+
+func TestSplitResponseRespectsMaxBurst(t *testing.T) {
+	// A 40-word response at MaxBurst 16 takes three data grants.
+	b := New(Config{MaxBurst: 16})
+	b.AddMaster("m0", nil, MasterOpts{})
+	b.AddSlave("split-mem", SlaveOpts{SplitLatency: 5})
+	b.SetArbiter(fixedArb{words: 1 << 20})
+	b.Inject(0, 40, 0)
+	if err := b.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	col := b.Collector()
+	if col.Grants(0) != 4 { // 1 address + 3 data bursts
+		t.Fatalf("grants %d", col.Grants(0))
+	}
+	if col.Words(0) != 40 {
+		t.Fatalf("words %d", col.Words(0))
+	}
+	// Latency: 1 (addr at cycle 0) + 5 (ready at 5) + 40 data
+	// back-to-back = completes at cycle 44 -> 45 cycles.
+	if got := col.AvgMessageLatency(0); math.Abs(got-45) > 1e-12 {
+		t.Fatalf("latency %v, want 45", got)
+	}
+}
+
+func TestSplitThroughputAdvantage(t *testing.T) {
+	// Four masters reading from a slow memory. Blocking: wait states
+	// serialize everything. Split: latencies overlap, so throughput is
+	// several times higher.
+	run := func(split bool) float64 {
+		b := New(Config{MaxBurst: 16})
+		for i := 0; i < 4; i++ {
+			b.AddMaster("m", &satGen{words: 4, slave: 0}, MasterOpts{})
+		}
+		if split {
+			b.AddSlave("mem", SlaveOpts{SplitLatency: 16})
+		} else {
+			b.AddSlave("mem", SlaveOpts{WaitStates: 4}) // 16 stall cycles per 4-word msg
+		}
+		b.SetArbiter(fixedArb{words: 1 << 20})
+		if err := b.Run(20000); err != nil {
+			t.Fatal(err)
+		}
+		col := b.Collector()
+		return float64(col.TotalWords()) / float64(col.Cycles())
+	}
+	blocking := run(false)
+	split := run(true)
+	if split < 1.5*blocking {
+		t.Fatalf("split throughput %v not clearly above blocking %v", split, blocking)
+	}
+}
+
+func TestSplitZeroLatencyIsBlockingPath(t *testing.T) {
+	// SplitLatency 0 must take the classic path: no control beats.
+	b := New(Config{MaxBurst: 16})
+	b.AddMaster("m0", nil, MasterOpts{})
+	b.AddSlave("mem", SlaveOpts{})
+	b.SetArbiter(fixedArb{words: 1 << 20})
+	b.Inject(0, 4, 0)
+	if err := b.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if b.Collector().ControlCycles(0) != 0 {
+		t.Fatal("control beat on non-split slave")
+	}
+	if b.Collector().AvgMessageLatency(0) != 4 {
+		t.Fatalf("latency %v", b.Collector().AvgMessageLatency(0))
+	}
+}

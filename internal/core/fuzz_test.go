@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"lotterybus/internal/prng"
+)
+
+// FuzzScaleTickets drives the apportionment with arbitrary holdings and
+// widths: whenever scaling succeeds, the invariants must hold.
+func FuzzScaleTickets(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3), uint64(4), uint(4))
+	f.Add(uint64(1), uint64(1), uint64(1), uint64(1), uint(2))
+	f.Add(uint64(1000000), uint64(1), uint64(999), uint64(5), uint(12))
+	f.Fuzz(func(t *testing.T, a, b, c, d uint64, width uint) {
+		tickets := []uint64{a, b, c, d}
+		scaled, err := ScaleTickets(tickets, width)
+		if err != nil {
+			return // invalid input rejected is fine
+		}
+		var sum uint64
+		for i, s := range scaled {
+			if s == 0 {
+				t.Fatalf("zero scaled holding: %v -> %v", tickets, scaled)
+			}
+			sum += s
+			for j := range tickets {
+				if tickets[i] < tickets[j] && scaled[i] > scaled[j] {
+					t.Fatalf("order violated: %v -> %v", tickets, scaled)
+				}
+			}
+		}
+		if sum != uint64(1)<<width {
+			t.Fatalf("sum %d != 2^%d for %v", sum, width, tickets)
+		}
+	})
+}
+
+// FuzzStaticDraw hammers the static manager with arbitrary ticket
+// vectors, widths, policies and masks: no panic, no grant to a
+// non-requester.
+func FuzzStaticDraw(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3), uint8(0), uint8(7), uint64(42))
+	f.Add(uint64(9), uint64(9), uint64(9), uint8(2), uint8(5), uint64(1))
+	f.Fuzz(func(t *testing.T, a, b, c uint64, policyRaw, maskRaw uint8, seed uint64) {
+		l, err := NewStaticLottery(StaticConfig{
+			Tickets: []uint64{a%1000 + 1, b%1000 + 1, c%1000 + 1},
+			Source:  prng.NewXorShift64Star(seed),
+			Policy:  SlackPolicy(policyRaw % 4),
+		})
+		if err != nil {
+			return
+		}
+		mask := uint64(maskRaw)
+		for k := 0; k < 8; k++ {
+			w := l.Draw(mask)
+			if w == NoWinner {
+				continue
+			}
+			if (mask&0b111)>>uint(w)&1 == 0 {
+				t.Fatalf("granted non-requester %d for mask %03b", w, mask)
+			}
+		}
+	})
+}
+
+// FuzzTicketsForShares checks the designer solver never panics and that
+// a successful result meets its own reported error.
+func FuzzTicketsForShares(f *testing.F) {
+	f.Add(10.0, 20.0, 30.0, 40.0)
+	f.Add(1.0, 1.0, 1.0, 1.0)
+	f.Add(0.0001, 99.0, 0.5, 0.4999)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		tickets, achieved, err := TicketsForShares([]float64{a, b, c, d}, 0.05)
+		if err != nil {
+			return
+		}
+		if len(tickets) != 4 || achieved > 0.05 {
+			t.Fatalf("result %v err %v", tickets, achieved)
+		}
+		for _, tk := range tickets {
+			if tk == 0 {
+				t.Fatalf("zero ticket in %v", tickets)
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package core
+
+import "fmt"
+
+// AutoWidth returns the smallest RNG word width w such that
+// 1<<w >= 3*total/2. The head-room factor of 1.5 keeps the
+// largest-remainder rounding error of ScaleTickets small relative to
+// every holding while leaving the power-of-two total close to the
+// original (the paper's example scales 1:1:2, T=4... onto 5:9:18, T=32,
+// i.e. chooses generous head-room for the same reason).
+func AutoWidth(total uint64) uint {
+	target := total + total/2
+	w := uint(1)
+	for uint64(1)<<w < target {
+		w++
+	}
+	if w < 3 {
+		w = 3
+	}
+	return w
+}
+
+// ScaleTickets proportionally rescales ticket holdings so that they sum
+// to exactly 1<<width, using largest-remainder apportionment with a floor
+// of one ticket per master. This implements the paper's §4.3 requirement:
+// "the ticket holdings of individual masters are modified such that their
+// sum is a power of two ... care must be taken to ensure that the ratios
+// of tickets held by the components are not significantly altered."
+//
+// Properties (verified by tests):
+//   - the scaled holdings sum to exactly 1<<width;
+//   - every master keeps at least one ticket;
+//   - relative order is preserved: t_i <= t_j implies s_i <= s_j;
+//   - each scaled share deviates from the exact proportional share by
+//     less than one ticket plus any floor adjustment.
+func ScaleTickets(tickets []uint64, width uint) ([]uint64, error) {
+	n := len(tickets)
+	if n == 0 {
+		return nil, fmt.Errorf("core: no tickets to scale")
+	}
+	if width == 0 || width > 32 {
+		return nil, fmt.Errorf("core: scale width %d out of range [1, 32]", width)
+	}
+	target := uint64(1) << width
+	if uint64(n) > target {
+		return nil, fmt.Errorf("core: cannot give %d masters at least one of %d tickets", n, target)
+	}
+	var total uint64
+	for i, t := range tickets {
+		if t == 0 {
+			return nil, fmt.Errorf("core: master %d has zero tickets", i)
+		}
+		if t > 1<<31 {
+			return nil, fmt.Errorf("core: ticket count %d too large", t)
+		}
+		total += t
+	}
+
+	scaled := make([]uint64, n)
+	rem := make([]uint64, n)
+	var sum uint64
+	for i, t := range tickets {
+		// Exact proportional share is t*target/total; t and target are
+		// both below 2^32 so the product cannot overflow uint64.
+		num := t * target
+		scaled[i] = num / total
+		rem[i] = num % total
+		if scaled[i] == 0 {
+			scaled[i] = 1
+			rem[i] = 0 // already over-apportioned; no remainder claim
+		}
+		sum += scaled[i]
+	}
+
+	// Distribute the shortfall to the largest remainders (ties broken by
+	// larger original holding, then lower index, for determinism).
+	for sum < target {
+		best := -1
+		for i := 0; i < n; i++ {
+			if best == -1 || betterClaim(rem[i], tickets[i], i, rem[best], tickets[best], best) {
+				best = i
+			}
+		}
+		scaled[best]++
+		rem[best] = 0
+		sum++
+	}
+
+	// Floors of one may have overshot; reclaim from the smallest
+	// remainders among masters that can spare a ticket.
+	for sum > target {
+		worst := -1
+		for i := 0; i < n; i++ {
+			if scaled[i] <= 1 {
+				continue
+			}
+			if worst == -1 || betterClaim(rem[worst], tickets[worst], worst, rem[i], tickets[i], i) {
+				worst = i
+			}
+		}
+		if worst == -1 {
+			return nil, fmt.Errorf("core: cannot apportion %d tickets across %d masters", target, n)
+		}
+		scaled[worst]--
+		sum--
+	}
+	return scaled, nil
+}
+
+// betterClaim reports whether claim a (remainder ra, original ticket ta,
+// index ia) outranks claim b for receiving an extra ticket.
+func betterClaim(ra, ta uint64, ia int, rb, tb uint64, ib int) bool {
+	if ra != rb {
+		return ra > rb
+	}
+	if ta != tb {
+		return ta > tb
+	}
+	return ia < ib
+}
+
+// RatioDistortion returns the largest relative error between the scaled
+// and original ticket shares: max_i |s_i/S - t_i/T| / (t_i/T). Useful for
+// validating that a chosen width keeps proportional-share guarantees.
+func RatioDistortion(tickets, scaled []uint64) float64 {
+	if len(tickets) != len(scaled) || len(tickets) == 0 {
+		return 0
+	}
+	var tTot, sTot uint64
+	for i := range tickets {
+		tTot += tickets[i]
+		sTot += scaled[i]
+	}
+	if tTot == 0 || sTot == 0 {
+		return 0
+	}
+	worst := 0.0
+	for i := range tickets {
+		want := float64(tickets[i]) / float64(tTot)
+		got := float64(scaled[i]) / float64(sTot)
+		if want == 0 {
+			continue
+		}
+		err := got/want - 1
+		if err < 0 {
+			err = -err
+		}
+		if err > worst {
+			worst = err
+		}
+	}
+	return worst
+}

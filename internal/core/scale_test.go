@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScaleTicketsExactPowerOfTwo(t *testing.T) {
+	// Holdings already summing to a power of two scale to themselves at
+	// the matching width.
+	got, err := ScaleTickets([]uint64{1, 3, 4, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 3, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScaleTickets identity: got %v", got)
+		}
+	}
+}
+
+func TestScaleTicketsPaperExample(t *testing.T) {
+	// Paper §4.3: holdings in ratio 1:1:2 (T=4 scaled up, example text
+	// scales onto T=32 as 5:9:18). With largest-remainder apportionment
+	// onto 32 the exact split of 1:1:2 is 8:8:16; what matters is the
+	// invariants: sum 32, order preserved, small distortion.
+	got, err := ScaleTickets([]uint64{1, 1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, g := range got {
+		sum += g
+	}
+	if sum != 32 {
+		t.Fatalf("sum %d, want 32", sum)
+	}
+	if got[0] != got[1] || got[2] != 2*got[0] {
+		t.Fatalf("exact ratio not preserved when representable: %v", got)
+	}
+	if d := RatioDistortion([]uint64{1, 1, 2}, got); d != 0 {
+		t.Fatalf("distortion %v, want 0", d)
+	}
+}
+
+func TestScaleTicketsRoundingCase(t *testing.T) {
+	// 1:1:1 cannot be exact in a power of two; check graceful rounding.
+	got, err := ScaleTickets([]uint64{1, 1, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, g := range got {
+		if g == 0 {
+			t.Fatalf("zero scaled holding: %v", got)
+		}
+		sum += g
+	}
+	if sum != 8 {
+		t.Fatalf("sum %d, want 8", sum)
+	}
+	// Max distortion for 3@8 is 1-(2/8)/(1/3) = 0.25 on the short side.
+	if d := RatioDistortion([]uint64{1, 1, 1}, got); d > 0.26 {
+		t.Fatalf("distortion %v too large: %v", d, got)
+	}
+}
+
+func TestScaleTicketsFloorOfOne(t *testing.T) {
+	// A tiny holding among huge ones must keep at least one ticket.
+	got, err := ScaleTickets([]uint64{1, 1000000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] < 1 {
+		t.Fatalf("small holder starved: %v", got)
+	}
+	if got[0]+got[1] != 16 {
+		t.Fatalf("sum %v", got)
+	}
+}
+
+func TestScaleTicketsErrors(t *testing.T) {
+	if _, err := ScaleTickets(nil, 4); err == nil {
+		t.Error("empty tickets accepted")
+	}
+	if _, err := ScaleTickets([]uint64{1, 0}, 4); err == nil {
+		t.Error("zero ticket accepted")
+	}
+	if _, err := ScaleTickets([]uint64{1, 2}, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := ScaleTickets([]uint64{1, 2}, 33); err == nil {
+		t.Error("excess width accepted")
+	}
+	if _, err := ScaleTickets([]uint64{1, 2, 3, 4, 5}, 2); err == nil {
+		t.Error("5 masters into 4 tickets accepted")
+	}
+	if _, err := ScaleTickets([]uint64{1 << 32}, 8); err == nil {
+		t.Error("oversized ticket accepted")
+	}
+}
+
+func TestScaleTicketsProperties(t *testing.T) {
+	// Property-based: for random holdings, the scaled result (a) sums to
+	// 1<<width, (b) gives everyone at least one ticket, (c) preserves
+	// order, (d) keeps distortion below 1 when head-room is ample.
+	f := func(raw [6]uint16, widthRaw uint8) bool {
+		tickets := make([]uint64, 0, 6)
+		var total uint64
+		for _, r := range raw {
+			t := uint64(r%500) + 1
+			tickets = append(tickets, t)
+			total += t
+		}
+		width := AutoWidth(total)
+		if extra := uint(widthRaw % 4); width+extra <= 32 {
+			width += extra
+		}
+		scaled, err := ScaleTickets(tickets, width)
+		if err != nil {
+			return false
+		}
+		var sum uint64
+		for _, s := range scaled {
+			if s == 0 {
+				return false
+			}
+			sum += s
+		}
+		if sum != uint64(1)<<width {
+			return false
+		}
+		for i := range tickets {
+			for j := range tickets {
+				if tickets[i] < tickets[j] && scaled[i] > scaled[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleTicketsDistortionBound(t *testing.T) {
+	// With AutoWidth head-room the ratio distortion stays modest for
+	// non-degenerate holdings (>= 4 tickets each).
+	cases := [][]uint64{
+		{1, 2, 3, 4},
+		{10, 20, 30, 40},
+		{7, 11, 13, 17, 19},
+		{100, 1},
+		{4, 4, 4, 4, 4, 4, 4, 4},
+	}
+	for _, tk := range cases {
+		var total uint64
+		for _, v := range tk {
+			total += v
+		}
+		w := AutoWidth(total)
+		scaled, err := ScaleTickets(tk, w)
+		if err != nil {
+			t.Fatalf("%v: %v", tk, err)
+		}
+		if d := RatioDistortion(tk, scaled); d > 0.5 {
+			t.Fatalf("%v scaled to %v: distortion %v", tk, scaled, d)
+		}
+	}
+}
+
+func TestAutoWidth(t *testing.T) {
+	cases := []struct {
+		total uint64
+		want  uint
+	}{
+		{1, 3},   // floor of 3
+		{4, 3},   // 1.5*4=6 -> 8
+		{10, 4},  // 15 -> 16
+		{16, 5},  // 24 -> 32
+		{100, 8}, // 150 -> 256
+	}
+	for _, c := range cases {
+		if got := AutoWidth(c.total); got != c.want {
+			t.Errorf("AutoWidth(%d) = %d, want %d", c.total, got, c.want)
+		}
+	}
+	// The invariant that matters: 1<<w >= 1.5*total.
+	for total := uint64(1); total < 10000; total += 37 {
+		w := AutoWidth(total)
+		if uint64(1)<<w < total+total/2 {
+			t.Fatalf("AutoWidth(%d) = %d lacks head-room", total, w)
+		}
+	}
+}
+
+func TestRatioDistortionEdgeCases(t *testing.T) {
+	if d := RatioDistortion(nil, nil); d != 0 {
+		t.Fatal("nil input")
+	}
+	if d := RatioDistortion([]uint64{1}, []uint64{1, 2}); d != 0 {
+		t.Fatal("length mismatch")
+	}
+	if d := RatioDistortion([]uint64{2, 2}, []uint64{4, 4}); d != 0 {
+		t.Fatalf("perfect scaling distortion %v", d)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import "fmt"
+
+// maxShareTotal bounds the ticket totals TicketsForShares explores.
+const maxShareTotal = 4096
+
+// TicketsForShares computes the smallest integer ticket assignment whose
+// ratios approximate the designer's target bandwidth shares within
+// maxErr relative error per master — the workflow the paper's
+// "fine-grained control over the fraction of communication bandwidth"
+// implies: the designer thinks in percentages, the lottery manager is
+// programmed with small integers.
+//
+// shares must be positive; they are normalized internally, so both
+// {0.1, 0.2, 0.3, 0.4} and {10, 20, 30, 40} describe 10/20/30/40 %.
+// The search scans ticket totals from len(shares) upward and returns
+// the first assignment meeting maxErr, together with its achieved
+// worst-case relative error. If no total up to 4096 meets maxErr the
+// best assignment found is returned along with an error.
+func TicketsForShares(shares []float64, maxErr float64) ([]uint64, float64, error) {
+	n := len(shares)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("core: no shares")
+	}
+	if n > MaxMasters {
+		return nil, 0, fmt.Errorf("core: %d masters exceeds maximum %d", n, MaxMasters)
+	}
+	if maxErr <= 0 {
+		return nil, 0, fmt.Errorf("core: maxErr must be positive")
+	}
+	var sum float64
+	for i, s := range shares {
+		if s <= 0 {
+			return nil, 0, fmt.Errorf("core: share %d is not positive", i)
+		}
+		sum += s
+	}
+	norm := make([]float64, n)
+	for i, s := range shares {
+		norm[i] = s / sum
+	}
+
+	var best []uint64
+	bestErr := -1.0
+	for total := uint64(n); total <= maxShareTotal; total++ {
+		tickets := apportion(norm, total)
+		e := sharesError(norm, tickets)
+		if bestErr < 0 || e < bestErr {
+			best = tickets
+			bestErr = e
+		}
+		if e <= maxErr {
+			return tickets, e, nil
+		}
+	}
+	return best, bestErr, fmt.Errorf("core: no assignment within %.4f relative error up to total %d (best %.4f)",
+		maxErr, maxShareTotal, bestErr)
+}
+
+// apportion distributes total tickets over the normalized shares by the
+// largest-remainder method with a floor of one.
+func apportion(norm []float64, total uint64) []uint64 {
+	n := len(norm)
+	tickets := make([]uint64, n)
+	rem := make([]float64, n)
+	var sum uint64
+	for i, s := range norm {
+		exact := s * float64(total)
+		tickets[i] = uint64(exact)
+		rem[i] = exact - float64(tickets[i])
+		if tickets[i] == 0 {
+			tickets[i] = 1
+			rem[i] = 0
+		}
+		sum += tickets[i]
+	}
+	for sum < total {
+		best := 0
+		for i := 1; i < n; i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		tickets[best]++
+		rem[best] = 0
+		sum++
+	}
+	for sum > total {
+		worst := -1
+		for i := 0; i < n; i++ {
+			if tickets[i] <= 1 {
+				continue
+			}
+			if worst == -1 || rem[i] < rem[worst] {
+				worst = i
+			}
+		}
+		if worst == -1 {
+			break
+		}
+		tickets[worst]--
+		sum--
+	}
+	return tickets
+}
+
+// sharesError returns the worst relative error between the tickets'
+// implied shares and the normalized targets.
+func sharesError(norm []float64, tickets []uint64) float64 {
+	var total uint64
+	for _, t := range tickets {
+		total += t
+	}
+	if total == 0 {
+		return 1
+	}
+	worst := 0.0
+	for i, s := range norm {
+		got := float64(tickets[i]) / float64(total)
+		e := got/s - 1
+		if e < 0 {
+			e = -e
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTicketsForSharesExact(t *testing.T) {
+	// 10/20/30/40 % is exactly representable with total 10.
+	tickets, e, err := TicketsForShares([]float64{0.1, 0.2, 0.3, 0.4}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Fatalf("error %v", e)
+	}
+	want := []uint64{1, 2, 3, 4}
+	for i := range want {
+		if tickets[i] != want[i] {
+			t.Fatalf("tickets %v", tickets)
+		}
+	}
+}
+
+func TestTicketsForSharesUnnormalized(t *testing.T) {
+	// Percent-style inputs normalize to the same assignment.
+	a, _, err := TicketsForShares([]float64{10, 20, 30, 40}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _ := TicketsForShares([]float64{0.1, 0.2, 0.3, 0.4}, 0.01)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%v vs %v", a, b)
+		}
+	}
+}
+
+func TestTicketsForSharesAwkwardRatio(t *testing.T) {
+	// 1/3, 2/3 needs total divisible by 3.
+	tickets, e, err := TicketsForShares([]float64{1.0 / 3, 2.0 / 3}, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 0.001 {
+		t.Fatalf("error %v", e)
+	}
+	if 2*tickets[0] != tickets[1] {
+		t.Fatalf("tickets %v", tickets)
+	}
+	if tickets[0]+tickets[1] != 3 {
+		t.Fatalf("not minimal: %v", tickets)
+	}
+}
+
+func TestTicketsForSharesMinimality(t *testing.T) {
+	// The search returns the SMALLEST total meeting the tolerance: for
+	// equal shares the answer is one ticket each.
+	tickets, _, err := TicketsForShares([]float64{1, 1, 1, 1}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range tickets {
+		if tk != 1 {
+			t.Fatalf("tickets %v", tickets)
+		}
+	}
+}
+
+func TestTicketsForSharesValidation(t *testing.T) {
+	if _, _, err := TicketsForShares(nil, 0.1); err == nil {
+		t.Fatal("empty shares accepted")
+	}
+	if _, _, err := TicketsForShares([]float64{0.5, -0.5}, 0.1); err == nil {
+		t.Fatal("negative share accepted")
+	}
+	if _, _, err := TicketsForShares([]float64{1, 2}, 0); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+	if _, _, err := TicketsForShares(make([]float64, 65), 0.1); err == nil {
+		t.Fatal("too many masters accepted")
+	}
+}
+
+func TestTicketsForSharesInfeasibleReturnsBest(t *testing.T) {
+	// An irrational-ish ratio with an absurd tolerance cannot be met;
+	// the best assignment is still returned with its achieved error.
+	tickets, e, err := TicketsForShares([]float64{0.30000001, 0.69999999}, 1e-12)
+	if err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+	if tickets == nil || e <= 0 {
+		t.Fatalf("best-effort result missing: %v %v", tickets, e)
+	}
+}
+
+func TestTicketsForSharesProperty(t *testing.T) {
+	// For random targets the result meets the requested tolerance and
+	// the lottery built from it reproduces the shares.
+	f := func(raw [4]uint8) bool {
+		shares := make([]float64, 4)
+		for i, r := range raw {
+			shares[i] = float64(r%50) + 1
+		}
+		tickets, e, err := TicketsForShares(shares, 0.02)
+		if err != nil {
+			return false
+		}
+		if e > 0.02 {
+			return false
+		}
+		// Cross-check: normalized shares of tickets vs targets.
+		var tTot uint64
+		var sTot float64
+		for i := range shares {
+			tTot += tickets[i]
+			sTot += shares[i]
+		}
+		for i := range shares {
+			got := float64(tickets[i]) / float64(tTot)
+			want := shares[i] / sTot
+			rel := got/want - 1
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > 0.02+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

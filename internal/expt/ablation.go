@@ -1,0 +1,152 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/traffic"
+)
+
+// SlackAblation compares the slack policies a hardware lottery manager
+// can implement (DESIGN.md E13): exact sampling (behavioural reference),
+// 32-bit modulo reduction, rejection/redraw, and absorb-last. Reported
+// per policy: the bandwidth shares of four saturating masters with
+// tickets 1:2:3:4, bus utilization (redraw burns idle cycles), and the
+// redraw rate.
+type SlackAblation struct {
+	Rows []SlackRow
+}
+
+// SlackRow is one policy's outcome.
+type SlackRow struct {
+	Policy      core.SlackPolicy
+	BW          [4]float64
+	Utilization float64
+	RedrawRate  float64
+}
+
+// Table renders the ablation.
+func (r *SlackAblation) Table() *stats.Table {
+	t := stats.NewTable("Slack policy ablation (tickets 1:2:3:4, saturated)",
+		"policy", "C1 bw%", "C2 bw%", "C3 bw%", "C4 bw%", "utilization%", "redraw%")
+	for _, row := range r.Rows {
+		t.AddRow(row.Policy.String(),
+			fmt.Sprintf("%.1f", 100*row.BW[0]),
+			fmt.Sprintf("%.1f", 100*row.BW[1]),
+			fmt.Sprintf("%.1f", 100*row.BW[2]),
+			fmt.Sprintf("%.1f", 100*row.BW[3]),
+			fmt.Sprintf("%.1f", 100*row.Utilization),
+			fmt.Sprintf("%.2f", 100*row.RedrawRate),
+		)
+	}
+	return t
+}
+
+// RunSlackAblation measures every slack policy on a saturated four-
+// master system.
+func RunSlackAblation(o Options) (*SlackAblation, error) {
+	o = o.fill()
+	res := &SlackAblation{}
+	for _, policy := range []core.SlackPolicy{
+		core.PolicyExact, core.PolicyModulo, core.PolicyRedraw, core.PolicyAbsorbLast,
+	} {
+		mgr, err := core.NewStaticLottery(core.StaticConfig{
+			Tickets: []uint64{1, 2, 3, 4},
+			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "slack/"+policy.String())),
+			Policy:  policy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		b, err := newBusyBus(o, []uint64{1, 2, 3, 4}, "slack/"+policy.String())
+		if err != nil {
+			return nil, err
+		}
+		b.SetArbiter(arb.NewStaticLottery(mgr))
+		if err := b.Run(o.Cycles); err != nil {
+			return nil, err
+		}
+		row := SlackRow{Policy: policy, Utilization: b.Collector().Utilization()}
+		copy(row.BW[:], bandwidths(b))
+		if d := mgr.Draws(); d > 0 {
+			row.RedrawRate = float64(mgr.Redraws()) / float64(d)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// PipelineAblation quantifies the value of pipelining arbitration with
+// data transfer (paper §4.1: the architecture "pipelines lottery manager
+// operations with actual data transfers, to minimize idle bus cycles").
+// The same saturated workload runs with 0, 1 and 2 cycles of arbitration
+// overhead per grant.
+type PipelineAblation struct {
+	Rows []PipelineRow
+}
+
+// PipelineRow is one arbitration-latency configuration.
+type PipelineRow struct {
+	ArbLatency  int
+	Utilization float64
+	Throughput  float64 // words per cycle
+	C4Latency   float64 // cycles/word of the heaviest master
+}
+
+// Table renders the ablation.
+func (r *PipelineAblation) Table() *stats.Table {
+	t := stats.NewTable("Arbitration pipelining ablation (lottery, saturated)",
+		"arb cycles/grant", "utilization%", "words/cycle", "C4 cyc/word")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%d", row.ArbLatency),
+			fmt.Sprintf("%.1f", 100*row.Utilization),
+			fmt.Sprintf("%.3f", row.Throughput),
+			fmt.Sprintf("%.2f", row.C4Latency),
+		)
+	}
+	return t
+}
+
+// RunPipelineAblation measures arbitration-overhead sensitivity.
+func RunPipelineAblation(o Options) (*PipelineAblation, error) {
+	o = o.fill()
+	res := &PipelineAblation{}
+	for _, arbLat := range []int{0, 1, 2} {
+		mgr, err := core.NewStaticLottery(core.StaticConfig{
+			Tickets: []uint64{1, 2, 3, 4},
+			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "pipe")),
+		})
+		if err != nil {
+			return nil, err
+		}
+		b := busWithArbLatency(o, arbLat)
+		b.SetArbiter(arb.NewStaticLottery(mgr))
+		if err := b.Run(o.Cycles); err != nil {
+			return nil, err
+		}
+		col := b.Collector()
+		res.Rows = append(res.Rows, PipelineRow{
+			ArbLatency:  arbLat,
+			Utilization: col.Utilization(),
+			Throughput:  float64(col.TotalWords()) / float64(col.Cycles()),
+			C4Latency:   col.PerWordLatency(3),
+		})
+	}
+	return res, nil
+}
+
+// busWithArbLatency builds a saturated four-master bus with the given
+// arbitration overhead.
+func busWithArbLatency(_ Options, arbLat int) *bus.Bus {
+	b := bus.New(bus.Config{MaxBurst: 16, ArbLatency: arbLat})
+	for i := 0; i < fourMasters; i++ {
+		b.AddMaster(fmt.Sprintf("C%d", i+1), &traffic.Saturating{Words: 16},
+			bus.MasterOpts{Tickets: uint64(i + 1)})
+	}
+	b.AddSlave("mem", bus.SlaveOpts{})
+	return b
+}

@@ -1,0 +1,94 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/traffic"
+)
+
+// Adaptation measures how quickly the dynamic lottery manager's
+// bandwidth allocation tracks a ticket re-provisioning event — the
+// quantitative version of the §4.4 claim that holdings "periodically
+// communicated by the component to the lottery manager" re-apportion
+// bandwidth at run time. Two saturating masters swap a 9:1 ticket split
+// mid-run; the settle time is how long master 2's windowed share takes
+// to reach (and hold) 90% of its new entitlement.
+type Adaptation struct {
+	// Window is the sampling window in cycles.
+	Window int64
+	// SwapCycle is when the holdings flipped.
+	SwapCycle int64
+	// SettleCycles is the measured adaptation delay from the swap until
+	// the promoted master's windowed share first holds at >= 0.75 for
+	// the rest of the run (its new entitlement is 0.9; the margin
+	// absorbs the binomial noise of lottery grants within a window);
+	// -1 if it never settles.
+	SettleCycles int64
+	// Trajectory is the promoted master's share per window.
+	Trajectory *stats.Series
+}
+
+// Table renders the trajectory around the swap.
+func (r *Adaptation) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Dynamic re-provisioning transient (swap at cycle %d, settle %d cycles)",
+			r.SwapCycle, r.SettleCycles),
+		"cycle", "promoted master share")
+	for i, label := range r.Trajectory.Labels {
+		t.AddRow(label, fmt.Sprintf("%.3f", r.Trajectory.Values[i]))
+	}
+	return t
+}
+
+// RunAdaptation runs the transient experiment.
+func RunAdaptation(o Options) (*Adaptation, error) {
+	o = o.fill()
+	window := int64(1024)
+	half := (o.Cycles / 2 / window) * window // align the swap to a window edge
+	if half == 0 {
+		return nil, fmt.Errorf("expt: adaptation needs at least %d cycles", 2*window)
+	}
+
+	b := bus.New(bus.Config{MaxBurst: 16})
+	b.AddMaster("C1", &traffic.Saturating{Words: 16}, bus.MasterOpts{Tickets: 9})
+	b.AddMaster("C2", &traffic.Saturating{Words: 16}, bus.MasterOpts{Tickets: 1})
+	b.AddSlave("mem", bus.SlaveOpts{})
+	mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: 2,
+		Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "adaptation")),
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.SetArbiter(arb.NewDynamicLottery(mgr))
+
+	tl := stats.NewTimeline(2, window)
+	b.OnOwner = tl.Hook
+
+	if err := b.Run(half); err != nil {
+		return nil, err
+	}
+	b.Master(0).SetTickets(1)
+	b.Master(1).SetTickets(9)
+	if err := b.Run(half); err != nil {
+		return nil, err
+	}
+
+	res := &Adaptation{
+		Window:     window,
+		SwapCycle:  half,
+		Trajectory: tl.Series(1, "C2 share"),
+	}
+	swapWindow := int(half / window)
+	if w := tl.SettleWindow(swapWindow, 1, 0.75); w >= 0 {
+		res.SettleCycles = (int64(w)+1)*window - half
+	} else {
+		res.SettleCycles = -1
+	}
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/bus"
+	"lotterybus/internal/perm"
+	"lotterybus/internal/stats"
+)
+
+// PermSweep is the result of a bandwidth-sharing sweep over all 24
+// assignments of the values {1,2,3,4} to the four masters — Fig. 4
+// (static priorities) and Fig. 6(a) (lottery tickets).
+type PermSweep struct {
+	// Arch names the architecture under test.
+	Arch string
+	// Labels are the assignment labels ("1234" .. "4321"); Labels[k][i]
+	// digit i is master i's priority/ticket value.
+	Labels []string
+	// Assignments[k][i] is master i's value under combination k.
+	Assignments [][]uint64
+	// BW[k][i] is master i's bandwidth fraction under combination k.
+	BW [][]float64
+}
+
+// Figure renders the sweep as one series per master.
+func (r *PermSweep) Figure() *stats.Figure {
+	f := stats.NewFigure(
+		fmt.Sprintf("Bandwidth sharing under %s", r.Arch),
+		"assignment", "bandwidth fraction (%)")
+	for i := 0; i < fourMasters; i++ {
+		s := f.AddSeries(fmt.Sprintf("C%d", i+1))
+		for k := range r.Labels {
+			s.Add(r.Labels[k], 100*r.BW[k][i])
+		}
+	}
+	return f
+}
+
+// MasterRange returns the minimum and maximum bandwidth fraction master
+// i receives across the sweep — the paper quotes C1's range under static
+// priority as 0.6%..71.8%.
+func (r *PermSweep) MasterRange(i int) (lo, hi float64) {
+	lo, hi = 1, 0
+	for k := range r.BW {
+		if r.BW[k][i] < lo {
+			lo = r.BW[k][i]
+		}
+		if r.BW[k][i] > hi {
+			hi = r.BW[k][i]
+		}
+	}
+	return lo, hi
+}
+
+// AvgShareByValue returns the mean bandwidth fraction received by
+// whichever master holds assignment value v (1..4) across the sweep —
+// under the lottery this must approximate v/10.
+func (r *PermSweep) AvgShareByValue(v uint64) float64 {
+	var sum float64
+	var n int
+	for k := range r.BW {
+		for i, val := range r.Assignments[k] {
+			if val == v {
+				sum += r.BW[k][i]
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// permutationSweep runs the 24-combination sweep with the arbiter
+// returned by mkArb for each assignment.
+func permutationSweep(o Options, arch string, mkArb func(assign []uint64) (bus.Arbiter, error)) (*PermSweep, error) {
+	o = o.fill()
+	res := &PermSweep{Arch: arch}
+	for _, assign := range perm.Permutations([]uint64{1, 2, 3, 4}) {
+		a, err := mkArb(assign)
+		if err != nil {
+			return nil, err
+		}
+		label := perm.Label(assign)
+		b, err := newBusyBus(o, assign, arch+"/"+label)
+		if err != nil {
+			return nil, err
+		}
+		b.SetArbiter(a)
+		if err := b.Run(o.Cycles); err != nil {
+			return nil, err
+		}
+		res.Labels = append(res.Labels, label)
+		res.Assignments = append(res.Assignments, assign)
+		res.BW = append(res.BW, bandwidths(b))
+	}
+	return res, nil
+}

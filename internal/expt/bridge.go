@@ -1,0 +1,128 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/topology"
+	"lotterybus/internal/traffic"
+)
+
+// BridgeResult is the §2.3 extension experiment: a hierarchical two-bus
+// system with lottery arbitration on both channels. A CPU on bus A
+// streams transactions across a store-and-forward bridge into a memory
+// on bus B, contending there with two local masters; local traffic on
+// bus A contends with the CPU. The lottery's proportional guarantees
+// must hold per channel, and cross-bridge traffic must not starve.
+type BridgeResult struct {
+	// BusABW and BusBBW are per-master bandwidth fractions.
+	BusABW []float64
+	BusBBW []float64
+	// Forwarded is the number of messages delivered end to end.
+	Forwarded int64
+	// EndToEndLatency is the mean cycles from arrival on bus A to
+	// completion on bus B.
+	EndToEndLatency float64
+	// Dropped counts bridge FIFO overflows.
+	Dropped int64
+}
+
+// Table renders the outcome.
+func (r *BridgeResult) Table() *stats.Table {
+	t := stats.NewTable("Hierarchical two-bus system with per-channel lotteries",
+		"quantity", "value")
+	for i, bw := range r.BusABW {
+		t.AddRow(fmt.Sprintf("bus A master %d bw%%", i), fmt.Sprintf("%.1f", 100*bw))
+	}
+	for i, bw := range r.BusBBW {
+		t.AddRow(fmt.Sprintf("bus B master %d bw%%", i), fmt.Sprintf("%.1f", 100*bw))
+	}
+	t.AddRow("messages forwarded", fmt.Sprintf("%d", r.Forwarded))
+	t.AddRow("end-to-end latency (cycles)", fmt.Sprintf("%.1f", r.EndToEndLatency))
+	t.AddRow("bridge drops", fmt.Sprintf("%d", r.Dropped))
+	return t
+}
+
+// RunBridge runs the hierarchical experiment.
+func RunBridge(o Options) (*BridgeResult, error) {
+	o = o.fill()
+	sys := topology.NewSystem()
+
+	mkLottery := func(tickets []uint64, tag string) (bus.Arbiter, error) {
+		mgr, err := core.NewStaticLottery(core.StaticConfig{
+			Tickets: tickets,
+			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, tag)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return arb.NewStaticLottery(mgr), nil
+	}
+
+	// Bus A: CPU (cross traffic, 2 tickets) vs DMA (local, 1 ticket).
+	a := bus.New(bus.Config{MaxBurst: 16})
+	cpuGen, err := traffic.NewBernoulli(0.25, traffic.Fixed(8), 1,
+		prng.Derive(o.Seed, "bridge/cpu"))
+	if err != nil {
+		return nil, err
+	}
+	a.AddMaster("cpu", cpuGen, bus.MasterOpts{Tickets: 2})
+	dmaGen, err := traffic.NewBernoulli(0.5, traffic.Fixed(16), 0,
+		prng.Derive(o.Seed, "bridge/dma"))
+	if err != nil {
+		return nil, err
+	}
+	a.AddMaster("dma", dmaGen, bus.MasterOpts{Tickets: 1})
+	a.AddSlave("local-mem", bus.SlaveOpts{})
+	bridgeSlave := a.AddSlave("bridge", bus.SlaveOpts{})
+	arbA, err := mkLottery([]uint64{2, 1}, "bridge/busA")
+	if err != nil {
+		return nil, err
+	}
+	a.SetArbiter(arbA)
+
+	// Bus B: bridge master (3 tickets) vs two local masters (1 each).
+	b := bus.New(bus.Config{MaxBurst: 16})
+	b.AddMaster("bridge", nil, bus.MasterOpts{Tickets: 3})
+	for i := 0; i < 2; i++ {
+		gen, err := traffic.NewBernoulli(0.4, traffic.Fixed(16), 0,
+			prng.Derive(o.Seed, fmt.Sprintf("bridge/local%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		b.AddMaster(fmt.Sprintf("local%d", i), gen, bus.MasterOpts{Tickets: 1})
+	}
+	b.AddSlave("remote-mem", bus.SlaveOpts{})
+	arbB, err := mkLottery([]uint64{3, 1, 1}, "bridge/busB")
+	if err != nil {
+		return nil, err
+	}
+	b.SetArbiter(arbB)
+
+	ai := sys.AddBus("A", a)
+	bi := sys.AddBus("B", b)
+	br, err := sys.Connect(ai, bi, topology.BridgeConfig{
+		SrcSlave:  bridgeSlave,
+		DstMaster: 0,
+		DstSlave:  0,
+		Delay:     4,
+		FifoCap:   128,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Run(o.Cycles); err != nil {
+		return nil, err
+	}
+	return &BridgeResult{
+		BusABW:          bandwidths(a),
+		BusBBW:          bandwidths(b),
+		Forwarded:       br.Forwarded(),
+		EndToEndLatency: br.AvgEndToEndLatency(),
+		Dropped:         br.Dropped(),
+	}, nil
+}

@@ -1,0 +1,172 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/traffic"
+)
+
+// Compensation quantifies a limitation of the plain LOTTERYBUS found
+// during this reproduction and its repair via Waldspurger-Weihl
+// compensation tickets (from the lottery-scheduling work the paper
+// cites): ticket ratios control the fraction of grants, so when message
+// sizes differ across masters, bandwidth shares drift away from the
+// ticket ratios. Two masters hold equal tickets but send 2- versus
+// 16-word messages; the compensated arbiter restores the 50/50 split.
+type Compensation struct {
+	// PlainBW and CompensatedBW are the two masters' bandwidth
+	// fractions (index 0 = small messages, 1 = large).
+	PlainBW, CompensatedBW [2]float64
+	// PlainGrants and CompensatedGrants are grant-count shares of the
+	// small-message master, showing the mechanism: compensation buys
+	// the small-message master proportionally more grants.
+	PlainGrantShare, CompensatedGrantShare float64
+}
+
+// Table renders the comparison.
+func (r *Compensation) Table() *stats.Table {
+	t := stats.NewTable("Compensation tickets under mixed message sizes (equal tickets, 2 vs 16 words)",
+		"arbiter", "small bw%", "large bw%", "small grant share%")
+	t.AddRow("lottery (plain)",
+		fmt.Sprintf("%.1f", 100*r.PlainBW[0]),
+		fmt.Sprintf("%.1f", 100*r.PlainBW[1]),
+		fmt.Sprintf("%.1f", 100*r.PlainGrantShare))
+	t.AddRow("lottery-compensated",
+		fmt.Sprintf("%.1f", 100*r.CompensatedBW[0]),
+		fmt.Sprintf("%.1f", 100*r.CompensatedBW[1]),
+		fmt.Sprintf("%.1f", 100*r.CompensatedGrantShare))
+	return t
+}
+
+// RunCompensation runs the mixed-message-size comparison.
+func RunCompensation(o Options) (*Compensation, error) {
+	o = o.fill()
+	run := func(mk func() (bus.Arbiter, error)) ([2]float64, float64, error) {
+		a, err := mk()
+		if err != nil {
+			return [2]float64{}, 0, err
+		}
+		b := bus.New(bus.Config{MaxBurst: 16})
+		b.AddMaster("small", &traffic.Saturating{Words: 2}, bus.MasterOpts{Tickets: 1})
+		b.AddMaster("large", &traffic.Saturating{Words: 16}, bus.MasterOpts{Tickets: 1})
+		b.AddSlave("mem", bus.SlaveOpts{})
+		b.SetArbiter(a)
+		if err := b.Run(o.Cycles); err != nil {
+			return [2]float64{}, 0, err
+		}
+		col := b.Collector()
+		grantShare := 0.0
+		if g := col.Grants(0) + col.Grants(1); g > 0 {
+			grantShare = float64(col.Grants(0)) / float64(g)
+		}
+		return [2]float64{col.BandwidthFraction(0), col.BandwidthFraction(1)}, grantShare, nil
+	}
+
+	res := &Compensation{}
+	var err error
+	res.PlainBW, res.PlainGrantShare, err = run(func() (bus.Arbiter, error) {
+		mgr, err := core.NewStaticLottery(core.StaticConfig{
+			Tickets: []uint64{1, 1},
+			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "comp/plain")),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return arb.NewStaticLottery(mgr), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.CompensatedBW, res.CompensatedGrantShare, err = run(func() (bus.Arbiter, error) {
+		mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+			Masters: 2,
+			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "comp/fixed")),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return arb.NewCompensatedLottery([]uint64{1, 1}, 16, mgr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// BurstAblation sweeps the maximum transfer size (paper §4.1: "a
+// maximum transfer size limits the number of bus cycles for which the
+// granted master can utilize the bus") on a saturated lottery system:
+// larger bursts amortize arbitration (fewer grants) but coarsen the
+// granularity at which the lottery interleaves masters, lengthening the
+// low-weight masters' waits.
+type BurstAblation struct {
+	Rows []BurstRow
+}
+
+// BurstRow is one MaxBurst configuration.
+type BurstRow struct {
+	MaxBurst int
+	// GrantsPerKCycle is the arbitration rate.
+	GrantsPerKCycle float64
+	// C1Latency and C4Latency are the lightest and heaviest masters'
+	// cycles/word.
+	C1Latency, C4Latency float64
+	// C4BW is the heaviest master's bandwidth share (must stay ~0.4).
+	C4BW float64
+}
+
+// Table renders the sweep.
+func (r *BurstAblation) Table() *stats.Table {
+	t := stats.NewTable("Maximum transfer size ablation (lottery, saturated, tickets 1:2:3:4)",
+		"max burst", "grants/1k cycles", "C1 cyc/word", "C4 cyc/word", "C4 bw%")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%d", row.MaxBurst),
+			fmt.Sprintf("%.1f", row.GrantsPerKCycle),
+			fmt.Sprintf("%.2f", row.C1Latency),
+			fmt.Sprintf("%.2f", row.C4Latency),
+			fmt.Sprintf("%.1f", 100*row.C4BW))
+	}
+	return t
+}
+
+// RunBurstAblation sweeps MaxBurst over {1, 4, 16, 64}.
+func RunBurstAblation(o Options) (*BurstAblation, error) {
+	o = o.fill()
+	res := &BurstAblation{}
+	for _, maxBurst := range []int{1, 4, 16, 64} {
+		mgr, err := core.NewStaticLottery(core.StaticConfig{
+			Tickets: []uint64{1, 2, 3, 4},
+			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "burst")),
+		})
+		if err != nil {
+			return nil, err
+		}
+		b := bus.New(bus.Config{MaxBurst: maxBurst})
+		for i := 0; i < fourMasters; i++ {
+			b.AddMaster(fmt.Sprintf("C%d", i+1), &traffic.Saturating{Words: 64}, bus.MasterOpts{})
+		}
+		b.AddSlave("mem", bus.SlaveOpts{})
+		b.SetArbiter(arb.NewStaticLottery(mgr))
+		if err := b.Run(o.Cycles); err != nil {
+			return nil, err
+		}
+		col := b.Collector()
+		var grants int64
+		for i := 0; i < fourMasters; i++ {
+			grants += col.Grants(i)
+		}
+		res.Rows = append(res.Rows, BurstRow{
+			MaxBurst:        maxBurst,
+			GrantsPerKCycle: 1000 * float64(grants) / float64(col.Cycles()),
+			C1Latency:       col.PerWordLatency(0),
+			C4Latency:       col.PerWordLatency(3),
+			C4BW:            col.BandwidthFraction(3),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/traffic"
+)
+
+// DynamicTickets is the §4.4 extension experiment: the dynamic lottery
+// manager with run-time ticket re-provisioning. Two saturating masters
+// swap QoS roles halfway through the run (tickets 9:1 then 1:9); a
+// well-behaved dynamic architecture re-apportions bandwidth at the swap,
+// which the static manager cannot do.
+type DynamicTickets struct {
+	// Phase1 and Phase2 are the two masters' bandwidth fractions in
+	// each half of the run under the dynamic manager.
+	Phase1, Phase2 [2]float64
+	// StaticPhase2 is the second-half allocation when the tickets are
+	// frozen at their initial 9:1 assignment (the control).
+	StaticPhase2 [2]float64
+}
+
+// Table renders the phases.
+func (r *DynamicTickets) Table() *stats.Table {
+	t := stats.NewTable("Dynamic ticket re-provisioning (§4.4 extension)",
+		"configuration", "C1 bw%", "C2 bw%")
+	t.AddRow("dynamic, phase 1 (tickets 9:1)",
+		fmt.Sprintf("%.1f", 100*r.Phase1[0]), fmt.Sprintf("%.1f", 100*r.Phase1[1]))
+	t.AddRow("dynamic, phase 2 (tickets 1:9)",
+		fmt.Sprintf("%.1f", 100*r.Phase2[0]), fmt.Sprintf("%.1f", 100*r.Phase2[1]))
+	t.AddRow("static control, phase 2 (frozen 9:1)",
+		fmt.Sprintf("%.1f", 100*r.StaticPhase2[0]), fmt.Sprintf("%.1f", 100*r.StaticPhase2[1]))
+	return t
+}
+
+// RunDynamicTickets runs the re-provisioning scenario.
+func RunDynamicTickets(o Options) (*DynamicTickets, error) {
+	o = o.fill()
+	half := o.Cycles / 2
+
+	build := func(tag string) (*bus.Bus, error) {
+		b := bus.New(bus.Config{MaxBurst: 16})
+		b.AddMaster("C1", &traffic.Saturating{Words: 16}, bus.MasterOpts{Tickets: 9})
+		b.AddMaster("C2", &traffic.Saturating{Words: 16}, bus.MasterOpts{Tickets: 1})
+		b.AddSlave("mem", bus.SlaveOpts{})
+		mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+			Masters: 2,
+			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, tag)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.SetArbiter(arb.NewDynamicLottery(mgr))
+		return b, nil
+	}
+
+	res := &DynamicTickets{}
+
+	// Dynamic run: swap holdings at the halfway point.
+	b, err := build("dynamic")
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Run(half); err != nil {
+		return nil, err
+	}
+	col := b.Collector()
+	w1, w2 := col.Words(0), col.Words(1)
+	res.Phase1[0] = float64(w1) / float64(half)
+	res.Phase1[1] = float64(w2) / float64(half)
+
+	b.Master(0).SetTickets(1)
+	b.Master(1).SetTickets(9)
+	if err := b.Run(half); err != nil {
+		return nil, err
+	}
+	res.Phase2[0] = float64(col.Words(0)-w1) / float64(half)
+	res.Phase2[1] = float64(col.Words(1)-w2) / float64(half)
+
+	// Control: same system, holdings never change.
+	bc, err := build("control")
+	if err != nil {
+		return nil, err
+	}
+	if err := bc.Run(half); err != nil {
+		return nil, err
+	}
+	cc := bc.Collector()
+	cw1, cw2 := cc.Words(0), cc.Words(1)
+	if err := bc.Run(half); err != nil {
+		return nil, err
+	}
+	res.StaticPhase2[0] = float64(cc.Words(0)-cw1) / float64(half)
+	res.StaticPhase2[1] = float64(cc.Words(1)-cw2) / float64(half)
+	return res, nil
+}

@@ -1,0 +1,134 @@
+// Package expt reproduces every table and figure of the LOTTERYBUS
+// paper's evaluation (plus the extension experiments listed in
+// DESIGN.md). Each experiment is a pure function of an Options value,
+// returns a typed result with the raw numbers, and renders itself as the
+// rows/series the paper reports. The cmd/paperfigs binary and the
+// repository's bench_test.go both drive these entry points.
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/traffic"
+)
+
+// Options controls simulation length and seeding for all experiments.
+type Options struct {
+	// Cycles is the simulated bus cycles per measurement point; zero
+	// selects 200000.
+	Cycles int64
+	// Seed drives every stochastic element; zero selects 42.
+	Seed uint64
+}
+
+func (o Options) fill() Options {
+	if o.Cycles == 0 {
+		o.Cycles = 200000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// fourMasters is the paper's canonical test system (Fig. 3): four
+// masters contending for a shared memory.
+const fourMasters = 4
+
+// busyLoad is the per-master offered load (words/cycle) used by the
+// bandwidth-sharing experiments, chosen so "the bus was always kept
+// busy, i.e., at least one pending request exists at any time" while no
+// single master saturates it alone (aggregate 2.88 words/cycle).
+const busyLoad = 0.72
+
+// busyMsgWords is the message size for the bandwidth-sharing workload.
+const busyMsgWords = 16
+
+// newBusyBus builds the Fig. 3 system: four masters with heavy Bernoulli
+// traffic into one shared memory, arbiter attached by the caller.
+// Tickets are set per master for lottery arbiters.
+func newBusyBus(o Options, tickets []uint64, tag string) (*bus.Bus, error) {
+	b := bus.New(bus.Config{MaxBurst: 16})
+	slave := -1
+	for i := 0; i < fourMasters; i++ {
+		var tk uint64
+		if tickets != nil {
+			tk = tickets[i]
+		}
+		gen, err := traffic.NewBernoulli(busyLoad, traffic.Fixed(busyMsgWords), 0,
+			prng.Derive(o.Seed, fmt.Sprintf("%s/gen/%d", tag, i)))
+		if err != nil {
+			return nil, err
+		}
+		b.AddMaster(fmt.Sprintf("C%d", i+1), gen, bus.MasterOpts{Tickets: tk})
+	}
+	slave = b.AddSlave("shared-memory", bus.SlaveOpts{})
+	_ = slave
+	return b, nil
+}
+
+// newClassBus builds a four-master system driven by one traffic class,
+// with per-master tickets for lottery arbiters.
+func newClassBus(o Options, class traffic.Class, tickets []uint64, tag string) (*bus.Bus, error) {
+	b := bus.New(bus.Config{MaxBurst: 16})
+	for i := 0; i < fourMasters; i++ {
+		var tk uint64
+		if tickets != nil {
+			tk = tickets[i]
+		}
+		gen, err := class.Generator(i, 0, prng.Derive(o.Seed, tag))
+		if err != nil {
+			return nil, err
+		}
+		b.AddMaster(fmt.Sprintf("C%d", i+1), gen, bus.MasterOpts{Tickets: tk})
+	}
+	b.AddSlave("shared-memory", bus.SlaveOpts{})
+	return b, nil
+}
+
+// lotteryArbiter builds a static lottery arbiter over the given tickets
+// with the exact slack policy (the behavioural reference).
+func lotteryArbiter(o Options, tickets []uint64, tag string) (bus.Arbiter, error) {
+	mgr, err := core.NewStaticLottery(core.StaticConfig{
+		Tickets: tickets,
+		Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, tag+"/lottery")),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return arb.NewStaticLottery(mgr), nil
+}
+
+// tdmaArbiter builds a two-level TDMA arbiter with contiguous
+// reservation blocks of blockScale slots per weight unit.
+func tdmaArbiter(weights []uint64, blockScale int) (bus.Arbiter, error) {
+	slots := make([]int, len(weights))
+	for i, w := range weights {
+		slots[i] = int(w) * blockScale
+	}
+	return arb.NewTDMA(arb.ContiguousWheel(slots), len(weights), true)
+}
+
+// bandwidths returns per-master bandwidth fractions after a run.
+func bandwidths(b *bus.Bus) []float64 {
+	col := b.Collector()
+	out := make([]float64, b.NumMasters())
+	for i := range out {
+		out[i] = col.BandwidthFraction(i)
+	}
+	return out
+}
+
+// latencies returns per-master per-word latencies after a run.
+func latencies(b *bus.Bus) []float64 {
+	col := b.Collector()
+	out := make([]float64, b.NumMasters())
+	for i := range out {
+		out[i] = col.PerWordLatency(i)
+	}
+	return out
+}

@@ -1,0 +1,412 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// testOpts keeps unit-test runs quick; the bench harness uses the full
+// default horizon.
+var testOpts = Options{Cycles: 80000, Seed: 7}
+
+func TestFig4PriorityBandwidthShape(t *testing.T) {
+	r, err := Fig4(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Labels) != 24 || len(r.BW) != 24 {
+		t.Fatalf("sweep size %d", len(r.Labels))
+	}
+	if r.Labels[0] != "1234" || r.Labels[23] != "4321" {
+		t.Fatalf("labels %v..%v", r.Labels[0], r.Labels[23])
+	}
+	// Paper finding 1: a component's share is extremely sensitive to
+	// its priority (C1 ranged 0.6%..71.8%).
+	lo, hi := r.MasterRange(0)
+	if hi < 0.5 {
+		t.Fatalf("C1 max share %v, expected ~0.7 at top priority", hi)
+	}
+	if lo > 0.05 {
+		t.Fatalf("C1 min share %v, expected starvation at bottom priority", lo)
+	}
+	// Paper finding 2: the lowest priority value receives a negligible
+	// average share; the highest dominates.
+	if avg := r.AvgShareByValue(1); avg > 0.05 {
+		t.Fatalf("avg share of priority-1 holder %v", avg)
+	}
+	if avg := r.AvgShareByValue(4); avg < 0.5 {
+		t.Fatalf("avg share of priority-4 holder %v", avg)
+	}
+	// The figure renders one row per assignment.
+	fig := r.Figure().String()
+	if !strings.Contains(fig, "1234") || !strings.Contains(fig, "static-priority") {
+		t.Fatalf("figure rendering:\n%s", fig)
+	}
+}
+
+func TestFig6aLotteryProportionalBandwidth(t *testing.T) {
+	r, err := Fig6a(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper finding: bandwidth tracks tickets (~v/10 for value v)
+	// regardless of which master holds them; measured ratios
+	// 1.05:1.9:2.96:3.83.
+	for v := uint64(1); v <= 4; v++ {
+		got := r.AvgShareByValue(v)
+		want := float64(v) / 10
+		if math.Abs(got-want) > 0.035 {
+			t.Fatalf("avg share of %d-ticket holder = %v, want ~%v", v, got, want)
+		}
+	}
+	// Unlike static priority, no holder is starved.
+	lo, _ := r.MasterRange(0)
+	if lo < 0.05 {
+		t.Fatalf("C1 starved under lottery: %v", lo)
+	}
+}
+
+func TestFig5AlignmentSensitivity(t *testing.T) {
+	r, err := Fig5(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aligned requests wait essentially nothing; the phase-shifted
+	// pattern waits most of a wheel revolution per transaction.
+	if r.AlignedWait > 1.5 {
+		t.Fatalf("aligned wait %v", r.AlignedWait)
+	}
+	if r.MisalignedWait < 5 {
+		t.Fatalf("misaligned wait %v, expected most of a revolution", r.MisalignedWait)
+	}
+	// The lottery is insensitive to the phase shift.
+	if r.LotteryMisalignedWait > 2 {
+		t.Fatalf("lottery wait %v under misalignment", r.LotteryMisalignedWait)
+	}
+	out := r.String()
+	for _, want := range []string{"aligned", "misaligned", "M1", "idle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6bLatencyComparison(t *testing.T) {
+	r, err := Fig6b(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(r.TDMA) - 1
+	// The paper's headline: the highest-weight component's latency is
+	// substantially lower under LOTTERYBUS than under TDMA.
+	if r.Lottery[last] >= r.TDMA[last] {
+		t.Fatalf("lottery %v not better than tdma %v for high-weight master",
+			r.Lottery[last], r.TDMA[last])
+	}
+	if imp := r.HighPriorityImprovement(); imp < 1.2 {
+		t.Fatalf("improvement %v over two-level TDMA too small", imp)
+	}
+	if imp1 := r.HighPriorityImprovementOneLevel(); imp1 < 2 {
+		t.Fatalf("improvement %v over one-level TDMA too small", imp1)
+	}
+	// Lottery latencies are monotone in ticket count.
+	for i := 0; i < last; i++ {
+		if r.Lottery[i+1] > r.Lottery[i]*1.15 {
+			t.Fatalf("lottery latency not monotone: %v", r.Lottery)
+		}
+	}
+	fig := r.Figure().String()
+	if !strings.Contains(fig, "lotterybus") || !strings.Contains(fig, "tdma-1level") {
+		t.Fatalf("figure:\n%s", fig)
+	}
+}
+
+func TestFig12aBandwidthAcrossClasses(t *testing.T) {
+	r, err := RunFig12a(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Classes) != 9 {
+		t.Fatalf("classes %v", r.Classes)
+	}
+	idx := map[string]int{}
+	for k, c := range r.Classes {
+		idx[c] = k
+	}
+	// Saturated classes track the ticket ratio 1:2:3:4.
+	for _, c := range []string{"T1", "T4", "T7"} {
+		k := idx[c]
+		if r.Unutilized[k] > 0.05 {
+			t.Fatalf("%s unutilized %v, expected saturation", c, r.Unutilized[k])
+		}
+		ratios := r.ShareRatios(k)
+		for i, want := range []float64{1, 2, 3, 4} {
+			if math.Abs(ratios[i]-want) > 0.55 {
+				t.Fatalf("%s ratios %v, want ~1:2:3:4", c, ratios)
+			}
+		}
+	}
+	// Sparse classes leave the bus partly unutilized and decouple the
+	// allocation from the tickets (roughly equal shares).
+	for _, c := range []string{"T3", "T6"} {
+		k := idx[c]
+		if r.Unutilized[k] < 0.2 {
+			t.Fatalf("%s unutilized %v, expected sparse", c, r.Unutilized[k])
+		}
+		ratios := r.ShareRatios(k)
+		if ratios[3] > 2 {
+			t.Fatalf("%s ratios %v should flatten when sparse", c, ratios)
+		}
+	}
+	fig := r.Figure().String()
+	if !strings.Contains(fig, "unutilized") {
+		t.Fatalf("figure:\n%s", fig)
+	}
+}
+
+func TestFig12bcLatencySurfaces(t *testing.T) {
+	tdma, err := RunFig12b(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lot, err := RunFig12c(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tdma.Classes) != 6 || len(lot.Classes) != 6 {
+		t.Fatal("class count")
+	}
+	// Paper finding: LOTTERYBUS exhibits better latency for the
+	// high-weight masters across the traffic space.
+	betterCount := 0
+	for k := range tdma.Lat {
+		if lot.Lat[k][3] < tdma.Lat[k][3] {
+			betterCount++
+		}
+	}
+	if betterCount < 5 {
+		t.Fatalf("lottery better in only %d/6 classes for the high-weight master", betterCount)
+	}
+	if lot.MaxHighWeightLatency() >= tdma.MaxHighWeightLatency() {
+		t.Fatalf("worst-case high-weight latency: lottery %v vs tdma %v",
+			lot.MaxHighWeightLatency(), tdma.MaxHighWeightLatency())
+	}
+	// Paper finding: LOTTERYBUS does not exhibit priority inversion.
+	if inv := lot.Inversions(); inv != 0 {
+		t.Fatalf("lottery latency inversions: %d", inv)
+	}
+	fig := lot.Figure().String()
+	if !strings.Contains(fig, "weight 4") {
+		t.Fatalf("figure:\n%s", fig)
+	}
+}
+
+func TestFig12bOneLevelMuchWorse(t *testing.T) {
+	one, err := RunFig12bOneLevel(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := RunFig12b(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without reclamation, wasted slots inflate latencies dramatically
+	// on the loaded classes.
+	if one.MaxHighWeightLatency() < 1.5*two.MaxHighWeightLatency() {
+		t.Fatalf("one-level %v not clearly worse than two-level %v",
+			one.MaxHighWeightLatency(), two.MaxHighWeightLatency())
+	}
+}
+
+func TestTable1QoS(t *testing.T) {
+	r, err := RunTable1(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	prio, _ := r.Row("static-priority")
+	tdma, _ := r.Row("tdma-2level")
+	lot, ok := r.Row("lotterybus")
+	if !ok {
+		t.Fatal("lottery row missing")
+	}
+	// Port 4 latency: minimum under static priority; several times
+	// larger under TDMA; lottery comparable to priority (paper: 1.39 /
+	// 9.8 / 2.1 cycles per word).
+	if prio.Port4Latency > 2.5 {
+		t.Fatalf("priority port4 latency %v", prio.Port4Latency)
+	}
+	if tdma.Port4Latency < 2*prio.Port4Latency {
+		t.Fatalf("tdma port4 latency %v vs priority %v", tdma.Port4Latency, prio.Port4Latency)
+	}
+	if lot.Port4Latency > 0.6*tdma.Port4Latency {
+		t.Fatalf("lottery port4 latency %v not clearly better than tdma %v",
+			lot.Port4Latency, tdma.Port4Latency)
+	}
+	// Bandwidth: priority starves port 1; the lottery respects the
+	// 1:2:4 ordering for the backlogged trio.
+	if prio.BW[0] > 0.06 {
+		t.Fatalf("priority port1 share %v", prio.BW[0])
+	}
+	if !(lot.BW[0] < lot.BW[1] && lot.BW[1] < lot.BW[2]) {
+		t.Fatalf("lottery trio shares not ordered: %v", lot.BW)
+	}
+	if lot.BW[2] < 0.4 {
+		t.Fatalf("lottery port3 share %v", lot.BW[2])
+	}
+	out := r.Table().String()
+	if !strings.Contains(out, "lotterybus") || !strings.Contains(out, "port4 cyc/word") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestHWComplexityReport(t *testing.T) {
+	r := RunHWComplexity()
+	if len(r.Reports) != 6 {
+		t.Fatalf("reports %d", len(r.Reports))
+	}
+	// Paper §5.2: ~1458 cell grids, ~3.06 ns (326 MHz) for the
+	// four-master static manager.
+	st := r.Reports[0]
+	if st.Design != "lottery-static" || st.Masters != 4 {
+		t.Fatalf("first report %+v", st)
+	}
+	if st.AreaGrids < 1200 || st.AreaGrids > 1750 {
+		t.Fatalf("static area %v", st.AreaGrids)
+	}
+	if st.ArbitrationNs < 2.5 || st.ArbitrationNs > 3.5 {
+		t.Fatalf("static arbitration %v", st.ArbitrationNs)
+	}
+	out := r.Table().String()
+	if !strings.Contains(out, "lottery-dynamic") {
+		t.Fatalf("table:\n%s", out)
+	}
+	bd := r.BreakdownTable().String()
+	if !strings.Contains(bd, "range LUT") || !strings.Contains(bd, "LFSR") {
+		t.Fatalf("breakdown:\n%s", bd)
+	}
+}
+
+func TestStarvationBound(t *testing.T) {
+	r, err := RunStarvation(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	if r.MaxError() > 0.03 {
+		t.Fatalf("analytic vs simulated divergence %v:\n%s", r.MaxError(), r.Table())
+	}
+	// The bound must converge: the last horizon is near-certain.
+	last := r.Rows[len(r.Rows)-1]
+	if last.Analytic < 0.99 || last.Simulated < 0.97 {
+		t.Fatalf("no convergence: %+v", last)
+	}
+}
+
+func TestDynamicTicketsReprovision(t *testing.T) {
+	r, err := RunDynamicTickets(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: 9:1 split; phase 2 swaps to 1:9; the control keeps 9:1.
+	if math.Abs(r.Phase1[0]-0.9) > 0.05 || math.Abs(r.Phase2[0]-0.1) > 0.05 {
+		t.Fatalf("dynamic phases: %v then %v", r.Phase1, r.Phase2)
+	}
+	if math.Abs(r.StaticPhase2[0]-0.9) > 0.05 {
+		t.Fatalf("control drifted: %v", r.StaticPhase2)
+	}
+	out := r.Table().String()
+	if !strings.Contains(out, "phase 2") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestBridgeHierarchy(t *testing.T) {
+	r, err := RunBridge(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Forwarded < 100 {
+		t.Fatalf("forwarded %d", r.Forwarded)
+	}
+	if r.EndToEndLatency <= 0 {
+		t.Fatalf("end-to-end latency %v", r.EndToEndLatency)
+	}
+	// Both buses must carry traffic from all their masters.
+	for i, bw := range r.BusABW {
+		if bw == 0 {
+			t.Fatalf("bus A master %d starved", i)
+		}
+	}
+	for i, bw := range r.BusBBW {
+		if bw == 0 {
+			t.Fatalf("bus B master %d starved", i)
+		}
+	}
+}
+
+func TestSlackAblation(t *testing.T) {
+	r, err := RunSlackAblation(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Every policy delivers roughly proportional shares on this
+		// near-saturated workload.
+		for i, want := range []float64{0.1, 0.2, 0.3, 0.4} {
+			if math.Abs(row.BW[i]-want) > 0.06 {
+				t.Fatalf("policy %v shares %v", row.Policy, row.BW)
+			}
+		}
+		if row.Utilization < 0.85 {
+			t.Fatalf("policy %v utilization %v", row.Policy, row.Utilization)
+		}
+	}
+	// Only the redraw policy loses cycles to slack misses.
+	var redraw, exact *SlackRow
+	for i := range r.Rows {
+		switch r.Rows[i].Policy.String() {
+		case "redraw":
+			redraw = &r.Rows[i]
+		case "exact":
+			exact = &r.Rows[i]
+		}
+	}
+	if exact.RedrawRate != 0 {
+		t.Fatalf("exact policy reported redraws: %v", exact.RedrawRate)
+	}
+	if redraw.Utilization > exact.Utilization {
+		t.Fatalf("redraw utilization %v above exact %v", redraw.Utilization, exact.Utilization)
+	}
+}
+
+func TestPipelineAblation(t *testing.T) {
+	r, err := RunPipelineAblation(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	// Pipelined arbitration keeps the saturated bus fully utilized;
+	// every added arbitration cycle costs throughput.
+	if r.Rows[0].Utilization < 0.999 {
+		t.Fatalf("pipelined utilization %v", r.Rows[0].Utilization)
+	}
+	if !(r.Rows[0].Throughput > r.Rows[1].Throughput &&
+		r.Rows[1].Throughput > r.Rows[2].Throughput) {
+		t.Fatalf("throughput not decreasing: %+v", r.Rows)
+	}
+	// With 16-word bursts and 1 arbitration cycle, throughput ~16/17.
+	if math.Abs(r.Rows[1].Throughput-16.0/17) > 0.02 {
+		t.Fatalf("1-cycle overhead throughput %v, want ~%v", r.Rows[1].Throughput, 16.0/17)
+	}
+}

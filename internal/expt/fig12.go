@@ -1,0 +1,197 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/traffic"
+)
+
+// Fig12a is the result of paper Fig. 12(a): LOTTERYBUS bandwidth
+// allocation across the nine traffic classes, including the unutilized
+// fraction. The paper's findings:
+//
+//   - for high-utilization classes the allocation closely follows the
+//     ticket assignment 1:2:3:4 (measured 1.05:1.9:2.96:3.83);
+//   - for sparse classes (T3, T6) most requests are granted
+//     immediately, so the allocation decouples from the tickets and is
+//     roughly proportional to the offered loads instead.
+type Fig12a struct {
+	Classes []string
+	// BW[k][i] is master i's bandwidth fraction under class k.
+	BW [][]float64
+	// Unutilized[k] is the idle-bus fraction under class k.
+	Unutilized []float64
+}
+
+// Figure renders one series per master plus the unutilized band.
+func (r *Fig12a) Figure() *stats.Figure {
+	f := stats.NewFigure("LOTTERYBUS bandwidth allocation across traffic classes",
+		"class", "fraction of bus bandwidth (%)")
+	for i := 0; i < fourMasters; i++ {
+		s := f.AddSeries(fmt.Sprintf("C%d", i+1))
+		for k, c := range r.Classes {
+			s.Add(c, 100*r.BW[k][i])
+		}
+	}
+	un := f.AddSeries("unutilized")
+	for k, c := range r.Classes {
+		un.Add(c, 100*r.Unutilized[k])
+	}
+	return f
+}
+
+// ShareRatios returns, for class k, the masters' bandwidth shares
+// normalized so C1 = 1 (the paper reports 1.05:1.9:2.96:3.83 averaged
+// over the saturated classes).
+func (r *Fig12a) ShareRatios(k int) []float64 {
+	out := make([]float64, fourMasters)
+	base := r.BW[k][0]
+	if base == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = r.BW[k][i] / base
+	}
+	return out
+}
+
+// RunFig12a sweeps the classes under the lottery with tickets 1:2:3:4.
+func RunFig12a(o Options) (*Fig12a, error) {
+	o = o.fill()
+	tickets := []uint64{1, 2, 3, 4}
+	res := &Fig12a{}
+	for _, class := range traffic.Classes() {
+		a, err := lotteryArbiter(o, tickets, "fig12a/"+class.Name)
+		if err != nil {
+			return nil, err
+		}
+		b, err := newClassBus(o, class, tickets, "fig12a/"+class.Name)
+		if err != nil {
+			return nil, err
+		}
+		b.SetArbiter(a)
+		if err := b.Run(o.Cycles); err != nil {
+			return nil, err
+		}
+		res.Classes = append(res.Classes, class.Name)
+		res.BW = append(res.BW, bandwidths(b))
+		res.Unutilized = append(res.Unutilized, 1-b.Collector().Utilization())
+	}
+	return res, nil
+}
+
+// LatencySurface is the result of Figs. 12(b) and 12(c): per-word
+// latency for each (traffic class, weight) pair, where weight is the
+// number of time slots (TDMA) or lottery tickets (LOTTERYBUS) the
+// master holds; weights are assigned 1:2:3:4 to the four masters.
+type LatencySurface struct {
+	Arch    string
+	Classes []string
+	// Lat[k][i] is the per-word latency of the master holding weight
+	// i+1 under class k.
+	Lat [][]float64
+}
+
+// Figure renders one series per weight.
+func (r *LatencySurface) Figure() *stats.Figure {
+	f := stats.NewFigure(
+		fmt.Sprintf("Communication latency under %s", r.Arch),
+		"class", "bus cycles/word")
+	for i := 0; i < fourMasters; i++ {
+		s := f.AddSeries(fmt.Sprintf("weight %d", i+1))
+		for k, c := range r.Classes {
+			s.Add(c, r.Lat[k][i])
+		}
+	}
+	return f
+}
+
+// MaxHighWeightLatency returns the worst latency the heaviest-weight
+// master sees across classes; the paper quotes 8.55 cycles/word for
+// TDMA and 1.7 for LOTTERYBUS on the same class.
+func (r *LatencySurface) MaxHighWeightLatency() float64 {
+	worst := 0.0
+	for k := range r.Lat {
+		if v := r.Lat[k][fourMasters-1]; v == v && v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Inversions counts (class, i<j) pairs where a higher-weight master has
+// strictly worse latency than a lower-weight one by more than 10% — the
+// priority-inversion pathology the paper observes for TDMA (e.g. T5,
+// T6) and reports absent under LOTTERYBUS.
+func (r *LatencySurface) Inversions() int {
+	n := 0
+	for k := range r.Lat {
+		for i := 0; i < fourMasters; i++ {
+			for j := i + 1; j < fourMasters; j++ {
+				li, lj := r.Lat[k][i], r.Lat[k][j]
+				if li == li && lj == lj && lj > 1.1*li {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// latencySurface runs the six latency classes under the arbiter family
+// built by mkArb (fresh arbiter per class). All four masters carry the
+// class's traffic, with weights (slots/tickets) 1:2:3:4.
+func latencySurface(o Options, arch string, mkArb func(class traffic.Class) (bus.Arbiter, error)) (*LatencySurface, error) {
+	o = o.fill()
+	weights := []uint64{1, 2, 3, 4}
+	res := &LatencySurface{Arch: arch}
+	for _, class := range traffic.LatencyClasses() {
+		a, err := mkArb(class)
+		if err != nil {
+			return nil, err
+		}
+		b, err := newClassBus(o, class, weights, "fig12bc/"+class.Name)
+		if err != nil {
+			return nil, err
+		}
+		b.SetArbiter(a)
+		if err := b.Run(o.Cycles); err != nil {
+			return nil, err
+		}
+		res.Classes = append(res.Classes, class.Name)
+		res.Lat = append(res.Lat, latencies(b))
+	}
+	return res, nil
+}
+
+// RunFig12b sweeps the latency classes under two-level TDMA with
+// burst-sized contiguous reservations in ratio 1:2:3:4.
+func RunFig12b(o Options) (*LatencySurface, error) {
+	return latencySurface(o, "tdma-2level", func(class traffic.Class) (bus.Arbiter, error) {
+		return tdmaArbiter([]uint64{1, 2, 3, 4}, latencyWheelScale*class.MsgWords)
+	})
+}
+
+// RunFig12bOneLevel sweeps the latency classes under single-level TDMA
+// (no reclamation of idle slots) — the lower bound on TDMA quality; the
+// paper's Example 2 analyses exactly this first-level timing wheel.
+func RunFig12bOneLevel(o Options) (*LatencySurface, error) {
+	return latencySurface(o, "tdma-1level", func(class traffic.Class) (bus.Arbiter, error) {
+		slots := make([]int, fourMasters)
+		for i := range slots {
+			slots[i] = (i + 1) * latencyWheelScale * class.MsgWords
+		}
+		return arb.NewTDMA(arb.ContiguousWheel(slots), fourMasters, false)
+	})
+}
+
+// RunFig12c sweeps the latency classes under LOTTERYBUS with tickets
+// 1:2:3:4.
+func RunFig12c(o Options) (*LatencySurface, error) {
+	return latencySurface(o, "lotterybus", func(traffic.Class) (bus.Arbiter, error) {
+		return lotteryArbiter(o.fill(), []uint64{1, 2, 3, 4}, "fig12c")
+	})
+}

@@ -1,0 +1,21 @@
+package expt
+
+import (
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+)
+
+// Fig4 reproduces paper Fig. 4: bandwidth sharing under the static
+// priority based architecture, across all 24 priority assignments of
+// {1,2,3,4} to the four masters (4 = highest priority). The paper's
+// findings this must show:
+//
+//   - the fraction of bandwidth a component receives is extremely
+//     sensitive to its priority value (C1 ranged 0.6%..71.8%);
+//   - low-priority components are starved while higher-priority
+//     components have pending requests.
+func Fig4(o Options) (*PermSweep, error) {
+	return permutationSweep(o, "static-priority", func(assign []uint64) (bus.Arbiter, error) {
+		return arb.NewPriority(assign)
+	})
+}

@@ -1,0 +1,80 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/core"
+	"lotterybus/internal/hw"
+	"lotterybus/internal/netlist"
+	"lotterybus/internal/stats"
+)
+
+// GateLevel cross-checks the two hardware views of the lottery manager:
+// the block-level cost-table estimate of internal/hw (calibrated to the
+// paper's §5.2 data point) and an actual gate-by-gate netlist of the
+// grant datapath built by internal/netlist. Gate counts and unit-delay
+// logic depth from the netlist should scale the same way as the
+// cost-table area and arbitration time.
+type GateLevel struct {
+	Rows []GateLevelRow
+}
+
+// GateLevelRow is one design point.
+type GateLevelRow struct {
+	Masters int
+	Width   uint
+	// Gates and Depth come from the synthesized netlist.
+	Gates int
+	Depth int
+	// EstimateGrids and EstimateNs come from the §5.2 cost table.
+	EstimateGrids float64
+	EstimateNs    float64
+}
+
+// Table renders the comparison.
+func (r *GateLevel) Table() *stats.Table {
+	t := stats.NewTable("Gate-level netlist vs cost-table estimate (static manager datapath)",
+		"masters", "width", "netlist gates", "logic depth", "est. area (grids)", "est. arbitration (ns)")
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", row.Masters),
+			fmt.Sprintf("%d", row.Width),
+			fmt.Sprintf("%d", row.Gates),
+			fmt.Sprintf("%d", row.Depth),
+			fmt.Sprintf("%.0f", row.EstimateGrids),
+			fmt.Sprintf("%.2f", row.EstimateNs),
+		)
+	}
+	return t
+}
+
+// RunGateLevel builds the netlist at several design points.
+func RunGateLevel() (*GateLevel, error) {
+	tech := hw.NEC035()
+	res := &GateLevel{}
+	for _, pt := range []struct {
+		masters int
+		width   uint
+	}{
+		{2, 8}, {4, 8}, {4, 16}, {8, 16},
+	} {
+		tickets := make([]uint64, pt.masters)
+		for i := range tickets {
+			tickets[i] = uint64(i + 1)
+		}
+		nl, err := netlist.BuildStaticGrant(tickets, pt.width, core.PolicyRedraw)
+		if err != nil {
+			return nil, err
+		}
+		est := hw.StaticReport(pt.masters, pt.width, tech)
+		res.Rows = append(res.Rows, GateLevelRow{
+			Masters:       pt.masters,
+			Width:         pt.width,
+			Gates:         nl.NumGates(),
+			Depth:         nl.Depth(),
+			EstimateGrids: est.AreaGrids,
+			EstimateNs:    est.ArbitrationNs,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,63 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/hw"
+	"lotterybus/internal/stats"
+)
+
+// HWComplexity is the reproduction of paper §5.2: the lottery manager
+// implementations mapped onto the NEC 0.35 µm CBC9VX cell-based array.
+// The paper reports the four-master static controller at 1458 cell grids
+// with a 3.06 ns arbitration time (single-cycle arbitration for bus
+// speeds up to 326.5 MHz); the dynamic manager is "considerably harder".
+type HWComplexity struct {
+	Reports []hw.Report
+}
+
+// RunHWComplexity maps the static and dynamic four-master managers, plus
+// scaling points at 6 and 8 masters, onto the calibrated technology.
+func RunHWComplexity() *HWComplexity {
+	t := hw.NEC035()
+	return &HWComplexity{Reports: []hw.Report{
+		hw.StaticReport(4, 16, t),
+		hw.DynamicReport(4, 16, t),
+		hw.StaticReport(6, 16, t),
+		hw.DynamicReport(6, 16, t),
+		hw.StaticReport(8, 16, t),
+		hw.DynamicReport(8, 16, t),
+	}}
+}
+
+// Table renders area and timing per design point.
+func (r *HWComplexity) Table() *stats.Table {
+	t := stats.NewTable("Lottery manager hardware complexity (§5.2)",
+		"design", "masters", "width", "area (cell grids)", "arbitration (ns)", "max bus (MHz)")
+	for _, rep := range r.Reports {
+		t.AddRow(rep.Design,
+			fmt.Sprintf("%d", rep.Masters),
+			fmt.Sprintf("%d", rep.Width),
+			fmt.Sprintf("%.0f", rep.AreaGrids),
+			fmt.Sprintf("%.2f", rep.ArbitrationNs),
+			fmt.Sprintf("%.1f", rep.MaxBusMHz),
+		)
+	}
+	return t
+}
+
+// BreakdownTable renders the area breakdown of the paper's design point
+// (four masters, 16-bit datapath, static manager).
+func (r *HWComplexity) BreakdownTable() *stats.Table {
+	t := stats.NewTable("Static manager area breakdown (4 masters, 16-bit)",
+		"block", "cell grids")
+	for _, rep := range r.Reports {
+		if rep.Design == "lottery-static" && rep.Masters == 4 {
+			for _, b := range rep.Breakdown {
+				t.AddRow(b.Block, fmt.Sprintf("%.0f", b.Grids))
+			}
+			break
+		}
+	}
+	return t
+}

@@ -1,0 +1,248 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelValidationAgreement(t *testing.T) {
+	r, err := RunModelValidation(Options{Cycles: 120000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	if e := r.MaxRelError(); e > 0.15 {
+		t.Fatalf("worst model error %.1f%%:\n%s", 100*e, r.Table())
+	}
+	out := r.Table().String()
+	for _, want := range []string{"lottery share", "alignment wait", "Geo/D/1", "rel err"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTailLatency(t *testing.T) {
+	r, err := RunTailLatency(Options{Cycles: 80000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	prio, _ := r.Row("static-priority")
+	lot, ok := r.Row("lotterybus")
+	if !ok {
+		t.Fatal("lottery row missing")
+	}
+	// Static priority gives the top master near-ideal service; every
+	// scheme's p99 must be at least its mean; the lottery's tail must
+	// be visibly longer than its mean (probabilistic guarantees only).
+	if prio.Mean > 2.5 {
+		t.Fatalf("priority mean %v", prio.Mean)
+	}
+	for _, row := range r.Rows {
+		if row.P99+1e-9 < row.Mean {
+			t.Fatalf("%s: p99 %v below mean %v", row.Arch, row.P99, row.Mean)
+		}
+		if row.MaxMessage <= 0 {
+			t.Fatalf("%s: max %d", row.Arch, row.MaxMessage)
+		}
+	}
+	if lot.P99 < 1.5*lot.Mean {
+		t.Fatalf("lottery tail suspiciously tight: mean %v p99 %v", lot.Mean, lot.P99)
+	}
+}
+
+func TestReplayIdenticalWorkload(t *testing.T) {
+	r, err := RunReplay(Options{Cycles: 80000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	// Work-conserving disciplines on the same workload move the same
+	// total traffic when it fits: utilizations within a few percent.
+	base := r.Rows[0].Utilization
+	for _, row := range r.Rows {
+		if row.Utilization < base-0.1 || row.Utilization > base+0.1 {
+			t.Fatalf("utilization spread: %v vs %v (%s)", row.Utilization, base, row.Arch)
+		}
+	}
+	lot, _ := r.Row("lotterybus")
+	tdma, _ := r.Row("tdma-2level")
+	if lot.C4Latency >= tdma.C4Latency {
+		t.Fatalf("on identical traffic lottery C4 %v not below tdma %v",
+			lot.C4Latency, tdma.C4Latency)
+	}
+}
+
+func TestSplitAblation(t *testing.T) {
+	r, err := RunSplitAblation(Options{Cycles: 60000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Splitting must not lose throughput, and at high latency it
+		// must win decisively (latencies overlap).
+		if row.SplitThroughput < row.BlockingThroughput {
+			t.Fatalf("latency %d: split %v below blocking %v",
+				row.LatencyCycles, row.SplitThroughput, row.BlockingThroughput)
+		}
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.SplitThroughput < 2*last.BlockingThroughput {
+		t.Fatalf("no overlap win at latency %d: %v vs %v",
+			last.LatencyCycles, last.SplitThroughput, last.BlockingThroughput)
+	}
+}
+
+func TestScalability(t *testing.T) {
+	r, err := RunScalability(Options{Cycles: 60000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Utilization < 0.999 {
+			t.Fatalf("n=%d utilization %v", row.Masters, row.Utilization)
+		}
+		// Proportionality within 10% even for the 1-of-528 master at
+		// n=32 (its share is tiny, so the relative error is noisiest).
+		if row.MaxShareError > 0.10 {
+			t.Fatalf("n=%d share error %v", row.Masters, row.MaxShareError)
+		}
+		// The lightest master waits longer but is never starved
+		// outright.
+		if row.WorstStarvation < 1 {
+			t.Fatalf("n=%d latency ratio %v", row.Masters, row.WorstStarvation)
+		}
+	}
+}
+
+func TestGateLevelCrossCheck(t *testing.T) {
+	r, err := RunGateLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	// Both views must grow with masters and width.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Gates <= r.Rows[i-1].Gates {
+			t.Fatalf("gate count not growing: %+v", r.Rows)
+		}
+	}
+	// Depth grows with width (ripple chains), not master count alone.
+	var w8, w16 int
+	for _, row := range r.Rows {
+		if row.Masters == 4 && row.Width == 8 {
+			w8 = row.Depth
+		}
+		if row.Masters == 4 && row.Width == 16 {
+			w16 = row.Depth
+		}
+	}
+	if w16 <= w8 {
+		t.Fatalf("depth did not grow with width: %d vs %d", w8, w16)
+	}
+}
+
+func TestCompensationExperiment(t *testing.T) {
+	r, err := RunCompensation(Options{Cycles: 150000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain lottery skews bandwidth toward the 16-word master.
+	if r.PlainBW[0] > 0.2 {
+		t.Fatalf("plain small-message share %v, skew expected", r.PlainBW[0])
+	}
+	// Compensation restores the equal-ticket 50/50 split by granting
+	// the small-message master proportionally more often.
+	if r.CompensatedBW[0] < 0.45 || r.CompensatedBW[0] > 0.55 {
+		t.Fatalf("compensated shares %v", r.CompensatedBW)
+	}
+	if r.CompensatedGrantShare <= r.PlainGrantShare {
+		t.Fatalf("grant shares: plain %v, compensated %v",
+			r.PlainGrantShare, r.CompensatedGrantShare)
+	}
+}
+
+func TestBurstAblation(t *testing.T) {
+	r, err := RunBurstAblation(Options{Cycles: 100000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	// Grants per cycle fall as the burst cap rises.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].GrantsPerKCycle >= r.Rows[i-1].GrantsPerKCycle {
+			t.Fatalf("arbitration rate not decreasing: %+v", r.Rows)
+		}
+	}
+	// Bandwidth proportionality holds at every burst size.
+	for _, row := range r.Rows {
+		if row.C4BW < 0.35 || row.C4BW > 0.45 {
+			t.Fatalf("maxBurst %d: C4 share %v", row.MaxBurst, row.C4BW)
+		}
+	}
+}
+
+func TestAdaptationTransient(t *testing.T) {
+	r, err := RunAdaptation(Options{Cycles: 100000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SettleCycles < 0 {
+		t.Fatalf("never settled:\n%s", r.Table())
+	}
+	// Memoryless lotteries adapt within a few windows.
+	if r.SettleCycles > 10*r.Window {
+		t.Fatalf("settle took %d cycles (window %d)", r.SettleCycles, r.Window)
+	}
+	// Before the swap, the promoted master held ~10%.
+	firstShare := r.Trajectory.Values[0]
+	if firstShare > 0.2 {
+		t.Fatalf("pre-swap share %v", firstShare)
+	}
+	last := r.Trajectory.Values[len(r.Trajectory.Values)-1]
+	if last < 0.75 {
+		t.Fatalf("post-swap share %v", last)
+	}
+}
+
+func TestWRRComparison(t *testing.T) {
+	r, err := RunWRRComparison(Options{Cycles: 150000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both disciplines deliver weight-ordered shares on the loaded
+	// sub-saturation class.
+	for _, bw := range [][4]float64{r.LotteryBW, r.WRRBW} {
+		if !(bw[0] < bw[1] && bw[1] < bw[2] && bw[2] < bw[3]) {
+			t.Fatalf("shares not weight-ordered: %v", bw)
+		}
+	}
+	// Latency figures must be finite and comparable.
+	if r.LotteryLatency <= 0 || r.WRRLatency <= 0 {
+		t.Fatalf("latencies %v %v", r.LotteryLatency, r.WRRLatency)
+	}
+	if r.LotteryJitter <= 0 || r.WRRJitter <= 0 {
+		t.Fatalf("jitters %v %v", r.LotteryJitter, r.WRRJitter)
+	}
+	out := r.Table().String()
+	if !strings.Contains(out, "weighted-round-robin") {
+		t.Fatalf("table:\n%s", out)
+	}
+}

@@ -1,0 +1,107 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/traffic"
+)
+
+// Scalability checks that the lottery's proportional-share guarantee
+// survives well beyond the paper's four-master systems: n saturating
+// masters with tickets 1..n must receive bandwidth in that ratio, and
+// the arbiter must keep the bus fully utilized. The per-draw cost of
+// the behavioural manager is measured by the core package's
+// benchmarks; here we track the statistical quality as n grows.
+type Scalability struct {
+	Rows []ScalabilityRow
+}
+
+// ScalabilityRow is one system size.
+type ScalabilityRow struct {
+	Masters int
+	// MaxShareError is the worst relative deviation of any master's
+	// bandwidth share from its ticket ratio.
+	MaxShareError float64
+	// Utilization is the fraction of busy bus cycles.
+	Utilization float64
+	// WorstStarvation is the largest observed per-word latency ratio
+	// between the lightest and heaviest master (how much worse the
+	// 1-ticket master fares).
+	WorstStarvation float64
+}
+
+// Table renders the sweep.
+func (r *Scalability) Table() *stats.Table {
+	t := stats.NewTable("Lottery proportional sharing at scale (tickets 1..n, saturated)",
+		"masters", "max share error %", "utilization %", "C1/Cn latency ratio")
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", row.Masters),
+			fmt.Sprintf("%.2f", 100*row.MaxShareError),
+			fmt.Sprintf("%.1f", 100*row.Utilization),
+			fmt.Sprintf("%.1f", row.WorstStarvation),
+		)
+	}
+	return t
+}
+
+// RunScalability sweeps system sizes 4, 8, 16 and 32.
+func RunScalability(o Options) (*Scalability, error) {
+	o = o.fill()
+	res := &Scalability{}
+	for _, n := range []int{4, 8, 16, 32} {
+		tickets := make([]uint64, n)
+		var total uint64
+		for i := range tickets {
+			tickets[i] = uint64(i + 1)
+			total += tickets[i]
+		}
+		mgr, err := core.NewStaticLottery(core.StaticConfig{
+			Tickets: tickets,
+			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, fmt.Sprintf("scale/%d", n))),
+		})
+		if err != nil {
+			return nil, err
+		}
+		b := bus.New(bus.Config{MaxBurst: 16})
+		for i := 0; i < n; i++ {
+			b.AddMaster(fmt.Sprintf("C%d", i+1), &traffic.Saturating{Words: 16}, bus.MasterOpts{})
+		}
+		b.AddSlave("mem", bus.SlaveOpts{})
+		b.SetArbiter(arb.NewStaticLottery(mgr))
+		// Larger systems need longer runs for the 1-ticket master to
+		// accumulate samples.
+		cycles := o.Cycles * int64(n) / 4
+		if err := b.Run(cycles); err != nil {
+			return nil, err
+		}
+		col := b.Collector()
+		worstErr := 0.0
+		for i := 0; i < n; i++ {
+			want := float64(tickets[i]) / float64(total)
+			got := col.BandwidthFraction(i)
+			e := got/want - 1
+			if e < 0 {
+				e = -e
+			}
+			if e > worstErr {
+				worstErr = e
+			}
+		}
+		row := ScalabilityRow{
+			Masters:       n,
+			MaxShareError: worstErr,
+			Utilization:   col.Utilization(),
+		}
+		if l := col.PerWordLatency(n - 1); l > 0 {
+			row.WorstStarvation = col.PerWordLatency(0) / l
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

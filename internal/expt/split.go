@@ -1,0 +1,102 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/traffic"
+)
+
+// SplitAblation quantifies split transactions (paper §2.3's
+// "multithreaded transactions"): four masters read from a slow memory
+// under the lottery. In the blocking design the slave's access latency
+// holds the bus; in the split design the bus is released during the
+// latency window and other masters' transactions overlap it.
+type SplitAblation struct {
+	Rows []SplitRow
+}
+
+// SplitRow is one memory-latency configuration.
+type SplitRow struct {
+	// LatencyCycles is the memory's total access latency per 4-word
+	// read (wait states in blocking mode, SplitLatency in split mode).
+	LatencyCycles int
+	// BlockingThroughput and SplitThroughput are words/cycle.
+	BlockingThroughput, SplitThroughput float64
+	// BlockingLatency and SplitLatency are the per-word message
+	// latencies of the highest-weight master.
+	BlockingLatency, SplitMsgLatency float64
+}
+
+// Table renders the ablation.
+func (r *SplitAblation) Table() *stats.Table {
+	t := stats.NewTable("Split transactions vs blocking slave (lottery, 4 masters, 4-word reads)",
+		"memory latency", "blocking words/cyc", "split words/cyc", "blocking C4 cyc/word", "split C4 cyc/word")
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", row.LatencyCycles),
+			fmt.Sprintf("%.3f", row.BlockingThroughput),
+			fmt.Sprintf("%.3f", row.SplitThroughput),
+			fmt.Sprintf("%.2f", row.BlockingLatency),
+			fmt.Sprintf("%.2f", row.SplitMsgLatency),
+		)
+	}
+	return t
+}
+
+// RunSplitAblation sweeps the memory latency.
+func RunSplitAblation(o Options) (*SplitAblation, error) {
+	o = o.fill()
+	const msgWords = 4
+	run := func(latency int, split bool) (*bus.Bus, error) {
+		mgr, err := core.NewStaticLottery(core.StaticConfig{
+			Tickets: []uint64{1, 2, 3, 4},
+			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "split")),
+		})
+		if err != nil {
+			return nil, err
+		}
+		b := bus.New(bus.Config{MaxBurst: 16})
+		for i := 0; i < fourMasters; i++ {
+			b.AddMaster(fmt.Sprintf("C%d", i+1), &traffic.Saturating{Words: msgWords}, bus.MasterOpts{})
+		}
+		if split {
+			b.AddSlave("mem", bus.SlaveOpts{SplitLatency: latency})
+		} else {
+			// The blocking equivalent stalls every word by
+			// latency/msgWords cycles: the same total access time held
+			// on the bus.
+			b.AddSlave("mem", bus.SlaveOpts{WaitStates: latency / msgWords})
+		}
+		b.SetArbiter(arb.NewStaticLottery(mgr))
+		if err := b.Run(o.Cycles); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+
+	res := &SplitAblation{}
+	for _, latency := range []int{4, 16, 64} {
+		blocking, err := run(latency, false)
+		if err != nil {
+			return nil, err
+		}
+		split, err := run(latency, true)
+		if err != nil {
+			return nil, err
+		}
+		bc, sc := blocking.Collector(), split.Collector()
+		res.Rows = append(res.Rows, SplitRow{
+			LatencyCycles:      latency,
+			BlockingThroughput: float64(bc.TotalWords()) / float64(bc.Cycles()),
+			SplitThroughput:    float64(sc.TotalWords()) / float64(sc.Cycles()),
+			BlockingLatency:    bc.PerWordLatency(3),
+			SplitMsgLatency:    sc.PerWordLatency(3),
+		})
+	}
+	return res, nil
+}

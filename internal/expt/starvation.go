@@ -1,0 +1,90 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/stats"
+)
+
+// Starvation validates the paper's §4.2 starvation bound: the
+// probability that a component holding t of T tickets wins within n
+// lotteries is p = 1-(1-t/T)^n, converging to one geometrically. Each
+// row compares the closed form against a Monte-Carlo estimate from the
+// actual lottery manager.
+type Starvation struct {
+	T, Total uint64
+	Rows     []StarvationRow
+}
+
+// StarvationRow is one horizon's comparison.
+type StarvationRow struct {
+	Draws     int
+	Analytic  float64
+	Simulated float64
+}
+
+// RunStarvation measures a 1-of-10 ticket holder against a saturated
+// competitor across increasing lottery horizons.
+func RunStarvation(o Options) (*Starvation, error) {
+	o = o.fill()
+	const tickets, total = 1, 10
+	mgr, err := core.NewStaticLottery(core.StaticConfig{
+		Tickets: []uint64{tickets, total - tickets},
+		Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "starvation")),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Starvation{T: tickets, Total: total}
+	trials := int(o.Cycles / 40)
+	if trials < 500 {
+		trials = 500
+	}
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		wins := 0
+		for trial := 0; trial < trials; trial++ {
+			for d := 0; d < n; d++ {
+				if mgr.Draw(0b11) == 0 {
+					wins++
+					break
+				}
+			}
+		}
+		res.Rows = append(res.Rows, StarvationRow{
+			Draws:     n,
+			Analytic:  core.AccessProbability(tickets, total, n),
+			Simulated: float64(wins) / float64(trials),
+		})
+	}
+	return res, nil
+}
+
+// Table renders analytic vs simulated access probabilities.
+func (r *Starvation) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Starvation bound, %d of %d tickets (§4.2)", r.T, r.Total),
+		"lotteries n", "analytic 1-(1-t/T)^n", "simulated")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%d", row.Draws),
+			fmt.Sprintf("%.4f", row.Analytic),
+			fmt.Sprintf("%.4f", row.Simulated))
+	}
+	return t
+}
+
+// MaxError returns the largest |analytic - simulated| across rows.
+func (r *Starvation) MaxError() float64 {
+	worst := 0.0
+	for _, row := range r.Rows {
+		d := row.Analytic - row.Simulated
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

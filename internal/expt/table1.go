@@ -1,0 +1,107 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/atm"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/stats"
+)
+
+// Table1Row is one communication architecture's outcome on the ATM
+// switch QoS workload.
+type Table1Row struct {
+	Arch string
+	// BW[i] is port i+1's bandwidth fraction.
+	BW [4]float64
+	// Port4Latency is the latency-critical port's cycles/word.
+	Port4Latency float64
+}
+
+// Table1 is the reproduction of paper Table 1: the 4-port output-queued
+// ATM switch under static priority, two-level TDMA and LOTTERYBUS, with
+// lottery tickets, time slots and priorities all assigned 1:2:4:6. The
+// QoS goals: port 4's traffic passes with minimum latency; ports 1-3
+// share bandwidth in the ratio 1:2:4.
+type Table1 struct {
+	Rows []Table1Row
+}
+
+// Table renders the paper-style table.
+func (r *Table1) Table() *stats.Table {
+	t := stats.NewTable("ATM switch QoS (Table 1)",
+		"architecture", "port1 bw%", "port2 bw%", "port3 bw%", "port4 bw%", "port4 cyc/word")
+	for _, row := range r.Rows {
+		t.AddRow(row.Arch,
+			fmt.Sprintf("%.1f", 100*row.BW[0]),
+			fmt.Sprintf("%.1f", 100*row.BW[1]),
+			fmt.Sprintf("%.1f", 100*row.BW[2]),
+			fmt.Sprintf("%.1f", 100*row.BW[3]),
+			fmt.Sprintf("%.2f", row.Port4Latency),
+		)
+	}
+	return t
+}
+
+// Row returns the row for the named architecture.
+func (r *Table1) Row(arch string) (Table1Row, bool) {
+	for _, row := range r.Rows {
+		if row.Arch == arch {
+			return row, true
+		}
+	}
+	return Table1Row{}, false
+}
+
+// RunTable1 builds three identically-loaded switches and measures each
+// architecture.
+func RunTable1(o Options) (*Table1, error) {
+	o = o.fill()
+	res := &Table1{}
+	type archCase struct {
+		name string
+		mk   func(s *atm.Switch) (bus.Arbiter, error)
+	}
+	cases := []archCase{
+		{"static-priority", func(s *atm.Switch) (bus.Arbiter, error) {
+			return arb.NewPriority(s.Weights())
+		}},
+		{"tdma-2level", func(s *atm.Switch) (bus.Arbiter, error) {
+			return arb.NewTDMA(arb.ContiguousWheel(s.QoSWheel()), s.NumPorts(), true)
+		}},
+		{"lotterybus", func(s *atm.Switch) (bus.Arbiter, error) {
+			mgr, err := core.NewStaticLottery(core.StaticConfig{
+				Tickets: s.Weights(),
+				Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "table1/lottery")),
+			})
+			if err != nil {
+				return nil, err
+			}
+			return arb.NewStaticLottery(mgr), nil
+		}},
+	}
+	for _, c := range cases {
+		s, err := atm.New(atm.Config{Ports: atm.QoSPorts(), Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		a, err := c.mk(s)
+		if err != nil {
+			return nil, err
+		}
+		s.AttachArbiter(a)
+		if err := s.Run(o.Cycles * 2); err != nil {
+			return nil, err
+		}
+		rep := s.Report()
+		row := Table1Row{Arch: c.name, Port4Latency: rep[3].LatencyPerWord}
+		for i := 0; i < 4; i++ {
+			row.BW[i] = rep[i].BandwidthFraction
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

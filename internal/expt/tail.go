@@ -1,0 +1,121 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/traffic"
+)
+
+// TailLatency examines the cost of randomized arbitration that mean
+// latencies hide: a lottery offers only probabilistic service
+// guarantees (paper §4.2's 1-(1-t/T)^n bound), so its per-message
+// latency tail is longer than a deterministic discipline's. The
+// experiment puts a sparse latency-critical master (weight 4) against
+// three loaded masters and reports mean, p99 and worst-case per-word
+// latency under each architecture.
+type TailLatency struct {
+	Rows []TailRow
+}
+
+// TailRow is one architecture's latency distribution for the sparse
+// high-weight master.
+type TailRow struct {
+	Arch string
+	Mean float64
+	P99  float64
+	// MaxMessage is the worst observed message latency in cycles.
+	MaxMessage int64
+}
+
+// Table renders the distribution summary.
+func (r *TailLatency) Table() *stats.Table {
+	t := stats.NewTable("Latency tail of the sparse high-weight master (cycles/word; max in cycles)",
+		"architecture", "mean", "p99", "worst message (cycles)")
+	for _, row := range r.Rows {
+		t.AddRow(row.Arch,
+			fmt.Sprintf("%.2f", row.Mean),
+			fmt.Sprintf("%.2f", row.P99),
+			fmt.Sprintf("%d", row.MaxMessage),
+		)
+	}
+	return t
+}
+
+// Row returns the named architecture's row.
+func (r *TailLatency) Row(arch string) (TailRow, bool) {
+	for _, row := range r.Rows {
+		if row.Arch == arch {
+			return row, true
+		}
+	}
+	return TailRow{}, false
+}
+
+// RunTailLatency measures the latency distribution under four schemes.
+func RunTailLatency(o Options) (*TailLatency, error) {
+	o = o.fill()
+	weights := []uint64{1, 2, 3, 4}
+
+	build := func(a bus.Arbiter) (*bus.Bus, error) {
+		b := bus.New(bus.Config{MaxBurst: 16})
+		// Three loaded masters...
+		for i := 0; i < 3; i++ {
+			gen, err := traffic.NewBernoulli(0.27, traffic.Fixed(16), 0,
+				prng64(o.Seed, i))
+			if err != nil {
+				return nil, err
+			}
+			b.AddMaster(fmt.Sprintf("C%d", i+1), gen, bus.MasterOpts{Tickets: weights[i]})
+		}
+		// ...and the sparse latency-critical one.
+		gen, err := traffic.NewBernoulli(0.02, traffic.Fixed(16), 0, prng64(o.Seed, 9))
+		if err != nil {
+			return nil, err
+		}
+		b.AddMaster("C4", gen, bus.MasterOpts{Tickets: weights[3]})
+		b.AddSlave("mem", bus.SlaveOpts{})
+		b.SetArbiter(a)
+		return b, nil
+	}
+
+	res := &TailLatency{}
+	cases := []struct {
+		name string
+		mk   func() (bus.Arbiter, error)
+	}{
+		{"static-priority", func() (bus.Arbiter, error) { return arb.NewPriority(weights) }},
+		{"weighted-round-robin", func() (bus.Arbiter, error) { return arb.NewWeightedRoundRobin(weights, 4) }},
+		{"tdma-2level", func() (bus.Arbiter, error) { return tdmaArbiter(weights, 2*16) }},
+		{"lotterybus", func() (bus.Arbiter, error) { return lotteryArbiter(o, weights, "tail") }},
+	}
+	for _, c := range cases {
+		a, err := c.mk()
+		if err != nil {
+			return nil, err
+		}
+		b, err := build(a)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Run(o.Cycles * 4); err != nil {
+			return nil, err
+		}
+		col := b.Collector()
+		h := col.LatencyHistogram(3)
+		res.Rows = append(res.Rows, TailRow{
+			Arch:       c.name,
+			Mean:       col.PerWordLatency(3),
+			P99:        h.Quantile(0.99),
+			MaxMessage: col.MaxMessageLatency(3),
+		})
+	}
+	return res, nil
+}
+
+// prng64 derives a per-component seed.
+func prng64(seed uint64, i int) uint64 {
+	return seed*0x9e3779b97f4a7c15 + uint64(i+1)*0x100000001b3
+}

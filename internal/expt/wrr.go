@@ -1,0 +1,94 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/traffic"
+)
+
+// WRRComparison contrasts the randomized lottery against deficit
+// weighted round robin — the deterministic proportional-share discipline
+// from the packet-scheduling literature the paper cites as related work.
+// Both deliver weight-proportional bandwidth; the comparison quantifies
+// what the lottery's randomness costs in latency jitter and what it
+// buys in arbiter simplicity (a WRR needs per-master deficit state and
+// a visit schedule; the lottery needs one random draw).
+type WRRComparison struct {
+	// BW[arch][i] is master i's bandwidth fraction.
+	LotteryBW, WRRBW [4]float64
+	// Latency and jitter (std dev of per-word latency over messages)
+	// for the highest-weight master.
+	LotteryLatency, WRRLatency float64
+	LotteryJitter, WRRJitter   float64
+}
+
+// Table renders the comparison.
+func (r *WRRComparison) Table() *stats.Table {
+	t := stats.NewTable("Lottery vs deficit weighted round robin (weights 1:2:3:4)",
+		"architecture", "C1 bw%", "C2 bw%", "C3 bw%", "C4 bw%", "C4 cyc/word", "C4 jitter")
+	t.AddRow("lotterybus",
+		fmt.Sprintf("%.1f", 100*r.LotteryBW[0]),
+		fmt.Sprintf("%.1f", 100*r.LotteryBW[1]),
+		fmt.Sprintf("%.1f", 100*r.LotteryBW[2]),
+		fmt.Sprintf("%.1f", 100*r.LotteryBW[3]),
+		fmt.Sprintf("%.2f", r.LotteryLatency),
+		fmt.Sprintf("%.2f", r.LotteryJitter))
+	t.AddRow("weighted-round-robin",
+		fmt.Sprintf("%.1f", 100*r.WRRBW[0]),
+		fmt.Sprintf("%.1f", 100*r.WRRBW[1]),
+		fmt.Sprintf("%.1f", 100*r.WRRBW[2]),
+		fmt.Sprintf("%.1f", 100*r.WRRBW[3]),
+		fmt.Sprintf("%.2f", r.WRRLatency),
+		fmt.Sprintf("%.2f", r.WRRJitter))
+	return t
+}
+
+// RunWRRComparison measures both disciplines under full contention —
+// four saturating masters with weights 1:2:3:4 — where proportional
+// sharing and the service-pattern differences are visible.
+func RunWRRComparison(o Options) (*WRRComparison, error) {
+	o = o.fill()
+	weights := []uint64{1, 2, 3, 4}
+
+	run := func(mk func() (bus.Arbiter, error)) (*bus.Bus, error) {
+		a, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		b := bus.New(bus.Config{MaxBurst: 16})
+		for i := range weights {
+			b.AddMaster(fmt.Sprintf("C%d", i+1), &traffic.Saturating{Words: 16}, bus.MasterOpts{})
+		}
+		b.AddSlave("mem", bus.SlaveOpts{})
+		b.SetArbiter(a)
+		if err := b.Run(o.Cycles); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+
+	res := &WRRComparison{}
+	bl, err := run(func() (bus.Arbiter, error) {
+		return lotteryArbiter(o, weights, "wrr")
+	})
+	if err != nil {
+		return nil, err
+	}
+	copy(res.LotteryBW[:], bandwidths(bl))
+	res.LotteryLatency = bl.Collector().PerWordLatency(3)
+	res.LotteryJitter = bl.Collector().LatencyHistogram(3).StdDev()
+
+	bw, err := run(func() (bus.Arbiter, error) {
+		return arb.NewWeightedRoundRobin(weights, 4)
+	})
+	if err != nil {
+		return nil, err
+	}
+	copy(res.WRRBW[:], bandwidths(bw))
+	res.WRRLatency = bw.Collector().PerWordLatency(3)
+	res.WRRJitter = bw.Collector().LatencyHistogram(3).StdDev()
+	return res, nil
+}

@@ -1,0 +1,327 @@
+package hw
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lotterybus/internal/core"
+	"lotterybus/internal/lfsr"
+	"lotterybus/internal/prng"
+)
+
+// streamSource replays a fixed word sequence as both a hw.WordSource and
+// a prng.Source, so a structural model and a behavioural manager can be
+// driven from the identical random stream.
+type streamSource struct {
+	words []uint64
+	pos   int
+}
+
+func (s *streamSource) Word() uint64 { v := s.words[s.pos%len(s.words)]; s.pos++; return v }
+
+func (s *streamSource) Uint64() uint64 { return s.Word() }
+
+func recordedWords(n int, width uint, seed uint64) []uint64 {
+	g := lfsr.MustGalois(width, seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func TestStaticManagerValidation(t *testing.T) {
+	src := LFSRSource{Reg: lfsr.MustGalois(16, 1)}
+	if _, err := NewStaticManager(nil, 16, core.PolicyRedraw, src); err == nil {
+		t.Fatal("empty tickets accepted")
+	}
+	if _, err := NewStaticManager([]uint64{1, 2}, 16, core.PolicyRedraw, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewStaticManager([]uint64{1, 2}, 16, core.PolicyExact, src); err == nil {
+		t.Fatal("exact policy accepted by comparator-only hardware")
+	}
+	if _, err := NewStaticManager(make([]uint64, 13), 16, core.PolicyRedraw, src); err == nil {
+		t.Fatal("13 masters accepted")
+	}
+}
+
+func TestStaticManagerLUTMatchesCore(t *testing.T) {
+	tickets := []uint64{1, 2, 3, 4}
+	m, err := NewStaticManager(tickets, 6, core.PolicyRedraw, LFSRSource{Reg: lfsr.MustGalois(6, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.NewStaticLottery(core.StaticConfig{
+		Tickets: tickets,
+		Source:  prng.NewXorShift64Star(1),
+		Policy:  core.PolicyRedraw,
+		Width:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := uint64(0); mask < 16; mask++ {
+		hwRow := m.LUTRow(mask)
+		coreRow := ref.RangeTable(mask)
+		for i := range hwRow {
+			if hwRow[i] != coreRow[i] {
+				t.Fatalf("mask %04b entry %d: hw %d, core %d", mask, i, hwRow[i], coreRow[i])
+			}
+		}
+	}
+}
+
+func TestStaticEquivalenceWithCore(t *testing.T) {
+	// The headline verification: the structural Fig. 9 datapath and the
+	// behavioural manager issue identical grants from the same random
+	// word stream, for both hardware slack policies, across every
+	// request map.
+	tickets := []uint64{3, 1, 5, 2}
+	const width = 8
+	for _, policy := range []core.SlackPolicy{core.PolicyRedraw, core.PolicyAbsorbLast} {
+		words := recordedWords(4000, width, 77)
+		hwSrc := &streamSource{words: words}
+		coreSrc := &streamSource{words: words}
+		m, err := NewStaticManager(tickets, width, policy, hwSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := core.NewStaticLottery(core.StaticConfig{
+			Tickets: tickets,
+			Source:  coreSrc,
+			Policy:  policy,
+			Width:   width,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maskSrc := prng.NewXorShift64Star(5)
+		for i := 0; i < 4000; i++ {
+			mask := prng.Uintn(maskSrc, 16)
+			if mask == 0 {
+				continue
+			}
+			gHW := m.Draw(mask)
+			gCore := ref.Draw(mask)
+			if gHW != gCore {
+				t.Fatalf("policy %v draw %d mask %04b: hw granted %d, core granted %d",
+					policy, i, mask, gHW, gCore)
+			}
+		}
+	}
+}
+
+func TestStaticManagerProportions(t *testing.T) {
+	// Driven by a real LFSR, the structural model must deliver grant
+	// shares proportional to the scaled holdings.
+	tickets := []uint64{1, 2, 3, 4}
+	const width = 12
+	m, err := NewStaticManager(tickets, width, core.PolicyRedraw, LFSRSource{Reg: lfsr.MustGalois(width, 0xBEE)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	granted := 0
+	const draws = 80000
+	for i := 0; i < draws; i++ {
+		if w := m.Draw(0b1111); w != core.NoWinner {
+			counts[w]++
+			granted++
+		}
+	}
+	if granted < draws*9/10 {
+		t.Fatalf("full-map redraw rate too high: %d/%d", granted, draws)
+	}
+	for i, tk := range tickets {
+		want := float64(tk) / 10
+		got := float64(counts[i]) / float64(granted)
+		if math.Abs(got-want) > 0.015 {
+			t.Fatalf("share %d = %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestDynamicManagerValidation(t *testing.T) {
+	src := LFSRSource{Reg: lfsr.MustGalois(16, 1)}
+	if _, err := NewDynamicManager(0, 16, src); err == nil {
+		t.Fatal("zero masters accepted")
+	}
+	if _, err := NewDynamicManager(4, 16, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestDynamicEquivalenceWithCore(t *testing.T) {
+	const width = 16
+	words := recordedWords(4000, width, 99)
+	hwSrc := &streamSource{words: words}
+	coreSrc := &streamSource{words: words}
+	m, err := NewDynamicManager(4, width, hwSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: 4,
+		Source:  coreSrc,
+		Policy:  core.PolicyModulo,
+		Width:   width,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskSrc := prng.NewXorShift64Star(6)
+	tickets := make([]uint64, 4)
+	for i := 0; i < 4000; i++ {
+		mask := prng.Uintn(maskSrc, 16)
+		for j := range tickets {
+			tickets[j] = prng.Uintn(maskSrc, 50) + 1
+		}
+		gHW := m.Draw(mask, tickets)
+		gCore := ref.Draw(mask, tickets)
+		if gHW != gCore {
+			t.Fatalf("draw %d mask %04b tickets %v: hw %d, core %d", i, mask, tickets, gHW, gCore)
+		}
+	}
+}
+
+func TestDynamicZeroTickets(t *testing.T) {
+	m, _ := NewDynamicManager(3, 16, LFSRSource{Reg: lfsr.MustGalois(16, 3)})
+	if w := m.Draw(0b110, []uint64{0, 0, 0}); w != 1 {
+		t.Fatalf("all-zero tickets: winner %d, want lowest requester 1", w)
+	}
+	if w := m.Draw(0, []uint64{1, 1, 1}); w != core.NoWinner {
+		t.Fatalf("empty mask granted %d", w)
+	}
+}
+
+func TestDynamicDrawPanicsOnMismatch(t *testing.T) {
+	m, _ := NewDynamicManager(3, 16, LFSRSource{Reg: lfsr.MustGalois(16, 3)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched tickets did not panic")
+		}
+	}()
+	m.Draw(1, []uint64{1})
+}
+
+func TestModuloMatchesOperator(t *testing.T) {
+	f := func(r uint32, totRaw uint16) bool {
+		total := uint64(totRaw) + 1
+		return modulo(uint64(r), total) == uint64(r)%total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	if modulo(12345, 0) != 0 {
+		t.Fatal("modulo by zero must return 0")
+	}
+	if modulo(5, 8) != 5 {
+		t.Fatal("modulo with r < total must be identity")
+	}
+}
+
+func TestLFSRSourceNeverZero(t *testing.T) {
+	src := LFSRSource{Reg: lfsr.MustGalois(8, 7)}
+	for i := 0; i < 1000; i++ {
+		if w := src.Word(); w == 0 || w >= 256 {
+			t.Fatalf("word %d out of (0, 256)", w)
+		}
+	}
+}
+
+func TestStaticReportCalibration(t *testing.T) {
+	// The paper's data point: four masters map to ~1458 cell grids with
+	// ~3.06 ns arbitration on the NEC 0.35um array. Our cost table is
+	// calibrated to land in that neighbourhood.
+	r := StaticReport(4, 16, NEC035())
+	if r.AreaGrids < 1200 || r.AreaGrids > 1750 {
+		t.Fatalf("static area %.0f grids outside calibration band", r.AreaGrids)
+	}
+	if r.ArbitrationNs < 2.4 || r.ArbitrationNs > 3.6 {
+		t.Fatalf("static arbitration %.2f ns outside calibration band", r.ArbitrationNs)
+	}
+	if r.MaxBusMHz < 270 || r.MaxBusMHz > 420 {
+		t.Fatalf("max bus speed %.0f MHz", r.MaxBusMHz)
+	}
+	var sum float64
+	for _, b := range r.Breakdown {
+		sum += b.Grids
+	}
+	if math.Abs(sum-r.AreaGrids) > 1e-9 {
+		t.Fatal("breakdown does not sum to total")
+	}
+	if !strings.Contains(r.String(), "cell grids") {
+		t.Fatalf("String: %s", r)
+	}
+}
+
+func TestDynamicCostsMoreThanStatic(t *testing.T) {
+	st := StaticReport(4, 16, NEC035())
+	dy := DynamicReport(4, 16, NEC035())
+	if dy.ArbitrationNs <= st.ArbitrationNs {
+		t.Fatalf("dynamic arbitration %.2f not slower than static %.2f",
+			dy.ArbitrationNs, st.ArbitrationNs)
+	}
+	if dy.MaxBusMHz >= st.MaxBusMHz {
+		t.Fatal("dynamic max frequency not lower")
+	}
+	// The dynamic design trades the exponential LUT for adders and the
+	// modulo unit; at 4 masters both are of comparable order, but the
+	// dynamic datapath must carry the modulo unit.
+	found := false
+	for _, b := range dy.Breakdown {
+		if b.Block == "modulo unit" && b.Grids > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dynamic breakdown missing modulo unit")
+	}
+}
+
+func TestStaticAreaScalesExponentiallyWithMasters(t *testing.T) {
+	// The LUT doubles per master: 8 masters must cost far more than 4.
+	a4 := StaticReport(4, 16, NEC035()).AreaGrids
+	a8 := StaticReport(8, 16, NEC035()).AreaGrids
+	if a8 < 4*a4 {
+		t.Fatalf("LUT growth missing: 4 masters %.0f, 8 masters %.0f", a4, a8)
+	}
+	// The dynamic design dodges the exponential: its 8-master area must
+	// stay well below the static 8-master area.
+	d8 := DynamicReport(8, 16, NEC035()).AreaGrids
+	if d8 > a8/2 {
+		t.Fatalf("dynamic 8-master area %.0f not clearly below static %.0f", d8, a8)
+	}
+}
+
+func TestReportScalingWithWidth(t *testing.T) {
+	narrow := StaticReport(4, 8, NEC035())
+	wide := StaticReport(4, 24, NEC035())
+	if wide.AreaGrids <= narrow.AreaGrids {
+		t.Fatal("area must grow with word width")
+	}
+	if wide.ArbitrationNs <= narrow.ArbitrationNs {
+		t.Fatal("arbitration must slow with word width")
+	}
+}
+
+func BenchmarkStaticManagerDraw(b *testing.B) {
+	m, _ := NewStaticManager([]uint64{1, 2, 3, 4}, 16, core.PolicyRedraw,
+		LFSRSource{Reg: lfsr.MustGalois(16, 1)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Draw(0b1111)
+	}
+}
+
+func BenchmarkDynamicManagerDraw(b *testing.B) {
+	m, _ := NewDynamicManager(4, 16, LFSRSource{Reg: lfsr.MustGalois(16, 1)})
+	tickets := []uint64{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Draw(0b1111, tickets)
+	}
+}

@@ -1,0 +1,211 @@
+package hw
+
+import (
+	"fmt"
+
+	"lotterybus/internal/core"
+	"lotterybus/internal/lfsr"
+)
+
+// WordSource supplies raw random words to a structural manager model —
+// in hardware, the parallel outputs of the LFSR. Keeping it an interface
+// lets equivalence tests drive a structural model and a behavioural
+// core manager from one recorded stream.
+type WordSource interface {
+	// Word returns the next random word; only the low Width bits of the
+	// consuming manager are used.
+	Word() uint64
+}
+
+// LFSRSource adapts an lfsr.Galois register to WordSource: each Word is
+// the raw register contents after a full word shift, i.e. a value in
+// [1, 2^width) — the all-zero word never appears, exactly as in the real
+// register (a bias of one part in 2^width-1 against the lowest range).
+type LFSRSource struct{ Reg *lfsr.Galois }
+
+// Word steps the register and returns its contents.
+func (s LFSRSource) Word() uint64 { return s.Reg.Next() }
+
+// StaticManager is the bit-true structural model of paper Fig. 9: a
+// range lookup table indexed by the request map, an LFSR-fed random
+// word, a bank of comparators evaluated in parallel, and a priority
+// selector that asserts exactly one grant line.
+//
+// The slack policy must be one of the comparator-only hardware policies:
+// PolicyRedraw (no grant when the word falls above the live range) or
+// PolicyAbsorbLast (the last requester's comparator threshold is lifted
+// to the full word range).
+type StaticManager struct {
+	n      int
+	width  uint
+	policy core.SlackPolicy
+	lut    [][]uint64 // [mask][master] partial sums of scaled holdings
+	totals []uint64
+	src    WordSource
+}
+
+// NewStaticManager builds the structural model for the given (unscaled)
+// ticket holdings. Holdings are scaled to sum to 1<<width exactly as the
+// behavioural manager does.
+func NewStaticManager(tickets []uint64, width uint, policy core.SlackPolicy, src WordSource) (*StaticManager, error) {
+	n := len(tickets)
+	if n == 0 || n > 12 {
+		return nil, fmt.Errorf("hw: static manager supports 1..12 masters, got %d", n)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("hw: nil word source")
+	}
+	if policy != core.PolicyRedraw && policy != core.PolicyAbsorbLast {
+		return nil, fmt.Errorf("hw: static manager implements redraw or absorb-last, not %v", policy)
+	}
+	scaled, err := core.ScaleTickets(tickets, width)
+	if err != nil {
+		return nil, err
+	}
+	size := 1 << n
+	lut := make([][]uint64, size)
+	totals := make([]uint64, size)
+	for mask := 0; mask < size; mask++ {
+		row := make([]uint64, n)
+		var acc uint64
+		for i := 0; i < n; i++ {
+			if mask>>uint(i)&1 == 1 {
+				acc += scaled[i]
+			}
+			row[i] = acc
+		}
+		lut[mask] = row
+		totals[mask] = acc
+	}
+	return &StaticManager{n: n, width: width, policy: policy, lut: lut, totals: totals, src: src}, nil
+}
+
+// N returns the number of masters.
+func (m *StaticManager) N() int { return m.n }
+
+// LUTRow exposes the stored partial sums for a request map — the
+// register-file row a hardware debugger would read.
+func (m *StaticManager) LUTRow(mask uint64) []uint64 {
+	return append([]uint64(nil), m.lut[mask&uint64(len(m.lut)-1)]...)
+}
+
+// Draw performs one arbitration: look up the ranges, draw a word,
+// compare in parallel, select the lowest-indexed asserted grant line.
+// Returns core.NoWinner when no grant is asserted (empty map, or a
+// redraw-policy slack hit).
+func (m *StaticManager) Draw(mask uint64) int {
+	mask &= uint64(len(m.lut) - 1)
+	if mask == 0 {
+		return core.NoWinner
+	}
+	row := m.lut[mask]
+	total := m.totals[mask]
+	r := m.src.Word() & (uint64(1)<<m.width - 1)
+
+	// Comparator bank: fire[i] = (r < row[i]).
+	// Priority selector: the first asserted line wins.
+	if r < total {
+		for i, p := range row {
+			if r < p {
+				return i
+			}
+		}
+	}
+	// Slack zone.
+	if m.policy == core.PolicyAbsorbLast {
+		for i := m.n - 1; i >= 0; i-- {
+			if mask>>uint(i)&1 == 1 {
+				return i
+			}
+		}
+	}
+	return core.NoWinner
+}
+
+// DynamicManager is the bit-true structural model of paper Fig. 10: the
+// live ticket words are gated by the request bits, an adder tree forms
+// the running partial sums, a modulo unit reduces the random word into
+// [0, total), and the comparator bank plus priority selector issue the
+// grant.
+type DynamicManager struct {
+	n     int
+	width uint
+	src   WordSource
+	psums []uint64
+}
+
+// NewDynamicManager builds the structural dynamic model.
+func NewDynamicManager(masters int, width uint, src WordSource) (*DynamicManager, error) {
+	if masters <= 0 || masters > 64 {
+		return nil, fmt.Errorf("hw: dynamic manager supports 1..64 masters, got %d", masters)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("hw: nil word source")
+	}
+	return &DynamicManager{n: masters, width: width, src: src, psums: make([]uint64, masters)}, nil
+}
+
+// N returns the number of masters.
+func (m *DynamicManager) N() int { return m.n }
+
+// Draw performs one arbitration over the live ticket lines.
+func (m *DynamicManager) Draw(mask uint64, tickets []uint64) int {
+	if len(tickets) != m.n {
+		panic(fmt.Sprintf("hw: draw with %d tickets for %d masters", len(tickets), m.n))
+	}
+	mask &= (uint64(1) << uint(m.n)) - 1
+	if mask == 0 {
+		return core.NoWinner
+	}
+	// Bitwise AND stage + adder tree (the running sums r1t1,
+	// r1t1+r2t2, ...; Fig. 10).
+	var acc uint64
+	for i := 0; i < m.n; i++ {
+		if mask>>uint(i)&1 == 1 {
+			acc += tickets[i]
+		}
+		m.psums[i] = acc
+	}
+	total := acc
+	if total == 0 {
+		// No live tickets: the grant defaults to the lowest requester
+		// so a misconfiguration cannot hang the bus (matches core).
+		for i := 0; i < m.n; i++ {
+			if mask>>uint(i)&1 == 1 {
+				return i
+			}
+		}
+		return core.NoWinner
+	}
+	r := m.src.Word() & (uint64(1)<<m.width - 1)
+	r = modulo(r, total)
+	for i, p := range m.psums {
+		if r < p {
+			return i
+		}
+	}
+	return core.NoWinner
+}
+
+// modulo computes r mod total the way the restoring-division hardware
+// does: align the divisor below the dividend, then conditionally
+// subtract shifted copies from the most significant position down.
+func modulo(r, total uint64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	shift := 0
+	for total<<uint(shift+1) != 0 && total<<uint(shift+1) > total && total<<uint(shift) <= r {
+		shift++
+	}
+	if total<<uint(shift) > r {
+		shift--
+	}
+	for ; shift >= 0; shift-- {
+		d := total << uint(shift)
+		if r >= d {
+			r -= d
+		}
+	}
+	return r
+}

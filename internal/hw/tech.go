@@ -1,0 +1,261 @@
+// Package hw provides bit-true structural models of the LOTTERYBUS
+// lottery managers (paper Figs. 9 and 10) together with area and timing
+// estimation against a cell-based-array technology cost table — the
+// reproduction of the paper's §5.2 hardware complexity analysis.
+//
+// Two things are modelled, deliberately kept in one package so they can
+// never drift apart:
+//
+//   - a cycle-faithful structural simulation of each manager's datapath
+//     (range lookup table, LFSR, comparator bank, priority selector;
+//     plus the dynamic manager's AND stage, adder tree and modulo
+//     unit), verified equivalent to the behavioural core managers when
+//     driven from the same random word stream;
+//
+//   - an area/critical-path estimator over the same structure, reporting
+//     cell-grid area and arbitration time in the style of the paper's
+//     NEC 0.35 µm CBC9VX mapping (~1458 cell grids, ~3.06 ns for the
+//     four-master static manager).
+package hw
+
+import "fmt"
+
+// Tech is a technology cost table: area in cell grids and delay in
+// nanoseconds for the primitive cells the managers are built from.
+type Tech struct {
+	Name string
+
+	// GateArea/GateDelay describe a generic 2-input logic gate.
+	GateArea  float64
+	GateDelay float64
+
+	// DffArea is a D flip-flop (used by the LFSR and pipeline registers).
+	DffArea float64
+	// DffDelay is the clock-to-Q plus setup overhead charged once per
+	// pipelined stage.
+	DffDelay float64
+
+	// RegBitArea is one register-file storage bit (the range LUT).
+	RegBitArea float64
+	// RegReadDelay is a register-file read access.
+	RegReadDelay float64
+
+	// FaArea/FaDelay describe a full adder cell; comparators and adders
+	// are built from them.
+	FaArea  float64
+	FaDelay float64
+
+	// MuxArea/MuxDelay describe a 2:1 multiplexer bit.
+	MuxArea  float64
+	MuxDelay float64
+}
+
+// NEC035 returns the cost table calibrated against the paper's NEC
+// 0.35 µm CBC9 VX cell-based array data point: the four-master static
+// lottery manager maps to 1458 cell grids with a 3.06 ns arbitration
+// time (one cycle at bus speeds up to ~326 MHz). Absolute numbers are
+// calibration, the scaling with master count and word width is
+// structural.
+func NEC035() Tech {
+	return Tech{
+		Name:         "nec-0.35um-cbc9vx",
+		GateArea:     1.0,
+		GateDelay:    0.12,
+		DffArea:      6.0,
+		DffDelay:     0.45,
+		RegBitArea:   0.90,
+		RegReadDelay: 1.10,
+		FaArea:       4.0,
+		FaDelay:      0.38,
+		MuxArea:      2.0,
+		MuxDelay:     0.10,
+	}
+}
+
+// comparatorArea returns the area of a w-bit magnitude comparator
+// (a subtractor-style carry chain).
+func (t Tech) comparatorArea(w uint) float64 {
+	return float64(w) * t.FaArea
+}
+
+// comparatorDelay returns the delay of a w-bit comparator implemented
+// with a carry-lookahead chain: a few full-adder levels plus log2(w)
+// lookahead levels rather than a full ripple.
+func (t Tech) comparatorDelay(w uint) float64 {
+	return t.FaDelay * (2 + log2ceil(w))
+}
+
+// adderArea returns the area of a w-bit adder.
+func (t Tech) adderArea(w uint) float64 {
+	return float64(w) * t.FaArea
+}
+
+// adderDelay returns the delay of a w-bit carry-lookahead adder.
+func (t Tech) adderDelay(w uint) float64 {
+	return t.FaDelay * (2 + log2ceil(w))
+}
+
+func log2ceil(w uint) float64 {
+	n := 0
+	for v := uint(1); v < w; v <<= 1 {
+		n++
+	}
+	return float64(n)
+}
+
+// Report is the outcome of mapping a manager onto a technology.
+type Report struct {
+	Design string
+	Tech   string
+	// Masters and Width are the design parameters.
+	Masters int
+	Width   uint
+	// AreaGrids is the total cell-grid area.
+	AreaGrids float64
+	// ArbitrationNs is the critical-path delay of one (pipelined)
+	// arbitration stage — the paper's "arbitration time".
+	ArbitrationNs float64
+	// MaxBusMHz is the highest bus clock at which arbitration completes
+	// in a single cycle.
+	MaxBusMHz float64
+	// Breakdown itemizes area per sub-block.
+	Breakdown []BlockArea
+}
+
+// BlockArea is one sub-block's contribution to the area budget.
+type BlockArea struct {
+	Block string
+	Grids float64
+}
+
+// String renders the report compactly.
+func (r Report) String() string {
+	return fmt.Sprintf("%s (%d masters, %d-bit) on %s: %.0f cell grids, %.2f ns arbitration (%.1f MHz)",
+		r.Design, r.Masters, r.Width, r.Tech, r.AreaGrids, r.ArbitrationNs, r.MaxBusMHz)
+}
+
+// StaticReport maps the static lottery manager of paper Fig. 9 — range
+// lookup table, LFSR, comparator bank and priority selector, with the
+// comparators and RNG pipelined — onto the technology.
+func StaticReport(masters int, width uint, t Tech) Report {
+	n := uint(masters)
+	var bd []BlockArea
+	add := func(name string, grids float64) {
+		bd = append(bd, BlockArea{Block: name, Grids: grids})
+	}
+
+	// Range LUT: one row per request map, one w-bit partial sum per
+	// master per row, register-file bits.
+	lutBits := float64(uint64(1)<<n) * float64(n) * float64(width)
+	add("range LUT (register file)", lutBits*t.RegBitArea)
+
+	// LFSR: width flip-flops plus tap XORs (up to 4 taps).
+	add("LFSR", float64(width)*t.DffArea+4*2*t.GateArea)
+
+	// Comparator bank: one w-bit comparator per master.
+	add("comparator bank", float64(n)*t.comparatorArea(width))
+
+	// Priority selector: a chain of inhibit gates, ~2 gates per master.
+	add("priority selector", float64(n)*2*t.GateArea)
+
+	// Pipeline registers between the LUT/RNG stage and the
+	// compare/select stage: (n+1) w-bit registers (shared-bit
+	// staging, 0.4 density).
+	add("pipeline registers", float64(n+1)*float64(width)*t.DffArea*0.4)
+
+	// Grant drivers and request-map synchronizers.
+	add("control & request map", float64(n)*(t.DffArea+2*t.GateArea))
+
+	var area float64
+	for _, b := range bd {
+		area += b.Grids
+	}
+
+	// Pipelined arbitration: stage 1 reads the LUT (and steps the LFSR
+	// concurrently); stage 2 compares and selects. The arbitration time
+	// is the slower stage plus register overhead.
+	stage1 := t.RegReadDelay
+	stage2 := t.comparatorDelay(width) + float64(log2ceilInt(masters))*t.GateDelay + t.MuxDelay
+	arb := maxf(stage1, stage2) + t.DffDelay
+	return Report{
+		Design:        "lottery-static",
+		Tech:          t.Name,
+		Masters:       masters,
+		Width:         width,
+		AreaGrids:     area,
+		ArbitrationNs: arb,
+		MaxBusMHz:     1000 / arb,
+		Breakdown:     bd,
+	}
+}
+
+// DynamicReport maps the dynamic lottery manager of paper Fig. 10 —
+// bitwise AND stage, adder tree, modulo unit, comparator bank and
+// priority selector — onto the technology. The modulo unit is a
+// conditional-subtraction (restoring) array pipelined over the word
+// width; its final subtract stage sits on the arbitration path.
+func DynamicReport(masters int, width uint, t Tech) Report {
+	n := uint(masters)
+	var bd []BlockArea
+	add := func(name string, grids float64) {
+		bd = append(bd, BlockArea{Block: name, Grids: grids})
+	}
+
+	// Ticket AND stage: n ticket words gated by request bits.
+	add("ticket AND stage", float64(n)*float64(width)*t.GateArea)
+
+	// Adder tree: n-1 adders of width w (carry growth absorbed in w).
+	add("adder tree", float64(n-1)*t.adderArea(width))
+
+	// LFSR.
+	add("LFSR", float64(width)*t.DffArea+4*2*t.GateArea)
+
+	// Modulo unit: a restoring divider slice per bit — subtractor plus
+	// select mux and staging register.
+	add("modulo unit", float64(width)*(t.adderArea(width)/4+float64(width)*t.MuxArea/4+float64(width)*t.DffArea/8))
+
+	// Comparator bank and priority selector as in the static design.
+	add("comparator bank", float64(n)*t.comparatorArea(width))
+	add("priority selector", float64(n)*2*t.GateArea)
+
+	// Pipeline registers around the adder tree and modulo stages.
+	add("pipeline registers", float64(n+2)*float64(width)*t.DffArea*0.5)
+
+	add("control & request map", float64(n)*(t.DffArea+2*t.GateArea))
+
+	var area float64
+	for _, b := range bd {
+		area += b.Grids
+	}
+
+	// Stages: AND+adder-tree level | modulo slice | compare+select.
+	stageTree := t.GateDelay + log2ceil(n)*t.adderDelay(width)
+	stageMod := t.adderDelay(width) + t.MuxDelay
+	stageSel := t.comparatorDelay(width) + float64(log2ceilInt(masters))*t.GateDelay + t.MuxDelay
+	arb := maxf(stageTree, maxf(stageMod, stageSel)) + t.DffDelay
+	return Report{
+		Design:        "lottery-dynamic",
+		Tech:          t.Name,
+		Masters:       masters,
+		Width:         width,
+		AreaGrids:     area,
+		ArbitrationNs: arb,
+		MaxBusMHz:     1000 / arb,
+		Breakdown:     bd,
+	}
+}
+
+func log2ceilInt(n int) int {
+	k := 0
+	for v := 1; v < n; v <<= 1 {
+		k++
+	}
+	return k
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package hw
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lotterybus/internal/core"
+	"lotterybus/internal/lfsr"
+	"lotterybus/internal/prng"
+)
+
+func TestEmitDynamicVerilogStructure(t *testing.T) {
+	var b strings.Builder
+	if err := EmitDynamicVerilog(&b, 4, 8, ""); err != nil {
+		t.Fatal(err)
+	}
+	v := b.String()
+	for _, want := range []string{
+		"module lottery_dynamic (",
+		"input  wire [7:0]      t0,",
+		"input  wire [7:0]      t3,",
+		"wire [10:0] psum3 = psum2 + rt3;",
+		"wire [10:0] total = psum3;",
+		"Modulo unit",
+		"assign fire[2] = modr < psum2;",
+		"All live tickets zero",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("missing %q in:\n%s", want, v)
+		}
+	}
+}
+
+func TestEmitDynamicVerilogValidation(t *testing.T) {
+	var b strings.Builder
+	if err := EmitDynamicVerilog(&b, 0, 8, ""); err == nil {
+		t.Fatal("zero masters accepted")
+	}
+	if err := EmitDynamicVerilog(&b, 9, 8, ""); err == nil {
+		t.Fatal("nine masters accepted")
+	}
+	if err := EmitDynamicVerilog(&b, 4, 1, ""); err == nil {
+		t.Fatal("width 1 accepted")
+	}
+}
+
+func TestStaticExpectedGrantsMatchesManualLFSRWalk(t *testing.T) {
+	tickets := []uint64{1, 2, 3, 4}
+	const width = 6
+	reqs := []uint64{0b1111, 0b0001, 0b0000, 0b1010, 0b1111}
+	got, err := StaticExpectedGrants(tickets, width, core.PolicyAbsorbLast, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute by hand with the same one-shift-per-clock schedule.
+	scaled, _ := core.ScaleTickets(tickets, width)
+	reg := lfsr.MustGalois(width, 1)
+	for k, r := range reqs {
+		reg.Step()
+		if r == 0 {
+			if got[k] != 0 {
+				t.Fatalf("vector %d: grant %b for empty map", k, got[k])
+			}
+			continue
+		}
+		word := reg.State()
+		var acc uint64
+		want := uint64(0)
+		for i := 0; i < 4; i++ {
+			if r>>uint(i)&1 == 1 {
+				acc += scaled[i]
+			}
+			if want == 0 && word < acc {
+				want = 1 << uint(i)
+			}
+		}
+		if want == 0 { // absorb-last fallback
+			for i := 3; i >= 0; i-- {
+				if r>>uint(i)&1 == 1 {
+					want = 1 << uint(i)
+					break
+				}
+			}
+		}
+		if got[k] != want {
+			t.Fatalf("vector %d (req %04b, word %d): got %04b, want %04b",
+				k, r, word, got[k], want)
+		}
+	}
+}
+
+func TestStaticExpectedGrantsOneHotInvariant(t *testing.T) {
+	src := prng.NewXorShift64Star(17)
+	reqs := make([]uint64, 500)
+	for i := range reqs {
+		reqs[i] = prng.Uintn(src, 16)
+	}
+	for _, policy := range []core.SlackPolicy{core.PolicyRedraw, core.PolicyAbsorbLast} {
+		grants, err := StaticExpectedGrants([]uint64{1, 2, 3, 4}, 8, policy, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, g := range grants {
+			if g&(g-1) != 0 {
+				t.Fatalf("policy %v vector %d: grant %b not one-hot", policy, k, g)
+			}
+			if g != 0 && reqs[k]&g == 0 {
+				t.Fatalf("policy %v vector %d: granted non-requester", policy, k)
+			}
+			if policy == core.PolicyAbsorbLast && reqs[k] != 0 && g == 0 {
+				t.Fatalf("absorb-last declined with pending requests at %d", k)
+			}
+		}
+	}
+}
+
+func TestEmitStaticTestbenchStructure(t *testing.T) {
+	reqs := []uint64{0b1111, 0b0101, 0b0010}
+	var b strings.Builder
+	if err := EmitStaticTestbench(&b, []uint64{1, 2, 3, 4}, 6, core.PolicyRedraw, "lottery_static", reqs); err != nil {
+		t.Fatal(err)
+	}
+	tb := b.String()
+	for _, want := range []string{
+		"module lottery_static_tb;",
+		"lottery_static dut (.clk(clk), .rst_n(rst_n), .req(req), .gnt(gnt));",
+		"always #5 clk = ~clk;",
+		"exp_req[0] = 4'b1111;",
+		"exp_req[2] = 4'b0010;",
+		"$fatal(1);",
+		"TB PASS",
+	} {
+		if !strings.Contains(tb, want) {
+			t.Fatalf("missing %q in:\n%s", want, tb)
+		}
+	}
+	// The embedded expected grants must match the reference model.
+	expected, _ := StaticExpectedGrants([]uint64{1, 2, 3, 4}, 6, core.PolicyRedraw, reqs)
+	for k, e := range expected {
+		want := fmt.Sprintf("exp_gnt[%d] = 4'b%04b;", k, e)
+		if !strings.Contains(tb, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestEmitStaticTestbenchValidation(t *testing.T) {
+	var b strings.Builder
+	if err := EmitStaticTestbench(&b, nil, 6, core.PolicyRedraw, "", []uint64{1}); err == nil {
+		t.Fatal("empty tickets accepted")
+	}
+	if err := EmitStaticTestbench(&b, []uint64{1, 2}, 6, core.PolicyRedraw, "", nil); err == nil {
+		t.Fatal("no vectors accepted")
+	}
+	if err := EmitStaticTestbench(&b, []uint64{1, 2}, 6, core.PolicyExact, "", []uint64{1}); err == nil {
+		t.Fatal("exact policy accepted")
+	}
+}

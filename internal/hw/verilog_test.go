@@ -1,0 +1,130 @@
+package hw
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lotterybus/internal/core"
+	"lotterybus/internal/lfsr"
+	"lotterybus/internal/prng"
+)
+
+func emit(t *testing.T, tickets []uint64, width uint, policy core.SlackPolicy) string {
+	t.Helper()
+	var b strings.Builder
+	if err := EmitStaticVerilog(&b, tickets, width, policy, "lottery_static"); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestEmitVerilogStructure(t *testing.T) {
+	v := emit(t, []uint64{1, 2, 3, 4}, 6, core.PolicyRedraw)
+	for _, want := range []string{
+		"module lottery_static (",
+		"input  wire [3:0]       req",
+		"output reg  [3:0]       gnt",
+		"reg [5:0] lfsr_q;",
+		"assign fire[0] = lfsr_q < psum0;",
+		"assign fire[3] = lfsr_q < psum3;",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("missing %q in:\n%s", want, v)
+		}
+	}
+	// One case arm per request map plus a default.
+	if got := strings.Count(v, "4'b"); got < 16 {
+		t.Fatalf("only %d case arms", got)
+	}
+}
+
+func TestEmitVerilogTapsMatchLFSRTable(t *testing.T) {
+	v := emit(t, []uint64{1, 1}, 8, core.PolicyRedraw)
+	taps, err := lfsr.Taps(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("LFSR_TAPS = 8'h%X;", taps)
+	if !strings.Contains(v, want) {
+		t.Fatalf("taps literal %q missing in:\n%s", want, v)
+	}
+}
+
+func TestEmitVerilogRangesMatchBehaviouralModel(t *testing.T) {
+	// The emitted case arm for each request map must carry the same
+	// partial sums the behavioural manager computes.
+	tickets := []uint64{3, 1, 5, 2}
+	const width = 6
+	v := emit(t, tickets, width, core.PolicyRedraw)
+	ref, err := core.NewStaticLottery(core.StaticConfig{
+		Tickets: tickets,
+		Source:  prng.NewXorShift64Star(1),
+		Policy:  core.PolicyRedraw,
+		Width:   width,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := uint64(0); mask < 16; mask++ {
+		ps := ref.RangeTable(mask)
+		arm := fmt.Sprintf("4'b%04b: begin", mask)
+		for i, p := range ps {
+			arm += fmt.Sprintf(" psum%d = %d'd%d;", i, width, p)
+		}
+		arm += " end"
+		if !strings.Contains(v, arm) {
+			t.Fatalf("case arm %q missing in:\n%s", arm, v)
+		}
+	}
+}
+
+func TestEmitVerilogPolicies(t *testing.T) {
+	redraw := emit(t, []uint64{1, 2}, 4, core.PolicyRedraw)
+	if !strings.Contains(redraw, "Redraw policy") {
+		t.Fatal("redraw comment missing")
+	}
+	if strings.Contains(redraw, "Slack zone") {
+		t.Fatal("redraw emitted absorb-last fallback")
+	}
+	absorb := emit(t, []uint64{1, 2}, 4, core.PolicyAbsorbLast)
+	if !strings.Contains(absorb, "Slack zone") {
+		t.Fatal("absorb-last fallback missing")
+	}
+	if !strings.Contains(absorb, "if (req[1]) gnt = 2'b10;") {
+		t.Fatalf("fallback priority chain wrong:\n%s", absorb)
+	}
+}
+
+func TestEmitVerilogValidation(t *testing.T) {
+	var b strings.Builder
+	if err := EmitStaticVerilog(&b, nil, 6, core.PolicyRedraw, ""); err == nil {
+		t.Fatal("empty tickets accepted")
+	}
+	if err := EmitStaticVerilog(&b, make([]uint64, 9), 6, core.PolicyRedraw, ""); err == nil {
+		t.Fatal("9 masters accepted")
+	}
+	if err := EmitStaticVerilog(&b, []uint64{1, 2}, 6, core.PolicyExact, ""); err == nil {
+		t.Fatal("exact policy accepted")
+	}
+	if err := EmitStaticVerilog(&b, []uint64{1, 2}, 99, core.PolicyRedraw, ""); err == nil {
+		t.Fatal("bad width accepted")
+	}
+}
+
+func TestEmitVerilogDefaultModuleName(t *testing.T) {
+	var b strings.Builder
+	if err := EmitStaticVerilog(&b, []uint64{1, 2}, 4, core.PolicyRedraw, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "module lottery_static (") {
+		t.Fatal("default module name missing")
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	if oneHot(4, 0) != "0001" || oneHot(4, 3) != "1000" {
+		t.Fatalf("oneHot wrong: %s %s", oneHot(4, 0), oneHot(4, 3))
+	}
+}

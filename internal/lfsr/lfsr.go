@@ -1,0 +1,329 @@
+// Package lfsr implements linear feedback shift registers as used by the
+// LOTTERYBUS lottery manager's random number generator (paper §4.3:
+// "If T is a power of two, random numbers can be efficiently generated
+// using a linear feedback shift register").
+//
+// Both Galois and Fibonacci forms are provided with maximal-length tap
+// sets for register widths 2 through 64, so an n-bit register cycles
+// through all 2^n-1 nonzero states before repeating. The all-zero state
+// is a fixed point and is excluded by construction.
+package lfsr
+
+import "fmt"
+
+// maximalTaps maps register width to a tap mask producing a maximal-length
+// sequence. Tap masks are given for the Galois form: bit i set means the
+// feedback bit is XORed into position i after the shift. These correspond
+// to primitive polynomials over GF(2) (Xilinx XAPP052 and standard
+// tables). Index 0 and 1 are unused.
+var maximalTaps = [65]uint64{
+	2:  0x3,                // x^2 + x + 1
+	3:  0x6,                // x^3 + x^2 + 1
+	4:  0xC,                // x^4 + x^3 + 1
+	5:  0x14,               // x^5 + x^3 + 1
+	6:  0x30,               // x^6 + x^5 + 1
+	7:  0x60,               // x^7 + x^6 + 1
+	8:  0xB8,               // x^8 + x^6 + x^5 + x^4 + 1
+	9:  0x110,              // x^9 + x^5 + 1
+	10: 0x240,              // x^10 + x^7 + 1
+	11: 0x500,              // x^11 + x^9 + 1
+	12: 0xE08,              // x^12 + x^11 + x^10 + x^4 + 1
+	13: 0x1C80,             // x^13 + x^12 + x^11 + x^8 + 1
+	14: 0x3802,             // x^14 + x^13 + x^12 + x^2 + 1
+	15: 0x6000,             // x^15 + x^14 + 1
+	16: 0xD008,             // x^16 + x^15 + x^13 + x^4 + 1
+	17: 0x12000,            // x^17 + x^14 + 1
+	18: 0x20400,            // x^18 + x^11 + 1
+	19: 0x72000,            // x^19 + x^18 + x^17 + x^14 + 1
+	20: 0x90000,            // x^20 + x^17 + 1
+	21: 0x140000,           // x^21 + x^19 + 1
+	22: 0x300000,           // x^22 + x^21 + 1
+	23: 0x420000,           // x^23 + x^18 + 1
+	24: 0xE10000,           // x^24 + x^23 + x^22 + x^17 + 1
+	25: 0x1200000,          // x^25 + x^22 + 1
+	26: 0x2000023,          // x^26 + x^6 + x^2 + x + 1
+	27: 0x4000013,          // x^27 + x^5 + x^2 + x + 1
+	28: 0x9000000,          // x^28 + x^25 + 1
+	29: 0x14000000,         // x^29 + x^27 + 1
+	30: 0x20000029,         // x^30 + x^6 + x^4 + x + 1
+	31: 0x48000000,         // x^31 + x^28 + 1
+	32: 0x80200003,         // x^32 + x^22 + x^2 + x + 1
+	33: 0x100080000,        // x^33 + x^20 + 1
+	34: 0x204000003,        // x^34 + x^27 + x^2 + x + 1
+	35: 0x500000000,        // x^35 + x^33 + 1
+	36: 0x801000000,        // x^36 + x^25 + 1
+	37: 0x100000001F,       // x^37 + x^5 + x^4 + x^3 + x^2 + x + 1
+	38: 0x2000000031,       // x^38 + x^6 + x^5 + x + 1
+	39: 0x4400000000,       // x^39 + x^35 + 1
+	40: 0xA000140000,       // x^40 + x^38 + x^21 + x^19 + 1
+	41: 0x12000000000,      // x^41 + x^38 + 1
+	42: 0x300000C0000,      // x^42 + x^41 + x^20 + x^19 + 1
+	43: 0x63000000000,      // x^43 + x^42 + x^38 + x^37 + 1
+	44: 0xC0000030000,      // x^44 + x^43 + x^18 + x^17 + 1
+	45: 0x1B0000000000,     // x^45 + x^44 + x^42 + x^41 + 1
+	46: 0x300003000000,     // x^46 + x^45 + x^26 + x^25 + 1
+	47: 0x420000000000,     // x^47 + x^42 + 1
+	48: 0xC00000180000,     // x^48 + x^47 + x^21 + x^20 + 1
+	49: 0x1008000000000,    // x^49 + x^40 + 1
+	50: 0x3000000C00000,    // x^50 + x^49 + x^24 + x^23 + 1
+	51: 0x6000C00000000,    // x^51 + x^50 + x^36 + x^35 + 1
+	52: 0x9000000000000,    // x^52 + x^49 + 1
+	53: 0x18003000000000,   // x^53 + x^52 + x^38 + x^37 + 1
+	54: 0x30000000030000,   // x^54 + x^53 + x^18 + x^17 + 1
+	55: 0x40000040000000,   // x^55 + x^31 + 1
+	56: 0xC0000600000000,   // x^56 + x^55 + x^35 + x^34 + 1
+	57: 0x102000000000000,  // x^57 + x^50 + 1
+	58: 0x200004000000000,  // x^58 + x^39 + 1
+	59: 0x600003000000000,  // x^59 + x^58 + x^38 + x^37 + 1
+	60: 0xC00000000000000,  // x^60 + x^59 + 1
+	61: 0x1800300000000000, // x^61 + x^60 + x^46 + x^45 + 1
+	62: 0x3000000000000030, // x^62 + x^61 + x^6 + x^5 + 1
+	63: 0x6000000000000000, // x^63 + x^62 + 1
+	64: 0xD800000000000000, // x^64 + x^63 + x^61 + x^60 + 1
+}
+
+// Taps returns the maximal-length Galois tap mask for the given register
+// width (2..64) — the primitive-polynomial coefficients hardware
+// generators (package hw) embed in emitted RTL.
+func Taps(width uint) (uint64, error) {
+	if width < 2 || width > 64 {
+		return 0, fmt.Errorf("lfsr: width %d out of range [2, 64]", width)
+	}
+	return maximalTaps[width], nil
+}
+
+// Galois is a Galois-form LFSR of configurable width. Each Step shifts
+// right by one; when the ejected bit is 1 the tap mask is XORed into the
+// state. A width-n register visits all 2^n-1 nonzero states.
+type Galois struct {
+	state uint64
+	taps  uint64
+	width uint
+	// steps is the number of shifts performed per Next() call. It is the
+	// smallest power of two >= width: because the register period 2^w-1
+	// is odd, a power-of-two stride is coprime to it, so successive
+	// Next() values still enumerate every nonzero state exactly once per
+	// period (a stride equal to width itself can share a factor with the
+	// period and collapse the orbit, e.g. gcd(6, 63) = 3).
+	steps uint
+}
+
+// NewGalois returns a width-bit Galois LFSR with a maximal-length tap set.
+// The seed is folded into the register width; a zero (or zero-folding)
+// seed is replaced by 1 so the register never enters the degenerate
+// all-zero state. Width must be in [2, 64].
+func NewGalois(width uint, seed uint64) (*Galois, error) {
+	if width < 2 || width > 64 {
+		return nil, fmt.Errorf("lfsr: width %d out of range [2, 64]", width)
+	}
+	steps := uint(1)
+	for steps < width {
+		steps <<= 1
+	}
+	g := &Galois{taps: maximalTaps[width], width: width, steps: steps}
+	g.Reseed(seed)
+	return g, nil
+}
+
+// MustGalois is NewGalois that panics on an invalid width; intended for
+// statically known widths.
+func MustGalois(width uint, seed uint64) *Galois {
+	g, err := NewGalois(width, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Reseed folds seed into the register, mapping the all-zero result to 1.
+func (g *Galois) Reseed(seed uint64) {
+	g.state = seed & g.mask()
+	if g.state == 0 {
+		// Fold the high bits in before giving up on the seed.
+		g.state = (seed >> g.width) & g.mask()
+	}
+	if g.state == 0 {
+		g.state = 1
+	}
+}
+
+func (g *Galois) mask() uint64 {
+	if g.width == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << g.width) - 1
+}
+
+// Width returns the register width in bits.
+func (g *Galois) Width() uint { return g.width }
+
+// State returns the current register contents.
+func (g *Galois) State() uint64 { return g.state }
+
+// Step advances the register one shift and returns the ejected bit.
+func (g *Galois) Step() uint64 {
+	out := g.state & 1
+	g.state >>= 1
+	if out == 1 {
+		g.state ^= g.taps
+	}
+	return out
+}
+
+// Next advances the register through a full word worth of shifts and
+// returns the resulting register contents: a pseudo-random value in
+// [1, 2^width) (the all-zero state never occurs). This is how the lottery
+// manager's pipelined RNG produces one word per arbitration. The shift
+// count is the power of two nearest above the width so that consecutive
+// Next values cycle through every nonzero state (see Galois.steps).
+func (g *Galois) Next() uint64 {
+	for i := uint(0); i < g.steps; i++ {
+		g.Step()
+	}
+	return g.state
+}
+
+// NextBelow returns a pseudo-random value in [0, 2^width - 1), i.e. the
+// register contents minus one. Because the register uniformly visits
+// every nonzero state, Next()-1 is uniform over [0, 2^width-1). When the
+// lottery total is exactly 2^k the manager uses a k+? — in practice the
+// paper scales tickets so the grand total is a power of two and draws
+// from a register of at least that width; see Uniform.
+func (g *Galois) NextBelow() uint64 {
+	return g.Next() - 1
+}
+
+// Uniform returns a pseudo-random value uniform over [0, n) for n >= 1.
+// For n a power of two it masks the register output (cheap hardware);
+// otherwise it performs the modulo reduction that the dynamic lottery
+// manager implements with "modulo arithmetic hardware" (paper §4.4).
+// The modulo path carries the usual small bias of real modulo hardware
+// when 2^width-1 is not a multiple of n; with width 2n-bits above
+// log2(n) the bias is below 2^-width and irrelevant to the simulation.
+func (g *Galois) Uniform(n uint64) uint64 {
+	if n == 0 {
+		panic("lfsr: Uniform with n == 0")
+	}
+	if n == 1 {
+		g.Next()
+		return 0
+	}
+	if n&(n-1) == 0 {
+		return g.Next() & (n - 1)
+	}
+	return g.Next() % n
+}
+
+// Uint64 makes Galois satisfy prng.Source so LFSRs can drive any of the
+// distribution helpers when a hardware-faithful stream is wanted.
+func (g *Galois) Uint64() uint64 {
+	if g.width == 64 {
+		return g.Next()
+	}
+	// Concatenate register words until 64 bits are collected.
+	var v uint64
+	var have uint
+	for have < 64 {
+		v = v<<g.width | g.Next()
+		have += g.width
+	}
+	return v
+}
+
+// Fibonacci is the external-feedback LFSR form: the new input bit is the
+// XOR of the tapped state bits. It is provided for completeness and for
+// cross-validating the structural hardware model; sequences differ from
+// the Galois form but share the maximal period property.
+type Fibonacci struct {
+	state uint64
+	taps  uint64
+	width uint
+}
+
+// NewFibonacci returns a maximal-length Fibonacci LFSR of the given width.
+// The Fibonacci (external-XOR) form taps the register at the reciprocal
+// polynomial positions, i.e. the Galois tap mask bit-reversed across the
+// register width; the reciprocal of a primitive polynomial is primitive,
+// so the sequence remains maximal-length.
+func NewFibonacci(width uint, seed uint64) (*Fibonacci, error) {
+	if width < 2 || width > 64 {
+		return nil, fmt.Errorf("lfsr: width %d out of range [2, 64]", width)
+	}
+	f := &Fibonacci{taps: reverseBits(maximalTaps[width], width), width: width}
+	f.state = seed & f.mask()
+	if f.state == 0 {
+		f.state = 1
+	}
+	return f, nil
+}
+
+// reverseBits reverses the low width bits of x.
+func reverseBits(x uint64, width uint) uint64 {
+	var r uint64
+	for i := uint(0); i < width; i++ {
+		r = r<<1 | (x>>i)&1
+	}
+	return r
+}
+
+func (f *Fibonacci) mask() uint64 {
+	if f.width == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << f.width) - 1
+}
+
+// Width returns the register width in bits.
+func (f *Fibonacci) Width() uint { return f.width }
+
+// State returns the current register contents.
+func (f *Fibonacci) State() uint64 { return f.state }
+
+// Step shifts once, feeding back the parity of the tapped bits, and
+// returns the ejected bit.
+func (f *Fibonacci) Step() uint64 {
+	out := f.state & 1
+	fb := parity(f.state & f.taps)
+	f.state = (f.state >> 1) | (fb << (f.width - 1))
+	return out
+}
+
+// Next advances width steps and returns the register contents.
+func (f *Fibonacci) Next() uint64 {
+	for i := uint(0); i < f.width; i++ {
+		f.Step()
+	}
+	return f.state
+}
+
+func parity(x uint64) uint64 {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// Period exhaustively measures the cycle length of a width-bit Galois
+// register starting from state 1. Only practical for width <= ~24; used
+// by tests to verify the tap table.
+func Period(width uint) (uint64, error) {
+	g, err := NewGalois(width, 1)
+	if err != nil {
+		return 0, err
+	}
+	start := g.State()
+	var n uint64
+	for {
+		g.Step()
+		n++
+		if g.State() == start {
+			return n, nil
+		}
+		if n == 1<<width {
+			return 0, fmt.Errorf("lfsr: width %d did not cycle within 2^%d steps", width, width)
+		}
+	}
+}

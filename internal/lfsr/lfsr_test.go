@@ -1,0 +1,285 @@
+package lfsr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lotterybus/internal/prng"
+)
+
+func TestMaximalPeriodSmallWidths(t *testing.T) {
+	// Exhaustively verify the tap table gives period 2^n - 1 for all
+	// widths we can afford to cycle.
+	for width := uint(2); width <= 20; width++ {
+		p, err := Period(width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		want := uint64(1)<<width - 1
+		if p != want {
+			t.Fatalf("width %d: period %d, want %d (taps %#x not primitive)", width, p, want, maximalTaps[width])
+		}
+	}
+}
+
+func TestGaloisVisitsAllNonZeroStates(t *testing.T) {
+	g := MustGalois(8, 0xAB)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 255; i++ {
+		seen[g.State()] = true
+		g.Step()
+	}
+	if len(seen) != 255 {
+		t.Fatalf("8-bit register visited %d states, want 255", len(seen))
+	}
+	if seen[0] {
+		t.Fatal("8-bit register visited the all-zero state")
+	}
+}
+
+func TestGaloisNeverZero(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 0x100, 0xFFFF0000} {
+		g := MustGalois(8, seed)
+		for i := 0; i < 1000; i++ {
+			if g.State() == 0 {
+				t.Fatalf("seed %#x reached zero state at step %d", seed, i)
+			}
+			g.Step()
+		}
+	}
+}
+
+func TestReseedHighBitsFolding(t *testing.T) {
+	// A seed whose low bits are zero must still produce a nonzero state.
+	g := MustGalois(8, 0xAB00)
+	if g.State() == 0 {
+		t.Fatal("reseed folded to zero")
+	}
+	if g.State() != 0xAB {
+		t.Fatalf("expected high-bit fold 0xAB, got %#x", g.State())
+	}
+}
+
+func TestNewGaloisWidthValidation(t *testing.T) {
+	for _, w := range []uint{0, 1, 65, 100} {
+		if _, err := NewGalois(w, 1); err == nil {
+			t.Fatalf("width %d accepted", w)
+		}
+	}
+	for _, w := range []uint{2, 16, 32, 64} {
+		if _, err := NewGalois(w, 1); err != nil {
+			t.Fatalf("width %d rejected: %v", w, err)
+		}
+	}
+}
+
+func TestNextInRange(t *testing.T) {
+	g := MustGalois(10, 99)
+	for i := 0; i < 5000; i++ {
+		v := g.Next()
+		if v == 0 || v >= 1<<10 {
+			t.Fatalf("Next() = %d out of (0, 1024)", v)
+		}
+	}
+}
+
+func TestNextBelow(t *testing.T) {
+	g := MustGalois(6, 5)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 5000; i++ {
+		v := g.NextBelow()
+		if v >= 63 {
+			t.Fatalf("NextBelow() = %d out of [0, 63)", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 63 {
+		t.Fatalf("NextBelow visited %d residues, want 63", len(seen))
+	}
+}
+
+func TestUniformPowerOfTwoBalance(t *testing.T) {
+	g := MustGalois(16, 12345)
+	const n = 8
+	counts := make([]int, n)
+	const draws = 80000
+	for i := 0; i < draws; i++ {
+		counts[g.Uniform(n)]++
+	}
+	exp := float64(draws) / n
+	for i, c := range counts {
+		if float64(c) < exp*0.95 || float64(c) > exp*1.05 {
+			t.Fatalf("Uniform(8) bucket %d count %d, expected ~%.0f (counts %v)", i, c, exp, counts)
+		}
+	}
+}
+
+func TestUniformModuloRange(t *testing.T) {
+	g := MustGalois(16, 7)
+	for _, n := range []uint64{1, 3, 10, 100, 1000} {
+		for i := 0; i < 500; i++ {
+			if v := g.Uniform(n); v >= n {
+				t.Fatalf("Uniform(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUniformPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(0) did not panic")
+		}
+	}()
+	MustGalois(8, 1).Uniform(0)
+}
+
+func TestGaloisIsPrngSource(t *testing.T) {
+	var src prng.Source = MustGalois(16, 3)
+	v := prng.Uintn(src, 10)
+	if v >= 10 {
+		t.Fatalf("Uintn via LFSR source = %d", v)
+	}
+}
+
+func TestFibonacciMaximalPeriod(t *testing.T) {
+	// The Fibonacci form with the same primitive polynomial also has
+	// maximal period; verify for a few widths by state-cycle counting.
+	for _, width := range []uint{4, 7, 11} {
+		f, err := NewFibonacci(width, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := f.State()
+		var n uint64
+		for {
+			f.Step()
+			n++
+			if f.State() == start {
+				break
+			}
+			if n > 1<<width {
+				t.Fatalf("fibonacci width %d did not cycle", width)
+			}
+		}
+		if want := uint64(1)<<width - 1; n != want {
+			t.Fatalf("fibonacci width %d period %d, want %d", width, n, want)
+		}
+	}
+}
+
+func TestFibonacciNeverZero(t *testing.T) {
+	f, _ := NewFibonacci(9, 0)
+	for i := 0; i < 2000; i++ {
+		if f.State() == 0 {
+			t.Fatalf("fibonacci reached zero at step %d", i)
+		}
+		f.Step()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustGalois(16, 42)
+	b := MustGalois(16, 42)
+	for i := 0; i < 200; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same-seed LFSRs diverged at %d", i)
+		}
+	}
+}
+
+func TestParityProperty(t *testing.T) {
+	f := func(x uint64) bool {
+		var want uint64
+		for v := x; v != 0; v >>= 1 {
+			want ^= v & 1
+		}
+		return parity(x) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepOutputBitMatchesState(t *testing.T) {
+	g := MustGalois(12, 77)
+	for i := 0; i < 100; i++ {
+		lsb := g.State() & 1
+		if out := g.Step(); out != lsb {
+			t.Fatalf("Step returned %d, state lsb was %d", out, lsb)
+		}
+	}
+}
+
+func TestTaps(t *testing.T) {
+	for _, w := range []uint{0, 1, 65} {
+		if _, err := Taps(w); err == nil {
+			t.Fatalf("width %d accepted", w)
+		}
+	}
+	v, err := Taps(16)
+	if err != nil || v != 0xD008 {
+		t.Fatalf("Taps(16) = %#x, %v", v, err)
+	}
+}
+
+func TestWidthAccessors(t *testing.T) {
+	g := MustGalois(12, 1)
+	if g.Width() != 12 {
+		t.Fatal("galois width")
+	}
+	f, _ := NewFibonacci(12, 1)
+	if f.Width() != 12 {
+		t.Fatal("fibonacci width")
+	}
+}
+
+func TestFibonacciNext(t *testing.T) {
+	f, _ := NewFibonacci(8, 3)
+	seen := map[uint64]bool{}
+	for i := 0; i < 300; i++ {
+		v := f.Next()
+		if v == 0 || v >= 256 {
+			t.Fatalf("Next() = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("fibonacci Next visited only %d states", len(seen))
+	}
+}
+
+func TestGaloisUint64Width64(t *testing.T) {
+	g := MustGalois(64, 0xDEADBEEF)
+	a, b := g.Uint64(), g.Uint64()
+	if a == 0 || a == b {
+		t.Fatalf("width-64 Uint64: %#x %#x", a, b)
+	}
+}
+
+func TestMustGaloisPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGalois(1) did not panic")
+		}
+	}()
+	MustGalois(1, 1)
+}
+
+func BenchmarkGaloisNext16(b *testing.B) {
+	g := MustGalois(16, 1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= g.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkGaloisUniformModulo(b *testing.B) {
+	g := MustGalois(16, 1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= g.Uniform(10)
+	}
+	_ = sink
+}

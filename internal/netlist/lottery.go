@@ -1,0 +1,108 @@
+package netlist
+
+import (
+	"fmt"
+
+	"lotterybus/internal/core"
+)
+
+// BuildStaticGrant constructs, gate by gate, the grant datapath of the
+// static lottery manager (paper Fig. 9) for the given ticket holdings:
+//
+//	inputs:  req  (n bits)   — the request map
+//	         rand (w bits)   — the LFSR word
+//	outputs: gnt  (n bits)   — one-hot grant (all zero on an empty map
+//	                           or, under PolicyRedraw, a slack miss)
+//
+// The partial-sum ranges are computed live from the request bits with
+// AND-gated constant ticket words and a ripple adder chain (the LUT of
+// the paper's static design is an optimization of exactly this logic;
+// building the adders keeps the netlist parametric). Comparators are
+// borrow chains, the priority selector an inhibit chain.
+func BuildStaticGrant(tickets []uint64, width uint, policy core.SlackPolicy) (*Netlist, error) {
+	n := len(tickets)
+	if n == 0 || n > 8 {
+		return nil, fmt.Errorf("netlist: 1..8 masters supported, got %d", n)
+	}
+	if policy != core.PolicyRedraw && policy != core.PolicyAbsorbLast {
+		return nil, fmt.Errorf("netlist: grant datapath implements redraw or absorb-last, not %v", policy)
+	}
+	scaled, err := core.ScaleTickets(tickets, width)
+	if err != nil {
+		return nil, err
+	}
+
+	nl := New()
+	req := nl.Input("req", n)
+	rnd := nl.Input("rand", int(width))
+
+	// Running partial sums: psum_i = sum_{j<=i} req[j] ? scaled[j] : 0.
+	psums := make([][]Net, n)
+	var acc []Net
+	for i := 0; i < n; i++ {
+		tw := nl.ConstWord(scaled[i], int(width)+1)
+		gated := nl.AndWord(req[i], tw)
+		if acc == nil {
+			acc = gated
+		} else {
+			acc = nl.AddWord(acc, gated)
+		}
+		psums[i] = acc
+	}
+
+	// Comparator bank: fire_i = rand < psum_i.
+	fire := make([]Net, n)
+	for i := 0; i < n; i++ {
+		fire[i] = nl.LessWord(rnd, psums[i])
+	}
+
+	// Priority selector: gnt_i = fire_i AND NOT(any fire_j, j<i).
+	gnt := make([]Net, n)
+	blocked := Net(False)
+	for i := 0; i < n; i++ {
+		gnt[i] = nl.AndG(fire[i], nl.NotG(blocked))
+		blocked = nl.OrG(blocked, fire[i])
+	}
+
+	if policy == core.PolicyAbsorbLast {
+		// Slack fallback: when no comparator fired, grant the highest-
+		// indexed requester. higher_j = any req_k for k>j.
+		noFire := nl.NotG(blocked)
+		higher := Net(False)
+		for i := n - 1; i >= 0; i-- {
+			fallback := nl.AndG(noFire, nl.AndG(req[i], nl.NotG(higher)))
+			gnt[i] = nl.OrG(gnt[i], fallback)
+			higher = nl.OrG(higher, req[i])
+		}
+	}
+
+	nl.Output("gnt", gnt)
+	return nl, nil
+}
+
+// GrantOf decodes a one-hot grant bus into a master index, or
+// core.NoWinner when no line is asserted. It returns an error if more
+// than one line is high (a broken selector).
+func GrantOf(gnt []bool) (int, error) {
+	winner := core.NoWinner
+	for i, g := range gnt {
+		if !g {
+			continue
+		}
+		if winner != core.NoWinner {
+			return 0, fmt.Errorf("netlist: grant lines %d and %d both asserted", winner, i)
+		}
+		winner = i
+	}
+	return winner, nil
+}
+
+// Uint64ToBits converts the low width bits of v into a bit slice
+// (bit 0 first).
+func Uint64ToBits(v uint64, width int) []bool {
+	out := make([]bool, width)
+	for i := range out {
+		out[i] = v>>uint(i)&1 == 1
+	}
+	return out
+}

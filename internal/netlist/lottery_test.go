@@ -1,0 +1,172 @@
+package netlist
+
+import (
+	"testing"
+
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+)
+
+func TestBuildStaticGrantValidation(t *testing.T) {
+	if _, err := BuildStaticGrant(nil, 6, core.PolicyRedraw); err == nil {
+		t.Fatal("empty tickets accepted")
+	}
+	if _, err := BuildStaticGrant(make([]uint64, 9), 6, core.PolicyRedraw); err == nil {
+		t.Fatal("9 masters accepted")
+	}
+	if _, err := BuildStaticGrant([]uint64{1, 2}, 6, core.PolicyExact); err == nil {
+		t.Fatal("exact policy accepted")
+	}
+}
+
+// exhaustiveEquivalence checks the gate-level grant against the
+// behavioural manager for EVERY (request map, random word) pair.
+func exhaustiveEquivalence(t *testing.T, tickets []uint64, width uint, policy core.SlackPolicy) {
+	t.Helper()
+	n := len(tickets)
+	nl, err := BuildStaticGrant(tickets, width, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := core.ScaleTickets(tickets, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		for r := uint64(0); r < 1<<width; r++ {
+			out, err := nl.Eval(map[string][]bool{
+				"req":  Uint64ToBits(mask, n),
+				"rand": Uint64ToBits(r, int(width)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := GrantOf(out["gnt"])
+			if err != nil {
+				t.Fatalf("mask %b rand %d: %v", mask, r, err)
+			}
+			// Reference: comparator semantics over scaled holdings.
+			want := core.NoWinner
+			var acc uint64
+			for i := 0; i < n; i++ {
+				if mask>>uint(i)&1 == 1 {
+					acc += scaled[i]
+				}
+				if want == core.NoWinner && r < acc {
+					want = i
+				}
+			}
+			if want == core.NoWinner && policy == core.PolicyAbsorbLast && mask != 0 {
+				for i := n - 1; i >= 0; i-- {
+					if mask>>uint(i)&1 == 1 {
+						want = i
+						break
+					}
+				}
+			}
+			if got != want {
+				t.Fatalf("policy %v mask %0*b rand %d: netlist %d, reference %d",
+					policy, n, mask, r, got, want)
+			}
+		}
+	}
+}
+
+func TestStaticGrantExhaustiveRedraw(t *testing.T) {
+	exhaustiveEquivalence(t, []uint64{1, 2, 3}, 4, core.PolicyRedraw)
+}
+
+func TestStaticGrantExhaustiveAbsorbLast(t *testing.T) {
+	exhaustiveEquivalence(t, []uint64{1, 2, 3}, 4, core.PolicyAbsorbLast)
+}
+
+func TestStaticGrantExhaustiveUnevenTickets(t *testing.T) {
+	exhaustiveEquivalence(t, []uint64{5, 1, 1, 9}, 5, core.PolicyRedraw)
+}
+
+func TestStaticGrantMatchesHWModelSampled(t *testing.T) {
+	// Random sampling at the paper's four-master 16-bit design point,
+	// cross-checked against the behavioural core manager driven by the
+	// identical random words.
+	tickets := []uint64{1, 2, 3, 4}
+	const width = 8
+	nl, err := BuildStaticGrant(tickets, width, core.PolicyRedraw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prng.NewXorShift64Star(33)
+	words := &replaySource{}
+	ref, err := core.NewStaticLottery(core.StaticConfig{
+		Tickets: tickets,
+		Source:  words,
+		Policy:  core.PolicyRedraw,
+		Width:   width,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3000; k++ {
+		mask := prng.Uintn(src, 16)
+		word := prng.Uintn(src, 1<<width)
+		out, err := nl.Eval(map[string][]bool{
+			"req":  Uint64ToBits(mask, 4),
+			"rand": Uint64ToBits(word, width),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GrantOf(out["gnt"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		words.word = word
+		want := ref.Draw(mask)
+		if got != want {
+			t.Fatalf("mask %04b word %d: netlist %d, core %d", mask, word, got, want)
+		}
+	}
+}
+
+// replaySource returns a fixed word from Uint64.
+type replaySource struct{ word uint64 }
+
+func (s *replaySource) Uint64() uint64 { return s.word }
+
+func TestStaticGrantCensus(t *testing.T) {
+	nl, err := BuildStaticGrant([]uint64{1, 2, 3, 4}, 16, core.PolicyRedraw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumGates() < 100 {
+		t.Fatalf("implausibly small netlist: %d gates", nl.NumGates())
+	}
+	if nl.Depth() < 8 {
+		t.Fatalf("implausibly shallow: depth %d", nl.Depth())
+	}
+	counts := nl.GateCounts()
+	if counts[And] == 0 || counts[Xor] == 0 || counts[Or] == 0 {
+		t.Fatalf("census %v", counts)
+	}
+}
+
+func TestGrantOf(t *testing.T) {
+	if w, err := GrantOf([]bool{false, true, false}); err != nil || w != 1 {
+		t.Fatalf("%v %v", w, err)
+	}
+	if w, err := GrantOf([]bool{false, false}); err != nil || w != core.NoWinner {
+		t.Fatalf("%v %v", w, err)
+	}
+	if _, err := GrantOf([]bool{true, true}); err == nil {
+		t.Fatal("double grant accepted")
+	}
+}
+
+func TestUint64ToBits(t *testing.T) {
+	bits := Uint64ToBits(0b101, 4)
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bits %v", bits)
+		}
+	}
+}

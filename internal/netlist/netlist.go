@@ -1,0 +1,344 @@
+// Package netlist provides a small structural gate-level netlist
+// builder and a levelized combinational simulator — the lowest rung of
+// this repository's modelling ladder. Where internal/hw estimates area
+// and delay from a block-level cost table, this package builds the
+// lottery manager's grant datapath gate by gate, simulates it
+// bit-true, and reports exact gate counts and logic depth; the
+// netlist-vs-behavioural equivalence tests close the loop between the
+// algorithm of internal/core and an implementable circuit.
+package netlist
+
+import "fmt"
+
+// Net identifies a single wire in a netlist. Net 0 is constant false
+// and net 1 constant true.
+type Net int
+
+// Reserved constant nets.
+const (
+	False Net = 0
+	True  Net = 1
+)
+
+// Kind enumerates gate types.
+type Kind int
+
+// Gate kinds. Not is a single-input gate; Mux2 takes (sel, a, b) and
+// outputs a when sel is false, b when sel is true.
+const (
+	And Kind = iota
+	Or
+	Xor
+	Nand
+	Nor
+	Not
+	Mux2
+)
+
+// String names the gate kind.
+func (k Kind) String() string {
+	switch k {
+	case And:
+		return "and"
+	case Or:
+		return "or"
+	case Xor:
+		return "xor"
+	case Nand:
+		return "nand"
+	case Nor:
+		return "nor"
+	case Not:
+		return "not"
+	case Mux2:
+		return "mux2"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// gate is one instance.
+type gate struct {
+	kind Kind
+	ins  [3]Net
+	nIn  int
+	out  Net
+}
+
+// Netlist is a combinational netlist under construction. The zero value
+// is not usable; call New.
+type Netlist struct {
+	nets    int
+	gates   []gate
+	inputs  map[string][]Net
+	outputs map[string][]Net
+	inOrder []string
+	// driver[n] is the index of the gate driving net n, or -1 for
+	// inputs/constants.
+	driver []int
+}
+
+// New returns an empty netlist with the two constant nets allocated.
+func New() *Netlist {
+	n := &Netlist{
+		nets:    2,
+		inputs:  map[string][]Net{},
+		outputs: map[string][]Net{},
+		driver:  []int{-1, -1},
+	}
+	return n
+}
+
+// newNet allocates a fresh wire.
+func (n *Netlist) newNet() Net {
+	net := Net(n.nets)
+	n.nets++
+	n.driver = append(n.driver, -1)
+	return net
+}
+
+// Input declares a named input bus of the given width (bit 0 first) and
+// returns its nets.
+func (n *Netlist) Input(name string, width int) []Net {
+	if _, dup := n.inputs[name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate input %q", name))
+	}
+	nets := make([]Net, width)
+	for i := range nets {
+		nets[i] = n.newNet()
+	}
+	n.inputs[name] = nets
+	n.inOrder = append(n.inOrder, name)
+	return nets
+}
+
+// Output declares a named output bus.
+func (n *Netlist) Output(name string, nets []Net) {
+	if _, dup := n.outputs[name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate output %q", name))
+	}
+	n.outputs[name] = append([]Net(nil), nets...)
+}
+
+// addGate appends a gate and returns its output net.
+func (n *Netlist) addGate(kind Kind, ins ...Net) Net {
+	out := n.newNet()
+	g := gate{kind: kind, nIn: len(ins), out: out}
+	copy(g.ins[:], ins)
+	n.gates = append(n.gates, g)
+	n.driver[out] = len(n.gates) - 1
+	return out
+}
+
+// AndG returns a AND b.
+func (n *Netlist) AndG(a, b Net) Net { return n.addGate(And, a, b) }
+
+// OrG returns a OR b.
+func (n *Netlist) OrG(a, b Net) Net { return n.addGate(Or, a, b) }
+
+// XorG returns a XOR b.
+func (n *Netlist) XorG(a, b Net) Net { return n.addGate(Xor, a, b) }
+
+// NandG returns NOT(a AND b).
+func (n *Netlist) NandG(a, b Net) Net { return n.addGate(Nand, a, b) }
+
+// NorG returns NOT(a OR b).
+func (n *Netlist) NorG(a, b Net) Net { return n.addGate(Nor, a, b) }
+
+// NotG returns NOT a.
+func (n *Netlist) NotG(a Net) Net { return n.addGate(Not, a) }
+
+// MuxG returns b when sel else a.
+func (n *Netlist) MuxG(sel, a, b Net) Net { return n.addGate(Mux2, sel, a, b) }
+
+// NumGates returns the gate count.
+func (n *Netlist) NumGates() int { return len(n.gates) }
+
+// NumNets returns the wire count (including the two constants).
+func (n *Netlist) NumNets() int { return n.nets }
+
+// GateCounts returns the per-kind gate census.
+func (n *Netlist) GateCounts() map[Kind]int {
+	out := map[Kind]int{}
+	for _, g := range n.gates {
+		out[g.kind]++
+	}
+	return out
+}
+
+// Depth returns the maximum gate depth from any input/constant to any
+// net — the unit-delay critical path. Gates are created in topological
+// order by construction (an input net must exist before use), so a
+// single forward pass suffices.
+func (n *Netlist) Depth() int {
+	depth := make([]int, n.nets)
+	max := 0
+	for _, g := range n.gates {
+		d := 0
+		for i := 0; i < g.nIn; i++ {
+			if dd := depth[g.ins[i]]; dd > d {
+				d = dd
+			}
+		}
+		depth[g.out] = d + 1
+		if d+1 > max {
+			max = d + 1
+		}
+	}
+	return max
+}
+
+// Eval simulates the netlist for one input assignment. Missing inputs
+// default to all-false; extra names are rejected.
+func (n *Netlist) Eval(in map[string][]bool) (map[string][]bool, error) {
+	vals := make([]bool, n.nets)
+	vals[True] = true
+	for name := range in {
+		if _, ok := n.inputs[name]; !ok {
+			return nil, fmt.Errorf("netlist: unknown input %q", name)
+		}
+	}
+	for name, nets := range n.inputs {
+		bits := in[name]
+		if bits != nil && len(bits) != len(nets) {
+			return nil, fmt.Errorf("netlist: input %q expects %d bits, got %d", name, len(nets), len(bits))
+		}
+		for i, net := range nets {
+			if bits != nil {
+				vals[net] = bits[i]
+			}
+		}
+	}
+	for _, g := range n.gates {
+		a := vals[g.ins[0]]
+		var b, c bool
+		if g.nIn > 1 {
+			b = vals[g.ins[1]]
+		}
+		if g.nIn > 2 {
+			c = vals[g.ins[2]]
+		}
+		switch g.kind {
+		case And:
+			vals[g.out] = a && b
+		case Or:
+			vals[g.out] = a || b
+		case Xor:
+			vals[g.out] = a != b
+		case Nand:
+			vals[g.out] = !(a && b)
+		case Nor:
+			vals[g.out] = !(a || b)
+		case Not:
+			vals[g.out] = !a
+		case Mux2:
+			if a {
+				vals[g.out] = c
+			} else {
+				vals[g.out] = b
+			}
+		}
+	}
+	out := make(map[string][]bool, len(n.outputs))
+	for name, nets := range n.outputs {
+		bits := make([]bool, len(nets))
+		for i, net := range nets {
+			bits[i] = vals[net]
+		}
+		out[name] = bits
+	}
+	return out, nil
+}
+
+// --- word-level constructors ---
+
+// ConstWord returns width nets wired to the bits of value.
+func (n *Netlist) ConstWord(value uint64, width int) []Net {
+	out := make([]Net, width)
+	for i := range out {
+		if value>>uint(i)&1 == 1 {
+			out[i] = True
+		} else {
+			out[i] = False
+		}
+	}
+	return out
+}
+
+// AddWord returns a+b (ripple-carry, width of the longer input plus
+// one carry bit).
+func (n *Netlist) AddWord(a, b []Net) []Net {
+	w := len(a)
+	if len(b) > w {
+		w = len(b)
+	}
+	bit := func(x []Net, i int) Net {
+		if i < len(x) {
+			return x[i]
+		}
+		return False
+	}
+	out := make([]Net, w+1)
+	carry := Net(False)
+	for i := 0; i < w; i++ {
+		ai, bi := bit(a, i), bit(b, i)
+		axb := n.XorG(ai, bi)
+		out[i] = n.XorG(axb, carry)
+		carry = n.OrG(n.AndG(ai, bi), n.AndG(axb, carry))
+	}
+	out[w] = carry
+	return out
+}
+
+// LessWord returns the single-bit result a < b (unsigned), comparing
+// from the most significant bit down with a mux chain.
+func (n *Netlist) LessWord(a, b []Net) Net {
+	w := len(a)
+	if len(b) > w {
+		w = len(b)
+	}
+	bit := func(x []Net, i int) Net {
+		if i < len(x) {
+			return x[i]
+		}
+		return False
+	}
+	less := Net(False)
+	for i := 0; i < w; i++ { // LSB to MSB; MSB decision dominates
+		ai, bi := bit(a, i), bit(b, i)
+		eq := n.NotG(n.XorG(ai, bi))
+		lt := n.AndG(n.NotG(ai), bi)
+		// less = lt OR (eq AND less)
+		less = n.OrG(lt, n.AndG(eq, less))
+	}
+	return less
+}
+
+// MuxWord returns b when sel else a, element-wise over the wider of the
+// two words.
+func (n *Netlist) MuxWord(sel Net, a, b []Net) []Net {
+	w := len(a)
+	if len(b) > w {
+		w = len(b)
+	}
+	bit := func(x []Net, i int) Net {
+		if i < len(x) {
+			return x[i]
+		}
+		return False
+	}
+	out := make([]Net, w)
+	for i := range out {
+		out[i] = n.MuxG(sel, bit(a, i), bit(b, i))
+	}
+	return out
+}
+
+// AndWord gates every bit of a with en.
+func (n *Netlist) AndWord(en Net, a []Net) []Net {
+	out := make([]Net, len(a))
+	for i := range a {
+		out[i] = n.AndG(en, a[i])
+	}
+	return out
+}

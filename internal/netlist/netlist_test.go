@@ -1,0 +1,215 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func evalBit(t *testing.T, n *Netlist, in map[string][]bool, out string) bool {
+	t.Helper()
+	res, err := n.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res[out][0]
+}
+
+func TestBasicGates(t *testing.T) {
+	n := New()
+	in := n.Input("in", 2)
+	n.Output("and", []Net{n.AndG(in[0], in[1])})
+	n.Output("or", []Net{n.OrG(in[0], in[1])})
+	n.Output("xor", []Net{n.XorG(in[0], in[1])})
+	n.Output("nand", []Net{n.NandG(in[0], in[1])})
+	n.Output("nor", []Net{n.NorG(in[0], in[1])})
+	n.Output("not", []Net{n.NotG(in[0])})
+	n.Output("mux", []Net{n.MuxG(in[0], False, True)}) // sel? True : False
+
+	for _, c := range []struct {
+		a, b                            bool
+		and, or, xor, nand, nor, not, m bool
+	}{
+		{false, false, false, false, false, true, true, true, false},
+		{false, true, false, true, true, true, false, true, false},
+		{true, false, false, true, true, true, false, false, true},
+		{true, true, true, true, false, false, false, false, true},
+	} {
+		in := map[string][]bool{"in": {c.a, c.b}}
+		if evalBit(t, n, in, "and") != c.and ||
+			evalBit(t, n, in, "or") != c.or ||
+			evalBit(t, n, in, "xor") != c.xor ||
+			evalBit(t, n, in, "nand") != c.nand ||
+			evalBit(t, n, in, "nor") != c.nor ||
+			evalBit(t, n, in, "not") != c.not ||
+			evalBit(t, n, in, "mux") != c.m {
+			t.Fatalf("truth table mismatch at %+v", c)
+		}
+	}
+}
+
+func TestEvalValidation(t *testing.T) {
+	n := New()
+	n.Input("a", 2)
+	if _, err := n.Eval(map[string][]bool{"b": {true}}); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if _, err := n.Eval(map[string][]bool{"a": {true}}); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	// Missing inputs default to false.
+	if _, err := n.Eval(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateNamesPanic(t *testing.T) {
+	n := New()
+	n.Input("a", 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate input accepted")
+			}
+		}()
+		n.Input("a", 1)
+	}()
+	n.Output("o", []Net{True})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate output accepted")
+		}
+	}()
+	n.Output("o", []Net{False})
+}
+
+func bitsToUint(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func TestAddWordProperty(t *testing.T) {
+	const w = 8
+	n := New()
+	a := n.Input("a", w)
+	b := n.Input("b", w)
+	n.Output("sum", n.AddWord(a, b))
+	f := func(x, y uint8) bool {
+		out, err := n.Eval(map[string][]bool{
+			"a": Uint64ToBits(uint64(x), w),
+			"b": Uint64ToBits(uint64(y), w),
+		})
+		if err != nil {
+			return false
+		}
+		return bitsToUint(out["sum"]) == uint64(x)+uint64(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddWordMixedWidths(t *testing.T) {
+	n := New()
+	a := n.Input("a", 3)
+	b := n.Input("b", 6)
+	n.Output("sum", n.AddWord(a, b))
+	out, err := n.Eval(map[string][]bool{
+		"a": Uint64ToBits(7, 3),
+		"b": Uint64ToBits(63, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bitsToUint(out["sum"]); got != 70 {
+		t.Fatalf("7+63 = %d", got)
+	}
+}
+
+func TestLessWordProperty(t *testing.T) {
+	const w = 8
+	n := New()
+	a := n.Input("a", w)
+	b := n.Input("b", w)
+	n.Output("lt", []Net{n.LessWord(a, b)})
+	f := func(x, y uint8) bool {
+		out, err := n.Eval(map[string][]bool{
+			"a": Uint64ToBits(uint64(x), w),
+			"b": Uint64ToBits(uint64(y), w),
+		})
+		if err != nil {
+			return false
+		}
+		return out["lt"][0] == (x < y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuxAndWord(t *testing.T) {
+	n := New()
+	sel := n.Input("sel", 1)
+	a := n.Input("a", 4)
+	b := n.Input("b", 4)
+	n.Output("mux", n.MuxWord(sel[0], a, b))
+	n.Output("and", n.AndWord(sel[0], a))
+	out, _ := n.Eval(map[string][]bool{
+		"sel": {true},
+		"a":   Uint64ToBits(0b1010, 4),
+		"b":   Uint64ToBits(0b0101, 4),
+	})
+	if bitsToUint(out["mux"]) != 0b0101 {
+		t.Fatalf("mux sel=1 -> %b", bitsToUint(out["mux"]))
+	}
+	if bitsToUint(out["and"]) != 0b1010 {
+		t.Fatalf("and en=1 -> %b", bitsToUint(out["and"]))
+	}
+	out, _ = n.Eval(map[string][]bool{
+		"sel": {false},
+		"a":   Uint64ToBits(0b1010, 4),
+		"b":   Uint64ToBits(0b0101, 4),
+	})
+	if bitsToUint(out["mux"]) != 0b1010 || bitsToUint(out["and"]) != 0 {
+		t.Fatal("mux/and sel=0 wrong")
+	}
+}
+
+func TestConstWord(t *testing.T) {
+	n := New()
+	n.Output("c", n.ConstWord(0b1011, 6))
+	out, _ := n.Eval(nil)
+	if bitsToUint(out["c"]) != 0b1011 {
+		t.Fatalf("const %b", bitsToUint(out["c"]))
+	}
+}
+
+func TestDepthAndCounts(t *testing.T) {
+	n := New()
+	in := n.Input("in", 2)
+	x := n.AndG(in[0], in[1])
+	y := n.OrG(x, in[0])
+	n.Output("o", []Net{y})
+	if n.Depth() != 2 {
+		t.Fatalf("depth %d", n.Depth())
+	}
+	counts := n.GateCounts()
+	if counts[And] != 1 || counts[Or] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+	if n.NumGates() != 2 {
+		t.Fatalf("gates %d", n.NumGates())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{And: "and", Mux2: "mux2", Not: "not"} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package perm enumerates permutations of small value sets. The paper's
+// bandwidth-sharing experiments (Figs. 4 and 6(a)) sweep every possible
+// assignment of the priority/ticket values {1,2,3,4} to the four bus
+// masters — i.e. all 24 permutations, in lexicographic order, so the
+// x-axes of the reproduced figures match the paper's ("1234" .. "4321").
+package perm
+
+import "fmt"
+
+// Permutations returns all permutations of values in lexicographic order
+// of the value sequences. The input is not modified. For n values the
+// result has n! entries; n is capped at 10 to bound memory.
+func Permutations[T any](values []T) [][]T {
+	n := len(values)
+	if n == 0 {
+		return nil
+	}
+	if n > 10 {
+		panic(fmt.Sprintf("perm: refusing to enumerate %d! permutations", n))
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var out [][]T
+	for {
+		p := make([]T, n)
+		for i, j := range idx {
+			p[i] = values[j]
+		}
+		out = append(out, p)
+		if !nextIndexPermutation(idx) {
+			return out
+		}
+	}
+}
+
+// nextIndexPermutation advances idx to the next lexicographic permutation
+// in place, returning false when idx was the final permutation.
+func nextIndexPermutation(idx []int) bool {
+	n := len(idx)
+	i := n - 2
+	for i >= 0 && idx[i] >= idx[i+1] {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	j := n - 1
+	for idx[j] <= idx[i] {
+		j--
+	}
+	idx[i], idx[j] = idx[j], idx[i]
+	for a, b := i+1, n-1; a < b; a, b = a+1, b-1 {
+		idx[a], idx[b] = idx[b], idx[a]
+	}
+	return true
+}
+
+// Label renders a permutation of small integers as the compact digit
+// string used on the paper's x-axes, e.g. [1 2 3 4] -> "1234".
+// Values ten and above are separated by dashes to stay unambiguous.
+func Label(p []uint64) string {
+	wide := false
+	for _, v := range p {
+		if v > 9 {
+			wide = true
+			break
+		}
+	}
+	s := ""
+	for i, v := range p {
+		if wide && i > 0 {
+			s += "-"
+		}
+		s += fmt.Sprintf("%d", v)
+	}
+	return s
+}

@@ -1,0 +1,83 @@
+package perm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPermutationsCountAndUniqueness(t *testing.T) {
+	for n, want := range map[int]int{1: 1, 2: 2, 3: 6, 4: 24, 5: 120} {
+		values := make([]uint64, n)
+		for i := range values {
+			values[i] = uint64(i + 1)
+		}
+		ps := Permutations(values)
+		if len(ps) != want {
+			t.Fatalf("n=%d: %d permutations, want %d", n, len(ps), want)
+		}
+		seen := map[string]bool{}
+		for _, p := range ps {
+			k := fmt.Sprint(p)
+			if seen[k] {
+				t.Fatalf("n=%d: duplicate permutation %v", n, p)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestPermutationsLexOrder(t *testing.T) {
+	ps := Permutations([]uint64{1, 2, 3})
+	want := [][]uint64{
+		{1, 2, 3}, {1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if ps[i][j] != want[i][j] {
+				t.Fatalf("permutation %d = %v, want %v", i, ps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPermutationsFirstAndLastFor4(t *testing.T) {
+	ps := Permutations([]uint64{1, 2, 3, 4})
+	if Label(ps[0]) != "1234" {
+		t.Fatalf("first = %s", Label(ps[0]))
+	}
+	if Label(ps[23]) != "4321" {
+		t.Fatalf("last = %s", Label(ps[23]))
+	}
+}
+
+func TestPermutationsEmptyAndInputUntouched(t *testing.T) {
+	if Permutations([]int(nil)) != nil {
+		t.Fatal("nil input should return nil")
+	}
+	in := []int{3, 1, 2}
+	Permutations(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input modified: %v", in)
+	}
+}
+
+func TestPermutationsPanicsOnLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=11 did not panic")
+		}
+	}()
+	Permutations(make([]int, 11))
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label([]uint64{1, 2, 3, 4}); got != "1234" {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := Label([]uint64{1, 2, 10}); got != "1-2-10" {
+		t.Fatalf("wide Label = %q", got)
+	}
+	if got := Label(nil); got != "" {
+		t.Fatalf("empty Label = %q", got)
+	}
+}

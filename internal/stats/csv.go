@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// WriteCSV emits the table as RFC-4180 CSV (header row first) for
+// downstream plotting tools.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	width := len(t.Headers)
+	for _, row := range t.Rows {
+		rec := make([]string, width)
+		for i := 0; i < width && i < len(row); i++ {
+			rec[i] = row[i]
+		}
+		if len(row) > width {
+			rec = append(rec, row[width:]...)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the figure as CSV: one row per x-label, one column per
+// series.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	return f.Table().WriteCSV(w)
+}

@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("with,comma", "2")
+	tb.AddRow("short") // ragged short row
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("records %v", recs)
+	}
+	if recs[0][0] != "name" || recs[2][0] != "with,comma" {
+		t.Fatalf("records %v", recs)
+	}
+	if recs[3][1] != "" {
+		t.Fatalf("short row not padded: %v", recs[3])
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	f := NewFigure("lat", "class", "cyc")
+	s := f.AddSeries("tdma")
+	s.Add("T1", 1.5)
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "class,tdma") || !strings.Contains(out, "T1,1.50") {
+		t.Fatalf("csv:\n%s", out)
+	}
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a streaming histogram over float64 samples with
+// exact mean/variance tracking (Welford) and approximate quantiles via
+// fixed-resolution buckets. The zero value is not usable; call
+// NewHistogram.
+type Histogram struct {
+	count int64
+	mean  float64
+	m2    float64
+	min   float64
+	max   float64
+	// buckets holds counts for sample value v in bucket
+	// floor(v * bucketsPerUnit); values beyond the range land in the
+	// overflow bucket.
+	buckets  map[int64]int64
+	overflow int64
+}
+
+// bucketsPerUnit gives 0.25-cycle latency resolution, ample for
+// cycles/word metrics.
+const bucketsPerUnit = 4
+
+// maxBucket bounds the bucket index; samples above land in overflow.
+const maxBucket = 1 << 20
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+		buckets: make(map[int64]int64),
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.count++
+	d := v - h.mean
+	h.mean += d / float64(h.count)
+	h.m2 += d * (v - h.mean)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	b := int64(v * bucketsPerUnit)
+	if b < 0 {
+		b = 0
+	}
+	if b >= maxBucket {
+		h.overflow++
+		return
+	}
+	h.buckets[b]++
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the sample mean, or NaN when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.mean
+}
+
+// Variance returns the sample variance (n-1 denominator), or NaN with
+// fewer than two samples.
+func (h *Histogram) Variance() float64 {
+	if h.count < 2 {
+		return math.NaN()
+	}
+	return h.m2 / float64(h.count-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (h *Histogram) StdDev() float64 { return math.Sqrt(h.Variance()) }
+
+// Min returns the smallest sample, or NaN when empty.
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.min
+}
+
+// Max returns the largest sample, or NaN when empty.
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.max
+}
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1) at
+// the histogram's bucket resolution, or NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	keys := make([]int64, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var acc int64
+	for _, k := range keys {
+		acc += h.buckets[k]
+		if acc > target {
+			return (float64(k) + 0.5) / bucketsPerUnit
+		}
+	}
+	return h.max
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histogram{empty}"
+	}
+	return fmt.Sprintf("histogram{n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p99=%.3f max=%.3f}",
+		h.count, h.Mean(), h.StdDev(), h.min, h.Quantile(0.5), h.Quantile(0.99), h.max)
+}
+
+// Sparkline renders the bucket distribution between min and max as a
+// fixed-width ASCII bar chart for quick terminal inspection.
+func (h *Histogram) Sparkline(width int) string {
+	if h.count == 0 || width <= 0 {
+		return ""
+	}
+	lo := int64(h.min * bucketsPerUnit)
+	hi := int64(h.max*bucketsPerUnit) + 1
+	if hi <= lo {
+		hi = lo + 1
+	}
+	cols := make([]int64, width)
+	span := hi - lo
+	for k, c := range h.buckets {
+		col := int((k - lo) * int64(width) / span)
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		cols[col] += c
+	}
+	var peak int64
+	for _, c := range cols {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return strings.Repeat(" ", width)
+	}
+	marks := []byte(" .:-=+*#%@")
+	var b strings.Builder
+	for _, c := range cols {
+		idx := int(c * int64(len(marks)-1) / peak)
+		b.WriteByte(marks[idx])
+	}
+	return b.String()
+}

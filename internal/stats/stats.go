@@ -1,0 +1,193 @@
+// Package stats collects and reports the two performance metrics the
+// LOTTERYBUS paper evaluates communication architectures on:
+//
+//   - bandwidth fraction: the share of total bus cycles in which a given
+//     master transferred a word (Figs. 4, 6(a), 12(a), Table 1);
+//   - per-word communication latency: the average number of bus cycles
+//     spent per transferred word, including both waiting time and the
+//     data transfer itself (Figs. 6(b), 12(b), 12(c), Table 1).
+//
+// A Collector accumulates raw events from the bus model; the derived
+// metrics are computed on demand.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Collector accumulates per-master transfer statistics over a simulation.
+type Collector struct {
+	n      int
+	cycles int64 // total simulated bus cycles
+	busy   int64 // cycles in which the bus carried a word or control beat
+	words  []int64
+	// control counts bus cycles spent on control signalling (split-
+	// transaction address beats): busy, but not data.
+	control []int64
+
+	messages []int64
+	// latencySum[i] is Σ over completed messages of
+	// (completion cycle − arrival cycle + 1); dividing by the words of
+	// completed messages yields the paper's per-word latency metric
+	// (waiting plus transfer cycles per word).
+	latencySum     []int64
+	completedWords []int64
+	waitSum        []int64 // Σ of (first-word grant − arrival)
+	maxMsgLat      []int64
+	grants         []int64
+	hist           []*Histogram
+}
+
+// NewCollector returns a Collector for n masters.
+func NewCollector(n int) *Collector {
+	if n <= 0 {
+		panic("stats: collector needs at least one master")
+	}
+	c := &Collector{
+		n:              n,
+		words:          make([]int64, n),
+		control:        make([]int64, n),
+		messages:       make([]int64, n),
+		latencySum:     make([]int64, n),
+		completedWords: make([]int64, n),
+		waitSum:        make([]int64, n),
+		maxMsgLat:      make([]int64, n),
+		grants:         make([]int64, n),
+		hist:           make([]*Histogram, n),
+	}
+	for i := range c.hist {
+		c.hist[i] = NewHistogram()
+	}
+	return c
+}
+
+// N returns the number of masters tracked.
+func (c *Collector) N() int { return c.n }
+
+// AdvanceCycles adds cycles to the simulated-time denominator.
+func (c *Collector) AdvanceCycles(cycles int64) { c.cycles += cycles }
+
+// WordTransferred records a single word transferred by master m during
+// one bus cycle.
+func (c *Collector) WordTransferred(m int) {
+	c.words[m]++
+	c.busy++
+}
+
+// ControlCycle records a bus cycle consumed by master m's control
+// signalling (e.g. a split-transaction address beat): the bus is busy
+// but no data word moves.
+func (c *Collector) ControlCycle(m int) {
+	c.control[m]++
+	c.busy++
+}
+
+// ControlCycles returns the control cycles consumed by master m.
+func (c *Collector) ControlCycles(m int) int64 { return c.control[m] }
+
+// Granted records an arbitration grant issued to master m.
+func (c *Collector) Granted(m int) { c.grants[m]++ }
+
+// MessageStarted records that the first word of a message from master m
+// that arrived at cycle arrival was granted at cycle start.
+func (c *Collector) MessageStarted(m int, arrival, start int64) {
+	c.waitSum[m] += start - arrival
+}
+
+// MessageCompleted records a fully transferred message of the given word
+// count that arrived at cycle arrival and completed at cycle completion
+// (the cycle its last word transferred).
+func (c *Collector) MessageCompleted(m int, words int, arrival, completion int64) {
+	lat := completion - arrival + 1 // inclusive of the completing cycle
+	c.messages[m]++
+	c.latencySum[m] += lat
+	c.completedWords[m] += int64(words)
+	if lat > c.maxMsgLat[m] {
+		c.maxMsgLat[m] = lat
+	}
+	if words > 0 {
+		c.hist[m].Add(float64(lat) / float64(words))
+	}
+}
+
+// Cycles returns the total simulated bus cycles.
+func (c *Collector) Cycles() int64 { return c.cycles }
+
+// Words returns the words transferred by master m.
+func (c *Collector) Words(m int) int64 { return c.words[m] }
+
+// TotalWords returns the words transferred by all masters.
+func (c *Collector) TotalWords() int64 {
+	var t int64
+	for _, w := range c.words {
+		t += w
+	}
+	return t
+}
+
+// Messages returns the completed message count for master m.
+func (c *Collector) Messages(m int) int64 { return c.messages[m] }
+
+// Grants returns the number of grants issued to master m.
+func (c *Collector) Grants(m int) int64 { return c.grants[m] }
+
+// BandwidthFraction returns the fraction of all simulated cycles in which
+// master m was transferring a word, in [0, 1].
+func (c *Collector) BandwidthFraction(m int) float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return float64(c.words[m]) / float64(c.cycles)
+}
+
+// Utilization returns the fraction of cycles in which any word
+// transferred; 1-Utilization() is the paper's "unutilized" band in
+// Fig. 12(a).
+func (c *Collector) Utilization() float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return float64(c.busy) / float64(c.cycles)
+}
+
+// PerWordLatency returns the average bus cycles per transferred word for
+// master m — waiting plus transfer time over the words of completed
+// messages. Returns NaN when the master completed no messages.
+func (c *Collector) PerWordLatency(m int) float64 {
+	if c.completedWords[m] == 0 {
+		return math.NaN()
+	}
+	return float64(c.latencySum[m]) / float64(c.completedWords[m])
+}
+
+// AvgMessageLatency returns the mean arrival-to-completion latency of
+// master m's messages, or NaN when none completed.
+func (c *Collector) AvgMessageLatency(m int) float64 {
+	if c.messages[m] == 0 {
+		return math.NaN()
+	}
+	return float64(c.latencySum[m]) / float64(c.messages[m])
+}
+
+// AvgWait returns the mean cycles a message from master m waited between
+// arrival and its first granted word, or NaN when none started.
+func (c *Collector) AvgWait(m int) float64 {
+	if c.messages[m] == 0 {
+		return math.NaN()
+	}
+	return float64(c.waitSum[m]) / float64(c.messages[m])
+}
+
+// MaxMessageLatency returns the worst-case message latency observed for
+// master m.
+func (c *Collector) MaxMessageLatency(m int) int64 { return c.maxMsgLat[m] }
+
+// LatencyHistogram returns the per-word latency histogram of master m.
+func (c *Collector) LatencyHistogram(m int) *Histogram { return c.hist[m] }
+
+// Summary returns a one-line summary for master m.
+func (c *Collector) Summary(m int) string {
+	return fmt.Sprintf("master %d: %.1f%% bw, %.2f cycles/word, %d msgs, %d words",
+		m, 100*c.BandwidthFraction(m), c.PerWordLatency(m), c.messages[m], c.words[m])
+}

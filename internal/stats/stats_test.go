@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCollectorBandwidthFractions(t *testing.T) {
+	c := NewCollector(2)
+	c.AdvanceCycles(100)
+	for i := 0; i < 30; i++ {
+		c.WordTransferred(0)
+	}
+	for i := 0; i < 50; i++ {
+		c.WordTransferred(1)
+	}
+	if got := c.BandwidthFraction(0); math.Abs(got-0.30) > 1e-12 {
+		t.Fatalf("bw[0] = %v", got)
+	}
+	if got := c.BandwidthFraction(1); math.Abs(got-0.50) > 1e-12 {
+		t.Fatalf("bw[1] = %v", got)
+	}
+	if got := c.Utilization(); math.Abs(got-0.80) > 1e-12 {
+		t.Fatalf("utilization = %v", got)
+	}
+	if c.TotalWords() != 80 {
+		t.Fatalf("total words = %d", c.TotalWords())
+	}
+}
+
+func TestCollectorZeroCycles(t *testing.T) {
+	c := NewCollector(1)
+	if c.BandwidthFraction(0) != 0 || c.Utilization() != 0 {
+		t.Fatal("zero-cycle collector must report zero fractions")
+	}
+}
+
+func TestPerWordLatency(t *testing.T) {
+	c := NewCollector(1)
+	// A 4-word message arriving at cycle 10 whose last word moves at
+	// cycle 17: latency 8 cycles over 4 words = 2 cycles/word.
+	c.MessageCompleted(0, 4, 10, 17)
+	if got := c.PerWordLatency(0); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("per-word latency = %v", got)
+	}
+	// Add a second message: 2 words, arrival 20, completion 23 -> 4
+	// cycles over 2 words. Aggregate: (8+4)/(4+2) = 2.
+	c.MessageCompleted(0, 2, 20, 23)
+	if got := c.PerWordLatency(0); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("aggregate per-word latency = %v", got)
+	}
+	if got := c.AvgMessageLatency(0); math.Abs(got-6.0) > 1e-12 {
+		t.Fatalf("avg message latency = %v", got)
+	}
+	if c.MaxMessageLatency(0) != 8 {
+		t.Fatalf("max message latency = %d", c.MaxMessageLatency(0))
+	}
+}
+
+func TestPerWordLatencyNaNWhenIdle(t *testing.T) {
+	c := NewCollector(2)
+	c.MessageCompleted(0, 1, 0, 0)
+	if !math.IsNaN(c.PerWordLatency(1)) {
+		t.Fatal("idle master latency must be NaN")
+	}
+	if !math.IsNaN(c.AvgWait(1)) {
+		t.Fatal("idle master wait must be NaN")
+	}
+}
+
+func TestWaitAccounting(t *testing.T) {
+	c := NewCollector(1)
+	c.MessageStarted(0, 10, 14)
+	c.MessageCompleted(0, 2, 10, 15)
+	c.MessageStarted(0, 20, 20)
+	c.MessageCompleted(0, 2, 20, 21)
+	if got := c.AvgWait(0); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("avg wait = %v", got)
+	}
+}
+
+func TestGrantsCounting(t *testing.T) {
+	c := NewCollector(2)
+	c.Granted(0)
+	c.Granted(0)
+	c.Granted(1)
+	if c.Grants(0) != 2 || c.Grants(1) != 1 {
+		t.Fatal("grant counts wrong")
+	}
+}
+
+func TestCollectorPanicsOnZeroMasters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCollector(0) did not panic")
+		}
+	}()
+	NewCollector(0)
+}
+
+func TestHistogramMoments(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Mean()-3) > 1e-12 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if math.Abs(h.Variance()-2.5) > 1e-12 {
+		t.Fatalf("variance = %v", h.Variance())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if !math.IsNaN(h.Mean()) || !math.IsNaN(h.Variance()) || !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram must report NaN")
+	}
+	if h.String() != "histogram{empty}" {
+		t.Fatalf("String = %q", h.String())
+	}
+	if h.Sparkline(10) != "" {
+		t.Fatal("empty sparkline should be empty")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i) / 10) // 0.1 .. 100.0
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("p50 = %v", med)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 95 || p99 > 100.5 {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatal("quantile extremes must match min/max")
+	}
+}
+
+func TestHistogramIgnoresNaN(t *testing.T) {
+	h := NewHistogram()
+	h.Add(math.NaN())
+	if h.Count() != 0 {
+		t.Fatal("NaN sample counted")
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1e9)
+	h.Add(1.0)
+	if h.Count() != 2 {
+		t.Fatal("overflow sample lost from count")
+	}
+	if h.Max() != 1e9 {
+		t.Fatal("overflow sample lost from max")
+	}
+}
+
+func TestHistogramSparkline(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Add(1)
+	}
+	h.Add(10)
+	s := h.Sparkline(20)
+	if len(s) != 20 {
+		t.Fatalf("sparkline width %d", len(s))
+	}
+	if !strings.Contains(s, "@") {
+		t.Fatalf("peak mark missing: %q", s)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowValues("beta", 2.5)
+	out := tb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "beta", "2.50", "----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, headers, separator, two rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	f := NewFigure("Latency", "class", "cycles/word")
+	a := f.AddSeries("tdma")
+	b := f.AddSeries("lottery")
+	a.Add("T1", 3.5)
+	a.Add("T2", 8.55)
+	b.Add("T1", 1.2)
+	b.Add("T2", 1.7)
+	out := f.String()
+	for _, want := range []string{"Latency", "class", "tdma", "lottery", "8.55", "1.70", "T2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRaggedSeries(t *testing.T) {
+	f := NewFigure("X", "x", "y")
+	a := f.AddSeries("a")
+	f.AddSeries("b") // empty series
+	a.Add("p", 1)
+	out := f.String()
+	if !strings.Contains(out, "p") {
+		t.Fatalf("ragged figure render failed:\n%s", out)
+	}
+}

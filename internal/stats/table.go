@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table used by the experiment
+// harness to print figure/table rows the way the paper reports them.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are kept as-is.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowValues appends a row rendering each cell with a default format:
+// floats as %.2f, everything else via fmt.Sprint.
+func (t *Table) AddRowValues(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, 0, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts = append(parts, pad(c, widths[i]))
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a labelled sequence of (x-label, y-value) points — one curve
+// of a paper figure.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(label string, value float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, value)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Figure is a set of series sharing an x-axis — the textual stand-in for
+// one paper figure.
+type Figure struct {
+	Title  string
+	XAxis  string
+	YAxis  string
+	Series []*Series
+}
+
+// NewFigure returns an empty figure.
+func NewFigure(title, xAxis, yAxis string) *Figure {
+	return &Figure{Title: title, XAxis: xAxis, YAxis: yAxis}
+}
+
+// AddSeries appends a named series and returns it for population.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Table converts the figure into a printable table: one row per x-label,
+// one column per series.
+func (f *Figure) Table() *Table {
+	headers := append([]string{f.XAxis}, make([]string, 0, len(f.Series))...)
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	t := NewTable(fmt.Sprintf("%s (%s)", f.Title, f.YAxis), headers...)
+	if len(f.Series) == 0 {
+		return t
+	}
+	n := f.Series[0].Len()
+	for i := 0; i < n; i++ {
+		row := []string{f.Series[0].Labels[i]}
+		for _, s := range f.Series {
+			if i < s.Len() {
+				row = append(row, fmt.Sprintf("%.2f", s.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Render writes the figure's table form to w.
+func (f *Figure) Render(w io.Writer) { f.Table().Render(w) }
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var b strings.Builder
+	f.Render(&b)
+	return b.String()
+}

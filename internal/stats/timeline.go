@@ -1,0 +1,79 @@
+package stats
+
+import "fmt"
+
+// Timeline samples per-master bandwidth shares over fixed windows of
+// bus cycles — the view needed to watch dynamic ticket re-provisioning
+// take effect (and generally any transient). Attach Hook to
+// bus.Bus.OnOwner.
+type Timeline struct {
+	n      int
+	window int64
+	counts []int64 // current window word counts per master
+	filled int64   // cycles accumulated in the current window
+	shares [][]float64
+}
+
+// NewTimeline returns a sampler over n masters with the given window in
+// cycles (minimum 1).
+func NewTimeline(n int, window int64) *Timeline {
+	if n <= 0 {
+		panic("stats: timeline needs at least one master")
+	}
+	if window <= 0 {
+		window = 1
+	}
+	return &Timeline{n: n, window: window, counts: make([]int64, n)}
+}
+
+// Hook consumes one cycle's bus owner (-1 for idle).
+func (t *Timeline) Hook(_ int64, owner int) {
+	if owner >= 0 && owner < t.n {
+		t.counts[owner]++
+	}
+	t.filled++
+	if t.filled == t.window {
+		row := make([]float64, t.n)
+		for i, c := range t.counts {
+			row[i] = float64(c) / float64(t.window)
+			t.counts[i] = 0
+		}
+		t.shares = append(t.shares, row)
+		t.filled = 0
+	}
+}
+
+// Windows returns the number of completed windows.
+func (t *Timeline) Windows() int { return len(t.shares) }
+
+// Share returns master m's bandwidth share in window w.
+func (t *Timeline) Share(w, m int) float64 { return t.shares[w][m] }
+
+// Window returns the window length in cycles.
+func (t *Timeline) Window() int64 { return t.window }
+
+// SettleWindow returns the first window at or after window from in which
+// master m's share reaches threshold and stays at or above it for the
+// remainder of the recording, or -1 if it never settles.
+func (t *Timeline) SettleWindow(from, m int, threshold float64) int {
+	settled := -1
+	for w := from; w < len(t.shares); w++ {
+		if t.shares[w][m] >= threshold {
+			if settled == -1 {
+				settled = w
+			}
+		} else {
+			settled = -1
+		}
+	}
+	return settled
+}
+
+// Series renders master m's share trajectory as a Series for plotting.
+func (t *Timeline) Series(m int, name string) *Series {
+	s := &Series{Name: name}
+	for w := range t.shares {
+		s.Add(fmt.Sprintf("%d", (int64(w)+1)*t.window), t.shares[w][m])
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimelineWindows(t *testing.T) {
+	tl := NewTimeline(2, 10)
+	// 25 cycles: master 0 owns the first 10, master 1 the next 10, then
+	// 5 idle cycles (incomplete window, discarded).
+	for c := int64(0); c < 10; c++ {
+		tl.Hook(c, 0)
+	}
+	for c := int64(10); c < 20; c++ {
+		tl.Hook(c, 1)
+	}
+	for c := int64(20); c < 25; c++ {
+		tl.Hook(c, -1)
+	}
+	if tl.Windows() != 2 {
+		t.Fatalf("windows %d", tl.Windows())
+	}
+	if tl.Share(0, 0) != 1.0 || tl.Share(0, 1) != 0.0 {
+		t.Fatalf("window 0 shares %v %v", tl.Share(0, 0), tl.Share(0, 1))
+	}
+	if tl.Share(1, 1) != 1.0 {
+		t.Fatalf("window 1 share %v", tl.Share(1, 1))
+	}
+	if tl.Window() != 10 {
+		t.Fatalf("window %d", tl.Window())
+	}
+}
+
+func TestTimelineMixedWindow(t *testing.T) {
+	tl := NewTimeline(2, 4)
+	for _, o := range []int{0, 1, 0, -1} {
+		tl.Hook(0, o)
+	}
+	if tl.Windows() != 1 {
+		t.Fatal("window not closed")
+	}
+	if math.Abs(tl.Share(0, 0)-0.5) > 1e-12 || math.Abs(tl.Share(0, 1)-0.25) > 1e-12 {
+		t.Fatalf("shares %v %v", tl.Share(0, 0), tl.Share(0, 1))
+	}
+}
+
+func TestTimelineSettleWindow(t *testing.T) {
+	tl := NewTimeline(1, 2)
+	// Shares per window: 0, 0, 1, 0.5, 1, 1 (threshold 0.9 settles at 4).
+	owners := []int{-1, -1, -1, -1, 0, 0, 0, -1, 0, 0, 0, 0}
+	for _, o := range owners {
+		tl.Hook(0, o)
+	}
+	if tl.Windows() != 6 {
+		t.Fatalf("windows %d", tl.Windows())
+	}
+	if got := tl.SettleWindow(0, 0, 0.9); got != 4 {
+		t.Fatalf("settle window %d, want 4", got)
+	}
+	if got := tl.SettleWindow(0, 0, 1.1); got != -1 {
+		t.Fatal("impossible threshold settled")
+	}
+}
+
+func TestTimelineSeries(t *testing.T) {
+	tl := NewTimeline(1, 2)
+	for _, o := range []int{0, 0, -1, -1} {
+		tl.Hook(0, o)
+	}
+	s := tl.Series(0, "m0")
+	if s.Len() != 2 || s.Labels[0] != "2" || s.Values[0] != 1.0 {
+		t.Fatalf("series %+v", s)
+	}
+}
+
+func TestTimelinePanicsOnZeroMasters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTimeline(0, 1)
+}

@@ -1,0 +1,222 @@
+// Package topology composes multiple shared buses into hierarchical
+// communication architectures connected by bridges (paper §2: "When the
+// topology consists of multiple channels, bridges are employed to
+// interconnect the necessary channels", §2.3 hierarchical bus
+// architectures). The LOTTERYBUS architecture "does not presume any
+// fixed topology of communication channels" (§4.1); this package lets
+// the lottery — or any other arbiter — run per channel.
+package topology
+
+import (
+	"fmt"
+
+	"lotterybus/internal/bus"
+)
+
+// System is a set of buses advanced in lock-step, with bridges
+// forwarding completed transactions between them.
+type System struct {
+	buses   []*bus.Bus
+	names   []string
+	bridges []*Bridge
+	cycle   int64
+}
+
+// NewSystem returns an empty multi-bus system.
+func NewSystem() *System { return &System{} }
+
+// AddBus registers a bus under a name and returns its index.
+func (s *System) AddBus(name string, b *bus.Bus) int {
+	s.buses = append(s.buses, b)
+	s.names = append(s.names, name)
+	return len(s.buses) - 1
+}
+
+// Bus returns the i-th bus.
+func (s *System) Bus(i int) *bus.Bus { return s.buses[i] }
+
+// NumBuses returns the bus count.
+func (s *System) NumBuses() int { return len(s.buses) }
+
+// Bridge forwards transactions completed against a designated slave on
+// the source bus onto a master of the destination bus, after a fixed
+// forwarding delay — a store-and-forward bridge with an internal FIFO.
+type Bridge struct {
+	name string
+
+	src       *bus.Bus
+	srcSlave  int
+	dst       *bus.Bus
+	dstMaster int
+	dstSlave  int
+	delay     int64
+	fifoCap   int
+
+	// waiting holds transactions that completed on the source bus and
+	// are serving their forwarding delay before injection downstream.
+	waiting []pendingXfer
+	// inFlight tracks source-arrival times of messages currently queued
+	// or transferring on the destination bus, in FIFO order.
+	inFlight []int64
+
+	forwarded   int64
+	dropped     int64
+	e2eLatency  int64
+	e2eMessages int64
+}
+
+type pendingXfer struct {
+	readyAt int64
+	words   int
+	arrival int64 // original arrival at the source-bus master
+}
+
+// BridgeConfig describes one bridge.
+type BridgeConfig struct {
+	// Name labels the bridge.
+	Name string
+	// SrcSlave is the slave index on the source bus that addresses the
+	// bridge.
+	SrcSlave int
+	// DstMaster is the bridge's master index on the destination bus
+	// (add a nil-generator master for it).
+	DstMaster int
+	// DstSlave is the slave the forwarded transaction targets on the
+	// destination bus.
+	DstSlave int
+	// Delay is the store-and-forward latency in cycles (>= 0).
+	Delay int64
+	// FifoCap bounds the bridge FIFO in messages; 0 selects 64.
+	FifoCap int
+}
+
+// Connect installs a bridge from src to dst. The destination master must
+// already exist on dst (with no generator of its own).
+func (s *System) Connect(src, dst int, cfg BridgeConfig) (*Bridge, error) {
+	if src < 0 || src >= len(s.buses) || dst < 0 || dst >= len(s.buses) {
+		return nil, fmt.Errorf("topology: bus index out of range")
+	}
+	if src == dst {
+		return nil, fmt.Errorf("topology: bridge must connect distinct buses")
+	}
+	sb, db := s.buses[src], s.buses[dst]
+	if cfg.DstMaster < 0 || cfg.DstMaster >= db.NumMasters() {
+		return nil, fmt.Errorf("topology: bridge master %d not on destination bus", cfg.DstMaster)
+	}
+	if cfg.SrcSlave < 0 || cfg.SrcSlave >= sb.NumSlaves() {
+		return nil, fmt.Errorf("topology: bridge slave %d not on source bus", cfg.SrcSlave)
+	}
+	if cfg.Delay < 0 {
+		return nil, fmt.Errorf("topology: negative bridge delay")
+	}
+	if cfg.FifoCap == 0 {
+		cfg.FifoCap = 64
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("bridge-%s-%s", s.names[src], s.names[dst])
+	}
+	br := &Bridge{
+		name:      name,
+		src:       sb,
+		srcSlave:  cfg.SrcSlave,
+		dst:       db,
+		dstMaster: cfg.DstMaster,
+		dstSlave:  cfg.DstSlave,
+		delay:     cfg.Delay,
+		fifoCap:   cfg.FifoCap,
+	}
+	s.bridges = append(s.bridges, br)
+
+	prevSrcHook := sb.OnMessageComplete
+	sb.OnMessageComplete = func(master, words, slave int, arrival, completion int64) {
+		if prevSrcHook != nil {
+			prevSrcHook(master, words, slave, arrival, completion)
+		}
+		if slave != br.srcSlave {
+			return
+		}
+		if len(br.waiting)+len(br.inFlight) >= br.fifoCap {
+			br.dropped++
+			return
+		}
+		br.waiting = append(br.waiting, pendingXfer{
+			readyAt: completion + br.delay,
+			words:   words,
+			arrival: arrival,
+		})
+	}
+
+	prevDstHook := db.OnMessageComplete
+	db.OnMessageComplete = func(master, words, slave int, arrival, completion int64) {
+		if prevDstHook != nil {
+			prevDstHook(master, words, slave, arrival, completion)
+		}
+		if master != br.dstMaster || len(br.inFlight) == 0 {
+			return
+		}
+		srcArrival := br.inFlight[0]
+		br.inFlight = br.inFlight[1:]
+		br.e2eLatency += completion - srcArrival + 1
+		br.e2eMessages++
+		br.forwarded++
+	}
+	return br, nil
+}
+
+// drain injects transactions whose forwarding delay has elapsed.
+func (b *Bridge) drain(cycle int64) {
+	for len(b.waiting) > 0 && b.waiting[0].readyAt <= cycle {
+		p := b.waiting[0]
+		if !b.dst.Inject(b.dstMaster, p.words, b.dstSlave) {
+			b.dropped++
+			b.waiting = b.waiting[1:]
+			continue
+		}
+		b.inFlight = append(b.inFlight, p.arrival)
+		b.waiting = b.waiting[1:]
+	}
+}
+
+// Name returns the bridge label.
+func (b *Bridge) Name() string { return b.name }
+
+// Forwarded returns the number of messages fully delivered downstream.
+func (b *Bridge) Forwarded() int64 { return b.forwarded }
+
+// Dropped returns messages lost to bridge FIFO overflow.
+func (b *Bridge) Dropped() int64 { return b.dropped }
+
+// AvgEndToEndLatency returns the mean cycles from the message's arrival
+// at its source-bus master to its completion on the destination bus.
+func (b *Bridge) AvgEndToEndLatency() float64 {
+	if b.e2eMessages == 0 {
+		return 0
+	}
+	return float64(b.e2eLatency) / float64(b.e2eMessages)
+}
+
+// Queued returns the bridge FIFO occupancy (waiting plus in flight).
+func (b *Bridge) Queued() int { return len(b.waiting) + len(b.inFlight) }
+
+// Run advances every bus in lock-step for n cycles.
+func (s *System) Run(n int64) error {
+	if len(s.buses) == 0 {
+		return fmt.Errorf("topology: no buses")
+	}
+	for k := int64(0); k < n; k++ {
+		for _, br := range s.bridges {
+			br.drain(s.cycle)
+		}
+		for i, b := range s.buses {
+			if err := b.Run(1); err != nil {
+				return fmt.Errorf("topology: bus %s: %w", s.names[i], err)
+			}
+		}
+		s.cycle++
+	}
+	return nil
+}
+
+// Cycle returns the current lock-step cycle.
+func (s *System) Cycle() int64 { return s.cycle }

@@ -1,0 +1,130 @@
+// Package trace records per-cycle bus ownership and renders it as ASCII
+// waveforms in the style of the paper's Fig. 5 symbolic execution traces,
+// so alignment effects between request patterns and TDMA slot
+// reservations can be inspected directly.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Recorder captures the bus owner for every simulated cycle. Attach its
+// Hook to bus.Bus.OnOwner.
+type Recorder struct {
+	start  int64
+	owners []int // -1 for idle cycles
+	limit  int
+}
+
+// NewRecorder returns a recorder capturing at most limit cycles (0 means
+// 1<<20); recording silently stops at the cap.
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{start: -1, limit: limit}
+}
+
+// Hook is the bus.OnOwner callback.
+func (r *Recorder) Hook(cycle int64, owner int) {
+	if r.start < 0 {
+		r.start = cycle
+	}
+	if len(r.owners) >= r.limit {
+		return
+	}
+	// Pad any gap (recorder attached mid-run or multiple buses).
+	for r.start+int64(len(r.owners)) < cycle {
+		r.owners = append(r.owners, -1)
+		if len(r.owners) >= r.limit {
+			return
+		}
+	}
+	r.owners = append(r.owners, owner)
+}
+
+// Len returns the number of recorded cycles.
+func (r *Recorder) Len() int { return len(r.owners) }
+
+// Owner returns the recorded owner for the i-th captured cycle.
+func (r *Recorder) Owner(i int) int { return r.owners[i] }
+
+// Start returns the first recorded cycle.
+func (r *Recorder) Start() int64 { return r.start }
+
+// Busy returns the number of non-idle recorded cycles.
+func (r *Recorder) Busy() int {
+	n := 0
+	for _, o := range r.owners {
+		if o >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// OwnerRuns returns the recorded ownership as (owner, length) runs —
+// useful for asserting burst structure in tests.
+func (r *Recorder) OwnerRuns() []Run {
+	var runs []Run
+	for _, o := range r.owners {
+		if n := len(runs); n > 0 && runs[n-1].Owner == o {
+			runs[n-1].Length++
+			continue
+		}
+		runs = append(runs, Run{Owner: o, Length: 1})
+	}
+	return runs
+}
+
+// Run is a maximal stretch of cycles with one owner (-1 = idle).
+type Run struct {
+	Owner  int
+	Length int
+}
+
+// Waveform renders the recorded window [from, to) as one line per master
+// plus an idle line: '#' marks a cycle owned by that master, '.' marks
+// other cycles. masters is the number of lines to draw.
+func (r *Recorder) Waveform(masters int, from, to int) string {
+	if to > len(r.owners) {
+		to = len(r.owners)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= to {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %*d", 4, r.start+int64(from))
+	b.WriteString(strings.Repeat(" ", to-from-len(fmt.Sprint(r.start+int64(from)))))
+	fmt.Fprintf(&b, "%d\n", r.start+int64(to-1))
+	for m := 0; m < masters; m++ {
+		fmt.Fprintf(&b, "M%-2d |", m+1)
+		for c := from; c < to; c++ {
+			if r.owners[c] == m {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("idle|")
+	for c := from; c < to; c++ {
+		if r.owners[c] < 0 {
+			b.WriteByte('#')
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	b.WriteString("|\n")
+	return b.String()
+}
+
+// String renders the full recording for up to 4 masters.
+func (r *Recorder) String() string {
+	return r.Waveform(4, 0, len(r.owners))
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderCapturesOwners(t *testing.T) {
+	r := NewRecorder(0)
+	seq := []int{0, 0, 1, -1, 2}
+	for i, o := range seq {
+		r.Hook(int64(10+i), o)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("len %d", r.Len())
+	}
+	if r.Start() != 10 {
+		t.Fatalf("start %d", r.Start())
+	}
+	for i, want := range seq {
+		if r.Owner(i) != want {
+			t.Fatalf("owner[%d] = %d", i, r.Owner(i))
+		}
+	}
+	if r.Busy() != 4 {
+		t.Fatalf("busy %d", r.Busy())
+	}
+}
+
+func TestRecorderPadsGaps(t *testing.T) {
+	r := NewRecorder(0)
+	r.Hook(5, 0)
+	r.Hook(8, 1) // cycles 6,7 unobserved
+	if r.Len() != 4 {
+		t.Fatalf("len %d", r.Len())
+	}
+	if r.Owner(1) != -1 || r.Owner(2) != -1 {
+		t.Fatal("gap not padded with idle")
+	}
+	if r.Owner(3) != 1 {
+		t.Fatal("post-gap owner lost")
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Hook(int64(i), 0)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("limit ignored: %d", r.Len())
+	}
+}
+
+func TestOwnerRuns(t *testing.T) {
+	r := NewRecorder(0)
+	for i, o := range []int{0, 0, 0, 1, -1, -1, 1} {
+		r.Hook(int64(i), o)
+	}
+	runs := r.OwnerRuns()
+	want := []Run{{0, 3}, {1, 1}, {-1, 2}, {1, 1}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs %+v", runs)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs %+v, want %+v", runs, want)
+		}
+	}
+}
+
+func TestWaveformRendering(t *testing.T) {
+	r := NewRecorder(0)
+	for i, o := range []int{0, 1, -1, 0} {
+		r.Hook(int64(i), o)
+	}
+	w := r.Waveform(2, 0, 4)
+	lines := strings.Split(strings.TrimRight(w, "\n"), "\n")
+	if len(lines) != 4 { // header + 2 masters + idle
+		t.Fatalf("waveform:\n%s", w)
+	}
+	if !strings.Contains(lines[1], "#..#") {
+		t.Fatalf("M1 line %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ".#..") {
+		t.Fatalf("M2 line %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "..#.") {
+		t.Fatalf("idle line %q", lines[3])
+	}
+}
+
+func TestWaveformWindowClamping(t *testing.T) {
+	r := NewRecorder(0)
+	r.Hook(0, 0)
+	if r.Waveform(1, 5, 10) != "" {
+		t.Fatal("out-of-range window not empty")
+	}
+	if r.Waveform(1, -3, 1) == "" {
+		t.Fatal("negative from not clamped")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	r := NewRecorder(0)
+	r.Hook(0, 3)
+	if !strings.Contains(r.String(), "M4") {
+		t.Fatal("String() missing master lines")
+	}
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteVCD emits the recording as a Value Change Dump file viewable in
+// any waveform viewer (GTKWave etc.): one 1-bit grant wire per master
+// plus an aggregate busy wire, one timescale unit per bus cycle.
+// masters is the number of grant wires to emit; module names the VCD
+// scope.
+func (r *Recorder) WriteVCD(w io.Writer, masters int, module string) error {
+	if masters <= 0 {
+		return fmt.Errorf("trace: WriteVCD needs at least one master")
+	}
+	if module == "" {
+		module = "bus"
+	}
+	// Identifier codes: printable ASCII starting at '!'. Masters get
+	// '!'+i, busy gets the next code.
+	id := func(i int) string { return string(rune('!' + i)) }
+	busyID := id(masters)
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("$date\n    lotterybus simulation trace\n$end\n")
+	p("$version\n    lotterybus VCD writer\n$end\n")
+	p("$timescale 1ns $end\n")
+	p("$scope module %s $end\n", module)
+	for i := 0; i < masters; i++ {
+		p("$var wire 1 %s gnt_m%d $end\n", id(i), i+1)
+	}
+	p("$var wire 1 %s busy $end\n", busyID)
+	p("$upscope $end\n")
+	p("$enddefinitions $end\n")
+
+	// Initial values.
+	p("$dumpvars\n")
+	for i := 0; i < masters; i++ {
+		p("0%s\n", id(i))
+	}
+	p("0%s\n", busyID)
+	p("$end\n")
+
+	prev := make([]bool, masters)
+	prevBusy := false
+	for c := 0; c < len(r.owners); c++ {
+		owner := r.owners[c]
+		changed := false
+		for i := 0; i < masters; i++ {
+			cur := owner == i
+			if cur != prev[i] {
+				changed = true
+			}
+		}
+		busy := owner >= 0 && owner < masters
+		if busy != prevBusy {
+			changed = true
+		}
+		if !changed {
+			continue
+		}
+		p("#%d\n", r.start+int64(c))
+		for i := 0; i < masters; i++ {
+			cur := owner == i
+			if cur != prev[i] {
+				if cur {
+					p("1%s\n", id(i))
+				} else {
+					p("0%s\n", id(i))
+				}
+				prev[i] = cur
+			}
+		}
+		if busy != prevBusy {
+			if busy {
+				p("1%s\n", busyID)
+			} else {
+				p("0%s\n", busyID)
+			}
+			prevBusy = busy
+		}
+	}
+	// Close the dump at the final cycle.
+	p("#%d\n", r.start+int64(len(r.owners)))
+	return err
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func recordSample() *Recorder {
+	r := NewRecorder(0)
+	for i, o := range []int{0, 0, 1, -1, -1, 0, 2} {
+		r.Hook(int64(10+i), o)
+	}
+	return r
+}
+
+func TestWriteVCDStructure(t *testing.T) {
+	var b strings.Builder
+	if err := recordSample().WriteVCD(&b, 3, "testbus"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module testbus $end",
+		"$var wire 1 ! gnt_m1 $end",
+		"$var wire 1 \" gnt_m2 $end",
+		"$var wire 1 # gnt_m3 $end",
+		"$var wire 1 $ busy $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in VCD:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteVCDTransitions(t *testing.T) {
+	var b strings.Builder
+	if err := recordSample().WriteVCD(&b, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Owner sequence at cycles 10..16: 0,0,1,idle,idle,0,2.
+	// Expect time markers at the changes: 10 (m1 up), 12 (m1 down, m2
+	// up), 13 (m2 down, busy down), 15 (m1 up), 16 (m1 down, m3 up).
+	for _, want := range []string{"#10", "#12", "#13", "#15", "#16"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing time marker %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "#11\n") || strings.Contains(out, "#14\n") {
+		t.Fatalf("redundant time markers emitted:\n%s", out)
+	}
+	// m1 must rise at #10 and fall at #12.
+	if !vcdHasChangeAt(t, out, 10, "1!") || !vcdHasChangeAt(t, out, 12, "0!") {
+		t.Fatalf("m1 transitions wrong:\n%s", out)
+	}
+	// busy falls at #13 and rises at #15.
+	if !vcdHasChangeAt(t, out, 13, "0$") || !vcdHasChangeAt(t, out, 15, "1$") {
+		t.Fatalf("busy transitions wrong:\n%s", out)
+	}
+}
+
+// vcdHasChangeAt reports whether the change token appears in the block
+// following the #time marker (before the next marker).
+func vcdHasChangeAt(t *testing.T, vcd string, time int, token string) bool {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(vcd))
+	in := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			in = line == "#"+itoa(time)
+			continue
+		}
+		if in && line == token {
+			return true
+		}
+	}
+	return false
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+func TestWriteVCDValidation(t *testing.T) {
+	var b strings.Builder
+	if err := NewRecorder(0).WriteVCD(&b, 0, "x"); err == nil {
+		t.Fatal("zero masters accepted")
+	}
+}
+
+func TestWriteVCDEmptyRecording(t *testing.T) {
+	var b strings.Builder
+	if err := NewRecorder(0).WriteVCD(&b, 2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "$enddefinitions") {
+		t.Fatal("header missing for empty recording")
+	}
+}

@@ -1,0 +1,138 @@
+package traffic
+
+import "fmt"
+
+// Class is one point in the paper's communication traffic space: a
+// message (burst) size and a per-master offered load. The nine classes
+// T1..T9 sweep burst size across {4, 16, 64} words and per-master load
+// from sparse to heavy, mirroring §5.1's "widely varying characteristics
+// of on-chip communication traffic".
+//
+// With four masters, classes whose aggregate load exceeds 1.0 word/cycle
+// saturate the bus (bandwidth shares then track ticket ratios); T3 and
+// T6 are deliberately sparse so the bus is partly unutilized, which is
+// where the paper observes allocation decoupling from ticket holdings
+// (Fig. 12(a)).
+type Class struct {
+	Name string
+	// MsgWords is the message (burst) size in words.
+	MsgWords int
+	// Load is the offered load per master in words per cycle.
+	Load float64
+	// Bursty selects the ON/OFF arrival process instead of Bernoulli
+	// arrivals, concentrating the same load into bursts.
+	Bursty bool
+	// LoadOn, when nonzero, fixes the in-burst offered load of a bursty
+	// class; zero selects 5*Load capped at 0.9.
+	LoadOn float64
+}
+
+// String renders the class parameters.
+func (c Class) String() string {
+	kind := "bernoulli"
+	if c.Bursty {
+		kind = "on-off"
+	}
+	return fmt.Sprintf("%s{%d words, %.2f load, %s}", c.Name, c.MsgWords, c.Load, kind)
+}
+
+// Classes returns the nine traffic classes T1..T9.
+func Classes() []Class {
+	return []Class{
+		{Name: "T1", MsgWords: 4, Load: 0.45},
+		{Name: "T2", MsgWords: 4, Load: 0.30},
+		{Name: "T3", MsgWords: 4, Load: 0.12},
+		{Name: "T4", MsgWords: 16, Load: 0.45, Bursty: true},
+		{Name: "T5", MsgWords: 16, Load: 0.30, Bursty: true},
+		{Name: "T6", MsgWords: 16, Load: 0.12, Bursty: true},
+		{Name: "T7", MsgWords: 64, Load: 0.45, Bursty: true},
+		{Name: "T8", MsgWords: 64, Load: 0.35, Bursty: true},
+		{Name: "T9", MsgWords: 64, Load: 0.25, Bursty: true},
+	}
+}
+
+// LatencyClasses returns the six classes used for the latency surfaces
+// of Figs. 12(b) and 12(c). The paper labels its latency classes T1..T6
+// as well, but its reported latencies (1.65–11.5 cycles/word) are only
+// attainable below bus saturation — above it, queueing delay diverges
+// identically under every arbiter and the comparison is meaningless.
+//
+// We therefore define the latency sweep as the sub-saturation
+// counterparts L1..L6: every master carries the class's traffic, with
+// burst size across {4, 16} words and aggregate offered load of 0.9,
+// 0.6 and 0.24 words/cycle over four masters. The bursty classes cap
+// their in-burst rate below single-master saturation so that transient
+// overloads resolve by arbitration policy rather than diverging.
+func LatencyClasses() []Class {
+	return []Class{
+		{Name: "L1", MsgWords: 4, Load: 0.225},
+		{Name: "L2", MsgWords: 4, Load: 0.15},
+		{Name: "L3", MsgWords: 4, Load: 0.06},
+		{Name: "L4", MsgWords: 16, Load: 0.225, Bursty: true, LoadOn: 0.45},
+		{Name: "L5", MsgWords: 16, Load: 0.15, Bursty: true, LoadOn: 0.40},
+		{Name: "L6", MsgWords: 16, Load: 0.06, Bursty: true, LoadOn: 0.30},
+	}
+}
+
+// ClassByName returns the named class from either table (T1..T9 or
+// L1..L6).
+func ClassByName(name string) (Class, error) {
+	for _, c := range append(Classes(), LatencyClasses()...) {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Class{}, fmt.Errorf("traffic: unknown class %q", name)
+}
+
+// Generator builds the arrival process for one master under this class.
+// Each (class, master) pair gets an independent stream derived from seed.
+func (c Class) Generator(master, slave int, seed uint64) (gen interface {
+	Tick(cycle int64, queued int, emit func(words, slave int))
+}, err error) {
+	streamSeed := deriveSeed(seed, c.Name, master)
+	if c.Bursty {
+		// Concentrate the offered load into long ON periods nearly
+		// dense enough to saturate the bus alone: overlapping bursts
+		// from independent masters then create the transient overloads
+		// whose resolution separates the arbitration schemes.
+		meanOn := 40 * float64(c.MsgWords)
+		if meanOn > 1280 {
+			meanOn = 1280
+		}
+		loadOn := c.LoadOn
+		if loadOn == 0 {
+			loadOn = 5 * c.Load
+			if loadOn > 0.9 {
+				loadOn = 0.9
+			}
+		}
+		if loadOn < c.Load {
+			loadOn = c.Load
+		}
+		duty := c.Load / loadOn
+		meanOff := meanOn * (1 - duty) / duty
+		return NewOnOff(OnOffConfig{
+			MeanOn:  meanOn,
+			MeanOff: meanOff,
+			LoadOn:  loadOn,
+			Size:    Fixed(c.MsgWords),
+			Slave:   slave,
+			Seed:    streamSeed,
+		})
+	}
+	return NewBernoulli(c.Load, Fixed(c.MsgWords), slave, streamSeed)
+}
+
+// deriveSeed mixes the experiment seed, class name and master index into
+// an independent stream seed.
+func deriveSeed(seed uint64, class string, master int) uint64 {
+	h := seed
+	for i := 0; i < len(class); i++ {
+		h = h*0x100000001b3 ^ uint64(class[i])
+	}
+	h = h*0x100000001b3 ^ uint64(master+1)
+	h ^= h >> 31
+	h *= 0x9e3779b97f4a7c15
+	return h
+}

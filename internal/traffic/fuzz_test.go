@@ -1,0 +1,30 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace feeds arbitrary bytes to the trace reader: it must
+// reject or accept without panicking, and accepted traces must replay
+// without panicking.
+func FuzzReadTrace(f *testing.F) {
+	f.Add(`{"version":1,"arrivals":[{"Cycle":0,"Words":3,"Slave":1}]}`)
+	f.Add(`{"version":1,"arrivals":[]}`)
+	f.Add(`{"version":2}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		gen := tr.Replay()
+		for c := int64(0); c < 100; c++ {
+			gen.Tick(c, 0, func(words, slave int) {
+				if words <= 0 || slave < 0 {
+					t.Fatalf("accepted trace replayed invalid arrival: %d %d", words, slave)
+				}
+			})
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceFile is the on-disk JSON schema of a recorded workload.
+type traceFile struct {
+	// Version guards the format.
+	Version int `json:"version"`
+	// Arrivals is the recorded sequence, sorted by cycle.
+	Arrivals []Arrival `json:"arrivals"`
+}
+
+// traceFileVersion is the current schema version.
+const traceFileVersion = 1
+
+// WriteTrace serializes a trace as JSON — the way a captured stochastic
+// workload is frozen so several communication architectures can be
+// compared under byte-identical traffic (the paper's methodology).
+func WriteTrace(w io.Writer, t *Trace) error {
+	if t == nil {
+		return fmt.Errorf("traffic: nil trace")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{Version: traceFileVersion, Arrivals: t.Arrivals})
+}
+
+// ReadTrace deserializes a trace written by WriteTrace, validating
+// ordering and payloads.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f traceFile
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("traffic: parsing trace: %w", err)
+	}
+	if f.Version != traceFileVersion {
+		return nil, fmt.Errorf("traffic: unsupported trace version %d", f.Version)
+	}
+	var prev int64 = -1
+	for i, a := range f.Arrivals {
+		if a.Cycle < 0 {
+			return nil, fmt.Errorf("traffic: arrival %d has negative cycle", i)
+		}
+		if a.Cycle < prev {
+			return nil, fmt.Errorf("traffic: arrival %d out of order (cycle %d after %d)", i, a.Cycle, prev)
+		}
+		if a.Words <= 0 {
+			return nil, fmt.Errorf("traffic: arrival %d has %d words", i, a.Words)
+		}
+		if a.Slave < 0 {
+			return nil, fmt.Errorf("traffic: arrival %d has negative slave", i)
+		}
+		prev = a.Cycle
+	}
+	return &Trace{Arrivals: f.Arrivals}, nil
+}

@@ -1,0 +1,68 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	// Capture a stochastic workload, freeze it, thaw it, and verify the
+	// replay is identical.
+	gen, err := NewBernoulli(0.3, Uniform{Lo: 1, Hi: 8}, 2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(gen)
+	orig := collect(rec, 2000)
+
+	var buf strings.Builder
+	if err := WriteTrace(&buf, &rec.Trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := collect(back.Replay(), 2000)
+	if len(replayed) != len(orig) {
+		t.Fatalf("replayed %d arrivals, want %d", len(replayed), len(orig))
+	}
+	for i := range orig {
+		if replayed[i] != orig[i] {
+			t.Fatalf("arrival %d: %+v vs %+v", i, replayed[i], orig[i])
+		}
+	}
+}
+
+func TestWriteTraceNil(t *testing.T) {
+	if err := WriteTrace(&strings.Builder{}, nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestReadTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"unknown field":  `{"version":1,"arrivals":[],"extra":1}`,
+		"bad version":    `{"version":9,"arrivals":[]}`,
+		"negative cycle": `{"version":1,"arrivals":[{"Cycle":-1,"Words":1,"Slave":0}]}`,
+		"out of order":   `{"version":1,"arrivals":[{"Cycle":5,"Words":1,"Slave":0},{"Cycle":3,"Words":1,"Slave":0}]}`,
+		"zero words":     `{"version":1,"arrivals":[{"Cycle":0,"Words":0,"Slave":0}]}`,
+		"bad slave":      `{"version":1,"arrivals":[{"Cycle":0,"Words":1,"Slave":-2}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadTraceEmptyOK(t *testing.T) {
+	tr, err := ReadTrace(strings.NewReader(`{"version":1,"arrivals":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Arrivals) != 0 {
+		t.Fatal("phantom arrivals")
+	}
+}

@@ -1,0 +1,281 @@
+// Package traffic provides the parameterized on-chip communication
+// traffic generators used to exercise communication architectures across
+// the "communication traffic space" of the LOTTERYBUS paper (§5.1): each
+// bus master is driven by a generator whose burst size and injection
+// rate parameters span widely varying traffic characteristics.
+//
+// All generators implement bus.Generator and draw from explicitly seeded
+// streams, so experiments are bit-reproducible.
+package traffic
+
+import (
+	"fmt"
+
+	"lotterybus/internal/prng"
+)
+
+// SizeDist describes a message-size distribution in words.
+type SizeDist interface {
+	// Sample draws one message size (>= 1).
+	Sample(src prng.Source) int
+	// Mean returns the distribution mean in words.
+	Mean() float64
+	// String describes the distribution.
+	String() string
+}
+
+// Fixed is a constant message size.
+type Fixed int
+
+// Sample returns the fixed size.
+func (f Fixed) Sample(prng.Source) int { return int(f) }
+
+// Mean returns the fixed size.
+func (f Fixed) Mean() float64 { return float64(f) }
+
+// String describes the distribution.
+func (f Fixed) String() string { return fmt.Sprintf("fixed(%d)", int(f)) }
+
+// Uniform is a uniform integer size on [Lo, Hi].
+type Uniform struct{ Lo, Hi int }
+
+// Sample draws a size uniformly in [Lo, Hi].
+func (u Uniform) Sample(src prng.Source) int {
+	return prng.IntRange(src, u.Lo, u.Hi)
+}
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return float64(u.Lo+u.Hi) / 2 }
+
+// String describes the distribution.
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%d,%d)", u.Lo, u.Hi) }
+
+// Geometric is a shifted geometric size: 1 + Geometric(1/MeanWords), so
+// the mean is MeanWords and sizes are heavy-tailed like real DMA traffic.
+type Geometric struct{ MeanWords float64 }
+
+// Sample draws 1 + a geometric variate with the configured mean.
+func (g Geometric) Sample(src prng.Source) int {
+	if g.MeanWords <= 1 {
+		return 1
+	}
+	return 1 + int(prng.Geometric(src, 1/g.MeanWords))
+}
+
+// Mean returns the configured mean.
+func (g Geometric) Mean() float64 {
+	if g.MeanWords < 1 {
+		return 1
+	}
+	return g.MeanWords
+}
+
+// String describes the distribution.
+func (g Geometric) String() string { return fmt.Sprintf("geometric(%.1f)", g.MeanWords) }
+
+// Saturating keeps its master's queue topped up with fixed-size messages
+// so the master always has a pending request — the "bus always kept busy"
+// configuration of the paper's Examples 1 and 3.
+type Saturating struct {
+	Words   int
+	Slave   int
+	Backlog int // queue depth to maintain; default 2
+}
+
+// Tick emits messages until the queue holds Backlog entries.
+func (s *Saturating) Tick(_ int64, queued int, emit func(words, slave int)) {
+	backlog := s.Backlog
+	if backlog <= 0 {
+		backlog = 2
+	}
+	for ; queued < backlog; queued++ {
+		emit(s.Words, s.Slave)
+	}
+}
+
+// Periodic emits one Words-sized message every Period cycles, starting at
+// cycle Phase — the deterministic request pattern of the paper's Fig. 5
+// TDMA alignment study.
+type Periodic struct {
+	Period int64
+	Phase  int64
+	Words  int
+	Slave  int
+}
+
+// Tick emits on the configured beat.
+func (p *Periodic) Tick(cycle int64, _ int, emit func(words, slave int)) {
+	if p.Period <= 0 || cycle < p.Phase {
+		return
+	}
+	if (cycle-p.Phase)%p.Period == 0 {
+		emit(p.Words, p.Slave)
+	}
+}
+
+// Bernoulli emits messages as a Bernoulli arrival process: each cycle a
+// message arrives with probability Rate/Size.Mean(), giving an offered
+// load of Rate words per cycle on average.
+type Bernoulli struct {
+	rate  float64 // message arrival probability per cycle
+	size  SizeDist
+	slave int
+	src   prng.Source
+}
+
+// NewBernoulli builds a Bernoulli generator offering load words of
+// traffic per cycle (0 <= load) with the given size distribution.
+func NewBernoulli(load float64, size SizeDist, slave int, seed uint64) (*Bernoulli, error) {
+	if size == nil || size.Mean() < 1 {
+		return nil, fmt.Errorf("traffic: invalid size distribution")
+	}
+	if load < 0 {
+		return nil, fmt.Errorf("traffic: negative load %v", load)
+	}
+	rate := load / size.Mean()
+	if rate > 1 {
+		return nil, fmt.Errorf("traffic: load %v needs more than one message per cycle (mean size %v)",
+			load, size.Mean())
+	}
+	return &Bernoulli{rate: rate, size: size, slave: slave, src: prng.NewXorShift64Star(seed)}, nil
+}
+
+// Tick emits a message with the configured per-cycle probability.
+func (b *Bernoulli) Tick(_ int64, _ int, emit func(words, slave int)) {
+	if prng.Bernoulli(b.src, b.rate) {
+		emit(b.size.Sample(b.src), b.slave)
+	}
+}
+
+// OnOff is a two-state Markov-modulated generator: in the ON state it
+// emits like a Bernoulli generator with the burst-local load; in OFF it
+// is silent. Mean dwell times are geometric. This produces the strongly
+// bursty, phase-drifting traffic that defeats TDMA slot alignment.
+type OnOff struct {
+	on      bool
+	pOnOff  float64 // P(ON -> OFF) per cycle
+	pOffOn  float64 // P(OFF -> ON) per cycle
+	rateOn  float64 // message probability per ON cycle
+	size    SizeDist
+	slave   int
+	src     prng.Source
+	started bool
+}
+
+// OnOffConfig parameterizes NewOnOff.
+type OnOffConfig struct {
+	// MeanOn and MeanOff are the mean dwell cycles in each state.
+	MeanOn, MeanOff float64
+	// LoadOn is the offered load (words/cycle) while ON. The long-run
+	// offered load is LoadOn * MeanOn / (MeanOn + MeanOff).
+	LoadOn float64
+	// Size is the message size distribution.
+	Size SizeDist
+	// Slave is the destination slave index.
+	Slave int
+	// Seed seeds the generator's private stream.
+	Seed uint64
+}
+
+// NewOnOff builds an ON/OFF Markov-modulated generator.
+func NewOnOff(cfg OnOffConfig) (*OnOff, error) {
+	if cfg.MeanOn < 1 || cfg.MeanOff < 0 {
+		return nil, fmt.Errorf("traffic: invalid dwell times on=%v off=%v", cfg.MeanOn, cfg.MeanOff)
+	}
+	if cfg.Size == nil || cfg.Size.Mean() < 1 {
+		return nil, fmt.Errorf("traffic: invalid size distribution")
+	}
+	rate := cfg.LoadOn / cfg.Size.Mean()
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("traffic: ON load %v infeasible for mean size %v", cfg.LoadOn, cfg.Size.Mean())
+	}
+	pOffOn := 1.0
+	if cfg.MeanOff > 0 {
+		pOffOn = 1 / cfg.MeanOff
+	}
+	return &OnOff{
+		pOnOff: 1 / cfg.MeanOn,
+		pOffOn: pOffOn,
+		rateOn: rate,
+		size:   cfg.Size,
+		slave:  cfg.Slave,
+		src:    prng.NewXorShift64Star(cfg.Seed),
+	}, nil
+}
+
+// Tick advances the Markov chain and possibly emits a message.
+func (o *OnOff) Tick(_ int64, _ int, emit func(words, slave int)) {
+	if !o.started {
+		// Start in a random state weighted by dwell times so ensembles
+		// of generators are phase-decorrelated.
+		o.on = prng.Bernoulli(o.src, o.pOffOn/(o.pOffOn+o.pOnOff))
+		o.started = true
+	}
+	if o.on {
+		if prng.Bernoulli(o.src, o.rateOn) {
+			emit(o.size.Sample(o.src), o.slave)
+		}
+		if prng.Bernoulli(o.src, o.pOnOff) {
+			o.on = false
+		}
+	} else if prng.Bernoulli(o.src, o.pOffOn) {
+		o.on = true
+	}
+}
+
+// Arrival is one recorded message arrival.
+type Arrival struct {
+	Cycle int64
+	Words int
+	Slave int
+}
+
+// Trace is a deterministic arrival sequence, usable for replay.
+type Trace struct {
+	Arrivals []Arrival // must be sorted by Cycle (stable)
+	next     int
+}
+
+// Replay returns a generator that replays the trace from the beginning.
+func (t *Trace) Replay() *Trace {
+	return &Trace{Arrivals: t.Arrivals}
+}
+
+// Tick emits every arrival recorded for this cycle.
+func (t *Trace) Tick(cycle int64, _ int, emit func(words, slave int)) {
+	for t.next < len(t.Arrivals) && t.Arrivals[t.next].Cycle <= cycle {
+		a := t.Arrivals[t.next]
+		if a.Cycle == cycle {
+			emit(a.Words, a.Slave)
+		}
+		t.next++
+	}
+}
+
+// Recorder wraps a generator, recording everything it emits. Use it to
+// capture a stochastic workload once and replay it against several
+// communication architectures — the paper's methodology for comparing
+// architectures under identical traffic.
+type Recorder struct {
+	Inner bus2Generator
+	Trace Trace
+}
+
+// bus2Generator mirrors bus.Generator to avoid an import cycle; any
+// bus.Generator satisfies it.
+type bus2Generator interface {
+	Tick(cycle int64, queued int, emit func(words, slave int))
+}
+
+// NewRecorder wraps gen.
+func NewRecorder(gen bus2Generator) *Recorder {
+	return &Recorder{Inner: gen}
+}
+
+// Tick forwards to the wrapped generator, recording emissions.
+func (r *Recorder) Tick(cycle int64, queued int, emit func(words, slave int)) {
+	r.Inner.Tick(cycle, queued, func(words, slave int) {
+		r.Trace.Arrivals = append(r.Trace.Arrivals, Arrival{Cycle: cycle, Words: words, Slave: slave})
+		emit(words, slave)
+	})
+}

@@ -1,0 +1,346 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"lotterybus/internal/prng"
+)
+
+// collect runs a generator for n cycles and returns all arrivals.
+func collect(gen interface {
+	Tick(cycle int64, queued int, emit func(words, slave int))
+}, n int64) []Arrival {
+	var out []Arrival
+	for c := int64(0); c < n; c++ {
+		gen.Tick(c, 0, func(words, slave int) {
+			out = append(out, Arrival{Cycle: c, Words: words, Slave: slave})
+		})
+	}
+	return out
+}
+
+func totalWords(as []Arrival) int64 {
+	var t int64
+	for _, a := range as {
+		t += int64(a.Words)
+	}
+	return t
+}
+
+func TestFixedSize(t *testing.T) {
+	f := Fixed(8)
+	src := prng.NewXorShift64Star(1)
+	if f.Sample(src) != 8 || f.Mean() != 8 {
+		t.Fatal("Fixed misbehaves")
+	}
+}
+
+func TestUniformSize(t *testing.T) {
+	u := Uniform{Lo: 2, Hi: 6}
+	src := prng.NewXorShift64Star(2)
+	sum := 0
+	for i := 0; i < 10000; i++ {
+		v := u.Sample(src)
+		if v < 2 || v > 6 {
+			t.Fatalf("uniform sample %d", v)
+		}
+		sum += v
+	}
+	if mean := float64(sum) / 10000; math.Abs(mean-4) > 0.1 {
+		t.Fatalf("uniform mean %v", mean)
+	}
+	if u.Mean() != 4 {
+		t.Fatalf("Mean() = %v", u.Mean())
+	}
+}
+
+func TestGeometricSize(t *testing.T) {
+	g := Geometric{MeanWords: 16}
+	src := prng.NewXorShift64Star(3)
+	var sum float64
+	for i := 0; i < 50000; i++ {
+		v := g.Sample(src)
+		if v < 1 {
+			t.Fatalf("geometric sample %d", v)
+		}
+		sum += float64(v)
+	}
+	if mean := sum / 50000; math.Abs(mean-16) > 1 {
+		t.Fatalf("geometric mean %v", mean)
+	}
+	if (Geometric{MeanWords: 0.5}).Sample(src) != 1 {
+		t.Fatal("sub-unit mean must clamp to 1")
+	}
+}
+
+func TestSaturatingKeepsBacklog(t *testing.T) {
+	s := &Saturating{Words: 4}
+	count := 0
+	s.Tick(0, 0, func(words, slave int) {
+		count++
+		if words != 4 {
+			t.Fatalf("words %d", words)
+		}
+	})
+	if count != 2 {
+		t.Fatalf("default backlog emitted %d", count)
+	}
+	count = 0
+	s.Tick(1, 2, func(int, int) { count++ })
+	if count != 0 {
+		t.Fatal("emitted with full backlog")
+	}
+	s2 := &Saturating{Words: 1, Backlog: 5}
+	count = 0
+	s2.Tick(0, 1, func(int, int) { count++ })
+	if count != 4 {
+		t.Fatalf("custom backlog emitted %d", count)
+	}
+}
+
+func TestPeriodicBeat(t *testing.T) {
+	p := &Periodic{Period: 10, Phase: 3, Words: 2, Slave: 1}
+	as := collect(p, 50)
+	if len(as) != 5 {
+		t.Fatalf("%d arrivals", len(as))
+	}
+	for i, a := range as {
+		if a.Cycle != int64(3+10*i) {
+			t.Fatalf("arrival %d at cycle %d", i, a.Cycle)
+		}
+		if a.Words != 2 || a.Slave != 1 {
+			t.Fatalf("arrival payload %+v", a)
+		}
+	}
+	// Zero period emits nothing.
+	if n := len(collect(&Periodic{Words: 1}, 10)); n != 0 {
+		t.Fatalf("zero-period emitted %d", n)
+	}
+}
+
+func TestBernoulliOfferedLoad(t *testing.T) {
+	for _, load := range []float64{0.1, 0.45, 0.9} {
+		g, err := NewBernoulli(load, Fixed(16), 0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const cycles = 400000
+		words := totalWords(collect(g, cycles))
+		got := float64(words) / cycles
+		if math.Abs(got-load) > 0.03*load+0.005 {
+			t.Fatalf("load %v: measured %v", load, got)
+		}
+	}
+}
+
+func TestBernoulliValidation(t *testing.T) {
+	if _, err := NewBernoulli(0.5, nil, 0, 1); err == nil {
+		t.Fatal("nil size accepted")
+	}
+	if _, err := NewBernoulli(-1, Fixed(4), 0, 1); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	if _, err := NewBernoulli(2.0, Fixed(1), 0, 1); err == nil {
+		t.Fatal("infeasible load accepted")
+	}
+}
+
+func TestOnOffOfferedLoad(t *testing.T) {
+	g, err := NewOnOff(OnOffConfig{
+		MeanOn:  100,
+		MeanOff: 300,
+		LoadOn:  0.8,
+		Size:    Fixed(16),
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 1000000
+	words := totalWords(collect(g, cycles))
+	got := float64(words) / cycles
+	want := 0.8 * 100 / 400
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("on/off long-run load %v, want %v", got, want)
+	}
+}
+
+func TestOnOffBurstiness(t *testing.T) {
+	// The ON/OFF process must concentrate arrivals: the variance of
+	// per-window word counts must exceed a Bernoulli process of equal
+	// load.
+	load := 0.2
+	onoff, _ := NewOnOff(OnOffConfig{
+		MeanOn: 128, MeanOff: 384, LoadOn: 4 * load, Size: Fixed(16), Seed: 9,
+	})
+	bern, _ := NewBernoulli(load, Fixed(16), 0, 9)
+	window := int64(256)
+	variance := func(as []Arrival, cycles int64) float64 {
+		counts := make([]float64, cycles/window)
+		for _, a := range as {
+			counts[a.Cycle/window] += float64(a.Words)
+		}
+		var mean float64
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= float64(len(counts))
+		var v float64
+		for _, c := range counts {
+			v += (c - mean) * (c - mean)
+		}
+		return v / float64(len(counts)-1)
+	}
+	const cycles = 500000
+	vOn := variance(collect(onoff, cycles), cycles)
+	vBe := variance(collect(bern, cycles), cycles)
+	if vOn < 2*vBe {
+		t.Fatalf("on/off variance %v not burstier than bernoulli %v", vOn, vBe)
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	if _, err := NewOnOff(OnOffConfig{MeanOn: 0, Size: Fixed(1)}); err == nil {
+		t.Fatal("zero MeanOn accepted")
+	}
+	if _, err := NewOnOff(OnOffConfig{MeanOn: 10, Size: nil}); err == nil {
+		t.Fatal("nil size accepted")
+	}
+	if _, err := NewOnOff(OnOffConfig{MeanOn: 10, LoadOn: 50, Size: Fixed(1)}); err == nil {
+		t.Fatal("infeasible ON load accepted")
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	tr := &Trace{Arrivals: []Arrival{
+		{Cycle: 2, Words: 3, Slave: 0},
+		{Cycle: 2, Words: 1, Slave: 1},
+		{Cycle: 7, Words: 2, Slave: 0},
+	}}
+	got := collect(tr.Replay(), 10)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d arrivals", len(got))
+	}
+	if got[0].Cycle != 2 || got[1].Cycle != 2 || got[2].Cycle != 7 {
+		t.Fatalf("replay cycles %+v", got)
+	}
+	if got[1].Slave != 1 {
+		t.Fatal("arrival payload lost")
+	}
+	// Replay twice from a fresh cursor.
+	again := collect(tr.Replay(), 10)
+	if len(again) != 3 {
+		t.Fatalf("second replay %d arrivals", len(again))
+	}
+}
+
+func TestRecorderCapturesAndForwards(t *testing.T) {
+	p := &Periodic{Period: 5, Words: 2}
+	r := NewRecorder(p)
+	forwarded := collect(r, 20)
+	if len(forwarded) != 4 {
+		t.Fatalf("forwarded %d", len(forwarded))
+	}
+	if len(r.Trace.Arrivals) != 4 {
+		t.Fatalf("recorded %d", len(r.Trace.Arrivals))
+	}
+	// Replaying the captured trace must reproduce the original arrivals.
+	replayed := collect(r.Trace.Replay(), 20)
+	for i := range forwarded {
+		if replayed[i] != forwarded[i] {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, replayed[i], forwarded[i])
+		}
+	}
+}
+
+func TestClassesTable(t *testing.T) {
+	cs := Classes()
+	if len(cs) != 9 {
+		t.Fatalf("%d classes", len(cs))
+	}
+	names := map[string]bool{}
+	for i, c := range cs {
+		if c.Name != "T"+string(rune('1'+i)) {
+			t.Fatalf("class %d named %s", i, c.Name)
+		}
+		if names[c.Name] {
+			t.Fatalf("duplicate class %s", c.Name)
+		}
+		names[c.Name] = true
+		if c.MsgWords <= 0 || c.Load <= 0 {
+			t.Fatalf("degenerate class %+v", c)
+		}
+	}
+	// T3 and T6 are the sparse classes: aggregate load over 4 masters
+	// must be well under 1.0.
+	for _, sparse := range []int{2, 5} {
+		if 4*cs[sparse].Load >= 0.8 {
+			t.Fatalf("class %s not sparse: %v", cs[sparse].Name, cs[sparse].Load)
+		}
+	}
+	// The heavy classes must saturate 4 masters.
+	for _, heavy := range []int{0, 3, 6} {
+		if 4*cs[heavy].Load <= 1.2 {
+			t.Fatalf("class %s not saturating: %v", cs[heavy].Name, cs[heavy].Load)
+		}
+	}
+	if len(LatencyClasses()) != 6 {
+		t.Fatal("latency classes")
+	}
+}
+
+func TestClassByName(t *testing.T) {
+	c, err := ClassByName("T5")
+	if err != nil || c.Name != "T5" {
+		t.Fatalf("ClassByName: %v %v", c, err)
+	}
+	if _, err := ClassByName("T99"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestClassGeneratorLoads(t *testing.T) {
+	// Every class generator must deliver its configured offered load
+	// within 15% over a long horizon.
+	for _, c := range Classes() {
+		gen, err := c.Generator(0, 0, 1234)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		const cycles = 600000
+		words := totalWords(collect(gen, cycles))
+		got := float64(words) / cycles
+		if math.Abs(got-c.Load) > 0.15*c.Load {
+			t.Fatalf("%s: measured load %v, want %v", c.Name, got, c.Load)
+		}
+	}
+}
+
+func TestClassGeneratorStreamsIndependent(t *testing.T) {
+	c := Classes()[0]
+	g0, _ := c.Generator(0, 0, 1)
+	g1, _ := c.Generator(1, 0, 1)
+	a0 := collect(g0, 5000)
+	a1 := collect(g1, 5000)
+	same := 0
+	n := len(a0)
+	if len(a1) < n {
+		n = len(a1)
+	}
+	for i := 0; i < n; i++ {
+		if a0[i].Cycle == a1[i].Cycle {
+			same++
+		}
+	}
+	if n > 0 && same == n {
+		t.Fatal("per-master streams identical")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	s := Class{Name: "T4", MsgWords: 16, Load: 0.45, Bursty: true}.String()
+	if s != "T4{16 words, 0.45 load, on-off}" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,350 @@
+// Package lotterybus is a cycle-accurate simulator of system-on-chip
+// shared-bus communication architectures, built around the LOTTERYBUS
+// randomized arbitration scheme of Lahiri, Raghunathan and
+// Lakshminarayana (DAC 2001), together with the conventional
+// architectures the paper compares against: static priority, two-level
+// TDMA, round-robin and token-ring arbitration.
+//
+// A System is a shared bus with masters (traffic sources) and slaves
+// (targets). Each master carries a QoS weight, which becomes its
+// lottery ticket holding, TDMA slot count or static priority depending
+// on the arbitration scheme selected:
+//
+//	sys := lotterybus.NewSystem(lotterybus.Config{Seed: 1})
+//	sys.AddSlave("mem", 0)
+//	sys.AddMaster("cpu", 3, lotterybus.SaturatingTraffic(16, 0))
+//	sys.AddMaster("dma", 1, lotterybus.SaturatingTraffic(16, 0))
+//	if err := sys.UseLottery(); err != nil { ... }
+//	if err := sys.Run(100000); err != nil { ... }
+//	fmt.Println(sys.Report())
+//
+// The internal packages implement the substrates: the lottery managers
+// (internal/core), the bus model (internal/bus), arbiters
+// (internal/arb), traffic generators (internal/traffic), the ATM switch
+// case study (internal/atm), gate-level manager models with area/timing
+// estimation (internal/hw), bridged multi-bus topologies
+// (internal/topology), and the harness regenerating every figure and
+// table of the paper (internal/expt, driven by cmd/paperfigs and
+// bench_test.go).
+package lotterybus
+
+import (
+	"fmt"
+	"strings"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/trace"
+)
+
+// Generator produces the communication transactions of one master: Tick
+// is called once per bus cycle with the master's queue depth and calls
+// emit once per arriving message. The traffic constructors in this
+// package return ready-made implementations.
+type Generator interface {
+	Tick(cycle int64, queued int, emit func(words, slave int))
+}
+
+// Config parameterizes a System.
+type Config struct {
+	// MaxBurst caps the words one grant may cover (default 16).
+	MaxBurst int
+	// ArbLatency is the idle cycles charged per arbitration; zero
+	// models arbitration pipelined with data transfer.
+	ArbLatency int
+	// Seed drives the lottery manager's random stream and any seeded
+	// traffic helpers created through this package (default 1).
+	Seed uint64
+}
+
+// System is a shared bus under construction or simulation.
+type System struct {
+	cfg     Config
+	b       *bus.Bus
+	weights []uint64
+	rec     *trace.Recorder
+}
+
+// NewSystem returns an empty system.
+func NewSystem(cfg Config) *System {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &System{
+		cfg: cfg,
+		b:   bus.New(bus.Config{MaxBurst: cfg.MaxBurst, ArbLatency: cfg.ArbLatency}),
+	}
+}
+
+// AddMaster attaches a master with a QoS weight (>= 1) and a traffic
+// generator (nil for masters driven via Inject). It returns the master
+// index. Masters must be added before an arbiter is selected.
+func (s *System) AddMaster(name string, weight uint64, gen Generator) int {
+	if weight == 0 {
+		weight = 1
+	}
+	var bg bus.Generator
+	if gen != nil {
+		bg = gen
+	}
+	s.b.AddMaster(name, bg, bus.MasterOpts{Tickets: weight})
+	s.weights = append(s.weights, weight)
+	return len(s.weights) - 1
+}
+
+// AddSlave attaches a slave with the given per-word wait states and
+// returns its index.
+func (s *System) AddSlave(name string, waitStates int) int {
+	return s.b.AddSlave(name, bus.SlaveOpts{WaitStates: waitStates})
+}
+
+// AddSplitSlave attaches a split-transaction slave: a granted request
+// occupies the bus for one address beat, the bus is released for
+// latency cycles while the slave processes, and the master then
+// re-arbitrates to move the data. Each master may have one split
+// transaction outstanding.
+func (s *System) AddSplitSlave(name string, latency int) int {
+	return s.b.AddSlave(name, bus.SlaveOpts{SplitLatency: latency})
+}
+
+// Inject enqueues one message on a master programmatically; it reports
+// false on queue overflow.
+func (s *System) Inject(master, words, slave int) bool {
+	return s.b.Inject(master, words, slave)
+}
+
+// UseLottery selects the static LOTTERYBUS arbiter: master weights are
+// lottery tickets, and bandwidth is allocated in proportion to them.
+func (s *System) UseLottery() error {
+	mgr, err := core.NewStaticLottery(core.StaticConfig{
+		Tickets: s.weights,
+		Source:  prng.NewXorShift64Star(prng.Derive(s.cfg.Seed, "lotterybus/static")),
+	})
+	if err != nil {
+		return err
+	}
+	s.b.SetArbiter(arb.NewStaticLottery(mgr))
+	return nil
+}
+
+// UseDynamicLottery selects the dynamic LOTTERYBUS arbiter: ticket
+// holdings are sampled live on every arbitration, so SetWeight
+// re-provisions bandwidth at run time.
+func (s *System) UseDynamicLottery() error {
+	mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: len(s.weights),
+		Source:  prng.NewXorShift64Star(prng.Derive(s.cfg.Seed, "lotterybus/dynamic")),
+	})
+	if err != nil {
+		return err
+	}
+	s.b.SetArbiter(arb.NewDynamicLottery(mgr))
+	return nil
+}
+
+// UseCompensatedLottery selects the lottery with Waldspurger-Weihl
+// compensation tickets: a winner that moves fewer words than the
+// maximum transfer size has its effective holding inflated until its
+// next win, so bandwidth shares track the configured weights even when
+// masters send differently sized messages.
+func (s *System) UseCompensatedLottery() error {
+	mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: len(s.weights),
+		Source:  prng.NewXorShift64Star(prng.Derive(s.cfg.Seed, "lotterybus/compensated")),
+	})
+	if err != nil {
+		return err
+	}
+	maxBurst := s.cfg.MaxBurst
+	if maxBurst == 0 {
+		maxBurst = 16
+	}
+	a, err := arb.NewCompensatedLottery(s.weights, maxBurst, mgr)
+	if err != nil {
+		return err
+	}
+	s.b.SetArbiter(a)
+	return nil
+}
+
+// UsePriority selects static-priority arbitration: master weights are
+// priorities (larger wins).
+func (s *System) UsePriority() error {
+	a, err := arb.NewPriority(s.weights)
+	if err != nil {
+		return err
+	}
+	s.b.SetArbiter(a)
+	return nil
+}
+
+// UseTDMA selects time-division multiplexed arbitration: each master
+// owns weight*slotsPerWeight contiguous slots of the timing wheel.
+// twoLevel enables round-robin reclamation of idle slots.
+func (s *System) UseTDMA(slotsPerWeight int, twoLevel bool) error {
+	if slotsPerWeight <= 0 {
+		slotsPerWeight = 1
+	}
+	slots := make([]int, len(s.weights))
+	for i, w := range s.weights {
+		slots[i] = int(w) * slotsPerWeight
+	}
+	a, err := arb.NewTDMA(arb.ContiguousWheel(slots), len(s.weights), twoLevel)
+	if err != nil {
+		return err
+	}
+	s.b.SetArbiter(a)
+	return nil
+}
+
+// UseRoundRobin selects weight-blind round-robin arbitration.
+func (s *System) UseRoundRobin() error {
+	a, err := arb.NewRoundRobin(len(s.weights))
+	if err != nil {
+		return err
+	}
+	s.b.SetArbiter(a)
+	return nil
+}
+
+// UseTokenRing selects token-ring arbitration (one cycle per token hop).
+func (s *System) UseTokenRing() error {
+	a, err := arb.NewTokenRing(len(s.weights), 0)
+	if err != nil {
+		return err
+	}
+	s.b.SetArbiter(a)
+	return nil
+}
+
+// SetWeight updates a master's QoS weight. Under the dynamic lottery
+// the new holding takes effect at the next arbitration; other arbiters
+// read weights at Use* time, so call the Use* method again to re-apply.
+func (s *System) SetWeight(master int, weight uint64) {
+	if weight == 0 {
+		weight = 1
+	}
+	s.weights[master] = weight
+	s.b.Master(master).SetTickets(weight)
+}
+
+// Weight returns a master's current QoS weight.
+func (s *System) Weight(master int) uint64 { return s.weights[master] }
+
+// NumMasters returns the number of masters.
+func (s *System) NumMasters() int { return len(s.weights) }
+
+// Cycle returns the current simulation cycle.
+func (s *System) Cycle() int64 { return s.b.Cycle() }
+
+// Run simulates n bus cycles; it may be called repeatedly.
+func (s *System) Run(n int64) error { return s.b.Run(n) }
+
+// OnCycle registers a callback invoked at the start of every cycle —
+// useful for run-time ticket re-provisioning policies.
+func (s *System) OnCycle(fn func(cycle int64, s *System)) {
+	if fn == nil {
+		s.b.OnCycle = nil
+		return
+	}
+	s.b.OnCycle = func(cycle int64, _ *bus.Bus) { fn(cycle, s) }
+}
+
+// MasterReport is one master's simulation outcome.
+type MasterReport struct {
+	Name string
+	// Weight is the master's QoS weight at reporting time.
+	Weight uint64
+	// BandwidthFraction is the share of all bus cycles spent moving
+	// this master's words.
+	BandwidthFraction float64
+	// PerWordLatency is the average bus cycles per transferred word,
+	// including waiting (NaN if no message completed).
+	PerWordLatency float64
+	// AvgMessageLatency is the mean arrival-to-completion latency.
+	AvgMessageLatency float64
+	// Messages and Words count completed messages and moved words.
+	Messages, Words int64
+	// Dropped counts messages lost to queue overflow.
+	Dropped int64
+	// Queued is the queue depth at reporting time.
+	Queued int
+}
+
+// Report summarizes the simulation so far.
+type Report struct {
+	Arbiter     string
+	Cycles      int64
+	Utilization float64
+	Masters     []MasterReport
+}
+
+// Report returns the current simulation statistics.
+func (s *System) Report() Report {
+	col := s.b.Collector()
+	r := Report{
+		Cycles:      col.Cycles(),
+		Utilization: col.Utilization(),
+	}
+	if a := s.b.Arbiter(); a != nil {
+		r.Arbiter = a.Name()
+	}
+	for i := 0; i < s.b.NumMasters(); i++ {
+		m := s.b.Master(i)
+		r.Masters = append(r.Masters, MasterReport{
+			Name:              m.Name(),
+			Weight:            s.weights[i],
+			BandwidthFraction: col.BandwidthFraction(i),
+			PerWordLatency:    col.PerWordLatency(i),
+			AvgMessageLatency: col.AvgMessageLatency(i),
+			Messages:          col.Messages(i),
+			Words:             col.Words(i),
+			Dropped:           m.Dropped(),
+			Queued:            m.QueueLen(),
+		})
+	}
+	return r
+}
+
+// String renders the report as an aligned table.
+func (r Report) String() string {
+	t := stats.NewTable(
+		fmt.Sprintf("%s after %d cycles (%.1f%% utilized)", r.Arbiter, r.Cycles, 100*r.Utilization),
+		"master", "weight", "bw%", "cyc/word", "msg latency", "messages", "dropped")
+	for _, m := range r.Masters {
+		t.AddRow(m.Name,
+			fmt.Sprintf("%d", m.Weight),
+			fmt.Sprintf("%.1f", 100*m.BandwidthFraction),
+			fmt.Sprintf("%.2f", m.PerWordLatency),
+			fmt.Sprintf("%.1f", m.AvgMessageLatency),
+			fmt.Sprintf("%d", m.Messages),
+			fmt.Sprintf("%d", m.Dropped),
+		)
+	}
+	return strings.TrimRight(t.String(), "\n")
+}
+
+// AccessProbability returns the probability that a master holding t of
+// total live tickets wins at least one of n lotteries: 1-(1-t/total)^n
+// (paper §4.2's starvation bound).
+func AccessProbability(t, total uint64, n int) float64 {
+	return core.AccessProbability(t, total, n)
+}
+
+// DrawsForConfidence returns the smallest lottery count after which a
+// holder of t of total tickets has won at least once with probability p.
+func DrawsForConfidence(t, total uint64, p float64) int {
+	return core.DrawsForConfidence(t, total, p)
+}
+
+// TicketsForShares converts designer-facing bandwidth targets (any
+// positive weights; they are normalized, so percentages work) into the
+// smallest integer ticket assignment whose ratios match each target
+// within maxErr relative error. The achieved worst-case error is
+// returned alongside the tickets.
+func TicketsForShares(shares []float64, maxErr float64) ([]uint64, float64, error) {
+	return core.TicketsForShares(shares, maxErr)
+}

@@ -1,0 +1,45 @@
+package lotterybus
+
+import (
+	"fmt"
+	"io"
+
+	"lotterybus/internal/trace"
+)
+
+// EnableTrace starts recording per-cycle bus ownership (who transferred
+// a word each cycle). limit bounds the recording in cycles (0 selects
+// ~1M); recording silently stops at the cap. Call before Run.
+func (s *System) EnableTrace(limit int) {
+	s.rec = trace.NewRecorder(limit)
+	s.b.OnOwner = s.rec.Hook
+}
+
+// Waveform renders the recorded window [from, to) as an ASCII waveform,
+// one line per master plus an idle line. Returns an empty string when
+// tracing is not enabled or the window is empty.
+func (s *System) Waveform(from, to int) string {
+	if s.rec == nil {
+		return ""
+	}
+	return s.rec.Waveform(len(s.weights), from, to)
+}
+
+// TraceLen returns the number of recorded cycles (0 when tracing is not
+// enabled).
+func (s *System) TraceLen() int {
+	if s.rec == nil {
+		return 0
+	}
+	return s.rec.Len()
+}
+
+// WriteVCD emits the recorded trace as a Value Change Dump viewable in
+// GTKWave and similar waveform viewers: one grant wire per master plus
+// a busy wire.
+func (s *System) WriteVCD(w io.Writer) error {
+	if s.rec == nil {
+		return fmt.Errorf("lotterybus: tracing not enabled; call EnableTrace before Run")
+	}
+	return s.rec.WriteVCD(w, len(s.weights), "lotterybus")
+}

@@ -1,0 +1,70 @@
+package lotterybus
+
+import (
+	"strings"
+	"testing"
+)
+
+func tracedSystem(t *testing.T) *System {
+	t.Helper()
+	sys := NewSystem(Config{Seed: 3})
+	mem := sys.AddSlave("mem", 0)
+	sys.AddMaster("a", 1, PeriodicTraffic(8, 0, 4, mem))
+	sys.AddMaster("b", 1, PeriodicTraffic(8, 4, 4, mem))
+	if err := sys.UseLottery(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	sys := tracedSystem(t)
+	if err := sys.Run(32); err != nil {
+		t.Fatal(err)
+	}
+	if sys.TraceLen() != 0 {
+		t.Fatal("trace recorded without EnableTrace")
+	}
+	if sys.Waveform(0, 10) != "" {
+		t.Fatal("waveform without trace")
+	}
+	if err := sys.WriteVCD(&strings.Builder{}); err == nil {
+		t.Fatal("WriteVCD without trace accepted")
+	}
+}
+
+func TestTraceWaveformAndVCD(t *testing.T) {
+	sys := tracedSystem(t)
+	sys.EnableTrace(0)
+	if err := sys.Run(32); err != nil {
+		t.Fatal(err)
+	}
+	if sys.TraceLen() != 32 {
+		t.Fatalf("trace length %d", sys.TraceLen())
+	}
+	wf := sys.Waveform(0, 32)
+	if !strings.Contains(wf, "M1 ") || !strings.Contains(wf, "#") {
+		t.Fatalf("waveform:\n%s", wf)
+	}
+	var b strings.Builder
+	if err := sys.WriteVCD(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"$scope module lotterybus $end", "gnt_m1", "gnt_m2", "busy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %q", want)
+		}
+	}
+}
+
+func TestTraceLimitRespected(t *testing.T) {
+	sys := tracedSystem(t)
+	sys.EnableTrace(10)
+	if err := sys.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if sys.TraceLen() != 10 {
+		t.Fatalf("trace length %d, want 10", sys.TraceLen())
+	}
+}

@@ -1,0 +1,58 @@
+package lotterybus
+
+import (
+	"lotterybus/internal/traffic"
+)
+
+// SaturatingTraffic returns a generator that keeps its master's queue
+// topped up with fixed-size messages, so the master always has a pending
+// request (the paper's "bus always kept busy" configuration).
+func SaturatingTraffic(msgWords, slave int) Generator {
+	return &traffic.Saturating{Words: msgWords, Slave: slave}
+}
+
+// PeriodicTraffic returns a generator emitting one msgWords-sized
+// message every period cycles, starting at cycle phase.
+func PeriodicTraffic(period, phase int64, msgWords, slave int) Generator {
+	return &traffic.Periodic{Period: period, Phase: phase, Words: msgWords, Slave: slave}
+}
+
+// BernoulliTraffic returns a generator offering load words per cycle as
+// a Bernoulli arrival process of fixed-size messages.
+func BernoulliTraffic(load float64, msgWords, slave int, seed uint64) (Generator, error) {
+	return traffic.NewBernoulli(load, traffic.Fixed(msgWords), slave, seed)
+}
+
+// BurstyTraffic returns an ON/OFF Markov-modulated generator: the
+// long-run offered load is load words/cycle, concentrated into ON
+// periods of mean dwell meanOn cycles at in-burst load loadOn.
+func BurstyTraffic(load, loadOn, meanOn float64, msgWords, slave int, seed uint64) (Generator, error) {
+	if loadOn < load {
+		loadOn = load
+	}
+	duty := load / loadOn
+	meanOff := 0.0
+	if duty > 0 && duty < 1 {
+		meanOff = meanOn * (1 - duty) / duty
+	}
+	return traffic.NewOnOff(traffic.OnOffConfig{
+		MeanOn:  meanOn,
+		MeanOff: meanOff,
+		LoadOn:  loadOn,
+		Size:    traffic.Fixed(msgWords),
+		Slave:   slave,
+		Seed:    seed,
+	})
+}
+
+// TrafficClass returns the named traffic class generator factory from
+// the paper-style class tables (T1..T9 bandwidth classes, L1..L6 latency
+// classes). The returned Generator carries the class's arrival process
+// for the given master/slave pair.
+func TrafficClass(name string, master, slave int, seed uint64) (Generator, error) {
+	c, err := traffic.ClassByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Generator(master, slave, seed)
+}
