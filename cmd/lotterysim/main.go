@@ -6,6 +6,7 @@
 //	lotterysim -config system.json
 //	lotterysim -sample > system.json   # print a starter configuration
 //	lotterysim < system.json           # read the configuration from stdin
+//	lotterysim -config system.json -replicate 8 -parallel 4
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"lotterybus/internal/runner"
 )
 
 func main() {
@@ -20,6 +23,9 @@ func main() {
 	sample := flag.Bool("sample", false, "print a sample configuration and exit")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this path")
 	waveform := flag.Int("waveform", 0, "print an ASCII waveform of the first N cycles")
+	replicate := flag.Int("replicate", 1, "run N seed-replicas of the configuration (seed, seed+1, ...)")
+	parallel := flag.Int("parallel", 0,
+		"replica workers (0 = $"+runner.EnvVar+" then GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *sample {
@@ -46,6 +52,35 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lotterysim:", err)
 		os.Exit(1)
+	}
+	if *replicate > 1 {
+		if *vcdPath != "" || *waveform > 0 {
+			fmt.Fprintln(os.Stderr, "lotterysim: -vcd and -waveform require -replicate 1")
+			os.Exit(1)
+		}
+		// Each replica is an independent simulation of the same system
+		// at seed, seed+1, ...; replicas run on the worker pool and the
+		// reports print in replica order regardless of worker count.
+		reports, err := runner.Map(runner.Workers(*parallel), *replicate, func(i int) (string, error) {
+			c := *cfg
+			c.Seed = cfg.Seed + uint64(i)
+			sys, err := c.Build()
+			if err != nil {
+				return "", err
+			}
+			if err := sys.Run(c.Cycles); err != nil {
+				return "", err
+			}
+			return sys.Report().String(), nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lotterysim:", err)
+			os.Exit(1)
+		}
+		for i, rep := range reports {
+			fmt.Printf("==== replica %d (seed %d) ====\n%s\n", i, cfg.Seed+uint64(i), rep)
+		}
+		return
 	}
 	sys, err := cfg.Build()
 	if err != nil {

@@ -6,7 +6,7 @@
 //
 //	paperfigs [-fig all|4|5|6a|6b|12a|12b|12b1|12c|table1|hw|gates|starvation|dynamic|bridge|
 //	           slack|pipeline|compensation|burst|models|tail|replay|split|scale|adaptation|wrr]
-//	          [-cycles N] [-seed S] [-csv DIR]
+//	          [-cycles N] [-seed S] [-parallel W] [-csv DIR]
 //
 // With -csv DIR, every table and figure is additionally written as an
 // RFC-4180 CSV file under DIR for downstream plotting.
@@ -20,16 +20,19 @@ import (
 	"path/filepath"
 
 	"lotterybus/internal/expt"
+	"lotterybus/internal/runner"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which figure/table to regenerate")
 	cycles := flag.Int64("cycles", 0, "simulated bus cycles per measurement (0 = default 200000)")
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = default 42)")
+	parallel := flag.Int("parallel", 0,
+		"sweep workers (0 = $"+runner.EnvVar+" then GOMAXPROCS, 1 = serial); results are identical for any value")
 	csvDir := flag.String("csv", "", "also write each table/figure as CSV into this directory")
 	flag.Parse()
 
-	o := expt.Options{Cycles: *cycles, Seed: *seed}
+	o := expt.Options{Cycles: *cycles, Seed: *seed, Parallel: *parallel}
 	if err := run(os.Stdout, *fig, o, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
 		os.Exit(1)

@@ -1,0 +1,150 @@
+package bus_test
+
+// Kernel microbenchmarks: ns per simulated bus cycle and allocs/op of
+// the cycle-accurate hot path, measured directly rather than through
+// whole-figure reproductions (bench_test.go at the repository root).
+// Run with:
+//
+//	go test -bench=. -benchmem ./internal/bus
+//
+// Each iteration of the Tick benchmarks advances the saturated
+// four-master system by one bus cycle, so ns/op is ns per simulated
+// cycle and allocs/op is the steady-state allocation rate of the
+// kernel (target: zero).
+
+import (
+	"testing"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/traffic"
+)
+
+// saturatedBus builds the canonical four-master contended system.
+func saturatedBus(b *testing.B, a bus.Arbiter) *bus.Bus {
+	b.Helper()
+	bb := bus.New(bus.Config{MaxBurst: 16})
+	for i := 0; i < 4; i++ {
+		bb.AddMaster("m", &traffic.Saturating{Words: 16},
+			bus.MasterOpts{Tickets: uint64(i + 1)})
+	}
+	bb.AddSlave("mem", bus.SlaveOpts{})
+	bb.SetArbiter(a)
+	return bb
+}
+
+// BenchmarkTickStaticLottery measures one bus cycle under the static
+// lottery manager on a saturated four-master system.
+func BenchmarkTickStaticLottery(b *testing.B) {
+	mgr, err := core.NewStaticLottery(core.StaticConfig{
+		Tickets: []uint64{1, 2, 3, 4},
+		Source:  prng.NewXorShift64Star(1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bb := saturatedBus(b, arb.NewStaticLottery(mgr))
+	// Warm up past the queue-fill transient so steady-state allocations
+	// are what the benchmark sees.
+	if err := bb.Run(4096); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := bb.Run(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTickDynamicLottery measures one bus cycle under the dynamic
+// lottery manager, whose per-draw partial sums are formed on the fly.
+func BenchmarkTickDynamicLottery(b *testing.B) {
+	mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: 4,
+		Source:  prng.NewXorShift64Star(1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bb := saturatedBus(b, arb.NewDynamicLottery(mgr))
+	if err := bb.Run(4096); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := bb.Run(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTickBernoulli measures one bus cycle with live stochastic
+// traffic generation in the loop (the workload of the bandwidth-sharing
+// figures), capturing the generator-callback path as well.
+func BenchmarkTickBernoulli(b *testing.B) {
+	mgr, err := core.NewStaticLottery(core.StaticConfig{
+		Tickets: []uint64{1, 2, 3, 4},
+		Source:  prng.NewXorShift64Star(1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bb := bus.New(bus.Config{MaxBurst: 16})
+	for i := 0; i < 4; i++ {
+		gen, err := traffic.NewBernoulli(0.72, traffic.Fixed(16), 0, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bb.AddMaster("m", gen, bus.MasterOpts{Tickets: uint64(i + 1)})
+	}
+	bb.AddSlave("mem", bus.SlaveOpts{})
+	bb.SetArbiter(arb.NewStaticLottery(mgr))
+	if err := bb.Run(4096); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := bb.Run(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkDrawOnlyStatic measures the static lottery draw alone: the
+// LUT row fetch, the RNG draw and the comparator scan.
+func BenchmarkDrawOnlyStatic(b *testing.B) {
+	mgr, err := core.NewStaticLottery(core.StaticConfig{
+		Tickets: []uint64{1, 2, 3, 4},
+		Source:  prng.NewXorShift64Star(1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mgr.Draw(0b1111) == core.NoWinner {
+			b.Fatal("no winner on a full request map")
+		}
+	}
+}
+
+// BenchmarkDrawOnlyDynamic measures the dynamic lottery draw alone: the
+// masked adder tree plus the modulo/exact reduction.
+func BenchmarkDrawOnlyDynamic(b *testing.B) {
+	mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: 4,
+		Source:  prng.NewXorShift64Star(1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tickets := []uint64{1, 2, 3, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mgr.Draw(0b1111, tickets) == core.NoWinner {
+			b.Fatal("no winner on a full request map")
+		}
+	}
+}

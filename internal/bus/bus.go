@@ -124,18 +124,60 @@ type message struct {
 	started   bool
 }
 
+// msgQueue is a growable ring buffer of messages. The simulator enqueues
+// and dequeues millions of messages per run; a ring reaches its
+// steady-state capacity once and then recycles it, where a sliced-and-
+// appended Go slice would reallocate continually.
+type msgQueue struct {
+	buf  []message
+	head int
+	n    int
+}
+
+// len returns the number of queued messages.
+func (q *msgQueue) len() int { return q.n }
+
+// front returns the head message. The pointer is invalidated by the next
+// push (the ring may grow), so callers must not retain it across cycles.
+func (q *msgQueue) front() *message {
+	return &q.buf[q.head]
+}
+
+// push appends a message, growing the ring if full.
+func (q *msgQueue) push(m message) {
+	if q.n == len(q.buf) {
+		grown := make([]message, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = m
+	q.n++
+}
+
+// pop discards the head message.
+func (q *msgQueue) pop() {
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+}
+
 // Master is one master interface on the bus.
 type Master struct {
 	name     string
 	gen      Generator
-	queue    []message
+	queue    msgQueue
 	queueCap int
 	tickets  uint64
 	dropped  int64
+	// emit is the generator callback, allocated once per master rather
+	// than once per cycle in the hot loop.
+	emit func(words, slave int)
 	// outstanding is the split transaction awaiting its response phase
 	// (at most one per master); respReady is the cycle its data becomes
-	// available.
+	// available. It always points at outBuf, reused across transactions.
 	outstanding *message
+	outBuf      message
 	respReady   int64
 }
 
@@ -150,7 +192,7 @@ func (m *Master) Tickets() uint64 { return m.tickets }
 func (m *Master) SetTickets(t uint64) { m.tickets = t }
 
 // QueueLen returns the number of queued messages.
-func (m *Master) QueueLen() int { return len(m.queue) }
+func (m *Master) QueueLen() int { return m.queue.len() }
 
 // Dropped returns how many arrivals were discarded on queue overflow.
 func (m *Master) Dropped() int64 { return m.dropped }
@@ -198,9 +240,9 @@ type SlaveOpts struct {
 }
 
 // burst tracks the transfer in progress. It deliberately does not hold
-// a *message: queue-head messages live in a slice whose backing array
-// can move when the generator appends, so the live message is re-fetched
-// each cycle.
+// a *message: queue-head messages live in a ring buffer whose backing
+// array can move when the generator pushes, so the live message is
+// re-fetched each cycle.
 type burst struct {
 	master int
 	words  int // words covered by this grant
@@ -222,7 +264,10 @@ type Bus struct {
 	arb     Arbiter
 	col     *stats.Collector
 	cycle   int64
-	cur     *burst
+	// cur points at curBuf while a burst is in progress (nil otherwise);
+	// the buffer is reused so steady-state grants allocate nothing.
+	cur    *burst
+	curBuf burst
 	// preemptions counts bursts aborted by a Preemptor arbiter.
 	preemptions int64
 	// OnOwner, when non-nil, is invoked once per cycle with the index of
@@ -257,6 +302,10 @@ func (b *Bus) AddMaster(name string, gen Generator, opts MasterOpts) *Master {
 		cap = b.cfg.DefaultQueueCap
 	}
 	m := &Master{name: name, gen: gen, queueCap: cap, tickets: opts.Tickets}
+	idx := len(b.masters)
+	m.emit = func(words, slave int) {
+		b.enqueue(idx, words, slave, b.cycle)
+	}
 	b.masters = append(b.masters, m)
 	return m
 }
@@ -319,7 +368,7 @@ func (b *Bus) Inject(m int, words, slave int) bool {
 
 func (b *Bus) enqueue(m int, words, slave int, cycle int64) bool {
 	mm := b.masters[m]
-	if len(mm.queue) >= mm.queueCap {
+	if mm.queue.len() >= mm.queueCap {
 		mm.dropped++
 		return false
 	}
@@ -329,7 +378,7 @@ func (b *Bus) enqueue(m int, words, slave int, cycle int64) bool {
 	if len(b.slaves) > 0 && (slave < 0 || slave >= len(b.slaves)) {
 		panic(fmt.Sprintf("bus: master %d addressed invalid slave %d", m, slave))
 	}
-	mm.queue = append(mm.queue, message{arrival: cycle, words: words, remaining: words, slave: slave})
+	mm.queue.push(message{arrival: cycle, words: words, remaining: words, slave: slave})
 	return true
 }
 
@@ -357,6 +406,12 @@ func (b *Bus) Run(n int64) error {
 		return err
 	}
 	col := b.Collector()
+	// Hoist loop invariants: the preemptor type assertion and the slow
+	// per-cycle hook checks would otherwise run every simulated cycle.
+	var pre Preemptor
+	if b.cfg.Preemption {
+		pre, _ = b.arb.(Preemptor)
+	}
 	end := b.cycle + n
 	for ; b.cycle < end; b.cycle++ {
 		cycle := b.cycle
@@ -365,14 +420,11 @@ func (b *Bus) Run(n int64) error {
 		}
 
 		// Phase 1: traffic arrival.
-		for i, m := range b.masters {
+		for _, m := range b.masters {
 			if m.gen == nil {
 				continue
 			}
-			idx := i
-			m.gen.Tick(cycle, len(m.queue), func(words, slave int) {
-				b.enqueue(idx, words, slave, cycle)
-			})
+			m.gen.Tick(cycle, m.queue.len(), m.emit)
 		}
 
 		// Phase 2: arbitration when idle; pre-emption check otherwise.
@@ -384,14 +436,12 @@ func (b *Bus) Run(n int64) error {
 					}
 				}
 			}
-		} else if b.cfg.Preemption {
-			if p, isP := b.arb.(Preemptor); isP {
-				if g, ok := p.Preempt(cycle, b.cur.master, &b.reqView); ok && g.Master != b.cur.master {
-					b.preemptions++
-					b.cur = nil
-					if err := b.startBurst(g, col); err != nil {
-						return err
-					}
+		} else if pre != nil {
+			if g, ok := pre.Preempt(cycle, b.cur.master, &b.reqView); ok && g.Master != b.cur.master {
+				b.preemptions++
+				b.cur = nil
+				if err := b.startBurst(g, col); err != nil {
+					return err
 				}
 			}
 		}
@@ -431,7 +481,7 @@ func (b *Bus) masterPending(i int) bool {
 	if m.outstanding != nil {
 		return b.cycle >= m.respReady
 	}
-	return len(m.queue) > 0
+	return m.queue.len() > 0
 }
 
 func (b *Bus) startBurst(g Grant, col *stats.Collector) error {
@@ -456,25 +506,27 @@ func (b *Bus) startBurst(g Grant, col *stats.Collector) error {
 		if words > m.outstanding.remaining {
 			words = m.outstanding.remaining
 		}
-		b.cur = &burst{
+		b.curBuf = burst{
 			master:          g.Master,
 			words:           words,
 			fromOutstanding: true,
 			waitLeft:        b.cfg.ArbLatency + b.slaves[m.outstanding.slave].waitStates,
 		}
+		b.cur = &b.curBuf
 		return nil
 	}
 
-	head := &m.queue[0]
+	head := m.queue.front()
 	// Split request phase: a single address beat, then the bus is
 	// released while the slave processes.
 	if len(b.slaves) > 0 && b.slaves[head.slave].splitLatency > 0 {
-		b.cur = &burst{
+		b.curBuf = burst{
 			master:   g.Master,
 			words:    1,
 			control:  true,
 			waitLeft: b.cfg.ArbLatency,
 		}
+		b.cur = &b.curBuf
 		return nil
 	}
 
@@ -489,11 +541,12 @@ func (b *Bus) startBurst(g Grant, col *stats.Collector) error {
 	if len(b.slaves) > 0 {
 		waitStates = b.slaves[head.slave].waitStates
 	}
-	b.cur = &burst{
+	b.curBuf = burst{
 		master:   g.Master,
 		words:    words,
 		waitLeft: b.cfg.ArbLatency + waitStates,
 	}
+	b.cur = &b.curBuf
 	return nil
 }
 
@@ -506,7 +559,7 @@ func (b *Bus) transferWord(col *stats.Collector) int {
 	if cur.fromOutstanding {
 		msg = m.outstanding
 	} else {
-		msg = &m.queue[0]
+		msg = m.queue.front()
 	}
 
 	if !msg.started {
@@ -518,10 +571,10 @@ func (b *Bus) transferWord(col *stats.Collector) int {
 	// released while the slave processes.
 	if cur.control {
 		col.ControlCycle(cur.master)
-		pending := *msg
-		m.outstanding = &pending
+		m.outBuf = *msg
+		m.outstanding = &m.outBuf
 		m.respReady = b.cycle + int64(b.slaves[msg.slave].splitLatency)
-		m.queue = m.queue[1:]
+		m.queue.pop()
 		b.cur = nil
 		return cur.master
 	}
@@ -541,7 +594,7 @@ func (b *Bus) transferWord(col *stats.Collector) int {
 		if cur.fromOutstanding {
 			m.outstanding = nil
 		} else {
-			m.queue = m.queue[1:]
+			m.queue.pop()
 		}
 		b.cur = nil
 		return cur.master
@@ -575,7 +628,7 @@ func (v *requestView) PendingWords(i int) int {
 	if m.outstanding != nil {
 		return m.outstanding.remaining
 	}
-	return m.queue[0].remaining
+	return m.queue.front().remaining
 }
 
 func (v *requestView) Tickets(i int) uint64 { return v.b.masters[i].tickets }

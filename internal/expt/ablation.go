@@ -7,6 +7,7 @@ import (
 	"lotterybus/internal/bus"
 	"lotterybus/internal/core"
 	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
 )
@@ -47,37 +48,41 @@ func (r *SlackAblation) Table() *stats.Table {
 }
 
 // RunSlackAblation measures every slack policy on a saturated four-
-// master system.
+// master system. The four policies simulate concurrently.
 func RunSlackAblation(o Options) (*SlackAblation, error) {
 	o = o.fill()
-	res := &SlackAblation{}
-	for _, policy := range []core.SlackPolicy{
+	policies := []core.SlackPolicy{
 		core.PolicyExact, core.PolicyModulo, core.PolicyRedraw, core.PolicyAbsorbLast,
-	} {
+	}
+	rows, err := runner.Map(o.workers(), len(policies), func(k int) (SlackRow, error) {
+		policy := policies[k]
 		mgr, err := core.NewStaticLottery(core.StaticConfig{
 			Tickets: []uint64{1, 2, 3, 4},
 			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "slack/"+policy.String())),
 			Policy:  policy,
 		})
 		if err != nil {
-			return nil, err
+			return SlackRow{}, err
 		}
 		b, err := newBusyBus(o, []uint64{1, 2, 3, 4}, "slack/"+policy.String())
 		if err != nil {
-			return nil, err
+			return SlackRow{}, err
 		}
 		b.SetArbiter(arb.NewStaticLottery(mgr))
 		if err := b.Run(o.Cycles); err != nil {
-			return nil, err
+			return SlackRow{}, err
 		}
 		row := SlackRow{Policy: policy, Utilization: b.Collector().Utilization()}
 		copy(row.BW[:], bandwidths(b))
 		if d := mgr.Draws(); d > 0 {
 			row.RedrawRate = float64(mgr.Redraws()) / float64(d)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &SlackAblation{Rows: rows}, nil
 }
 
 // PipelineAblation quantifies the value of pipelining arbitration with
@@ -111,32 +116,37 @@ func (r *PipelineAblation) Table() *stats.Table {
 	return t
 }
 
-// RunPipelineAblation measures arbitration-overhead sensitivity.
+// RunPipelineAblation measures arbitration-overhead sensitivity; the
+// three latency configurations simulate concurrently.
 func RunPipelineAblation(o Options) (*PipelineAblation, error) {
 	o = o.fill()
-	res := &PipelineAblation{}
-	for _, arbLat := range []int{0, 1, 2} {
+	lats := []int{0, 1, 2}
+	rows, err := runner.Map(o.workers(), len(lats), func(k int) (PipelineRow, error) {
+		arbLat := lats[k]
 		mgr, err := core.NewStaticLottery(core.StaticConfig{
 			Tickets: []uint64{1, 2, 3, 4},
 			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "pipe")),
 		})
 		if err != nil {
-			return nil, err
+			return PipelineRow{}, err
 		}
 		b := busWithArbLatency(o, arbLat)
 		b.SetArbiter(arb.NewStaticLottery(mgr))
 		if err := b.Run(o.Cycles); err != nil {
-			return nil, err
+			return PipelineRow{}, err
 		}
 		col := b.Collector()
-		res.Rows = append(res.Rows, PipelineRow{
+		return PipelineRow{
 			ArbLatency:  arbLat,
 			Utilization: col.Utilization(),
 			Throughput:  float64(col.TotalWords()) / float64(col.Cycles()),
 			C4Latency:   col.PerWordLatency(3),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &PipelineAblation{Rows: rows}, nil
 }
 
 // busWithArbLatency builds a saturated four-master bus with the given

@@ -5,6 +5,7 @@ import (
 
 	"lotterybus/internal/bus"
 	"lotterybus/internal/perm"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 )
 
@@ -74,17 +75,19 @@ func (r *PermSweep) AvgShareByValue(v uint64) float64 {
 }
 
 // permutationSweep runs the 24-combination sweep with the arbiter
-// returned by mkArb for each assignment.
+// returned by mkArb for each assignment. The 24 points are independent
+// simulations (each derives its own PRNG streams from its label), so
+// they run on the worker pool; results keep permutation order.
 func permutationSweep(o Options, arch string, mkArb func(assign []uint64) (bus.Arbiter, error)) (*PermSweep, error) {
 	o = o.fill()
-	res := &PermSweep{Arch: arch}
-	for _, assign := range perm.Permutations([]uint64{1, 2, 3, 4}) {
+	assigns := perm.Permutations([]uint64{1, 2, 3, 4})
+	bw, err := runner.Map(o.workers(), len(assigns), func(k int) ([]float64, error) {
+		assign := assigns[k]
 		a, err := mkArb(assign)
 		if err != nil {
 			return nil, err
 		}
-		label := perm.Label(assign)
-		b, err := newBusyBus(o, assign, arch+"/"+label)
+		b, err := newBusyBus(o, assign, arch+"/"+perm.Label(assign))
 		if err != nil {
 			return nil, err
 		}
@@ -92,9 +95,14 @@ func permutationSweep(o Options, arch string, mkArb func(assign []uint64) (bus.A
 		if err := b.Run(o.Cycles); err != nil {
 			return nil, err
 		}
-		res.Labels = append(res.Labels, label)
-		res.Assignments = append(res.Assignments, assign)
-		res.BW = append(res.BW, bandwidths(b))
+		return bandwidths(b), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &PermSweep{Arch: arch, Assignments: assigns, BW: bw}
+	for _, assign := range assigns {
+		res.Labels = append(res.Labels, perm.Label(assign))
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"lotterybus/internal/bus"
 	"lotterybus/internal/core"
 	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
 )
@@ -68,31 +69,36 @@ func RunCompensation(o Options) (*Compensation, error) {
 	}
 
 	res := &Compensation{}
-	var err error
-	res.PlainBW, res.PlainGrantShare, err = run(func() (bus.Arbiter, error) {
-		mgr, err := core.NewStaticLottery(core.StaticConfig{
-			Tickets: []uint64{1, 1},
-			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "comp/plain")),
-		})
-		if err != nil {
-			return nil, err
-		}
-		return arb.NewStaticLottery(mgr), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.CompensatedBW, res.CompensatedGrantShare, err = run(func() (bus.Arbiter, error) {
-		mgr, err := core.NewDynamicLottery(core.DynamicConfig{
-			Masters: 2,
-			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "comp/fixed")),
-		})
-		if err != nil {
-			return nil, err
-		}
-		return arb.NewCompensatedLottery([]uint64{1, 1}, 16, mgr)
-	})
-	if err != nil {
+	if err := runner.Do(o.workers(),
+		func() error {
+			var err error
+			res.PlainBW, res.PlainGrantShare, err = run(func() (bus.Arbiter, error) {
+				mgr, err := core.NewStaticLottery(core.StaticConfig{
+					Tickets: []uint64{1, 1},
+					Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "comp/plain")),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return arb.NewStaticLottery(mgr), nil
+			})
+			return err
+		},
+		func() error {
+			var err error
+			res.CompensatedBW, res.CompensatedGrantShare, err = run(func() (bus.Arbiter, error) {
+				mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+					Masters: 2,
+					Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "comp/fixed")),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return arb.NewCompensatedLottery([]uint64{1, 1}, 16, mgr)
+			})
+			return err
+		},
+	); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -134,17 +140,19 @@ func (r *BurstAblation) Table() *stats.Table {
 	return t
 }
 
-// RunBurstAblation sweeps MaxBurst over {1, 4, 16, 64}.
+// RunBurstAblation sweeps MaxBurst over {1, 4, 16, 64}; the four
+// configurations simulate concurrently.
 func RunBurstAblation(o Options) (*BurstAblation, error) {
 	o = o.fill()
-	res := &BurstAblation{}
-	for _, maxBurst := range []int{1, 4, 16, 64} {
+	bursts := []int{1, 4, 16, 64}
+	rows, err := runner.Map(o.workers(), len(bursts), func(k int) (BurstRow, error) {
+		maxBurst := bursts[k]
 		mgr, err := core.NewStaticLottery(core.StaticConfig{
 			Tickets: []uint64{1, 2, 3, 4},
 			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "burst")),
 		})
 		if err != nil {
-			return nil, err
+			return BurstRow{}, err
 		}
 		b := bus.New(bus.Config{MaxBurst: maxBurst})
 		for i := 0; i < fourMasters; i++ {
@@ -153,20 +161,23 @@ func RunBurstAblation(o Options) (*BurstAblation, error) {
 		b.AddSlave("mem", bus.SlaveOpts{})
 		b.SetArbiter(arb.NewStaticLottery(mgr))
 		if err := b.Run(o.Cycles); err != nil {
-			return nil, err
+			return BurstRow{}, err
 		}
 		col := b.Collector()
 		var grants int64
 		for i := 0; i < fourMasters; i++ {
 			grants += col.Grants(i)
 		}
-		res.Rows = append(res.Rows, BurstRow{
+		return BurstRow{
 			MaxBurst:        maxBurst,
 			GrantsPerKCycle: 1000 * float64(grants) / float64(col.Cycles()),
 			C1Latency:       col.PerWordLatency(0),
 			C4Latency:       col.PerWordLatency(3),
 			C4BW:            col.BandwidthFraction(3),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &BurstAblation{Rows: rows}, nil
 }

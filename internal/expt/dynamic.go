@@ -7,6 +7,7 @@ import (
 	"lotterybus/internal/bus"
 	"lotterybus/internal/core"
 	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
 )
@@ -60,42 +61,50 @@ func RunDynamicTickets(o Options) (*DynamicTickets, error) {
 	}
 
 	res := &DynamicTickets{}
+	if err := runner.Do(o.workers(),
+		// Dynamic run: swap holdings at the halfway point.
+		func() error {
+			b, err := build("dynamic")
+			if err != nil {
+				return err
+			}
+			if err := b.Run(half); err != nil {
+				return err
+			}
+			col := b.Collector()
+			w1, w2 := col.Words(0), col.Words(1)
+			res.Phase1[0] = float64(w1) / float64(half)
+			res.Phase1[1] = float64(w2) / float64(half)
 
-	// Dynamic run: swap holdings at the halfway point.
-	b, err := build("dynamic")
-	if err != nil {
+			b.Master(0).SetTickets(1)
+			b.Master(1).SetTickets(9)
+			if err := b.Run(half); err != nil {
+				return err
+			}
+			res.Phase2[0] = float64(col.Words(0)-w1) / float64(half)
+			res.Phase2[1] = float64(col.Words(1)-w2) / float64(half)
+			return nil
+		},
+		// Control: same system, holdings never change.
+		func() error {
+			bc, err := build("control")
+			if err != nil {
+				return err
+			}
+			if err := bc.Run(half); err != nil {
+				return err
+			}
+			cc := bc.Collector()
+			cw1, cw2 := cc.Words(0), cc.Words(1)
+			if err := bc.Run(half); err != nil {
+				return err
+			}
+			res.StaticPhase2[0] = float64(cc.Words(0)-cw1) / float64(half)
+			res.StaticPhase2[1] = float64(cc.Words(1)-cw2) / float64(half)
+			return nil
+		},
+	); err != nil {
 		return nil, err
 	}
-	if err := b.Run(half); err != nil {
-		return nil, err
-	}
-	col := b.Collector()
-	w1, w2 := col.Words(0), col.Words(1)
-	res.Phase1[0] = float64(w1) / float64(half)
-	res.Phase1[1] = float64(w2) / float64(half)
-
-	b.Master(0).SetTickets(1)
-	b.Master(1).SetTickets(9)
-	if err := b.Run(half); err != nil {
-		return nil, err
-	}
-	res.Phase2[0] = float64(col.Words(0)-w1) / float64(half)
-	res.Phase2[1] = float64(col.Words(1)-w2) / float64(half)
-
-	// Control: same system, holdings never change.
-	bc, err := build("control")
-	if err != nil {
-		return nil, err
-	}
-	if err := bc.Run(half); err != nil {
-		return nil, err
-	}
-	cc := bc.Collector()
-	cw1, cw2 := cc.Words(0), cc.Words(1)
-	if err := bc.Run(half); err != nil {
-		return nil, err
-	}
-	res.StaticPhase2[0] = float64(cc.Words(0)-cw1) / float64(half)
-	res.StaticPhase2[1] = float64(cc.Words(1)-cw2) / float64(half)
 	return res, nil
 }

@@ -13,16 +13,24 @@ import (
 	"lotterybus/internal/bus"
 	"lotterybus/internal/core"
 	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/traffic"
 )
 
-// Options controls simulation length and seeding for all experiments.
+// Options controls simulation length, seeding and parallelism for all
+// experiments.
 type Options struct {
 	// Cycles is the simulated bus cycles per measurement point; zero
 	// selects 200000.
 	Cycles int64
 	// Seed drives every stochastic element; zero selects 42.
 	Seed uint64
+	// Parallel is the worker count for sweep-shaped experiments. Each
+	// sweep point derives its own PRNG streams, so results are
+	// bit-identical for every worker count. Zero consults the
+	// LOTTERYBUS_PARALLEL environment variable and then GOMAXPROCS;
+	// 1 forces a serial run.
+	Parallel int
 }
 
 func (o Options) fill() Options {
@@ -34,6 +42,9 @@ func (o Options) fill() Options {
 	}
 	return o
 }
+
+// workers resolves the sweep worker count.
+func (o Options) workers() int { return runner.Workers(o.Parallel) }
 
 // fourMasters is the paper's canonical test system (Fig. 3): four
 // masters contending for a shared memory.
@@ -53,7 +64,6 @@ const busyMsgWords = 16
 // Tickets are set per master for lottery arbiters.
 func newBusyBus(o Options, tickets []uint64, tag string) (*bus.Bus, error) {
 	b := bus.New(bus.Config{MaxBurst: 16})
-	slave := -1
 	for i := 0; i < fourMasters; i++ {
 		var tk uint64
 		if tickets != nil {
@@ -66,8 +76,7 @@ func newBusyBus(o Options, tickets []uint64, tag string) (*bus.Bus, error) {
 		}
 		b.AddMaster(fmt.Sprintf("C%d", i+1), gen, bus.MasterOpts{Tickets: tk})
 	}
-	slave = b.AddSlave("shared-memory", bus.SlaveOpts{})
-	_ = slave
+	b.AddSlave("shared-memory", bus.SlaveOpts{})
 	return b, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"lotterybus/internal/arb"
 	"lotterybus/internal/bus"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
 )
@@ -59,26 +60,39 @@ func (r *Fig12a) ShareRatios(k int) []float64 {
 }
 
 // RunFig12a sweeps the classes under the lottery with tickets 1:2:3:4.
+// The nine classes simulate concurrently on the worker pool.
 func RunFig12a(o Options) (*Fig12a, error) {
 	o = o.fill()
 	tickets := []uint64{1, 2, 3, 4}
-	res := &Fig12a{}
-	for _, class := range traffic.Classes() {
+	classes := traffic.Classes()
+	type point struct {
+		bw         []float64
+		unutilized float64
+	}
+	pts, err := runner.Map(o.workers(), len(classes), func(k int) (point, error) {
+		class := classes[k]
 		a, err := lotteryArbiter(o, tickets, "fig12a/"+class.Name)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		b, err := newClassBus(o, class, tickets, "fig12a/"+class.Name)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		b.SetArbiter(a)
 		if err := b.Run(o.Cycles); err != nil {
-			return nil, err
+			return point{}, err
 		}
+		return point{bw: bandwidths(b), unutilized: 1 - b.Collector().Utilization()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12a{}
+	for k, class := range classes {
 		res.Classes = append(res.Classes, class.Name)
-		res.BW = append(res.BW, bandwidths(b))
-		res.Unutilized = append(res.Unutilized, 1-b.Collector().Utilization())
+		res.BW = append(res.BW, pts[k].bw)
+		res.Unutilized = append(res.Unutilized, pts[k].unutilized)
 	}
 	return res, nil
 }
@@ -142,13 +156,15 @@ func (r *LatencySurface) Inversions() int {
 }
 
 // latencySurface runs the six latency classes under the arbiter family
-// built by mkArb (fresh arbiter per class). All four masters carry the
-// class's traffic, with weights (slots/tickets) 1:2:3:4.
+// built by mkArb (fresh arbiter per class, so classes simulate
+// concurrently). All four masters carry the class's traffic, with
+// weights (slots/tickets) 1:2:3:4.
 func latencySurface(o Options, arch string, mkArb func(class traffic.Class) (bus.Arbiter, error)) (*LatencySurface, error) {
 	o = o.fill()
 	weights := []uint64{1, 2, 3, 4}
-	res := &LatencySurface{Arch: arch}
-	for _, class := range traffic.LatencyClasses() {
+	classes := traffic.LatencyClasses()
+	lat, err := runner.Map(o.workers(), len(classes), func(k int) ([]float64, error) {
+		class := classes[k]
 		a, err := mkArb(class)
 		if err != nil {
 			return nil, err
@@ -161,8 +177,14 @@ func latencySurface(o Options, arch string, mkArb func(class traffic.Class) (bus
 		if err := b.Run(o.Cycles); err != nil {
 			return nil, err
 		}
+		return latencies(b), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &LatencySurface{Arch: arch, Lat: lat}
+	for _, class := range classes {
 		res.Classes = append(res.Classes, class.Name)
-		res.Lat = append(res.Lat, latencies(b))
 	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"lotterybus/internal/arb"
 	"lotterybus/internal/bus"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/trace"
 	"lotterybus/internal/traffic"
 )
@@ -105,33 +106,43 @@ func Fig5(o Options) (*Fig5Result, error) {
 		return arb.NewTDMA(arb.ContiguousWheel(slots), fig5Masters, false)
 	}
 	res := &Fig5Result{}
-
-	// Trace 1: requests aligned with the reservation blocks.
-	aligned := [fig5Masters]int64{0, fig5Burst, 2 * fig5Burst}
-	w, wf, err := fig5Run(mkTDMA, aligned, cycles)
-	if err != nil {
-		return nil, err
-	}
-	res.AlignedWait, res.AlignedWaveform = w, wf
-
-	// Trace 2: the identical periodic pattern phase-shifted so every
-	// request just misses its block (paper: "identical to request
-	// Trace 1 except for a phase shift").
 	shift := int64(fig5Burst + 1)
+	// Trace 1 aligns requests with the reservation blocks; trace 2 is the
+	// identical periodic pattern phase-shifted so every request just
+	// misses its block (paper: "identical to request Trace 1 except for a
+	// phase shift").
+	aligned := [fig5Masters]int64{0, fig5Burst, 2 * fig5Burst}
 	misaligned := [fig5Masters]int64{shift, fig5Burst + shift, 2*fig5Burst + shift}
-	w, wf, err = fig5Run(mkTDMA, misaligned, cycles)
-	if err != nil {
+	if err := runner.Do(o.workers(),
+		func() error {
+			w, wf, err := fig5Run(mkTDMA, aligned, cycles)
+			if err != nil {
+				return err
+			}
+			res.AlignedWait, res.AlignedWaveform = w, wf
+			return nil
+		},
+		func() error {
+			w, wf, err := fig5Run(mkTDMA, misaligned, cycles)
+			if err != nil {
+				return err
+			}
+			res.MisalignedWait, res.MisalignedWaveform = w, wf
+			return nil
+		},
+		// The same misaligned pattern under LOTTERYBUS (equal tickets).
+		func() error {
+			w, _, err := fig5Run(func() (bus.Arbiter, error) {
+				return lotteryArbiter(o, []uint64{1, 1, 1}, "fig5")
+			}, misaligned, cycles)
+			if err != nil {
+				return err
+			}
+			res.LotteryMisalignedWait = w
+			return nil
+		},
+	); err != nil {
 		return nil, err
 	}
-	res.MisalignedWait, res.MisalignedWaveform = w, wf
-
-	// The same misaligned pattern under LOTTERYBUS (equal tickets).
-	w, _, err = fig5Run(func() (bus.Arbiter, error) {
-		return lotteryArbiter(o, []uint64{1, 1, 1}, "fig5")
-	}, misaligned, cycles)
-	if err != nil {
-		return nil, err
-	}
-	res.LotteryMisalignedWait = w
 	return res, nil
 }

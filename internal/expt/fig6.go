@@ -5,6 +5,7 @@ import (
 
 	"lotterybus/internal/arb"
 	"lotterybus/internal/bus"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
 )
@@ -99,26 +100,36 @@ func Fig6b(o Options) (*LatencyComparison, error) {
 		return latencies(b), nil
 	}
 
-	// Two-level TDMA: contiguous reservation blocks sized in bursts.
-	if res.TDMA, err = run(func() (bus.Arbiter, error) {
-		return tdmaArbiter(weights, latencyWheelScale*class.MsgWords)
-	}); err != nil {
-		return nil, err
-	}
-	// Single-level TDMA: the pure timing wheel of the paper's Fig. 5.
-	if res.TDMA1, err = run(func() (bus.Arbiter, error) {
-		slots := make([]int, len(weights))
-		for i, w := range weights {
-			slots[i] = int(w) * latencyWheelScale * class.MsgWords
-		}
-		return arb.NewTDMA(arb.ContiguousWheel(slots), len(weights), false)
-	}); err != nil {
-		return nil, err
-	}
-	// LOTTERYBUS under the identical traffic (same seed derivation).
-	if res.Lottery, err = run(func() (bus.Arbiter, error) {
-		return lotteryArbiter(o, weights, "fig6b")
-	}); err != nil {
+	if err := runner.Do(o.workers(),
+		// Two-level TDMA: contiguous reservation blocks sized in bursts.
+		func() error {
+			var err error
+			res.TDMA, err = run(func() (bus.Arbiter, error) {
+				return tdmaArbiter(weights, latencyWheelScale*class.MsgWords)
+			})
+			return err
+		},
+		// Single-level TDMA: the pure timing wheel of the paper's Fig. 5.
+		func() error {
+			var err error
+			res.TDMA1, err = run(func() (bus.Arbiter, error) {
+				slots := make([]int, len(weights))
+				for i, w := range weights {
+					slots[i] = int(w) * latencyWheelScale * class.MsgWords
+				}
+				return arb.NewTDMA(arb.ContiguousWheel(slots), len(weights), false)
+			})
+			return err
+		},
+		// LOTTERYBUS under the identical traffic (same seed derivation).
+		func() error {
+			var err error
+			res.Lottery, err = run(func() (bus.Arbiter, error) {
+				return lotteryArbiter(o, weights, "fig6b")
+			})
+			return err
+		},
+	); err != nil {
 		return nil, err
 	}
 	return res, nil

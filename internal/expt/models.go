@@ -8,6 +8,7 @@ import (
 	"lotterybus/internal/bus"
 	"lotterybus/internal/core"
 	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
 )
@@ -64,142 +65,156 @@ func (r *ModelValidation) MaxRelError() float64 {
 }
 
 // RunModelValidation measures every analytic model against a dedicated
-// simulation.
+// simulation; the five model/simulation pairs run concurrently.
 func RunModelValidation(o Options) (*ModelValidation, error) {
 	o = o.fill()
-	res := &ModelValidation{}
-	add := func(q string, model, sim float64) {
-		res.Rows = append(res.Rows, ModelRow{Quantity: q, Model: model, Simulated: sim})
-	}
-
-	// 1. Saturated lottery share of the 4-ticket master (of 1:2:3:4).
-	{
-		tickets := []uint64{1, 2, 3, 4}
-		b := bus.New(bus.Config{MaxBurst: 16})
-		for range tickets {
-			b.AddMaster("m", &traffic.Saturating{Words: 16}, bus.MasterOpts{})
-		}
-		b.AddSlave("mem", bus.SlaveOpts{})
-		a, err := lotteryArbiter(o, tickets, "models/share")
-		if err != nil {
-			return nil, err
-		}
-		b.SetArbiter(a)
-		if err := b.Run(o.Cycles); err != nil {
-			return nil, err
-		}
-		add("lottery share, 4 of 1:2:3:4 tickets (saturated)",
-			analytic.LotteryShare(tickets, 3), b.Collector().BandwidthFraction(3))
-	}
-
-	// 2. Lottery access wait: sparse 2-of-10 holder vs a saturating
-	// 16-word competitor.
-	{
-		b := bus.New(bus.Config{MaxBurst: 16})
-		gen, err := traffic.NewBernoulli(0.001, traffic.Fixed(1), 0,
-			prng.Derive(o.Seed, "models/wait"))
-		if err != nil {
-			return nil, err
-		}
-		b.AddMaster("sparse", gen, bus.MasterOpts{})
-		b.AddMaster("heavy", &traffic.Saturating{Words: 16}, bus.MasterOpts{})
-		b.AddSlave("mem", bus.SlaveOpts{})
-		mgr, err := core.NewStaticLottery(core.StaticConfig{
-			Tickets: []uint64{2, 8},
-			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "models/wait/mgr")),
-		})
-		if err != nil {
-			return nil, err
-		}
-		b.SetArbiter(arb.NewStaticLottery(mgr))
-		if err := b.Run(o.Cycles * 10); err != nil {
-			return nil, err
-		}
-		add("lottery access wait, 2 of 10 tickets vs 16-word bursts (cycles)",
-			analytic.LotteryAccessWait(2, 10, 16), b.Collector().AvgWait(0))
-	}
-
-	// 3. Single-level TDMA alignment wait: 8-slot block of a 32 wheel.
-	{
-		b := bus.New(bus.Config{MaxBurst: 16})
-		gen, err := traffic.NewBernoulli(0.002, traffic.Fixed(1), 0,
-			prng.Derive(o.Seed, "models/tdma"))
-		if err != nil {
-			return nil, err
-		}
-		b.AddMaster("m0", gen, bus.MasterOpts{})
-		b.AddMaster("pad", nil, bus.MasterOpts{})
-		b.AddSlave("mem", bus.SlaveOpts{})
-		td, err := arb.NewTDMA(arb.ContiguousWheel([]int{8, 24}), 2, false)
-		if err != nil {
-			return nil, err
-		}
-		b.SetArbiter(td)
-		if err := b.Run(o.Cycles * 5); err != nil {
-			return nil, err
-		}
-		model, err := analytic.TDMAAlignmentWait(8, 32)
-		if err != nil {
-			return nil, err
-		}
-		add("1-level TDMA alignment wait, 8-slot block of 32 (cycles)",
-			model, b.Collector().AvgWait(0))
-	}
-
-	// 4. Two-level TDMA service share with reclamation: masters 0 and 3
-	// of a 1:2:3:4 wheel backlogged, 1 and 2 silent.
-	{
-		b := bus.New(bus.Config{MaxBurst: 16})
-		for i := 0; i < 4; i++ {
-			var gen bus.Generator
-			if i == 0 || i == 3 {
-				gen = &traffic.Saturating{Words: 8}
+	points := []func() (ModelRow, error){
+		// 1. Saturated lottery share of the 4-ticket master (of 1:2:3:4).
+		func() (ModelRow, error) {
+			tickets := []uint64{1, 2, 3, 4}
+			b := bus.New(bus.Config{MaxBurst: 16})
+			for range tickets {
+				b.AddMaster("m", &traffic.Saturating{Words: 16}, bus.MasterOpts{})
 			}
-			b.AddMaster("m", gen, bus.MasterOpts{})
-		}
-		b.AddSlave("mem", bus.SlaveOpts{})
-		slots := []int{1, 2, 3, 4}
-		td, err := arb.NewTDMA(arb.ContiguousWheel(slots), 4, true)
-		if err != nil {
-			return nil, err
-		}
-		b.SetArbiter(td)
-		if err := b.Run(o.Cycles); err != nil {
-			return nil, err
-		}
-		model, err := analytic.TDMAServiceShare(slots, 3, 0b1001)
-		if err != nil {
-			return nil, err
-		}
-		add("2-level TDMA service share, master 4 of {1,4} backlogged",
-			model, b.Collector().BandwidthFraction(3))
+			b.AddSlave("mem", bus.SlaveOpts{})
+			a, err := lotteryArbiter(o, tickets, "models/share")
+			if err != nil {
+				return ModelRow{}, err
+			}
+			b.SetArbiter(a)
+			if err := b.Run(o.Cycles); err != nil {
+				return ModelRow{}, err
+			}
+			return ModelRow{
+				Quantity:  "lottery share, 4 of 1:2:3:4 tickets (saturated)",
+				Model:     analytic.LotteryShare(tickets, 3),
+				Simulated: b.Collector().BandwidthFraction(3),
+			}, nil
+		},
+		// 2. Lottery access wait: sparse 2-of-10 holder vs a saturating
+		// 16-word competitor.
+		func() (ModelRow, error) {
+			b := bus.New(bus.Config{MaxBurst: 16})
+			gen, err := traffic.NewBernoulli(0.001, traffic.Fixed(1), 0,
+				prng.Derive(o.Seed, "models/wait"))
+			if err != nil {
+				return ModelRow{}, err
+			}
+			b.AddMaster("sparse", gen, bus.MasterOpts{})
+			b.AddMaster("heavy", &traffic.Saturating{Words: 16}, bus.MasterOpts{})
+			b.AddSlave("mem", bus.SlaveOpts{})
+			mgr, err := core.NewStaticLottery(core.StaticConfig{
+				Tickets: []uint64{2, 8},
+				Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "models/wait/mgr")),
+			})
+			if err != nil {
+				return ModelRow{}, err
+			}
+			b.SetArbiter(arb.NewStaticLottery(mgr))
+			if err := b.Run(o.Cycles * 10); err != nil {
+				return ModelRow{}, err
+			}
+			return ModelRow{
+				Quantity:  "lottery access wait, 2 of 10 tickets vs 16-word bursts (cycles)",
+				Model:     analytic.LotteryAccessWait(2, 10, 16),
+				Simulated: b.Collector().AvgWait(0),
+			}, nil
+		},
+		// 3. Single-level TDMA alignment wait: 8-slot block of a 32 wheel.
+		func() (ModelRow, error) {
+			b := bus.New(bus.Config{MaxBurst: 16})
+			gen, err := traffic.NewBernoulli(0.002, traffic.Fixed(1), 0,
+				prng.Derive(o.Seed, "models/tdma"))
+			if err != nil {
+				return ModelRow{}, err
+			}
+			b.AddMaster("m0", gen, bus.MasterOpts{})
+			b.AddMaster("pad", nil, bus.MasterOpts{})
+			b.AddSlave("mem", bus.SlaveOpts{})
+			td, err := arb.NewTDMA(arb.ContiguousWheel([]int{8, 24}), 2, false)
+			if err != nil {
+				return ModelRow{}, err
+			}
+			b.SetArbiter(td)
+			if err := b.Run(o.Cycles * 5); err != nil {
+				return ModelRow{}, err
+			}
+			model, err := analytic.TDMAAlignmentWait(8, 32)
+			if err != nil {
+				return ModelRow{}, err
+			}
+			return ModelRow{
+				Quantity:  "1-level TDMA alignment wait, 8-slot block of 32 (cycles)",
+				Model:     model,
+				Simulated: b.Collector().AvgWait(0),
+			}, nil
+		},
+		// 4. Two-level TDMA service share with reclamation: masters 0 and 3
+		// of a 1:2:3:4 wheel backlogged, 1 and 2 silent.
+		func() (ModelRow, error) {
+			b := bus.New(bus.Config{MaxBurst: 16})
+			for i := 0; i < 4; i++ {
+				var gen bus.Generator
+				if i == 0 || i == 3 {
+					gen = &traffic.Saturating{Words: 8}
+				}
+				b.AddMaster("m", gen, bus.MasterOpts{})
+			}
+			b.AddSlave("mem", bus.SlaveOpts{})
+			slots := []int{1, 2, 3, 4}
+			td, err := arb.NewTDMA(arb.ContiguousWheel(slots), 4, true)
+			if err != nil {
+				return ModelRow{}, err
+			}
+			b.SetArbiter(td)
+			if err := b.Run(o.Cycles); err != nil {
+				return ModelRow{}, err
+			}
+			model, err := analytic.TDMAServiceShare(slots, 3, 0b1001)
+			if err != nil {
+				return ModelRow{}, err
+			}
+			return ModelRow{
+				Quantity:  "2-level TDMA service share, master 4 of {1,4} backlogged",
+				Model:     model,
+				Simulated: b.Collector().BandwidthFraction(3),
+			}, nil
+		},
+		// 5. Geo/D/1 self-queueing wait: lone master, rho 0.6, 4-word
+		// messages.
+		func() (ModelRow, error) {
+			b := bus.New(bus.Config{MaxBurst: 16})
+			gen, err := traffic.NewBernoulli(0.6, traffic.Fixed(4), 0,
+				prng.Derive(o.Seed, "models/geod1"))
+			if err != nil {
+				return ModelRow{}, err
+			}
+			b.AddMaster("m0", gen, bus.MasterOpts{})
+			b.AddSlave("mem", bus.SlaveOpts{})
+			p, err := arb.NewPriority([]uint64{1})
+			if err != nil {
+				return ModelRow{}, err
+			}
+			b.SetArbiter(p)
+			if err := b.Run(o.Cycles * 4); err != nil {
+				return ModelRow{}, err
+			}
+			model, err := analytic.GeoD1Wait(0.6, 4)
+			if err != nil {
+				return ModelRow{}, err
+			}
+			return ModelRow{
+				Quantity:  "Geo/D/1 queueing wait, rho 0.6, 4-word messages (cycles)",
+				Model:     model,
+				Simulated: b.Collector().AvgWait(0),
+			}, nil
+		},
 	}
-
-	// 5. Geo/D/1 self-queueing wait: lone master, rho 0.6, 4-word
-	// messages.
-	{
-		b := bus.New(bus.Config{MaxBurst: 16})
-		gen, err := traffic.NewBernoulli(0.6, traffic.Fixed(4), 0,
-			prng.Derive(o.Seed, "models/geod1"))
-		if err != nil {
-			return nil, err
-		}
-		b.AddMaster("m0", gen, bus.MasterOpts{})
-		b.AddSlave("mem", bus.SlaveOpts{})
-		p, err := arb.NewPriority([]uint64{1})
-		if err != nil {
-			return nil, err
-		}
-		b.SetArbiter(p)
-		if err := b.Run(o.Cycles * 4); err != nil {
-			return nil, err
-		}
-		model, err := analytic.GeoD1Wait(0.6, 4)
-		if err != nil {
-			return nil, err
-		}
-		add("Geo/D/1 queueing wait, rho 0.6, 4-word messages (cycles)",
-			model, b.Collector().AvgWait(0))
+	rows, err := runner.Map(o.workers(), len(points), func(k int) (ModelRow, error) {
+		return points[k]()
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ModelValidation{Rows: rows}, nil
 }

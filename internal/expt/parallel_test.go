@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParallelDeterminism proves the tentpole property of the sweep
+// runner: because every sweep point derives its own PRNG streams, the
+// worker count must not change a single bit of any result. Each
+// experiment runs serially and with a deliberately oversubscribed pool,
+// and the typed results are compared via %#v — Go's float64 formatting
+// is round-trip exact, so equal strings mean bit-identical values (and,
+// unlike reflect.DeepEqual, the comparison tolerates the NaNs idle
+// masters report).
+func TestParallelDeterminism(t *testing.T) {
+	o := Options{Cycles: 20000, Seed: 7}
+	serial, parallel := o, o
+	serial.Parallel = 1
+	parallel.Parallel = 8
+
+	experiments := []struct {
+		name string
+		run  func(Options) (any, error)
+	}{
+		{"Fig4", func(o Options) (any, error) { return Fig4(o) }},
+		{"Fig5", func(o Options) (any, error) { return Fig5(o) }},
+		{"Fig6a", func(o Options) (any, error) { return Fig6a(o) }},
+		{"Fig6b", func(o Options) (any, error) { return Fig6b(o) }},
+		{"Fig12a", func(o Options) (any, error) { return RunFig12a(o) }},
+		{"Fig12b", func(o Options) (any, error) { return RunFig12b(o) }},
+		{"Fig12c", func(o Options) (any, error) { return RunFig12c(o) }},
+		{"Table1", func(o Options) (any, error) { return RunTable1(o) }},
+		{"Starvation", func(o Options) (any, error) { return RunStarvation(o) }},
+		{"DynamicTickets", func(o Options) (any, error) { return RunDynamicTickets(o) }},
+		{"SlackAblation", func(o Options) (any, error) { return RunSlackAblation(o) }},
+		{"PipelineAblation", func(o Options) (any, error) { return RunPipelineAblation(o) }},
+		{"Compensation", func(o Options) (any, error) { return RunCompensation(o) }},
+		{"BurstAblation", func(o Options) (any, error) { return RunBurstAblation(o) }},
+		{"ModelValidation", func(o Options) (any, error) { return RunModelValidation(o) }},
+		{"TailLatency", func(o Options) (any, error) { return RunTailLatency(o) }},
+		{"Replay", func(o Options) (any, error) { return RunReplay(o) }},
+		{"SplitAblation", func(o Options) (any, error) { return RunSplitAblation(o) }},
+		{"Scalability", func(o Options) (any, error) { return RunScalability(o) }},
+		{"WRRComparison", func(o Options) (any, error) { return RunWRRComparison(o) }},
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			want, err := e.run(serial)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			got, err := e.run(parallel)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			ws, gs := fmt.Sprintf("%#v", want), fmt.Sprintf("%#v", got)
+			if ws != gs {
+				t.Errorf("parallel result diverged from serial:\nserial:   %s\nparallel: %s", ws, gs)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"lotterybus/internal/bus"
 	"lotterybus/internal/core"
 	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
 )
@@ -110,14 +111,17 @@ func RunReplay(o Options) (*Replay, error) {
 		},
 	}
 
-	res := &Replay{}
-	for _, arch := range []string{
+	// Trace.Replay hands each bus a fresh cursor over the shared
+	// read-only arrival slice, so the six replays run concurrently.
+	archs := []string{
 		"static-priority", "round-robin", "weighted-round-robin",
 		"tdma-2level", "lotterybus", "lottery-compensated",
-	} {
+	}
+	rows, err := runner.Map(o.workers(), len(archs), func(k int) (ReplayRow, error) {
+		arch := archs[k]
 		a, err := mk[arch]()
 		if err != nil {
-			return nil, err
+			return ReplayRow{}, err
 		}
 		b := bus.New(bus.Config{MaxBurst: 16})
 		for i := 0; i < fourMasters; i++ {
@@ -126,7 +130,7 @@ func RunReplay(o Options) (*Replay, error) {
 		b.AddSlave("mem", bus.SlaveOpts{})
 		b.SetArbiter(a)
 		if err := b.Run(o.Cycles); err != nil {
-			return nil, err
+			return ReplayRow{}, err
 		}
 		col := b.Collector()
 		row := ReplayRow{
@@ -135,7 +139,10 @@ func RunReplay(o Options) (*Replay, error) {
 			Utilization: col.Utilization(),
 		}
 		copy(row.BW[:], bandwidths(b))
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Replay{Rows: rows}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"lotterybus/internal/bus"
 	"lotterybus/internal/core"
 	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
 )
@@ -50,11 +51,13 @@ func (r *Scalability) Table() *stats.Table {
 	return t
 }
 
-// RunScalability sweeps system sizes 4, 8, 16 and 32.
+// RunScalability sweeps system sizes 4, 8, 16 and 32, one worker per
+// system size.
 func RunScalability(o Options) (*Scalability, error) {
 	o = o.fill()
-	res := &Scalability{}
-	for _, n := range []int{4, 8, 16, 32} {
+	sizes := []int{4, 8, 16, 32}
+	rows, err := runner.Map(o.workers(), len(sizes), func(k int) (ScalabilityRow, error) {
+		n := sizes[k]
 		tickets := make([]uint64, n)
 		var total uint64
 		for i := range tickets {
@@ -66,7 +69,7 @@ func RunScalability(o Options) (*Scalability, error) {
 			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, fmt.Sprintf("scale/%d", n))),
 		})
 		if err != nil {
-			return nil, err
+			return ScalabilityRow{}, err
 		}
 		b := bus.New(bus.Config{MaxBurst: 16})
 		for i := 0; i < n; i++ {
@@ -78,7 +81,7 @@ func RunScalability(o Options) (*Scalability, error) {
 		// accumulate samples.
 		cycles := o.Cycles * int64(n) / 4
 		if err := b.Run(cycles); err != nil {
-			return nil, err
+			return ScalabilityRow{}, err
 		}
 		col := b.Collector()
 		worstErr := 0.0
@@ -101,7 +104,10 @@ func RunScalability(o Options) (*Scalability, error) {
 		if l := col.PerWordLatency(n - 1); l > 0 {
 			row.WorstStarvation = col.PerWordLatency(0) / l
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Scalability{Rows: rows}, nil
 }

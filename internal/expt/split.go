@@ -7,6 +7,7 @@ import (
 	"lotterybus/internal/bus"
 	"lotterybus/internal/core"
 	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
 )
@@ -79,24 +80,28 @@ func RunSplitAblation(o Options) (*SplitAblation, error) {
 		return b, nil
 	}
 
-	res := &SplitAblation{}
-	for _, latency := range []int{4, 16, 64} {
+	latencies := []int{4, 16, 64}
+	rows, err := runner.Map(o.workers(), len(latencies), func(k int) (SplitRow, error) {
+		latency := latencies[k]
 		blocking, err := run(latency, false)
 		if err != nil {
-			return nil, err
+			return SplitRow{}, err
 		}
 		split, err := run(latency, true)
 		if err != nil {
-			return nil, err
+			return SplitRow{}, err
 		}
 		bc, sc := blocking.Collector(), split.Collector()
-		res.Rows = append(res.Rows, SplitRow{
+		return SplitRow{
 			LatencyCycles:      latency,
 			BlockingThroughput: float64(bc.TotalWords()) / float64(bc.Cycles()),
 			SplitThroughput:    float64(sc.TotalWords()) / float64(sc.Cycles()),
 			BlockingLatency:    bc.PerWordLatency(3),
 			SplitMsgLatency:    sc.PerWordLatency(3),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &SplitAblation{Rows: rows}, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"lotterybus/internal/core"
 	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 )
 
@@ -26,23 +27,25 @@ type StarvationRow struct {
 }
 
 // RunStarvation measures a 1-of-10 ticket holder against a saturated
-// competitor across increasing lottery horizons.
+// competitor across increasing lottery horizons. Each horizon draws
+// from its own seeded manager, so the horizons estimate concurrently.
 func RunStarvation(o Options) (*Starvation, error) {
 	o = o.fill()
 	const tickets, total = 1, 10
-	mgr, err := core.NewStaticLottery(core.StaticConfig{
-		Tickets: []uint64{tickets, total - tickets},
-		Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, "starvation")),
-	})
-	if err != nil {
-		return nil, err
-	}
-	res := &Starvation{T: tickets, Total: total}
 	trials := int(o.Cycles / 40)
 	if trials < 500 {
 		trials = 500
 	}
-	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+	horizons := []int{1, 2, 4, 8, 16, 32, 64}
+	rows, err := runner.Map(o.workers(), len(horizons), func(k int) (StarvationRow, error) {
+		n := horizons[k]
+		mgr, err := core.NewStaticLottery(core.StaticConfig{
+			Tickets: []uint64{tickets, total - tickets},
+			Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, fmt.Sprintf("starvation/%d", n))),
+		})
+		if err != nil {
+			return StarvationRow{}, err
+		}
 		wins := 0
 		for trial := 0; trial < trials; trial++ {
 			for d := 0; d < n; d++ {
@@ -52,13 +55,16 @@ func RunStarvation(o Options) (*Starvation, error) {
 				}
 			}
 		}
-		res.Rows = append(res.Rows, StarvationRow{
+		return StarvationRow{
 			Draws:     n,
 			Analytic:  core.AccessProbability(tickets, total, n),
 			Simulated: float64(wins) / float64(trials),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Starvation{T: tickets, Total: total, Rows: rows}, nil
 }
 
 // Table renders analytic vs simulated access probabilities.

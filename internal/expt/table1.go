@@ -8,6 +8,7 @@ import (
 	"lotterybus/internal/bus"
 	"lotterybus/internal/core"
 	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 )
 
@@ -83,25 +84,30 @@ func RunTable1(o Options) (*Table1, error) {
 			return arb.NewStaticLottery(mgr), nil
 		}},
 	}
-	for _, c := range cases {
+	rows, err := runner.Map(o.workers(), len(cases), func(k int) (Table1Row, error) {
+		c := cases[k]
 		s, err := atm.New(atm.Config{Ports: atm.QoSPorts(), Seed: o.Seed})
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		a, err := c.mk(s)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		s.AttachArbiter(a)
 		if err := s.Run(o.Cycles * 2); err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		rep := s.Report()
 		row := Table1Row{Arch: c.name, Port4Latency: rep[3].LatencyPerWord}
 		for i := 0; i < 4; i++ {
 			row.BW[i] = rep[i].BandwidthFraction
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }

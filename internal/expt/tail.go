@@ -5,6 +5,7 @@ import (
 
 	"lotterybus/internal/arb"
 	"lotterybus/internal/bus"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
 )
@@ -91,27 +92,31 @@ func RunTailLatency(o Options) (*TailLatency, error) {
 		{"tdma-2level", func() (bus.Arbiter, error) { return tdmaArbiter(weights, 2*16) }},
 		{"lotterybus", func() (bus.Arbiter, error) { return lotteryArbiter(o, weights, "tail") }},
 	}
-	for _, c := range cases {
-		a, err := c.mk()
+	rows, err := runner.Map(o.workers(), len(cases), func(k int) (TailRow, error) {
+		a, err := cases[k].mk()
 		if err != nil {
-			return nil, err
+			return TailRow{}, err
 		}
 		b, err := build(a)
 		if err != nil {
-			return nil, err
+			return TailRow{}, err
 		}
 		if err := b.Run(o.Cycles * 4); err != nil {
-			return nil, err
+			return TailRow{}, err
 		}
 		col := b.Collector()
 		h := col.LatencyHistogram(3)
-		res.Rows = append(res.Rows, TailRow{
-			Arch:       c.name,
+		return TailRow{
+			Arch:       cases[k].name,
 			Mean:       col.PerWordLatency(3),
 			P99:        h.Quantile(0.99),
 			MaxMessage: col.MaxMessageLatency(3),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

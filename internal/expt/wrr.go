@@ -5,6 +5,7 @@ import (
 
 	"lotterybus/internal/arb"
 	"lotterybus/internal/bus"
+	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
 )
@@ -71,24 +72,33 @@ func RunWRRComparison(o Options) (*WRRComparison, error) {
 	}
 
 	res := &WRRComparison{}
-	bl, err := run(func() (bus.Arbiter, error) {
-		return lotteryArbiter(o, weights, "wrr")
-	})
-	if err != nil {
+	if err := runner.Do(o.workers(),
+		func() error {
+			bl, err := run(func() (bus.Arbiter, error) {
+				return lotteryArbiter(o, weights, "wrr")
+			})
+			if err != nil {
+				return err
+			}
+			copy(res.LotteryBW[:], bandwidths(bl))
+			res.LotteryLatency = bl.Collector().PerWordLatency(3)
+			res.LotteryJitter = bl.Collector().LatencyHistogram(3).StdDev()
+			return nil
+		},
+		func() error {
+			bw, err := run(func() (bus.Arbiter, error) {
+				return arb.NewWeightedRoundRobin(weights, 4)
+			})
+			if err != nil {
+				return err
+			}
+			copy(res.WRRBW[:], bandwidths(bw))
+			res.WRRLatency = bw.Collector().PerWordLatency(3)
+			res.WRRJitter = bw.Collector().LatencyHistogram(3).StdDev()
+			return nil
+		},
+	); err != nil {
 		return nil, err
 	}
-	copy(res.LotteryBW[:], bandwidths(bl))
-	res.LotteryLatency = bl.Collector().PerWordLatency(3)
-	res.LotteryJitter = bl.Collector().LatencyHistogram(3).StdDev()
-
-	bw, err := run(func() (bus.Arbiter, error) {
-		return arb.NewWeightedRoundRobin(weights, 4)
-	})
-	if err != nil {
-		return nil, err
-	}
-	copy(res.WRRBW[:], bandwidths(bw))
-	res.WRRLatency = bw.Collector().PerWordLatency(3)
-	res.WRRJitter = bw.Collector().LatencyHistogram(3).StdDev()
 	return res, nil
 }

@@ -7,6 +7,8 @@
 // bit-reproducible across machines and Go versions.
 package prng
 
+import "math/bits"
+
 // Source is the minimal interface for a 64-bit pseudo-random stream.
 // Implementations must be deterministic functions of their seed.
 type Source interface {
@@ -90,21 +92,11 @@ func Uintn(src Source, n uint64) uint64 {
 	}
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo).
+// mul64 returns the 128-bit product of a and b as (hi, lo). bits.Mul64
+// compiles to the platform's widening multiply instruction, keeping the
+// per-draw Lemire reduction on the lottery hot path branch-free.
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	a0, a1 := a&mask32, a>>32
-	b0, b1 := b&mask32, b>>32
-	t := a0 * b0
-	lo = t & mask32
-	c := t >> 32
-	t = a1*b0 + c
-	c = t >> 32
-	m := t & mask32
-	t = a0*b1 + m
-	lo |= (t & mask32) << 32
-	hi = a1*b1 + c + t>>32
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.

@@ -1,0 +1,106 @@
+// Package runner is the parallel sweep engine behind the experiment
+// harness: a work-stealing worker pool that executes independent
+// simulation points concurrently while keeping results bit-identical to
+// a serial run.
+//
+// Every sweep point in internal/expt is a pure function of its index —
+// it derives its own PRNG streams via prng.Derive, builds its own bus
+// and arbiter, and returns a value — so points may execute in any order
+// on any number of goroutines. Map re-assembles results in index order
+// and reports the lowest-indexed error, which makes the observable
+// outcome independent of scheduling: run with one worker or sixteen,
+// the returned values are the same bits.
+package runner
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar names the environment variable consulted for a default worker
+// count when the caller does not fix one (e.g. the -parallel flag is
+// left at zero). Values <= 0 or non-numeric are ignored.
+const EnvVar = "LOTTERYBUS_PARALLEL"
+
+// Workers resolves a requested worker count. A positive n is used as
+// given; zero (or negative) consults EnvVar and then falls back to
+// runtime.GOMAXPROCS(0). The result is always at least 1.
+func Workers(n int) int {
+	if n <= 0 {
+		if v, err := strconv.Atoi(os.Getenv(EnvVar)); err == nil && v > 0 {
+			n = v
+		} else {
+			n = runtime.GOMAXPROCS(0)
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Map executes fn(0) .. fn(n-1) on up to workers goroutines and returns
+// the results in index order. workers <= 0 resolves via Workers(0).
+// With one worker the points run serially in index order on the calling
+// goroutine.
+//
+// Error semantics are deterministic regardless of worker count: if any
+// point fails, Map returns the error of the lowest-indexed failing
+// point. (With multiple workers every point still runs; with one
+// worker, points after the first failure are skipped — indistinguishable
+// to a caller, since experiment points are pure.)
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Do executes the given tasks concurrently on up to workers goroutines
+// and returns the lowest-indexed error (nil if all succeed).
+func Do(workers int, tasks ...func() error) error {
+	_, err := Map(workers, len(tasks), func(i int) (struct{}, error) {
+		return struct{}{}, tasks[i]()
+	})
+	return err
+}

@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+	t.Setenv(EnvVar, "3")
+	if got := Workers(0); got != 3 {
+		t.Fatalf("Workers(0) with %s=3 = %d", EnvVar, got)
+	}
+	if got := Workers(2); got != 2 {
+		t.Fatalf("explicit count must override env; got %d", got)
+	}
+	t.Setenv(EnvVar, "bogus")
+	if got := Workers(0); got < 1 {
+		t.Fatalf("Workers(0) with junk env = %d", got)
+	}
+	t.Setenv(EnvVar, "-4")
+	if got := Workers(0); got < 1 {
+		t.Fatalf("Workers(0) with negative env = %d", got)
+	}
+}
+
+func TestMapOrderingAndParity(t *testing.T) {
+	fn := func(i int) (int, error) { return i * i, nil }
+	serial, err := Map(1, 100, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16, 200} {
+		par, err := Map(workers, 100, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, serial %d", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("Map over zero points = %v, %v", out, err)
+	}
+}
+
+func TestMapLowestIndexedError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	fn := func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errLow
+		case 7:
+			return 0, errHigh
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 2, 8} {
+		if _, err := Map(workers, 10, fn); err != errLow {
+			t.Fatalf("workers=%d: err = %v, want lowest-indexed %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestMapRunsEveryPoint(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(4, 50, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d of 50 points", ran.Load())
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b atomic.Bool
+	err := Do(2,
+		func() error { a.Store(true); return nil },
+		func() error { b.Store(true); return nil },
+	)
+	if err != nil || !a.Load() || !b.Load() {
+		t.Fatalf("Do: err=%v a=%v b=%v", err, a.Load(), b.Load())
+	}
+	want := fmt.Errorf("boom")
+	if err := Do(2, func() error { return nil }, func() error { return want }); err != want {
+		t.Fatalf("Do error = %v", err)
+	}
+}
