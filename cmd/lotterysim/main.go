@@ -7,6 +7,7 @@
 //	lotterysim -sample > system.json   # print a starter configuration
 //	lotterysim < system.json           # read the configuration from stdin
 //	lotterysim -config system.json -replicate 8 -parallel 4
+//	lotterysim -config system.json -cpuprofile cpu.pb.gz
 package main
 
 import (
@@ -15,10 +16,23 @@ import (
 	"fmt"
 	"os"
 
+	"lotterybus/internal/prof"
 	"lotterybus/internal/runner"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// fail prints err and returns the process exit code.
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "lotterysim:", err)
+	return 1
+}
+
+// realMain runs the tool and returns its exit code, so deferred cleanup
+// (profile flushing, file closing) runs before the process exits.
+func realMain() (code int) {
 	path := flag.String("config", "", "path to a JSON system configuration (default: stdin)")
 	sample := flag.Bool("sample", false, "print a sample configuration and exit")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this path")
@@ -26,37 +40,46 @@ func main() {
 	replicate := flag.Int("replicate", 1, "run N seed-replicas of the configuration (seed, seed+1, ...)")
 	parallel := flag.Int("parallel", 0,
 		"replica workers (0 = $"+runner.EnvVar+" then GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	flag.Parse()
 
 	if *sample {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(SampleConfig()); err != nil {
-			fmt.Fprintln(os.Stderr, "lotterysim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		return
+		return 0
 	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil && code == 0 {
+			code = fail(err)
+		}
+	}()
 
 	in := os.Stdin
 	if *path != "" {
 		f, err := os.Open(*path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lotterysim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer f.Close()
 		in = f
 	}
 	cfg, err := ParseConfig(in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lotterysim:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	if *replicate > 1 {
 		if *vcdPath != "" || *waveform > 0 {
 			fmt.Fprintln(os.Stderr, "lotterysim: -vcd and -waveform require -replicate 1")
-			os.Exit(1)
+			return 1
 		}
 		// Each replica is an independent simulation of the same system
 		// at seed, seed+1, ...; replicas run on the worker pool and the
@@ -74,25 +97,22 @@ func main() {
 			return sys.Report().String(), nil
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lotterysim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		for i, rep := range reports {
 			fmt.Printf("==== replica %d (seed %d) ====\n%s\n", i, cfg.Seed+uint64(i), rep)
 		}
-		return
+		return code
 	}
 	sys, err := cfg.Build()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lotterysim:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	if *vcdPath != "" || *waveform > 0 {
 		sys.EnableTrace(0)
 	}
 	if err := sys.Run(cfg.Cycles); err != nil {
-		fmt.Fprintln(os.Stderr, "lotterysim:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	fmt.Println(sys.Report())
 	if *waveform > 0 {
@@ -102,14 +122,13 @@ func main() {
 	if *vcdPath != "" {
 		f, err := os.Create(*vcdPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lotterysim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer f.Close()
 		if err := sys.WriteVCD(f); err != nil {
-			fmt.Fprintln(os.Stderr, "lotterysim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		fmt.Printf("\nVCD written to %s\n", *vcdPath)
 	}
+	return code
 }

@@ -7,6 +7,7 @@
 //	paperfigs [-fig all|4|5|6a|6b|12a|12b|12b1|12c|table1|hw|gates|starvation|dynamic|bridge|
 //	           slack|pipeline|compensation|burst|models|tail|replay|split|scale|adaptation|wrr]
 //	          [-cycles N] [-seed S] [-parallel W] [-csv DIR]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -csv DIR, every table and figure is additionally written as an
 // RFC-4180 CSV file under DIR for downstream plotting.
@@ -20,23 +21,46 @@ import (
 	"path/filepath"
 
 	"lotterybus/internal/expt"
+	"lotterybus/internal/prof"
 	"lotterybus/internal/runner"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain runs the tool and returns its exit code, so the deferred
+// profile flush runs before the process exits.
+func realMain() (code int) {
 	fig := flag.String("fig", "all", "which figure/table to regenerate")
 	cycles := flag.Int64("cycles", 0, "simulated bus cycles per measurement (0 = default 200000)")
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = default 42)")
 	parallel := flag.Int("parallel", 0,
 		"sweep workers (0 = $"+runner.EnvVar+" then GOMAXPROCS, 1 = serial); results are identical for any value")
 	csvDir := flag.String("csv", "", "also write each table/figure as CSV into this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		return 1
+	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil && code == 0 {
+			code = fail(err)
+		}
+	}()
 
 	o := expt.Options{Cycles: *cycles, Seed: *seed, Parallel: *parallel}
 	if err := run(os.Stdout, *fig, o, *csvDir); err != nil {
-		fmt.Fprintln(os.Stderr, "paperfigs:", err)
-		os.Exit(1)
+		return fail(err)
 	}
+	return code
 }
 
 // csvWritable is anything renderable as CSV (stats.Table and

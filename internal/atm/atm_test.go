@@ -173,8 +173,9 @@ func TestQoSUnderPriority(t *testing.T) {
 	}
 	// Port 1 (lowest priority) starves against the near-saturating trio:
 	// it receives a small fraction of the bus, far below its 0.15
-	// offered load.
-	if rep[0].BandwidthFraction > 0.05 {
+	// offered load (the long-run share is ~0.05; the bound leaves
+	// finite-run slack while still proving starvation).
+	if rep[0].BandwidthFraction > 0.07 {
 		t.Fatalf("port1 share %v, expected starvation", rep[0].BandwidthFraction)
 	}
 }

@@ -110,6 +110,76 @@ func BenchmarkTickBernoulli(b *testing.B) {
 	}
 }
 
+// lightBus builds a four-master system at the given offered load per
+// master (words/cycle, Bernoulli arrivals of 16-word messages) under a
+// static lottery, with the fast-forward engine on or off.
+func lightBus(b *testing.B, load float64, disableFF bool) *bus.Bus {
+	b.Helper()
+	mgr, err := core.NewStaticLottery(core.StaticConfig{
+		Tickets: []uint64{1, 2, 3, 4},
+		Source:  prng.NewXorShift64Star(1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bb := bus.New(bus.Config{MaxBurst: 16})
+	bb.DisableFastForward = disableFF
+	for i := 0; i < 4; i++ {
+		var gen bus.Generator
+		if load > 0 {
+			g, err := traffic.NewBernoulli(load, traffic.Fixed(16), 0, uint64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen = g
+		}
+		bb.AddMaster("m", gen, bus.MasterOpts{Tickets: uint64(i + 1)})
+	}
+	bb.AddSlave("mem", bus.SlaveOpts{})
+	bb.SetArbiter(arb.NewStaticLottery(mgr))
+	return bb
+}
+
+// benchRun times bb.Run(b.N): ns/op is ns per simulated bus cycle.
+func benchRun(b *testing.B, bb *bus.Bus) {
+	b.Helper()
+	if err := bb.Run(4096); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := bb.Run(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkIdleBusFast measures a bus with no traffic at all under the
+// fast-forward engine: the whole horizon collapses to one skip, so this
+// is the engine's best case (and the dominant regime of low-load
+// sweeps' dead cycles).
+func BenchmarkIdleBusFast(b *testing.B) {
+	benchRun(b, lightBus(b, 0, false))
+}
+
+// BenchmarkIdleBusNaive is the same idle system on the per-cycle loop,
+// the before-side baseline for the fast path.
+func BenchmarkIdleBusNaive(b *testing.B) {
+	benchRun(b, lightBus(b, 0, true))
+}
+
+// BenchmarkLowLoadFast measures a 10%-utilization system (4 masters at
+// 0.025 words/cycle each) under the fast-forward engine — the paper's
+// sparse traffic classes, where most cycles are dead.
+func BenchmarkLowLoadFast(b *testing.B) {
+	benchRun(b, lightBus(b, 0.025, false))
+}
+
+// BenchmarkLowLoadNaive is the same 10%-utilization system on the
+// per-cycle loop.
+func BenchmarkLowLoadNaive(b *testing.B) {
+	benchRun(b, lightBus(b, 0.025, true))
+}
+
 // BenchmarkDrawOnlyStatic measures the static lottery draw alone: the
 // LUT row fetch, the RNG draw and the comparator scan.
 func BenchmarkDrawOnlyStatic(b *testing.B) {

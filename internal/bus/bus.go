@@ -127,7 +127,9 @@ type message struct {
 // msgQueue is a growable ring buffer of messages. The simulator enqueues
 // and dequeues millions of messages per run; a ring reaches its
 // steady-state capacity once and then recycles it, where a sliced-and-
-// appended Go slice would reallocate continually.
+// appended Go slice would reallocate continually. Capacities are always
+// powers of two (8, 16, 32, ...), so index wrapping is a bitmask rather
+// than an integer modulo on the hot path.
 type msgQueue struct {
 	buf  []message
 	head int
@@ -146,19 +148,21 @@ func (q *msgQueue) front() *message {
 // push appends a message, growing the ring if full.
 func (q *msgQueue) push(m message) {
 	if q.n == len(q.buf) {
+		// Doubling from 8 keeps every capacity a power of two.
 		grown := make([]message, max(8, 2*len(q.buf)))
+		mask := len(q.buf) - 1
 		for i := 0; i < q.n; i++ {
-			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+			grown[i] = q.buf[(q.head+i)&mask]
 		}
 		q.buf, q.head = grown, 0
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = m
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = m
 	q.n++
 }
 
 // pop discards the head message.
 func (q *msgQueue) pop() {
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 }
 
@@ -283,13 +287,35 @@ type Bus struct {
 	// another bus.
 	OnMessageComplete func(master, words, slave int, arrival, completion int64)
 
+	// DisableFastForward forces the naive per-cycle loop even when the
+	// fast-forward engine's preconditions hold (see fastforward.go).
+	// The equivalence suite and the microbenchmarks use it to compare
+	// the two paths; production callers never need it.
+	DisableFastForward bool
+
+	// mask caches the request map for cycle maskFor, so arbiters calling
+	// Requests.Mask during arbitration reuse the bus's own computation
+	// instead of recomputing it master by master. A split transaction's
+	// pending state is a function of the cycle (respReady), so the cache
+	// is valid for exactly one cycle; maskFor is -1 when nothing is
+	// cached.
+	mask    uint64
+	maskFor int64
+
+	// ffCycles counts simulated cycles advanced in bulk by the
+	// fast-forward engine (dead-gap skips plus batched burst cycles).
+	ffCycles int64
+
+	// scheds caches the per-master Scheduler views for the fast path.
+	scheds []Scheduler
+
 	reqView requestView
 }
 
 // New returns an empty bus with the given configuration.
 func New(cfg Config) *Bus {
 	cfg.fill()
-	b := &Bus{cfg: cfg}
+	b := &Bus{cfg: cfg, maskFor: -1}
 	b.reqView.b = b
 	return b
 }
@@ -359,6 +385,14 @@ func (b *Bus) Busy() bool { return b.cur != nil }
 // Preemptions returns the number of bursts aborted by pre-emption.
 func (b *Bus) Preemptions() int64 { return b.preemptions }
 
+// FastForwarded returns the number of simulated cycles the fast-forward
+// engine advanced in bulk instead of executing one by one: dead-gap
+// skips (idle bus, empty request map) plus the cycles of batched burst
+// transfers beyond each batch's first. Zero after a run means the naive
+// loop ran throughout (hooks, an active preemptor, or a generator
+// without a Scheduler force it; see fastforward.go).
+func (b *Bus) FastForwarded() int64 { return b.ffCycles }
+
 // Inject enqueues a message on master m programmatically, bypassing its
 // generator. It reports whether the message was accepted (false on queue
 // overflow, which is also counted against the master).
@@ -401,11 +435,19 @@ func (b *Bus) validate() error {
 
 // Run executes n bus cycles. It may be called repeatedly to continue the
 // simulation. Statistics accumulate in Collector().
+//
+// When no per-cycle observer is attached and every generator is
+// event-predictable, Run dispatches to the fast-forward engine
+// (fastforward.go), which produces bit-identical results while leaping
+// over dead cycles; otherwise the naive per-cycle loop below runs.
 func (b *Bus) Run(n int64) error {
 	if err := b.validate(); err != nil {
 		return err
 	}
 	col := b.Collector()
+	if !b.DisableFastForward && b.fastForwardable() {
+		return b.runFast(n, col)
+	}
 	// Hoist loop invariants: the preemptor type assertion and the slow
 	// per-cycle hook checks would otherwise run every simulated cycle.
 	var pre Preemptor
@@ -430,6 +472,7 @@ func (b *Bus) Run(n int64) error {
 		// Phase 2: arbitration when idle; pre-emption check otherwise.
 		if b.cur == nil {
 			if mask := b.requestMask(); mask != 0 {
+				b.mask, b.maskFor = mask, cycle
 				if g, ok := b.arb.Arbitrate(cycle, &b.reqView); ok {
 					if err := b.startBurst(g, col); err != nil {
 						return err
@@ -437,6 +480,7 @@ func (b *Bus) Run(n int64) error {
 				}
 			}
 		} else if pre != nil {
+			b.mask, b.maskFor = b.requestMask(), cycle
 			if g, ok := pre.Preempt(cycle, b.cur.master, &b.reqView); ok && g.Master != b.cur.master {
 				b.preemptions++
 				b.cur = nil
@@ -618,7 +662,14 @@ func (v *requestView) NumMasters() int { return len(v.b.masters) }
 
 func (v *requestView) Pending(i int) bool { return v.b.masterPending(i) }
 
-func (v *requestView) Mask() uint64 { return v.b.requestMask() }
+// Mask serves the request map cached by the cycle loop when it is fresh
+// (the common case during arbitration) and recomputes otherwise.
+func (v *requestView) Mask() uint64 {
+	if v.b.maskFor == v.b.cycle {
+		return v.b.mask
+	}
+	return v.b.requestMask()
+}
 
 func (v *requestView) PendingWords(i int) int {
 	if !v.b.masterPending(i) {

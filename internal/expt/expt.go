@@ -4,6 +4,16 @@
 // returns a typed result with the raw numbers, and renders itself as the
 // rows/series the paper reports. The cmd/paperfigs binary and the
 // repository's bench_test.go both drive these entry points.
+//
+// All sweeps here run on the bus fast-forward engine automatically: the
+// generators are traffic.Scheduler implementations and no per-cycle
+// hook is attached (the two exceptions — the Fig. 5 alignment study and
+// the adaptation experiment — observe every cycle via OnOwner/OnCycle
+// and therefore run the naive loop). The engine is bit-identical to the
+// naive loop, so the reproduced numbers are unchanged; the paper's
+// sparse traffic classes (T3, T6, T9, the low-load latency surface
+// corners) are where it pays, skipping the dead cycles between
+// arrivals.
 package expt
 
 import (

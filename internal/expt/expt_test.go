@@ -4,11 +4,15 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"lotterybus/internal/traffic"
 )
 
-// testOpts keeps unit-test runs quick; the bench harness uses the full
-// default horizon.
-var testOpts = Options{Cycles: 80000, Seed: 7}
+// testOpts keeps unit-test runs quick while long enough for the
+// stochastic share/latency estimates to converge inside the assertion
+// tolerances; the bench harness uses the full default horizon. The bus
+// fast-forward engine keeps the low-load sweeps cheap at this length.
+var testOpts = Options{Cycles: 240000, Seed: 7}
 
 func TestFig4PriorityBandwidthShape(t *testing.T) {
 	r, err := Fig4(testOpts)
@@ -408,5 +412,30 @@ func TestPipelineAblation(t *testing.T) {
 	// With 16-word bursts and 1 arbitration cycle, throughput ~16/17.
 	if math.Abs(r.Rows[1].Throughput-16.0/17) > 0.02 {
 		t.Fatalf("1-cycle overhead throughput %v, want ~%v", r.Rows[1].Throughput, 16.0/17)
+	}
+}
+
+func TestSweepBusesUseFastForward(t *testing.T) {
+	// The experiment sweeps must benefit from the bus fast-forward
+	// engine automatically: a sparse-class system (T3: 12% offered
+	// load) skips most of its cycles.
+	class, err := traffic.ClassByName("T3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newClassBus(testOpts, class, []uint64{1, 2, 3, 4}, "ff-probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := lotteryArbiter(testOpts, []uint64{1, 2, 3, 4}, "ff-probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetArbiter(a)
+	if err := b.Run(testOpts.Cycles); err != nil {
+		t.Fatal(err)
+	}
+	if ff := b.FastForwarded(); ff < testOpts.Cycles/2 {
+		t.Fatalf("sparse sweep fast-forwarded only %d of %d cycles", ff, testOpts.Cycles)
 	}
 }

@@ -1,0 +1,76 @@
+package expt
+
+// Sweep benchmarks for the bus fast-forward engine at the paper's
+// sparse corner of the traffic space: classes L3 and L6 offer 0.24
+// words/cycle aggregate (≤25% bus utilization), so most cycles are dead
+// time between arrivals — exactly what the engine skips. The Naive
+// variant forces the per-cycle loop; the ratio of the two is the
+// engine's wall-clock win on low-load sweeps (BENCH_PR2.json).
+
+import (
+	"testing"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/traffic"
+)
+
+// runSparseSweep simulates every sparse class under lottery, two-level
+// TDMA and round-robin arbitration — a 6-point sweep per iteration.
+func runSparseSweep(b *testing.B, disableFF bool) {
+	b.Helper()
+	o := Options{Cycles: 200000, Seed: 42}.fill()
+	tickets := []uint64{1, 2, 3, 4}
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"L3", "L6"} {
+			class, err := traffic.ClassByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, mk := range []struct {
+				tag  string
+				make func(tag string) (bus.Arbiter, error)
+			}{
+				{"lottery", func(tag string) (bus.Arbiter, error) {
+					return lotteryArbiter(o, tickets, tag)
+				}},
+				{"tdma", func(string) (bus.Arbiter, error) {
+					return tdmaArbiter(tickets, 4)
+				}},
+				{"rr", func(string) (bus.Arbiter, error) {
+					return arb.NewRoundRobin(len(tickets))
+				}},
+			} {
+				tag := "sparse/" + name + "/" + mk.tag
+				bb, err := newClassBus(o, class, tickets, tag)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bb.DisableFastForward = disableFF
+				a, err := mk.make(tag)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bb.SetArbiter(a)
+				if err := bb.Run(o.Cycles); err != nil {
+					b.Fatal(err)
+				}
+				if !disableFF && bb.FastForwarded() == 0 {
+					b.Fatal("sparse sweep point did not fast-forward")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSparseSweepFast measures the ≤25%-utilization sweep on the
+// fast-forward engine.
+func BenchmarkSparseSweepFast(b *testing.B) {
+	runSparseSweep(b, false)
+}
+
+// BenchmarkSparseSweepNaive is the same sweep on the per-cycle loop —
+// the before-side baseline.
+func BenchmarkSparseSweepNaive(b *testing.B) {
+	runSparseSweep(b, true)
+}

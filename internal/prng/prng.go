@@ -136,17 +136,44 @@ func Bernoulli(src Source, p float64) bool {
 // mean (1-p)/p. It panics unless 0 < p <= 1.
 //
 // The implementation inverts the CDF rather than looping, so extremely
-// small p cannot stall the simulator.
+// small p cannot stall the simulator. Draw-heavy callers with a fixed p
+// should hold a GeoDist instead, which precomputes the constant
+// divisor ln(1-p).
 func Geometric(src Source, p float64) uint64 {
+	return NewGeoDist(p).Draw(src)
+}
+
+// GeoDist is a geometric distribution with the constant divisor ln(1-p)
+// of the CDF inversion precomputed. Draw consumes exactly the PRNG
+// values Geometric(src, p) would and returns bit-identical variates;
+// only the per-draw logarithm of the constant is saved.
+type GeoDist struct {
+	p    float64
+	logQ float64 // ln(1-p); unused when p == 1
+}
+
+// NewGeoDist builds a geometric distribution. It panics unless
+// 0 < p <= 1.
+func NewGeoDist(p float64) GeoDist {
 	if p <= 0 || p > 1 {
 		panic("prng: Geometric requires 0 < p <= 1")
 	}
-	if p == 1 {
+	d := GeoDist{p: p}
+	if p < 1 {
+		d.logQ = logNat(1 - p)
+	}
+	return d
+}
+
+// Draw returns one geometric variate, consuming one PRNG value (none
+// when p == 1).
+func (d GeoDist) Draw(src Source) uint64 {
+	if d.p == 1 {
 		return 0
 	}
 	u := Float64(src)
 	// k = floor(ln(1-u)/ln(1-p))
-	k := logNat(1-u) / logNat(1-p)
+	k := logNat(1-u) / d.logQ
 	if k < 0 {
 		return 0
 	}

@@ -136,6 +136,28 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// fingerprint folds the histogram's exact state — count, the bit
+// patterns of the Welford accumulators and extrema, the overflow count
+// and every (bucket, count) pair in bucket order — into h.
+func (h *Histogram) fingerprint(x uint64) uint64 {
+	x = fnvMix(x, uint64(h.count))
+	x = fnvMix(x, math.Float64bits(h.mean))
+	x = fnvMix(x, math.Float64bits(h.m2))
+	x = fnvMix(x, math.Float64bits(h.min))
+	x = fnvMix(x, math.Float64bits(h.max))
+	x = fnvMix(x, uint64(h.overflow))
+	keys := make([]int64, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		x = fnvMix(x, uint64(k))
+		x = fnvMix(x, uint64(h.buckets[k]))
+	}
+	return x
+}
+
 // String renders a compact summary.
 func (h *Histogram) String() string {
 	if h.count == 0 {

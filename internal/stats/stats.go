@@ -75,6 +75,15 @@ func (c *Collector) WordTransferred(m int) {
 	c.busy++
 }
 
+// WordsTransferred records k words transferred by master m, one per bus
+// cycle — the batched counterpart of WordTransferred used by the bus
+// fast-forward engine. k calls to WordTransferred(m) and one call to
+// WordsTransferred(m, k) leave the collector in identical states.
+func (c *Collector) WordsTransferred(m int, k int64) {
+	c.words[m] += k
+	c.busy += k
+}
+
 // ControlCycle records a bus cycle consumed by master m's control
 // signalling (e.g. a split-transaction address beat): the bus is busy
 // but no data word moves.
@@ -185,6 +194,44 @@ func (c *Collector) MaxMessageLatency(m int) int64 { return c.maxMsgLat[m] }
 
 // LatencyHistogram returns the per-word latency histogram of master m.
 func (c *Collector) LatencyHistogram(m int) *Histogram { return c.hist[m] }
+
+// Fingerprint returns an FNV-1a hash over every accumulator in the
+// collector — cycle and busy counters, all per-master arrays, and the
+// full per-word latency histograms (bit patterns of the floating-point
+// state included). Two collectors fed identical event sequences hash
+// equal; any divergence in counts, timing, or histogram contents changes
+// the value. The equivalence suite uses this to prove the fast-forward
+// engine bit-identical to the naive cycle loop.
+func (c *Collector) Fingerprint() uint64 {
+	h := fnvMix(fnvOffset, uint64(c.n))
+	h = fnvMix(h, uint64(c.cycles))
+	h = fnvMix(h, uint64(c.busy))
+	for m := 0; m < c.n; m++ {
+		h = fnvMix(h, uint64(c.words[m]))
+		h = fnvMix(h, uint64(c.control[m]))
+		h = fnvMix(h, uint64(c.messages[m]))
+		h = fnvMix(h, uint64(c.latencySum[m]))
+		h = fnvMix(h, uint64(c.completedWords[m]))
+		h = fnvMix(h, uint64(c.waitSum[m]))
+		h = fnvMix(h, uint64(c.maxMsgLat[m]))
+		h = fnvMix(h, uint64(c.grants[m]))
+		h = c.hist[m].fingerprint(h)
+	}
+	return h
+}
+
+// fnvOffset is the FNV-1a 64-bit offset basis.
+const fnvOffset = 14695981039346656037
+
+// fnvMix folds one 64-bit value into an FNV-1a style hash.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
 
 // Summary returns a one-line summary for master m.
 func (c *Collector) Summary(m int) string {

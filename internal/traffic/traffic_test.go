@@ -177,7 +177,7 @@ func TestOnOffBurstiness(t *testing.T) {
 	bern, _ := NewBernoulli(load, Fixed(16), 0, 9)
 	window := int64(256)
 	variance := func(as []Arrival, cycles int64) float64 {
-		counts := make([]float64, cycles/window)
+		counts := make([]float64, (cycles+window-1)/window)
 		for _, a := range as {
 			counts[a.Cycle/window] += float64(a.Words)
 		}

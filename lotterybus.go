@@ -241,7 +241,19 @@ func (s *System) NumMasters() int { return len(s.weights) }
 func (s *System) Cycle() int64 { return s.b.Cycle() }
 
 // Run simulates n bus cycles; it may be called repeatedly.
+//
+// When no OnCycle callback is registered and every generator can
+// predict its arrivals, Run uses the bus's event-driven fast-forward
+// engine, skipping dead cycles and batching uninterrupted burst
+// transfers while producing bit-identical statistics; see
+// FastForwardedCycles.
 func (s *System) Run(n int64) error { return s.b.Run(n) }
+
+// FastForwardedCycles returns how many simulated cycles were advanced
+// in bulk by the fast-forward engine rather than executed one by one —
+// zero when a per-cycle observer (OnCycle) or an unpredictable
+// generator forced the naive loop.
+func (s *System) FastForwardedCycles() int64 { return s.b.FastForwarded() }
 
 // OnCycle registers a callback invoked at the start of every cycle —
 // useful for run-time ticket re-provisioning policies.

@@ -306,3 +306,52 @@ func TestSlaveWaitStatesThroughFacade(t *testing.T) {
 		t.Fatalf("wait-state latency %v", lat)
 	}
 }
+
+func TestFastForwardThroughFacade(t *testing.T) {
+	build := func() *System {
+		sys := NewSystem(Config{Seed: 5})
+		sys.AddSlave("mem", 0)
+		for i := 0; i < 4; i++ {
+			g, err := BernoulliTraffic(0.02, 16, 0, uint64(i+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.AddMaster(string(rune('a'+i)), uint64(i+1), g)
+		}
+		if err := sys.UseLottery(); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	sys := build()
+	if err := sys.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if sys.FastForwardedCycles() == 0 {
+		t.Fatal("low-load run did not fast-forward")
+	}
+
+	// An OnCycle observer must force the naive per-cycle loop, with the
+	// same reported statistics (the hook observes every cycle, so the
+	// engine may not skip any).
+	hooked := build()
+	cycles := 0
+	hooked.OnCycle(func(int64, *System) { cycles++ })
+	if err := hooked.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if hooked.FastForwardedCycles() != 0 {
+		t.Fatalf("hooked run fast-forwarded %d cycles", hooked.FastForwardedCycles())
+	}
+	if cycles != 100000 {
+		t.Fatalf("OnCycle saw %d cycles", cycles)
+	}
+	a, b := sys.Report(), hooked.Report()
+	for i := range a.Masters {
+		if a.Masters[i].BandwidthFraction != b.Masters[i].BandwidthFraction ||
+			a.Masters[i].Messages != b.Masters[i].Messages {
+			t.Fatalf("fast vs hooked reports diverge for master %d: %+v vs %+v",
+				i, a.Masters[i], b.Masters[i])
+		}
+	}
+}
