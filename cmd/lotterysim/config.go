@@ -24,6 +24,24 @@ type SimConfig struct {
 	Slaves []SlaveConfig `json:"slaves"`
 	// Masters lists the master interfaces in index order.
 	Masters []MasterConfig `json:"masters"`
+	// Resilience tunes the retry/timeout/starvation machinery; omit for
+	// the defaults (retry limit 16, no backoff, detectors disarmed).
+	Resilience *ResilienceConfig `json:"resilience,omitempty"`
+	// Faults arms deterministic fault injection; omit for a clean bus.
+	Faults *lotterybus.FaultConfig `json:"faults,omitempty"`
+}
+
+// ResilienceConfig tunes the bus's fault-recovery machinery.
+type ResilienceConfig struct {
+	// RetryLimit bounds re-attempts of an error-terminated burst.
+	RetryLimit int `json:"retryLimit,omitempty"`
+	// RetryBackoff is the linear backoff unit, in cycles per
+	// consecutive failure.
+	RetryBackoff int `json:"retryBackoff,omitempty"`
+	// SplitTimeout arms the split-transaction watchdog.
+	SplitTimeout int64 `json:"splitTimeout,omitempty"`
+	// StarvationThreshold arms the starvation detector.
+	StarvationThreshold int64 `json:"starvationThreshold,omitempty"`
 }
 
 // ArbiterConfig selects and parameterizes the arbitration scheme.
@@ -97,16 +115,38 @@ func ParseConfig(r io.Reader) (*SimConfig, error) {
 			return nil, fmt.Errorf("config: master %d targets invalid slave %d", i, m.Traffic.Slave)
 		}
 	}
+	if r := cfg.Resilience; r != nil {
+		if r.RetryLimit < 0 || r.RetryBackoff < 0 || r.SplitTimeout < 0 || r.StarvationThreshold < 0 {
+			return nil, fmt.Errorf("config: resilience values must be non-negative")
+		}
+	}
+	if cfg.Faults != nil {
+		for i, b := range cfg.Faults.Babblers {
+			if b.Master < 0 || b.Master >= len(cfg.Masters) {
+				return nil, fmt.Errorf("config: babbler %d names invalid master %d", i, b.Master)
+			}
+			if b.Slave < 0 || b.Slave >= len(cfg.Slaves) {
+				return nil, fmt.Errorf("config: babbler %d targets invalid slave %d", i, b.Slave)
+			}
+		}
+	}
 	return &cfg, nil
 }
 
 // Build constructs the System described by the config.
 func (cfg *SimConfig) Build() (*lotterybus.System, error) {
-	sys := lotterybus.NewSystem(lotterybus.Config{
+	sysCfg := lotterybus.Config{
 		MaxBurst:   cfg.MaxBurst,
 		ArbLatency: cfg.ArbLatency,
 		Seed:       cfg.Seed,
-	})
+	}
+	if r := cfg.Resilience; r != nil {
+		sysCfg.RetryLimit = r.RetryLimit
+		sysCfg.RetryBackoff = r.RetryBackoff
+		sysCfg.SplitTimeout = r.SplitTimeout
+		sysCfg.StarvationThreshold = r.StarvationThreshold
+	}
+	sys := lotterybus.NewSystem(sysCfg)
 	for _, s := range cfg.Slaves {
 		if s.SplitLatency > 0 {
 			sys.AddSplitSlave(s.Name, s.SplitLatency)
@@ -120,6 +160,11 @@ func (cfg *SimConfig) Build() (*lotterybus.System, error) {
 			return nil, fmt.Errorf("master %s: %w", m.Name, err)
 		}
 		sys.AddMaster(m.Name, m.Weight, gen)
+	}
+	if cfg.Faults != nil {
+		if err := sys.SetFaults(*cfg.Faults); err != nil {
+			return nil, fmt.Errorf("config faults: %w", err)
+		}
 	}
 	switch cfg.Arbiter.Kind {
 	case "lottery", "":

@@ -177,3 +177,72 @@ func TestLotterySharesFromConfig(t *testing.T) {
 		t.Fatalf("weighted share %v", r.Masters[1].BandwidthFraction)
 	}
 }
+
+func TestFaultsAndResilienceFromConfig(t *testing.T) {
+	in := `{
+		"cycles": 20000, "seed": 9,
+		"arbiter": {"kind": "lottery"},
+		"slaves": [{"name": "mem"}],
+		"masters": [
+			{"name": "a", "weight": 1, "traffic": {"kind": "saturating", "msgWords": 16}},
+			{"name": "b", "weight": 3, "traffic": {"kind": "saturating", "msgWords": 16}}
+		],
+		"resilience": {"retryLimit": 8, "retryBackoff": 2, "starvationThreshold": 1000},
+		"faults": {"slaveError": 0.02}
+	}`
+	cfg, err := ParseConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(cfg.Cycles); err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Report()
+	var retries, errWords int64
+	for _, m := range r.Masters {
+		retries += m.Retries
+		errWords += m.ErrorWords
+	}
+	if retries == 0 || errWords == 0 {
+		t.Fatalf("configured faults produced no resilience activity: %+v", r.Masters)
+	}
+	if !strings.Contains(r.String(), "retries") {
+		t.Fatalf("faulty report lacks resilience columns:\n%s", r)
+	}
+}
+
+func TestParseConfigRejectsBadFaults(t *testing.T) {
+	base := func(extra string) string {
+		return `{
+			"cycles": 100, "seed": 1,
+			"arbiter": {"kind": "lottery"},
+			"slaves": [{"name": "mem"}],
+			"masters": [{"name": "a", "weight": 1, "traffic": {"kind": "saturating"}}],
+			` + extra + `}`
+	}
+	cases := map[string]string{
+		"negative retry limit": base(`"resilience": {"retryLimit": -1}`),
+		"negative timeout":     base(`"resilience": {"splitTimeout": -5}`),
+		"babbler bad master":   base(`"faults": {"babblers": [{"master": 4, "load": 0.5}]}`),
+		"babbler bad slave":    base(`"faults": {"babblers": [{"master": 0, "load": 0.5, "slave": 9}]}`),
+		"unknown fault field":  base(`"faults": {"slaveErrorRate": 0.1}`),
+	}
+	for name, in := range cases {
+		if _, err := ParseConfig(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// An out-of-range rate parses (bounds are checked when the injector
+	// is built) but must fail Build.
+	cfg, err := ParseConfig(strings.NewReader(base(`"faults": {"slaveError": 2}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.Build(); err == nil {
+		t.Fatal("out-of-range rate built")
+	}
+}

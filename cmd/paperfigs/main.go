@@ -5,7 +5,8 @@
 // Usage:
 //
 //	paperfigs [-fig all|4|5|6a|6b|12a|12b|12b1|12c|table1|hw|gates|starvation|dynamic|bridge|
-//	           slack|pipeline|compensation|burst|models|tail|replay|split|scale|adaptation|wrr]
+//	           slack|pipeline|compensation|burst|models|tail|replay|split|scale|adaptation|wrr|
+//	           degradation|babble]
 //	          [-cycles N] [-seed S] [-parallel W] [-csv DIR]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -368,6 +369,36 @@ func run(w io.Writer, fig string, o expt.Options, csvDir string) error {
 		r.Table().Render(w)
 		if err := csv(r.Table()); err != nil {
 			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if section("degradation", "robustness: arbiters under rising slave-error rates") {
+		r, err := expt.RunDegradation(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		if lot, prio := r.Point("lottery", 0.01), r.Point("static-priority", 0.01); lot != nil && prio != nil {
+			fmt.Fprintf(w, "at 1%% slave errors: lottery share error %.1f%%; static-priority C1 max wait %d cycles\n",
+				100*lot.ShareErr, prio.LowMaxWait)
+		}
+		fmt.Fprintln(w)
+	}
+	if section("babble", "robustness: babbling master and dynamic ticket recovery") {
+		r, err := expt.RunBabble(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		if err := csv(r.Table()); err != nil {
+			return err
+		}
+		if s, g := r.Row("static-lottery"), r.Row("guarded-dynamic"); s != nil && g != nil {
+			fmt.Fprintf(w, "well-behaved share during babble: %.1f%% static -> %.1f%% with the ticket guard\n",
+				100*s.WellShare, 100*g.WellShare)
 		}
 		fmt.Fprintln(w)
 	}

@@ -26,6 +26,7 @@ func TestRunAllSectionsRender(t *testing.T) {
 		"==== dynamic —", "==== bridge —", "==== slack —", "==== pipeline —",
 		"==== compensation —", "==== burst —", "==== models —",
 		"==== tail —", "==== replay —", "==== split —", "==== scale —", "==== adaptation —", "==== wrr —",
+		"==== degradation —", "==== babble —",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("section %q missing", want)

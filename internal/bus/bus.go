@@ -79,6 +79,33 @@ type Preemptor interface {
 	Preempt(cycle int64, owner int, req Requests) (Grant, bool)
 }
 
+// FaultModel is the bus's view of a fault injector (package fault
+// provides the deterministic, seeded implementation). All methods must
+// be pure functions of the injector's own PRNG state — the bus consults
+// them in a fixed per-cycle order, so a deterministic model yields
+// bit-reproducible degraded runs. A model with Armed() == false is
+// ignored entirely and the bus behaves exactly as if none were
+// attached (the fast-forward engine stays eligible).
+type FaultModel interface {
+	// Armed reports whether any fault mechanism can fire. The bus
+	// checks it once per Run.
+	Armed() bool
+	// ErrorResponse reports whether the slave asserts an error
+	// termination on this data beat: the beat is consumed, the burst
+	// terminates, and the master's retry machinery takes over.
+	ErrorResponse(cycle int64, master, slave int) bool
+	// WordError reports a transient single-word corruption: the beat is
+	// consumed against the grant budget but the word must be resent.
+	WordError(cycle int64, master, slave int) bool
+	// SplitHang reports whether the slave silently drops this split
+	// request: the response phase never becomes ready and only the bus
+	// watchdog (Config.SplitTimeout) can free the master.
+	SplitHang(cycle int64, master, slave int) bool
+	// Babble lets a misbehaving master inject a spurious message this
+	// cycle (ok == false when master is well-behaved or idle).
+	Babble(cycle int64, master int) (words, slave int, ok bool)
+}
+
 // Generator produces the communication transactions of one master.
 // Implementations live in package traffic.
 type Generator interface {
@@ -104,6 +131,26 @@ type Config struct {
 	DefaultQueueCap int
 	// Preemption lets a Preemptor arbiter interrupt ongoing bursts.
 	Preemption bool
+	// RetryLimit bounds how many times a master re-attempts a burst
+	// terminated by a slave error response before the message is
+	// aborted. Zero selects 16. Only consulted when a fault model is
+	// armed (error responses cannot occur otherwise).
+	RetryLimit int
+	// RetryBackoff is the linear backoff unit: after its k-th
+	// consecutive error on a message, a master stays off the request
+	// lines for 1 + k*RetryBackoff cycles. Zero retries on the next
+	// cycle.
+	RetryBackoff int
+	// SplitTimeout, when positive, arms the bus watchdog: an
+	// outstanding split transaction whose response has not become ready
+	// within SplitTimeout cycles of its address beat is aborted,
+	// freeing the master. Forces the per-cycle loop.
+	SplitTimeout int64
+	// StarvationThreshold, when positive, arms the starvation detector:
+	// every cycle a pending master has waited at or beyond the
+	// threshold is counted, and waits that long are recorded as
+	// starvation events. Forces the per-cycle loop.
+	StarvationThreshold int64
 }
 
 func (c *Config) fill() {
@@ -112,6 +159,9 @@ func (c *Config) fill() {
 	}
 	if c.DefaultQueueCap == 0 {
 		c.DefaultQueueCap = 1024
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = 16
 	}
 }
 
@@ -183,6 +233,17 @@ type Master struct {
 	outstanding *message
 	outBuf      message
 	respReady   int64
+	// Resilience state, all quiescent (and cost-free on the hot path)
+	// unless the fault machinery is in play. retries counts consecutive
+	// error terminations of the head message; backoffUntil keeps the
+	// master off the request lines until that cycle; splitIssued stamps
+	// the address beat of the outstanding split for the watchdog;
+	// waitSince (-1 when not waiting) stamps the cycle the current
+	// pending wait began for the starvation detector.
+	retries      int
+	backoffUntil int64
+	splitIssued  int64
+	waitSince    int64
 }
 
 // Name returns the master's name.
@@ -274,6 +335,11 @@ type Bus struct {
 	curBuf burst
 	// preemptions counts bursts aborted by a Preemptor arbiter.
 	preemptions int64
+	// fault is the attached fault model (nil for a clean bus); fm is
+	// the armed view the hot paths consult — nil whenever fault is nil
+	// or disarmed, so a disarmed model costs nothing per cycle.
+	fault FaultModel
+	fm    FaultModel
 	// OnOwner, when non-nil, is invoked once per cycle with the index of
 	// the master that transferred a word this cycle, or -1 for an idle
 	// (or stalled) cycle. Package trace uses it to record waveforms.
@@ -327,7 +393,7 @@ func (b *Bus) AddMaster(name string, gen Generator, opts MasterOpts) *Master {
 	if cap == 0 {
 		cap = b.cfg.DefaultQueueCap
 	}
-	m := &Master{name: name, gen: gen, queueCap: cap, tickets: opts.Tickets}
+	m := &Master{name: name, gen: gen, queueCap: cap, tickets: opts.Tickets, waitSince: -1}
 	idx := len(b.masters)
 	m.emit = func(words, slave int) {
 		b.enqueue(idx, words, slave, b.cycle)
@@ -348,6 +414,14 @@ func (b *Bus) AddSlave(name string, opts SlaveOpts) int {
 
 // SetArbiter attaches the arbitration scheme.
 func (b *Bus) SetArbiter(a Arbiter) { b.arb = a }
+
+// SetFaultModel attaches a fault injector. A nil or disarmed model
+// leaves the bus bit-identical to a clean one; an armed model forces
+// the per-cycle loop for the whole Run.
+func (b *Bus) SetFaultModel(fm FaultModel) { b.fault = fm }
+
+// FaultModel returns the attached fault model (nil when none).
+func (b *Bus) FaultModel() FaultModel { return b.fault }
 
 // Arbiter returns the attached arbiter.
 func (b *Bus) Arbiter() Arbiter { return b.arb }
@@ -404,6 +478,9 @@ func (b *Bus) enqueue(m int, words, slave int, cycle int64) bool {
 	mm := b.masters[m]
 	if mm.queue.len() >= mm.queueCap {
 		mm.dropped++
+		if b.col != nil {
+			b.col.MessageDropped(m)
+		}
 		return false
 	}
 	if words <= 0 {
@@ -430,6 +507,37 @@ func (b *Bus) validate() error {
 	if b.col != nil && b.col.N() != len(b.masters) {
 		return fmt.Errorf("bus: collector tracks %d masters, bus has %d", b.col.N(), len(b.masters))
 	}
+	// Negative timing parameters would silently corrupt the cycle
+	// accounting (fill only replaces zeros), so reject them up front.
+	if b.cfg.MaxBurst < 0 {
+		return fmt.Errorf("bus: negative MaxBurst %d", b.cfg.MaxBurst)
+	}
+	if b.cfg.ArbLatency < 0 {
+		return fmt.Errorf("bus: negative ArbLatency %d", b.cfg.ArbLatency)
+	}
+	if b.cfg.DefaultQueueCap < 0 {
+		return fmt.Errorf("bus: negative DefaultQueueCap %d", b.cfg.DefaultQueueCap)
+	}
+	if b.cfg.RetryLimit < 0 {
+		return fmt.Errorf("bus: negative RetryLimit %d", b.cfg.RetryLimit)
+	}
+	if b.cfg.RetryBackoff < 0 {
+		return fmt.Errorf("bus: negative RetryBackoff %d", b.cfg.RetryBackoff)
+	}
+	if b.cfg.SplitTimeout < 0 {
+		return fmt.Errorf("bus: negative SplitTimeout %d", b.cfg.SplitTimeout)
+	}
+	if b.cfg.StarvationThreshold < 0 {
+		return fmt.Errorf("bus: negative StarvationThreshold %d", b.cfg.StarvationThreshold)
+	}
+	for i, s := range b.slaves {
+		if s.waitStates < 0 {
+			return fmt.Errorf("bus: slave %d (%s) has negative WaitStates %d", i, s.name, s.waitStates)
+		}
+		if s.splitLatency < 0 {
+			return fmt.Errorf("bus: slave %d (%s) has negative SplitLatency %d", i, s.name, s.splitLatency)
+		}
+	}
 	return nil
 }
 
@@ -454,6 +562,12 @@ func (b *Bus) Run(n int64) error {
 	if b.cfg.Preemption {
 		pre, _ = b.arb.(Preemptor)
 	}
+	b.fm = nil
+	if b.fault != nil && b.fault.Armed() {
+		b.fm = b.fault
+	}
+	splitTO := b.cfg.SplitTimeout
+	starveThr := b.cfg.StarvationThreshold
 	end := b.cycle + n
 	for ; b.cycle < end; b.cycle++ {
 		cycle := b.cycle
@@ -461,12 +575,30 @@ func (b *Bus) Run(n int64) error {
 			b.OnCycle(cycle, b)
 		}
 
-		// Phase 1: traffic arrival.
-		for _, m := range b.masters {
+		// Phase 1: traffic arrival, plus spurious babble injection.
+		for i, m := range b.masters {
+			if b.fm != nil {
+				if words, slave, ok := b.fm.Babble(cycle, i); ok {
+					b.enqueue(i, words, slave, cycle)
+				}
+			}
 			if m.gen == nil {
 				continue
 			}
 			m.gen.Tick(cycle, m.queue.len(), m.emit)
+		}
+
+		// Watchdog: abort split transactions whose response never came.
+		if splitTO > 0 {
+			for i, m := range b.masters {
+				if m.outstanding != nil && m.respReady > cycle &&
+					cycle-m.splitIssued >= splitTO {
+					col.SplitTimeout(i)
+					col.Abort(i)
+					m.outstanding = nil
+					m.retries = 0
+				}
+			}
 		}
 
 		// Phase 2: arbitration when idle; pre-emption check otherwise.
@@ -502,9 +634,48 @@ func (b *Bus) Run(n int64) error {
 		if b.OnOwner != nil {
 			b.OnOwner(cycle, owner)
 		}
+		if starveThr > 0 {
+			b.scanStarvation(col, starveThr)
+		}
 		col.AdvanceCycles(1)
 	}
+	if starveThr > 0 {
+		// Fold waits still in progress into the max-wait tracker without
+		// ending them: a master that was never granted shows its full,
+		// unbounded wait here. waitSince is kept so a follow-up Run
+		// continues the same wait.
+		for i, m := range b.masters {
+			if m.waitSince >= 0 {
+				col.WaitObserved(i, b.cycle-m.waitSince)
+			}
+		}
+	}
 	return nil
+}
+
+// scanStarvation advances the starvation detector one cycle: a master
+// pending on the request lines while another (or nobody) holds the bus
+// is waiting; each waiting cycle at or beyond thr counts as starved,
+// and a wait's end is scored as an event when it reached thr.
+func (b *Bus) scanStarvation(col *stats.Collector, thr int64) {
+	owner := -1
+	if b.cur != nil {
+		owner = b.cur.master
+	}
+	for i, m := range b.masters {
+		if i == owner || !b.masterPending(i) {
+			if m.waitSince >= 0 {
+				col.WaitEnded(i, b.cycle-m.waitSince, thr)
+				m.waitSince = -1
+			}
+			continue
+		}
+		if m.waitSince < 0 {
+			m.waitSince = b.cycle
+		} else if b.cycle-m.waitSince >= thr {
+			col.StarvedCycle(i)
+		}
+	}
 }
 
 func (b *Bus) requestMask() uint64 {
@@ -522,6 +693,11 @@ func (b *Bus) requestMask() uint64 {
 // split transaction is otherwise masked (one outstanding per master).
 func (b *Bus) masterPending(i int) bool {
 	m := b.masters[i]
+	if m.backoffUntil > b.cycle {
+		// Retry backoff after an error termination; never set on a
+		// fault-free bus, so this is one dead compare on the hot path.
+		return false
+	}
 	if m.outstanding != nil {
 		return b.cycle >= m.respReady
 	}
@@ -618,9 +794,40 @@ func (b *Bus) transferWord(col *stats.Collector) int {
 		m.outBuf = *msg
 		m.outstanding = &m.outBuf
 		m.respReady = b.cycle + int64(b.slaves[msg.slave].splitLatency)
+		m.splitIssued = b.cycle
+		if b.fm != nil && b.fm.SplitHang(b.cycle, cur.master, msg.slave) {
+			// The slave drops the request: the response never becomes
+			// ready and only the watchdog can free this master.
+			m.respReady = never
+		}
 		m.queue.pop()
 		b.cur = nil
 		return cur.master
+	}
+
+	if b.fm != nil {
+		if b.fm.ErrorResponse(b.cycle, cur.master, msg.slave) {
+			// Slave error termination: the beat is consumed, the burst
+			// dies, and the retry machinery decides the message's fate.
+			col.ErrorWord(cur.master)
+			b.failBurst(col, cur, m)
+			return cur.master
+		}
+		if b.fm.WordError(b.cycle, cur.master, msg.slave) {
+			// Transient corruption: the beat counts against the grant
+			// budget (bounding grant length under faults) but the word
+			// must be resent, so remaining is untouched.
+			col.ErrorWord(cur.master)
+			cur.done++
+			if cur.done == cur.words {
+				b.cur = nil
+				return cur.master
+			}
+			if len(b.slaves) > 0 {
+				cur.waitLeft = b.slaves[msg.slave].waitStates
+			}
+			return cur.master
+		}
 	}
 
 	msg.remaining--
@@ -640,6 +847,7 @@ func (b *Bus) transferWord(col *stats.Collector) int {
 		} else {
 			m.queue.pop()
 		}
+		m.retries = 0
 		b.cur = nil
 		return cur.master
 	}
@@ -653,6 +861,28 @@ func (b *Bus) transferWord(col *stats.Collector) int {
 		cur.waitLeft = b.slaves[msg.slave].waitStates
 	}
 	return cur.master
+}
+
+// failBurst terminates the active burst after a slave error response.
+// Within the retry budget the message keeps its queue position (or its
+// outstanding slot) and the master backs off linearly before
+// re-contending; past the budget the message is abandoned.
+func (b *Bus) failBurst(col *stats.Collector, cur *burst, m *Master) {
+	mi := cur.master
+	m.retries++
+	if m.retries > b.cfg.RetryLimit {
+		col.Abort(mi)
+		m.retries = 0
+		if cur.fromOutstanding {
+			m.outstanding = nil
+		} else {
+			m.queue.pop()
+		}
+	} else {
+		col.Retry(mi)
+		m.backoffUntil = b.cycle + 1 + int64(b.cfg.RetryBackoff*m.retries)
+	}
+	b.cur = nil
 }
 
 // requestView adapts Bus to the Requests interface without allocation.

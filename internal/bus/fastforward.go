@@ -56,6 +56,15 @@ func (b *Bus) fastForwardable() bool {
 			return false
 		}
 	}
+	// An armed fault model, the watchdog and the starvation detector all
+	// observe (or perturb) individual cycles; disarmed/absent they leave
+	// the fast path untouched.
+	if b.fault != nil && b.fault.Armed() {
+		return false
+	}
+	if b.cfg.SplitTimeout > 0 || b.cfg.StarvationThreshold > 0 {
+		return false
+	}
 	for _, m := range b.masters {
 		if m.gen == nil {
 			continue

@@ -1,0 +1,135 @@
+package bus_test
+
+// Preemptor × split-transaction interaction: a high-priority request
+// must be able to interrupt both phases of a split transaction — the
+// response-phase data burst and the address beat still waiting out its
+// arbitration latency — and the interrupted split must resume and
+// complete correctly afterwards.
+
+import (
+	"math"
+	"testing"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+)
+
+// preemptSplitBus builds a two-master bus (master 1 outranks master 0)
+// with a split slave 0 (latency 5) and a blocking slave 1.
+func preemptSplitBus(t *testing.T, cfg bus.Config) *bus.Bus {
+	t.Helper()
+	cfg.Preemption = true
+	b := bus.New(cfg)
+	b.AddMaster("lo", nil, bus.MasterOpts{})
+	b.AddMaster("hi", nil, bus.MasterOpts{})
+	b.AddSlave("split-mem", bus.SlaveOpts{SplitLatency: 5})
+	b.AddSlave("mem", bus.SlaveOpts{})
+	p, err := arb.NewPriority([]uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetArbiter(p)
+	return b
+}
+
+func wantLatency(t *testing.T, b *bus.Bus, m int, want float64) {
+	t.Helper()
+	if got := b.Collector().AvgMessageLatency(m); math.Abs(got-want) > 1e-12 {
+		t.Errorf("master %d message latency = %v, want %v", m, got, want)
+	}
+}
+
+func TestPreemptDuringSplitResponseBurst(t *testing.T) {
+	b := preemptSplitBus(t, bus.Config{MaxBurst: 16})
+	b.Inject(0, 12, 0)
+	b.OnCycle = func(cycle int64, bb *bus.Bus) {
+		if cycle == 8 {
+			bb.Inject(1, 3, 1)
+		}
+	}
+	// Cycle 0: address beat; response ready at 5; data beats 5..7; the
+	// high-priority message preempts at 8 and moves 8..10; the split
+	// response re-arbitrates with its 9 remaining words, 11..19.
+	if err := b.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	col := b.Collector()
+	if got := b.Preemptions(); got != 1 {
+		t.Fatalf("preemptions = %d, want 1", got)
+	}
+	if w0, w1 := col.Words(0), col.Words(1); w0 != 12 || w1 != 3 {
+		t.Fatalf("words = %d/%d, want 12/3", w0, w1)
+	}
+	if m0, m1 := col.Messages(0), col.Messages(1); m0 != 1 || m1 != 1 {
+		t.Fatalf("messages = %d/%d, want 1/1", m0, m1)
+	}
+	if b.Master(0).Outstanding() {
+		t.Fatal("interrupted split still outstanding after completion")
+	}
+	wantLatency(t, b, 0, 20) // arrival 0, completion 19
+	wantLatency(t, b, 1, 3)  // arrival 8, completion 10
+}
+
+func TestPreemptDuringSplitAddressWait(t *testing.T) {
+	// With ArbLatency 2 the address beat of the split request is still
+	// waiting when the high-priority message arrives at cycle 1: the
+	// control burst is aborted before the beat executes, the message
+	// keeps its queue position, and the address beat re-issues later.
+	b := preemptSplitBus(t, bus.Config{MaxBurst: 16, ArbLatency: 2})
+	b.Inject(0, 12, 0)
+	b.OnCycle = func(cycle int64, bb *bus.Bus) {
+		if cycle == 1 {
+			bb.Inject(1, 3, 1)
+		}
+	}
+	// hi: granted at 1, waits 2, beats 3..5. lo: re-granted at 6, waits
+	// 2, address beat at 8, response ready 13, response burst granted
+	// 13, waits 2, data beats 15..26.
+	if err := b.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	col := b.Collector()
+	if got := b.Preemptions(); got != 1 {
+		t.Fatalf("preemptions = %d, want 1", got)
+	}
+	if got := col.ControlCycles(0); got != 1 {
+		t.Fatalf("control cycles = %d, want 1 (aborted address beat never executed)", got)
+	}
+	if w0, w1 := col.Words(0), col.Words(1); w0 != 12 || w1 != 3 {
+		t.Fatalf("words = %d/%d, want 12/3", w0, w1)
+	}
+	if m0, m1 := col.Messages(0), col.Messages(1); m0 != 1 || m1 != 1 {
+		t.Fatalf("messages = %d/%d, want 1/1", m0, m1)
+	}
+	if b.Master(0).Outstanding() {
+		t.Fatal("split still outstanding after completion")
+	}
+	wantLatency(t, b, 0, 27) // arrival 0, completion 26
+	wantLatency(t, b, 1, 5)  // arrival 1, completion 5
+}
+
+func TestPreemptorNeverInterruptsReadySplitOfSameMaster(t *testing.T) {
+	// A master's own ready split response must not be "preempted" by
+	// its later queued messages: the one-outstanding rule masks the
+	// queue while the response is pending, so the response drains
+	// first and the queued message follows.
+	b := preemptSplitBus(t, bus.Config{MaxBurst: 16})
+	b.Inject(0, 4, 0) // split transaction
+	b.Inject(0, 2, 1) // ordinary message, queued behind it
+	if err := b.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	col := b.Collector()
+	if got := b.Preemptions(); got != 0 {
+		t.Fatalf("preemptions = %d, want 0", got)
+	}
+	if got := col.Messages(0); got != 2 {
+		t.Fatalf("messages = %d, want 2", got)
+	}
+	if got := col.Words(0); got != 6 {
+		t.Fatalf("words = %d, want 6", got)
+	}
+	if b.Master(0).Outstanding() {
+		t.Fatal("split still outstanding")
+	}
+}

@@ -1,0 +1,205 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/fault"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
+	"lotterybus/internal/stats"
+	"lotterybus/internal/traffic"
+)
+
+// BabbleRow is one bus variant under the babbling master.
+type BabbleRow struct {
+	Variant string
+	// WellShare is the well-behaved masters' (C2..C4) aggregate share
+	// of delivered words during the babble phase.
+	WellShare float64
+	// BabblerShare is C1's share during the babble phase.
+	BabblerShare float64
+	// Drops counts C1's queue-overflow drops (the babble flood).
+	Drops int64
+	// DemoteCycle is the cycle the ticket guard demoted the babbler,
+	// or -1 when no guard (or it never fired).
+	DemoteCycle int64
+}
+
+// Babble is the babbling-master recovery experiment: a normally sparse
+// master's request logic wedges halfway through the run and floods the
+// bus with maximum-length messages. A static lottery keeps paying the
+// babbler its full 4-of-10 ticket share; a dynamic lottery with a
+// simple bandwidth guard (demote a master whose delivered words exceed
+// 3x its nominal appetite over a window) re-provisions the tickets at
+// run time — the paper's §4.3 "tickets changed dynamically by writing
+// to a register" — and the well-behaved masters' aggregate share
+// recovers.
+type Babble struct {
+	SwitchCycle int64
+	Rows        []BabbleRow
+}
+
+// babbleVariants names the compared configurations.
+var babbleVariants = []string{"clean", "static-lottery", "guarded-dynamic"}
+
+// babbleTickets is the initial provisioning: the (eventually babbling)
+// C1 is the best-provisioned master.
+var babbleTickets = []uint64{4, 2, 2, 2}
+
+// babbleNominalLoad is C1's offered load (words/cycle) while healthy.
+const babbleNominalLoad = 0.08
+
+// babbleBusyLoad is the well-behaved masters' offered load.
+const babbleBusyLoad = 0.45
+
+// RunBabble runs the three variants concurrently.
+func RunBabble(o Options) (*Babble, error) {
+	o = o.fill()
+	switchCycle := o.Cycles / 2
+	guardWindow := int64(2000)
+	if guardWindow > switchCycle {
+		guardWindow = switchCycle
+	}
+	rows, err := runner.Map(o.workers(), len(babbleVariants), func(k int) (BabbleRow, error) {
+		variant := babbleVariants[k]
+		tag := "babble/" + variant
+		b := bus.New(bus.Config{MaxBurst: 16})
+		loads := []float64{babbleNominalLoad, babbleBusyLoad, babbleBusyLoad, babbleBusyLoad}
+		for i := 0; i < fourMasters; i++ {
+			gen, err := newBernoulliGen(loads[i], o, tag, i)
+			if err != nil {
+				return BabbleRow{}, err
+			}
+			b.AddMaster(fmt.Sprintf("C%d", i+1), gen, bus.MasterOpts{Tickets: babbleTickets[i]})
+		}
+		b.AddSlave("shared-memory", bus.SlaveOpts{})
+
+		demoteCycle := int64(-1)
+		switch variant {
+		case "guarded-dynamic":
+			mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+				Masters: fourMasters,
+				Source:  prng.NewXorShift64Star(prng.Derive(o.Seed, tag+"/lottery")),
+			})
+			if err != nil {
+				return BabbleRow{}, err
+			}
+			b.SetArbiter(arb.NewDynamicLottery(mgr))
+			// The guard: every window, a master whose delivered words
+			// exceeded 3x its nominal appetite is demoted to one
+			// ticket (sticky — a wedged request line does not heal).
+			budget := int64(3 * babbleNominalLoad * float64(guardWindow))
+			var lastWords int64
+			b.OnCycle = func(cycle int64, bb *bus.Bus) {
+				if demoteCycle >= 0 || cycle == 0 || cycle%guardWindow != 0 {
+					return
+				}
+				w := bb.Collector().Words(0)
+				if w-lastWords > budget {
+					bb.Master(0).SetTickets(1)
+					demoteCycle = cycle
+					return
+				}
+				lastWords = w
+			}
+		default:
+			a, err := lotteryArbiter(o, babbleTickets, tag)
+			if err != nil {
+				return BabbleRow{}, err
+			}
+			b.SetArbiter(a)
+		}
+
+		if variant != "clean" {
+			inj, err := fault.New(fault.Config{
+				Seed: prng.Derive(o.Seed, tag+"/fault"),
+				Babblers: []fault.Babbler{{
+					Master: 0,
+					Start:  switchCycle,
+					Load:   1,
+					Words:  16,
+					Slave:  0,
+				}},
+			}, b.NumMasters(), b.NumSlaves())
+			if err != nil {
+				return BabbleRow{}, err
+			}
+			b.SetFaultModel(inj)
+		}
+
+		// First half: everyone healthy. Snapshot, then the babble
+		// phase; shares are measured over the second half only.
+		if err := b.Run(switchCycle); err != nil {
+			return BabbleRow{}, err
+		}
+		col := b.Collector()
+		preWords := make([]int64, fourMasters)
+		for i := range preWords {
+			preWords[i] = col.Words(i)
+		}
+		if err := b.Run(o.Cycles - switchCycle); err != nil {
+			return BabbleRow{}, err
+		}
+		var babbler, well int64
+		for i := 0; i < fourMasters; i++ {
+			delta := col.Words(i) - preWords[i]
+			if i == 0 {
+				babbler = delta
+			} else {
+				well += delta
+			}
+		}
+		total := babbler + well
+		row := BabbleRow{Variant: variant, Drops: col.Drops(0), DemoteCycle: demoteCycle}
+		if total > 0 {
+			row.BabblerShare = float64(babbler) / float64(total)
+			row.WellShare = float64(well) / float64(total)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Babble{SwitchCycle: switchCycle, Rows: rows}, nil
+}
+
+// Row returns the named variant's row, or nil.
+func (r *Babble) Row(variant string) *BabbleRow {
+	for i := range r.Rows {
+		if r.Rows[i].Variant == variant {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the recovery comparison.
+func (r *Babble) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Babbling master from cycle %d (C1 wedges at load 1; tickets 4:2:2:2)", r.SwitchCycle),
+		"variant", "C2-C4 share", "C1 share", "C1 drops", "demoted at")
+	for _, row := range r.Rows {
+		demote := "-"
+		if row.DemoteCycle >= 0 {
+			demote = fmt.Sprintf("%d", row.DemoteCycle)
+		}
+		t.AddRow(
+			row.Variant,
+			fmt.Sprintf("%.3f", row.WellShare),
+			fmt.Sprintf("%.3f", row.BabblerShare),
+			fmt.Sprintf("%d", row.Drops),
+			demote,
+		)
+	}
+	return t
+}
+
+// newBernoulliGen builds a 16-word Bernoulli generator at the given
+// load with a per-master tagged stream.
+func newBernoulliGen(load float64, o Options, tag string, i int) (*traffic.Bernoulli, error) {
+	return traffic.NewBernoulli(load, traffic.Fixed(busyMsgWords), 0,
+		prng.Derive(o.Seed, fmt.Sprintf("%s/gen/%d", tag, i)))
+}

@@ -1,0 +1,232 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/fault"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
+	"lotterybus/internal/stats"
+)
+
+// The fault injector must satisfy the bus's fault-model contract
+// without either package importing the other.
+var _ bus.FaultModel = (*fault.Injector)(nil)
+
+// degradationWeights is the canonical 1:2:3:4 entitlement used by the
+// bandwidth-sharing experiments, reused here as lottery tickets, TDMA
+// slot weights, WRR weights and static priorities.
+var degradationWeights = []uint64{1, 2, 3, 4}
+
+// degradationRates is the swept slave-error probability per data beat.
+var degradationRates = []float64{0, 0.002, 0.005, 0.01, 0.02, 0.05}
+
+// DegradationPoint is one arbiter × error-rate measurement.
+type DegradationPoint struct {
+	Arbiter string
+	// Rate is the per-beat slave-error probability.
+	Rate float64
+	// Shares is each master's fraction of delivered (non-errored)
+	// words.
+	Shares []float64
+	// ShareErr is the worst relative deviation of a master's delivered
+	// share from its nominal entitlement (weight ratio; equal shares
+	// for round-robin).
+	ShareErr float64
+	// HighLatency is the highest-weight master's per-word latency.
+	HighLatency float64
+	// LowMaxWait is the longest bus wait of the lowest-weight master,
+	// including a wait still unresolved when the run ended — the
+	// starvation evidence.
+	LowMaxWait int64
+	// LowStarved is how many cycles the lowest-weight master spent
+	// pending beyond the starvation threshold.
+	LowStarved int64
+	// Retries, Aborts, ErrorWords and Drops are summed over masters.
+	Retries, Aborts, ErrorWords, Drops int64
+}
+
+// Degradation is the fault-rate sweep across arbitration schemes: how
+// gracefully each arbiter's bandwidth contract survives a misbehaving
+// slave. Lottery and WRR degrade proportionally (every master loses
+// the same fraction to error beats); static priority converts any
+// overload into unbounded low-priority waits.
+type Degradation struct {
+	Threshold int64
+	Points    []DegradationPoint
+}
+
+// degradationArbiter builds the named arbiter over the canonical
+// weights.
+func degradationArbiter(o Options, kind, tag string) (bus.Arbiter, error) {
+	switch kind {
+	case "lottery":
+		return lotteryArbiter(o, degradationWeights, tag)
+	case "tdma-2level":
+		return tdmaArbiter(degradationWeights, 4)
+	case "static-priority":
+		return arb.NewPriority(degradationWeights)
+	case "round-robin":
+		return arb.NewRoundRobin(fourMasters)
+	case "wrr":
+		return arb.NewWeightedRoundRobin(degradationWeights, 4)
+	}
+	return nil, fmt.Errorf("expt: unknown degradation arbiter %q", kind)
+}
+
+// degradationKinds lists the compared schemes.
+var degradationKinds = []string{"lottery", "tdma-2level", "static-priority", "round-robin", "wrr"}
+
+// shareError returns the worst relative deviation of shares from the
+// normalized weights.
+func shareError(shares []float64, weights []uint64) float64 {
+	var total uint64
+	for _, w := range weights {
+		total += w
+	}
+	worst := 0.0
+	for i, s := range shares {
+		want := float64(weights[i]) / float64(total)
+		d := s/want - 1
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// RunDegradation sweeps slave-error rates across the five arbitration
+// schemes on the saturated four-master system. Every point derives its
+// own traffic and fault streams, so serial and parallel sweeps are
+// bit-identical.
+func RunDegradation(o Options) (*Degradation, error) {
+	o = o.fill()
+	const threshold = 1000
+	type pt struct {
+		kind string
+		rate float64
+	}
+	var pts []pt
+	for _, k := range degradationKinds {
+		for _, r := range degradationRates {
+			pts = append(pts, pt{k, r})
+		}
+	}
+	points, err := runner.Map(o.workers(), len(pts), func(k int) (DegradationPoint, error) {
+		p := pts[k]
+		tag := fmt.Sprintf("degradation/%s/%g", p.kind, p.rate)
+		// The canonical busy four-master system, on a bus with the
+		// resilience machinery armed.
+		rb := bus.New(bus.Config{
+			MaxBurst:            16,
+			RetryLimit:          8,
+			RetryBackoff:        2,
+			StarvationThreshold: threshold,
+		})
+		for i := 0; i < fourMasters; i++ {
+			gen, err := busyGenerator(o, tag, i)
+			if err != nil {
+				return DegradationPoint{}, err
+			}
+			rb.AddMaster(fmt.Sprintf("C%d", i+1), gen, bus.MasterOpts{Tickets: degradationWeights[i]})
+		}
+		rb.AddSlave("shared-memory", bus.SlaveOpts{})
+		a, err := degradationArbiter(o, p.kind, tag)
+		if err != nil {
+			return DegradationPoint{}, err
+		}
+		rb.SetArbiter(a)
+		if p.rate > 0 {
+			inj, err := fault.New(fault.Config{
+				Seed:       prng.Derive(o.Seed, tag+"/fault"),
+				SlaveError: p.rate,
+			}, rb.NumMasters(), rb.NumSlaves())
+			if err != nil {
+				return DegradationPoint{}, err
+			}
+			rb.SetFaultModel(inj)
+		}
+		if err := rb.Run(o.Cycles); err != nil {
+			return DegradationPoint{}, err
+		}
+		col := rb.Collector()
+		total := col.TotalWords()
+		shares := make([]float64, rb.NumMasters())
+		var retries, aborts, errWords, drops int64
+		for i := range shares {
+			if total > 0 {
+				shares[i] = float64(col.Words(i)) / float64(total)
+			}
+			retries += col.Retries(i)
+			aborts += col.Aborts(i)
+			errWords += col.ErrorWords(i)
+			drops += col.Drops(i)
+		}
+		return DegradationPoint{
+			Arbiter:     p.kind,
+			Rate:        p.rate,
+			Shares:      shares,
+			ShareErr:    shareError(shares, nominalWeights(p.kind)),
+			HighLatency: col.PerWordLatency(fourMasters - 1),
+			LowMaxWait:  col.MaxPendingWait(0),
+			LowStarved:  col.StarvedCycles(0),
+			Retries:     retries,
+			Aborts:      aborts,
+			ErrorWords:  errWords,
+			Drops:       drops,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Degradation{Threshold: threshold, Points: points}, nil
+}
+
+// nominalWeights is each scheme's bandwidth entitlement: the canonical
+// weights, except round-robin's equal shares (static priority has no
+// proportional contract; its deviation from the weights is exactly the
+// pathology the sweep exposes).
+func nominalWeights(kind string) []uint64 {
+	if kind == "round-robin" {
+		return []uint64{1, 1, 1, 1}
+	}
+	return degradationWeights
+}
+
+// Point returns the measurement for an arbiter at a rate, or nil.
+func (r *Degradation) Point(kind string, rate float64) *DegradationPoint {
+	for i := range r.Points {
+		if r.Points[i].Arbiter == kind && r.Points[i].Rate == rate {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the sweep: one row per arbiter × error rate.
+func (r *Degradation) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Degradation under slave errors (4 masters 1:2:3:4, retry limit 8, starvation threshold %d)", r.Threshold),
+		"arbiter", "err rate", "share err", "C4 cyc/word", "C1 max wait", "C1 starved cyc",
+		"retries", "aborts", "err words", "drops")
+	for _, p := range r.Points {
+		t.AddRow(
+			p.Arbiter,
+			fmt.Sprintf("%.3f", p.Rate),
+			fmt.Sprintf("%.3f", p.ShareErr),
+			fmt.Sprintf("%.2f", p.HighLatency),
+			fmt.Sprintf("%d", p.LowMaxWait),
+			fmt.Sprintf("%d", p.LowStarved),
+			fmt.Sprintf("%d", p.Retries),
+			fmt.Sprintf("%d", p.Aborts),
+			fmt.Sprintf("%d", p.ErrorWords),
+			fmt.Sprintf("%d", p.Drops),
+		)
+	}
+	return t
+}

@@ -1,0 +1,152 @@
+package expt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDegradationAcceptance pins the headline robustness contrast: at a
+// 1% slave-error rate the lottery still delivers each master's ticket
+// share to within 10%, while static priority leaves the low-priority
+// master waiting without bound (its longest wait spans essentially the
+// whole run).
+func TestDegradationAcceptance(t *testing.T) {
+	o := Options{Cycles: 60000, Seed: 11}
+	r, err := RunDegradation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lot := r.Point("lottery", 0.01)
+	if lot == nil {
+		t.Fatal("lottery point missing")
+	}
+	if lot.ShareErr > 0.10 {
+		t.Errorf("lottery share error at 1%% slave errors = %.3f, want <= 0.10 (shares %v)",
+			lot.ShareErr, lot.Shares)
+	}
+	if lot.Retries == 0 || lot.ErrorWords == 0 {
+		t.Errorf("lottery at 1%% errors recorded no fault activity (retries=%d errWords=%d)",
+			lot.Retries, lot.ErrorWords)
+	}
+	prio := r.Point("static-priority", 0.01)
+	if prio == nil {
+		t.Fatal("static-priority point missing")
+	}
+	if prio.LowMaxWait < o.Cycles*8/10 {
+		t.Errorf("static priority low-priority max wait = %d, want >= %d (unbounded starvation)",
+			prio.LowMaxWait, o.Cycles*8/10)
+	}
+	if prio.LowStarved == 0 {
+		t.Error("static priority recorded no starved cycles for the low-priority master")
+	}
+	// The lottery's starvation bound: its low-weight master keeps
+	// getting served, so its longest wait stays far from the run
+	// length.
+	if lot.LowMaxWait >= o.Cycles/2 {
+		t.Errorf("lottery low-weight max wait = %d, want bounded (< %d)", lot.LowMaxWait, o.Cycles/2)
+	}
+	// Clean points record no fault activity at all.
+	clean := r.Point("lottery", 0)
+	if clean == nil {
+		t.Fatal("clean lottery point missing")
+	}
+	if clean.Retries != 0 || clean.Aborts != 0 || clean.ErrorWords != 0 {
+		t.Errorf("clean point has fault counters: %+v", *clean)
+	}
+	// The saturated workload overflows the bounded queues: the drop
+	// counters must be surfaced, not silently zero.
+	if clean.Drops == 0 {
+		t.Error("saturated clean run reported zero queue drops")
+	}
+}
+
+// TestDegradationErrorRateMonotonic sanity-checks the injection: more
+// slave errors means more error beats on the bus.
+func TestDegradationErrorRateMonotonic(t *testing.T) {
+	r, err := RunDegradation(Options{Cycles: 20000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	for _, rate := range degradationRates {
+		p := r.Point("round-robin", rate)
+		if p == nil {
+			t.Fatalf("round-robin point at %g missing", rate)
+		}
+		if p.ErrorWords <= prev {
+			t.Fatalf("error words not increasing with rate: %d at %g after %d", p.ErrorWords, rate, prev)
+		}
+		prev = p.ErrorWords
+	}
+}
+
+// TestBabbleRecovery pins the dynamic re-provisioning story: a static
+// lottery keeps paying the babbler its 4-of-10 share, the guarded
+// dynamic lottery demotes it and hands the bandwidth back to the
+// well-behaved masters.
+func TestBabbleRecovery(t *testing.T) {
+	o := Options{Cycles: 60000, Seed: 11}
+	r, err := RunBabble(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, static, guarded := r.Row("clean"), r.Row("static-lottery"), r.Row("guarded-dynamic")
+	if clean == nil || static == nil || guarded == nil {
+		t.Fatalf("missing variants in %+v", r.Rows)
+	}
+	if clean.WellShare < 0.85 {
+		t.Errorf("clean well-behaved share = %.3f, want >= 0.85", clean.WellShare)
+	}
+	if clean.DemoteCycle != -1 {
+		t.Errorf("clean variant demoted at %d", clean.DemoteCycle)
+	}
+	if static.BabblerShare < 0.30 || static.BabblerShare > 0.50 {
+		t.Errorf("static lottery babbler share = %.3f, want ~0.40 (its ticket ratio)", static.BabblerShare)
+	}
+	if static.Drops == 0 {
+		t.Error("babbling master overflowed no queue slots under static lottery")
+	}
+	if guarded.DemoteCycle < r.SwitchCycle {
+		t.Errorf("guard demoted at %d, want at/after the babble switch %d", guarded.DemoteCycle, r.SwitchCycle)
+	}
+	if guarded.WellShare < static.WellShare+0.15 {
+		t.Errorf("guarded well-behaved share %.3f did not recover over static %.3f (want +0.15)",
+			guarded.WellShare, static.WellShare)
+	}
+}
+
+// TestFaultParallelDeterminism extends the sweep-determinism proof to
+// the fault-armed experiments: every point derives its own fault and
+// traffic streams, so serial and oversubscribed-parallel sweeps must be
+// bit-identical.
+func TestFaultParallelDeterminism(t *testing.T) {
+	o := Options{Cycles: 20000, Seed: 7}
+	serial, parallel := o, o
+	serial.Parallel = 1
+	parallel.Parallel = 8
+	experiments := []struct {
+		name string
+		run  func(Options) (any, error)
+	}{
+		{"Degradation", func(o Options) (any, error) { return RunDegradation(o) }},
+		{"Babble", func(o Options) (any, error) { return RunBabble(o) }},
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			want, err := e.run(serial)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			got, err := e.run(parallel)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			ws, gs := fmt.Sprintf("%#v", want), fmt.Sprintf("%#v", got)
+			if ws != gs {
+				t.Fatalf("parallel result differs from serial:\nserial:   %s\nparallel: %s", ws, gs)
+			}
+		})
+	}
+}

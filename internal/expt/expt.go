@@ -69,6 +69,13 @@ const busyLoad = 0.72
 // busyMsgWords is the message size for the bandwidth-sharing workload.
 const busyMsgWords = 16
 
+// busyGenerator builds master i's heavy Bernoulli generator for the
+// bandwidth-sharing workload, its stream derived from the tag.
+func busyGenerator(o Options, tag string, i int) (*traffic.Bernoulli, error) {
+	return traffic.NewBernoulli(busyLoad, traffic.Fixed(busyMsgWords), 0,
+		prng.Derive(o.Seed, fmt.Sprintf("%s/gen/%d", tag, i)))
+}
+
 // newBusyBus builds the Fig. 3 system: four masters with heavy Bernoulli
 // traffic into one shared memory, arbiter attached by the caller.
 // Tickets are set per master for lottery arbiters.
@@ -79,8 +86,7 @@ func newBusyBus(o Options, tickets []uint64, tag string) (*bus.Bus, error) {
 		if tickets != nil {
 			tk = tickets[i]
 		}
-		gen, err := traffic.NewBernoulli(busyLoad, traffic.Fixed(busyMsgWords), 0,
-			prng.Derive(o.Seed, fmt.Sprintf("%s/gen/%d", tag, i)))
+		gen, err := busyGenerator(o, tag, i)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestZeroConfigDisarmed(t *testing.T) {
+	var c Config
+	if c.Armed() {
+		t.Fatal("zero config reports armed")
+	}
+	inj, err := New(c, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Armed() {
+		t.Fatal("zero-config injector reports armed")
+	}
+	// A disarmed injector must never fire.
+	for cyc := int64(0); cyc < 1000; cyc++ {
+		if inj.ErrorResponse(cyc, 0, 0) || inj.WordError(cyc, 0, 1) || inj.SplitHang(cyc, 1, 0) {
+			t.Fatal("disarmed injector fired")
+		}
+		if _, _, ok := inj.Babble(cyc, 0); ok {
+			t.Fatal("disarmed injector babbled")
+		}
+	}
+}
+
+func TestArmed(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want bool
+	}{
+		{Config{}, false},
+		{Config{SlaveError: 0.1}, true},
+		{Config{WordError: 0.1}, true},
+		{Config{SplitHang: 0.1}, true},
+		{Config{Babblers: []Babbler{{Master: 0, Load: 0}}}, false},
+		{Config{Babblers: []Babbler{{Master: 0, Load: 0.5}}}, true},
+	}
+	for i, c := range cases {
+		if got := c.cfg.Armed(); got != c.want {
+			t.Errorf("case %d: Armed() = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed:       7,
+		SlaveError: 0.05,
+		WordError:  0.02,
+		SplitHang:  0.1,
+		Babblers:   []Babbler{{Master: 2, Load: 0.3, Words: 4, Slave: 1}},
+	}
+	draw := func() []bool {
+		inj, err := New(cfg, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for cyc := int64(0); cyc < 2000; cyc++ {
+			out = append(out,
+				inj.ErrorResponse(cyc, 0, int(cyc)%2),
+				inj.WordError(cyc, 1, int(cyc)%2),
+				inj.SplitHang(cyc, 2, int(cyc)%2))
+			_, _, ok := inj.Babble(cyc, 2)
+			out = append(out, ok)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical injectors", i)
+		}
+	}
+}
+
+func TestRatesApproximate(t *testing.T) {
+	cfg := Config{Seed: 3, SlaveError: 0.1}
+	inj, err := New(cfg, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if inj.ErrorResponse(int64(i), 0, 0) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.09 || got > 0.11 {
+		t.Fatalf("empirical error rate %.4f far from configured 0.1", got)
+	}
+}
+
+func TestBabbleWindow(t *testing.T) {
+	cfg := Config{Babblers: []Babbler{{Master: 0, Start: 100, Stop: 200, Load: 1}}}
+	inj, err := New(cfg, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cyc := range []int64{0, 99, 200, 5000} {
+		if _, _, ok := inj.Babble(cyc, 0); ok {
+			t.Fatalf("babble fired outside window at cycle %d", cyc)
+		}
+	}
+	for _, cyc := range []int64{100, 150, 199} {
+		words, slave, ok := inj.Babble(cyc, 0)
+		if !ok || words != 1 || slave != 0 {
+			t.Fatalf("load-1 babbler idle inside window at cycle %d (words=%d slave=%d ok=%v)",
+				cyc, words, slave, ok)
+		}
+	}
+	if _, _, ok := inj.Babble(150, 1); ok {
+		t.Fatal("well-behaved master babbled")
+	}
+}
+
+func TestBabbleForever(t *testing.T) {
+	cfg := Config{Babblers: []Babbler{{Master: 0, Load: 1, Words: 3}}}
+	inj, err := New(cfg, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, _, ok := inj.Babble(1<<40, 0)
+	if !ok || words != 3 {
+		t.Fatalf("Stop=0 babbler not active forever (words=%d ok=%v)", words, ok)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []struct {
+		name string
+		cfg  Config
+	}{
+		{"rate above 1", Config{SlaveError: 1.5}},
+		{"negative rate", Config{WordError: -0.1}},
+		{"nan rate", Config{SplitHang: nan()}},
+		{"bad master", Config{Babblers: []Babbler{{Master: 9, Load: 0.1}}}},
+		{"negative master", Config{Babblers: []Babbler{{Master: -1, Load: 0.1}}}},
+		{"duplicate master", Config{Babblers: []Babbler{{Master: 0, Load: 0.1}, {Master: 0, Load: 0.2}}}},
+		{"bad load", Config{Babblers: []Babbler{{Master: 0, Load: 2}}}},
+		{"negative words", Config{Babblers: []Babbler{{Master: 0, Load: 0.1, Words: -1}}}},
+		{"empty window", Config{Babblers: []Babbler{{Master: 0, Load: 0.1, Start: 10, Stop: 5}}}},
+		{"bad slave", Config{Babblers: []Babbler{{Master: 0, Load: 0.1, Slave: 7}}}},
+	}
+	for _, c := range bad {
+		if err := c.cfg.Validate(4, 2); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.cfg)
+		}
+	}
+	good := Config{Seed: 1, SlaveError: 0.01, Babblers: []Babbler{{Master: 3, Load: 1, Slave: 1}}}
+	if err := good.Validate(4, 2); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{
+		"seed": 11,
+		"slave_error": 0.01,
+		"babblers": [{"master": 1, "load": 1, "words": 8, "start": 500}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 11 || cfg.SlaveError != 0.01 || len(cfg.Babblers) != 1 {
+		t.Fatalf("parsed config %+v", cfg)
+	}
+	if cfg.Babblers[0].Words != 8 || cfg.Babblers[0].Start != 500 {
+		t.Fatalf("parsed babbler %+v", cfg.Babblers[0])
+	}
+
+	if _, err := ParseConfig([]byte(`{"slave_error": 0.01, "bogus": 1}`)); err == nil ||
+		!strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+	if _, err := ParseConfig([]byte(`{"slave_error": 2}`)); err == nil {
+		t.Fatal("out-of-range rate accepted")
+	}
+	if _, err := ParseConfig([]byte(`{} trailing`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+// nan builds a NaN without importing math.
+func nan() float64 {
+	z := 0.0
+	return z / z
+}

@@ -1,0 +1,37 @@
+package fault
+
+import "testing"
+
+// FuzzParseConfig drives arbitrary bytes through the strict JSON config
+// parser: it must never panic, and any accepted configuration must
+// survive its own validation and build an injector for a generous bus.
+func FuzzParseConfig(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed": 1, "slave_error": 0.01}`))
+	f.Add([]byte(`{"word_error": 0.5, "split_hang": 1}`))
+	f.Add([]byte(`{"babblers": [{"master": 0, "load": 1, "words": 16, "slave": 1, "start": 10, "stop": 20}]}`))
+	f.Add([]byte(`{"slave_error": 2}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		// Parse validated rates but not indices; re-validate against a
+		// bus large enough for any sane config and check that accepted
+		// ones construct.
+		if err := cfg.Validate(64, 64); err != nil {
+			return
+		}
+		inj, err := New(cfg, 64, 64)
+		if err != nil {
+			t.Fatalf("validated config failed New: %v", err)
+		}
+		for cyc := int64(0); cyc < 64; cyc++ {
+			inj.ErrorResponse(cyc, 0, 0)
+			inj.WordError(cyc, 0, 0)
+			inj.SplitHang(cyc, 0, 0)
+			inj.Babble(cyc, 0)
+		}
+	})
+}

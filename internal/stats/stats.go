@@ -37,6 +37,19 @@ type Collector struct {
 	maxMsgLat      []int64
 	grants         []int64
 	hist           []*Histogram
+
+	// Resilience accumulators, fed by the bus fault machinery (package
+	// bus, FaultModel) and all zero on a fault-free run. They join the
+	// Fingerprint only once any of them (drops excepted) is nonzero, so
+	// fault-free fingerprints are unchanged by their existence.
+	retries      []int64 // bursts terminated by a slave error and re-attempted
+	aborts       []int64 // messages abandoned (retry limit or split timeout)
+	timeouts     []int64 // split transactions aborted by the watchdog
+	errorWords   []int64 // bus beats consumed by errored transfers
+	drops        []int64 // arrivals discarded on queue overflow (during Run)
+	starveEvents []int64 // ended waits that exceeded the starvation threshold
+	starveCycles []int64 // cycles spent pending beyond the threshold
+	maxWait      []int64 // longest pending wait observed (incl. ongoing at Run end)
 }
 
 // NewCollector returns a Collector for n masters.
@@ -55,6 +68,14 @@ func NewCollector(n int) *Collector {
 		maxMsgLat:      make([]int64, n),
 		grants:         make([]int64, n),
 		hist:           make([]*Histogram, n),
+		retries:        make([]int64, n),
+		aborts:         make([]int64, n),
+		timeouts:       make([]int64, n),
+		errorWords:     make([]int64, n),
+		drops:          make([]int64, n),
+		starveEvents:   make([]int64, n),
+		starveCycles:   make([]int64, n),
+		maxWait:        make([]int64, n),
 	}
 	for i := range c.hist {
 		c.hist[i] = NewHistogram()
@@ -119,6 +140,84 @@ func (c *Collector) MessageCompleted(m int, words int, arrival, completion int64
 		c.hist[m].Add(float64(lat) / float64(words))
 	}
 }
+
+// Retry records a burst of master m terminated by a slave error
+// response and scheduled for another attempt.
+func (c *Collector) Retry(m int) { c.retries[m]++ }
+
+// Retries returns the retry count of master m.
+func (c *Collector) Retries(m int) int64 { return c.retries[m] }
+
+// Abort records a message of master m abandoned by the resilience
+// machinery (retry limit exhausted or split transaction timed out).
+func (c *Collector) Abort(m int) { c.aborts[m]++ }
+
+// Aborts returns the abandoned-message count of master m.
+func (c *Collector) Aborts(m int) int64 { return c.aborts[m] }
+
+// SplitTimeout records an outstanding split transaction of master m
+// aborted by the bus watchdog.
+func (c *Collector) SplitTimeout(m int) { c.timeouts[m]++ }
+
+// SplitTimeouts returns the watchdog-abort count of master m.
+func (c *Collector) SplitTimeouts(m int) int64 { return c.timeouts[m] }
+
+// ErrorWord records a bus cycle consumed by an errored transfer beat of
+// master m: the bus is busy but no usable word moves.
+func (c *Collector) ErrorWord(m int) {
+	c.errorWords[m]++
+	c.busy++
+}
+
+// ErrorWords returns the errored-beat count of master m.
+func (c *Collector) ErrorWords(m int) int64 { return c.errorWords[m] }
+
+// MessageDropped records an arrival of master m discarded on queue
+// overflow. The bus records drops here only while a collector exists
+// (always true during Run); Master.Dropped additionally counts drops
+// from pre-run injection.
+func (c *Collector) MessageDropped(m int) { c.drops[m]++ }
+
+// Drops returns the queue-overflow drop count of master m.
+func (c *Collector) Drops(m int) int64 { return c.drops[m] }
+
+// StarvedCycle records one cycle master m spent pending beyond the
+// starvation threshold.
+func (c *Collector) StarvedCycle(m int) { c.starveCycles[m]++ }
+
+// StarvedCycles returns how many cycles master m spent pending beyond
+// the starvation threshold.
+func (c *Collector) StarvedCycles(m int) int64 { return c.starveCycles[m] }
+
+// WaitEnded records a completed pending wait of master m: the wait
+// becomes a starvation event when it reached threshold, and feeds the
+// max-wait tracker either way.
+func (c *Collector) WaitEnded(m int, wait, threshold int64) {
+	if wait >= threshold {
+		c.starveEvents[m]++
+	}
+	if wait > c.maxWait[m] {
+		c.maxWait[m] = wait
+	}
+}
+
+// WaitObserved folds a still-ongoing pending wait of master m into the
+// max-wait tracker without counting an event — how the bus exposes
+// unbounded waits (a starved master never granted) at the end of a Run.
+func (c *Collector) WaitObserved(m int, wait int64) {
+	if wait > c.maxWait[m] {
+		c.maxWait[m] = wait
+	}
+}
+
+// StarvationEvents returns how many ended waits of master m exceeded
+// the starvation threshold.
+func (c *Collector) StarvationEvents(m int) int64 { return c.starveEvents[m] }
+
+// MaxPendingWait returns the longest pending wait observed for master m
+// by the starvation detector (including a wait still ongoing when the
+// last Run ended).
+func (c *Collector) MaxPendingWait(m int) int64 { return c.maxWait[m] }
 
 // Cycles returns the total simulated bus cycles.
 func (c *Collector) Cycles() int64 { return c.cycles }
@@ -217,7 +316,38 @@ func (c *Collector) Fingerprint() uint64 {
 		h = fnvMix(h, uint64(c.grants[m]))
 		h = c.hist[m].fingerprint(h)
 	}
+	if c.faultActivity() {
+		// Resilience accumulators join the hash only when the fault
+		// machinery actually fired, so fault-free fingerprints remain
+		// byte-identical to collectors predating these counters. Drops
+		// alone never arm the marker (overflow happens on fault-free
+		// buses too) but are mixed once anything else did.
+		h = fnvMix(h, 0x6661756c74) // "fault" marker
+		for m := 0; m < c.n; m++ {
+			h = fnvMix(h, uint64(c.retries[m]))
+			h = fnvMix(h, uint64(c.aborts[m]))
+			h = fnvMix(h, uint64(c.timeouts[m]))
+			h = fnvMix(h, uint64(c.errorWords[m]))
+			h = fnvMix(h, uint64(c.drops[m]))
+			h = fnvMix(h, uint64(c.starveEvents[m]))
+			h = fnvMix(h, uint64(c.starveCycles[m]))
+			h = fnvMix(h, uint64(c.maxWait[m]))
+		}
+	}
 	return h
+}
+
+// faultActivity reports whether any resilience accumulator other than
+// the drop counters is nonzero.
+func (c *Collector) faultActivity() bool {
+	for m := 0; m < c.n; m++ {
+		if c.retries[m] != 0 || c.aborts[m] != 0 || c.timeouts[m] != 0 ||
+			c.errorWords[m] != 0 || c.starveEvents[m] != 0 ||
+			c.starveCycles[m] != 0 || c.maxWait[m] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // fnvOffset is the FNV-1a 64-bit offset basis.

@@ -35,6 +35,7 @@ import (
 	"lotterybus/internal/arb"
 	"lotterybus/internal/bus"
 	"lotterybus/internal/core"
+	"lotterybus/internal/fault"
 	"lotterybus/internal/prng"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/trace"
@@ -58,6 +59,20 @@ type Config struct {
 	// Seed drives the lottery manager's random stream and any seeded
 	// traffic helpers created through this package (default 1).
 	Seed uint64
+	// RetryLimit bounds re-attempts of a burst killed by a slave error
+	// response before the message is abandoned (default 16; only
+	// relevant with fault injection armed, see SetFaults).
+	RetryLimit int
+	// RetryBackoff is the linear backoff unit between retries, in
+	// cycles per consecutive failure.
+	RetryBackoff int
+	// SplitTimeout, when positive, arms the watchdog that aborts split
+	// transactions whose response never arrives.
+	SplitTimeout int64
+	// StarvationThreshold, when positive, arms the starvation
+	// detector: pending waits at or beyond it are counted per cycle
+	// and reported per master.
+	StarvationThreshold int64
 }
 
 // System is a shared bus under construction or simulation.
@@ -75,7 +90,14 @@ func NewSystem(cfg Config) *System {
 	}
 	return &System{
 		cfg: cfg,
-		b:   bus.New(bus.Config{MaxBurst: cfg.MaxBurst, ArbLatency: cfg.ArbLatency}),
+		b: bus.New(bus.Config{
+			MaxBurst:            cfg.MaxBurst,
+			ArbLatency:          cfg.ArbLatency,
+			RetryLimit:          cfg.RetryLimit,
+			RetryBackoff:        cfg.RetryBackoff,
+			SplitTimeout:        cfg.SplitTimeout,
+			StarvationThreshold: cfg.StarvationThreshold,
+		}),
 	}
 }
 
@@ -220,6 +242,72 @@ func (s *System) UseTokenRing() error {
 	return nil
 }
 
+// Babbler describes a misbehaving master that floods the bus with
+// bogus traffic during a cycle window — the fault model for a locked-up
+// DMA engine or a protocol-violating IP block.
+type Babbler struct {
+	// Master is the index of the misbehaving master.
+	Master int `json:"master"`
+	// Start and Stop bound the babbling window; Stop 0 means forever.
+	Start int64 `json:"start,omitempty"`
+	Stop  int64 `json:"stop,omitempty"`
+	// Load is the per-cycle probability of injecting a bogus message.
+	Load float64 `json:"load"`
+	// Words is the bogus message length (default 1) and Slave its
+	// target.
+	Words int `json:"words,omitempty"`
+	Slave int `json:"slave,omitempty"`
+}
+
+// FaultConfig parameterizes deterministic fault injection: every rate
+// is drawn from its own seeded stream per slave, so runs are exactly
+// reproducible and adding one fault class never perturbs another.
+type FaultConfig struct {
+	// Seed roots the fault streams; zero derives one from the system
+	// seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// SlaveError is the per-beat probability that the slave terminates
+	// the burst with an error response (the master retries under the
+	// RetryLimit/RetryBackoff policy).
+	SlaveError float64 `json:"slaveError,omitempty"`
+	// WordError is the per-beat probability of a corrupted word: the
+	// beat consumes bus bandwidth but delivers nothing.
+	WordError float64 `json:"wordError,omitempty"`
+	// SplitHang is the probability that a split slave never produces
+	// its response (recovered only by the SplitTimeout watchdog).
+	SplitHang float64 `json:"splitHang,omitempty"`
+	// Babblers lists misbehaving masters.
+	Babblers []Babbler `json:"babblers,omitempty"`
+}
+
+// SetFaults arms deterministic fault injection on the bus. Call it
+// after all masters and slaves are attached; a zero config disarms the
+// model. With faults armed the per-cycle engine is used (no
+// fast-forwarding), and the Report gains the resilience counters.
+func (s *System) SetFaults(cfg FaultConfig) error {
+	fc := fault.Config{
+		Seed:       cfg.Seed,
+		SlaveError: cfg.SlaveError,
+		WordError:  cfg.WordError,
+		SplitHang:  cfg.SplitHang,
+	}
+	if fc.Seed == 0 {
+		fc.Seed = prng.Derive(s.cfg.Seed, "lotterybus/fault")
+	}
+	for _, b := range cfg.Babblers {
+		fc.Babblers = append(fc.Babblers, fault.Babbler{
+			Master: b.Master, Start: b.Start, Stop: b.Stop,
+			Load: b.Load, Words: b.Words, Slave: b.Slave,
+		})
+	}
+	inj, err := fault.New(fc, s.b.NumMasters(), s.b.NumSlaves())
+	if err != nil {
+		return err
+	}
+	s.b.SetFaultModel(inj)
+	return nil
+}
+
 // SetWeight updates a master's QoS weight. Under the dynamic lottery
 // the new holding takes effect at the next arbitration; other arbiters
 // read weights at Use* time, so call the Use* method again to re-apply.
@@ -284,6 +372,15 @@ type MasterReport struct {
 	Dropped int64
 	// Queued is the queue depth at reporting time.
 	Queued int
+	// Retries, Aborts, SplitTimeouts and ErrorWords count resilience
+	// events under fault injection: re-attempted bursts, messages
+	// abandoned past the retry limit, split transactions killed by the
+	// watchdog, and errored/corrupted data beats.
+	Retries, Aborts, SplitTimeouts, ErrorWords int64
+	// StarvedCycles counts cycles this master spent pending beyond the
+	// starvation threshold; MaxWait is its longest bus wait, including
+	// one still unresolved at reporting time.
+	StarvedCycles, MaxWait int64
 }
 
 // Report summarizes the simulation so far.
@@ -316,25 +413,54 @@ func (s *System) Report() Report {
 			Words:             col.Words(i),
 			Dropped:           m.Dropped(),
 			Queued:            m.QueueLen(),
+			Retries:           col.Retries(i),
+			Aborts:            col.Aborts(i),
+			SplitTimeouts:     col.SplitTimeouts(i),
+			ErrorWords:        col.ErrorWords(i),
+			StarvedCycles:     col.StarvedCycles(i),
+			MaxWait:           col.MaxPendingWait(i),
 		})
 	}
 	return r
 }
 
-// String renders the report as an aligned table.
+// String renders the report as an aligned table. The resilience
+// columns appear only when a run recorded fault activity, so fault-free
+// output is unchanged.
 func (r Report) String() string {
+	faulty := false
+	for _, m := range r.Masters {
+		if m.Retries|m.Aborts|m.SplitTimeouts|m.ErrorWords|m.StarvedCycles != 0 {
+			faulty = true
+			break
+		}
+	}
+	cols := []string{"master", "weight", "bw%", "cyc/word", "msg latency", "messages", "dropped"}
+	if faulty {
+		cols = append(cols, "retries", "aborts", "timeouts", "err words", "starved cyc")
+	}
 	t := stats.NewTable(
 		fmt.Sprintf("%s after %d cycles (%.1f%% utilized)", r.Arbiter, r.Cycles, 100*r.Utilization),
-		"master", "weight", "bw%", "cyc/word", "msg latency", "messages", "dropped")
+		cols...)
 	for _, m := range r.Masters {
-		t.AddRow(m.Name,
+		row := []string{m.Name,
 			fmt.Sprintf("%d", m.Weight),
 			fmt.Sprintf("%.1f", 100*m.BandwidthFraction),
 			fmt.Sprintf("%.2f", m.PerWordLatency),
 			fmt.Sprintf("%.1f", m.AvgMessageLatency),
 			fmt.Sprintf("%d", m.Messages),
 			fmt.Sprintf("%d", m.Dropped),
-		)
+		}
+		if faulty {
+			row = append(row,
+				fmt.Sprintf("%d", m.Retries),
+				fmt.Sprintf("%d", m.Aborts),
+				fmt.Sprintf("%d", m.SplitTimeouts),
+				fmt.Sprintf("%d", m.ErrorWords),
+				fmt.Sprintf("%d", m.StarvedCycles),
+			)
+		}
+		t.AddRow(row...)
 	}
 	return strings.TrimRight(t.String(), "\n")
 }

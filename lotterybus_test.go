@@ -355,3 +355,53 @@ func TestFastForwardThroughFacade(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultInjectionThroughFacade(t *testing.T) {
+	sys := newSaturated(t, []uint64{1, 1})
+	if err := sys.UseLottery(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetFaults(FaultConfig{SlaveError: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(20000); err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Report()
+	var retries, errWords int64
+	for _, m := range r.Masters {
+		retries += m.Retries
+		errWords += m.ErrorWords
+	}
+	if retries == 0 || errWords == 0 {
+		t.Fatalf("fault run recorded no resilience activity: %+v", r.Masters)
+	}
+	if !strings.Contains(r.String(), "retries") {
+		t.Fatalf("faulty report lacks resilience columns:\n%s", r)
+	}
+	if sys.FastForwardedCycles() != 0 {
+		t.Fatal("fault-armed run fast-forwarded")
+	}
+
+	// A clean run's report keeps the original column set.
+	clean := newSaturated(t, []uint64{1, 1})
+	if err := clean.UseLottery(); err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Run(20000); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.Report().String(), "retries") {
+		t.Fatalf("clean report grew resilience columns:\n%s", clean.Report())
+	}
+}
+
+func TestSetFaultsRejectsBadConfig(t *testing.T) {
+	sys := newSaturated(t, []uint64{1})
+	if err := sys.SetFaults(FaultConfig{SlaveError: 1.5}); err == nil {
+		t.Fatal("out-of-range rate accepted")
+	}
+	if err := sys.SetFaults(FaultConfig{Babblers: []Babbler{{Master: 7, Load: 0.5}}}); err == nil {
+		t.Fatal("out-of-range babbler master accepted")
+	}
+}
