@@ -7,7 +7,21 @@
 //	lotterysim -sample > system.json   # print a starter configuration
 //	lotterysim < system.json           # read the configuration from stdin
 //	lotterysim -config system.json -replicate 8 -parallel 4
+//	lotterysim -config system.json -journal run.jsonl
+//	lotterysim -config system.json -replicate 16 -listen :8080
 //	lotterysim -config system.json -cpuprofile cpu.pb.gz
+//
+// With -journal FILE, structured JSONL events are appended to FILE:
+// run_start with the full effective configuration and seed provenance,
+// one replica_end per finished replica (including its resilience
+// counters when faults fired), and run_end with aggregate totals.
+//
+// With -listen ADDR, a telemetry endpoint serves the run live:
+// GET /metrics is Prometheus text exposition (per-master counters and
+// latency histograms, sweep progress and ETA gauges) and
+// GET /debug/vars is the same registry as a JSON snapshot. The process
+// keeps serving after the simulation completes until interrupted, so
+// scrapes never race a short run.
 package main
 
 import (
@@ -15,7 +29,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
 
+	"lotterybus"
+	"lotterybus/internal/obs"
 	"lotterybus/internal/prof"
 	"lotterybus/internal/runner"
 )
@@ -40,6 +59,8 @@ func realMain() (code int) {
 	replicate := flag.Int("replicate", 1, "run N seed-replicas of the configuration (seed, seed+1, ...)")
 	parallel := flag.Int("parallel", 0,
 		"replica workers (0 = $"+runner.EnvVar+" then GOMAXPROCS, 1 = serial)")
+	journalPath := flag.String("journal", "", "append structured JSONL run events to this file")
+	listen := flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /debug/vars JSON); keeps serving after the run until interrupted")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	flag.Parse()
@@ -76,6 +97,35 @@ func realMain() (code int) {
 	if err != nil {
 		return fail(err)
 	}
+
+	var j *obs.Journal
+	if *journalPath != "" {
+		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		j = obs.NewJournal(f)
+	}
+
+	reg := obs.NewRegistry()
+	prog := obs.NewProgress(*replicate)
+	var srv *obs.Server
+	if *listen != "" {
+		srv, err = obs.Serve(*listen, reg, prog)
+		if err != nil {
+			return fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "lotterysim: telemetry on http://%s (/metrics, /debug/vars)\n", srv.Addr())
+	}
+
+	j.Emit("run_start", map[string]any{
+		"tool": "lotterysim", "cycles": cfg.Cycles, "seed": cfg.Seed,
+		"arbiter": cfg.Arbiter.Kind, "masters": len(cfg.Masters),
+		"replicate": *replicate, "parallel": runner.Workers(*parallel),
+	})
+
 	if *replicate > 1 {
 		if *vcdPath != "" || *waveform > 0 {
 			fmt.Fprintln(os.Stderr, "lotterysim: -vcd and -waveform require -replicate 1")
@@ -84,17 +134,29 @@ func realMain() (code int) {
 		// Each replica is an independent simulation of the same system
 		// at seed, seed+1, ...; replicas run on the worker pool and the
 		// reports print in replica order regardless of worker count.
-		reports, err := runner.Map(runner.Workers(*parallel), *replicate, func(i int) (string, error) {
+		// Every replica records into its own registry under a unique
+		// replica label, merged into the live registry as it finishes —
+		// the merged content is the same for any completion order
+		// because replica label sets are disjoint.
+		reports, err := runner.Map(runner.Workers(*parallel), *replicate, func(i int) (lotterybus.Report, error) {
 			c := *cfg
 			c.Seed = cfg.Seed + uint64(i)
 			sys, err := c.Build()
 			if err != nil {
-				return "", err
+				return lotterybus.Report{}, err
 			}
 			if err := sys.Run(c.Cycles); err != nil {
-				return "", err
+				return lotterybus.Report{}, err
 			}
-			return sys.Report().String(), nil
+			rep := sys.Report()
+			pt := obs.NewRegistry()
+			sys.RecordObs(pt, obs.Labels{"replica": strconv.Itoa(i)})
+			if err := reg.Merge(pt); err != nil {
+				return lotterybus.Report{}, err
+			}
+			prog.Step()
+			emitReplica(j, i, c.Seed, rep)
+			return rep, nil
 		})
 		if err != nil {
 			return fail(err)
@@ -102,8 +164,10 @@ func realMain() (code int) {
 		for i, rep := range reports {
 			fmt.Printf("==== replica %d (seed %d) ====\n%s\n", i, cfg.Seed+uint64(i), rep)
 		}
-		return code
+		emitRunEnd(j, reports)
+		return serveUntilInterrupt(srv, code)
 	}
+
 	sys, err := cfg.Build()
 	if err != nil {
 		return fail(err)
@@ -114,7 +178,11 @@ func realMain() (code int) {
 	if err := sys.Run(cfg.Cycles); err != nil {
 		return fail(err)
 	}
-	fmt.Println(sys.Report())
+	rep := sys.Report()
+	sys.RecordObs(reg, obs.Labels{"replica": "0"})
+	prog.Step()
+	emitReplica(j, 0, cfg.Seed, rep)
+	fmt.Println(rep)
 	if *waveform > 0 {
 		fmt.Println()
 		fmt.Print(sys.Waveform(0, *waveform))
@@ -130,5 +198,60 @@ func realMain() (code int) {
 		}
 		fmt.Printf("\nVCD written to %s\n", *vcdPath)
 	}
+	emitRunEnd(j, []lotterybus.Report{rep})
+	return serveUntilInterrupt(srv, code)
+}
+
+// emitReplica journals one finished replica; resilience counters join
+// the event only when the run recorded fault or starvation activity.
+func emitReplica(j *obs.Journal, i int, seed uint64, rep lotterybus.Report) {
+	fields := map[string]any{
+		"replica": i, "seed": seed, "cycles": rep.Cycles,
+		"utilization": rep.Utilization,
+	}
+	var retries, aborts, timeouts, starved int64
+	for _, m := range rep.Masters {
+		retries += m.Retries
+		aborts += m.Aborts
+		timeouts += m.SplitTimeouts
+		starved += m.StarvedCycles
+	}
+	if retries|aborts|timeouts|starved != 0 {
+		fields["retries"] = retries
+		fields["aborts"] = aborts
+		fields["splitTimeouts"] = timeouts
+		fields["starvedCycles"] = starved
+	}
+	j.Emit("replica_end", fields)
+}
+
+// emitRunEnd journals the aggregate outcome of all replicas.
+func emitRunEnd(j *obs.Journal, reports []lotterybus.Report) {
+	var cycles, messages, words, dropped int64
+	for _, rep := range reports {
+		cycles += rep.Cycles
+		for _, m := range rep.Masters {
+			messages += m.Messages
+			words += m.Words
+			dropped += m.Dropped
+		}
+	}
+	j.Emit("run_end", map[string]any{
+		"replicas": len(reports), "cycles": cycles,
+		"messages": messages, "words": words, "dropped": dropped,
+	})
+}
+
+// serveUntilInterrupt blocks until SIGINT/SIGTERM when a telemetry
+// server is up, so scrapes of a short run never race process exit; with
+// no server it returns immediately.
+func serveUntilInterrupt(srv *obs.Server, code int) int {
+	if srv == nil {
+		return code
+	}
+	fmt.Fprintln(os.Stderr, "lotterysim: run complete; telemetry still serving, interrupt to exit")
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
 	return code
 }

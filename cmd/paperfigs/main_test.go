@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"lotterybus/internal/expt"
+	"lotterybus/internal/obs"
 )
 
 // fastOpts keeps the smoke test quick; statistical quality is asserted
@@ -15,7 +18,7 @@ var fastOpts = expt.Options{Cycles: 20000, Seed: 3}
 
 func TestRunAllSectionsRender(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "all", fastOpts, ""); err != nil {
+	if err := run(&b, "all", fastOpts, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -36,7 +39,7 @@ func TestRunAllSectionsRender(t *testing.T) {
 
 func TestRunSingleSection(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "hw", fastOpts, ""); err != nil {
+	if err := run(&b, "hw", fastOpts, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -50,7 +53,7 @@ func TestRunSingleSection(t *testing.T) {
 
 func TestRunUnknownSection(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "nope", fastOpts, ""); err == nil {
+	if err := run(&b, "nope", fastOpts, "", nil); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
@@ -58,7 +61,7 @@ func TestRunUnknownSection(t *testing.T) {
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	var b strings.Builder
-	if err := run(&b, "table1", fastOpts, dir); err != nil {
+	if err := run(&b, "table1", fastOpts, dir, nil); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
@@ -67,5 +70,77 @@ func TestRunWritesCSV(t *testing.T) {
 	}
 	if !strings.Contains(string(raw), "architecture,port1 bw%") {
 		t.Fatalf("csv:\n%s", raw)
+	}
+}
+
+// TestLatencyDetailCSV covers the distributional upgrade: the latency
+// sections emit a secondary *_latency.csv with percentile and max-wait
+// columns.
+func TestLatencyDetailCSV(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run(&b, "6b", fastOpts, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "6b_latency.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(string(raw), "\n", 2)[0]
+	for _, col := range []string{"p50", "p95", "p99", "max wait"} {
+		if !strings.Contains(head, col) {
+			t.Fatalf("latency CSV header missing %q: %s", col, head)
+		}
+	}
+	if !strings.Contains(b.String(), "p99") {
+		t.Fatalf("detail table not rendered:\n%s", b.String())
+	}
+}
+
+// TestRunJournal covers the structured event stream: run_start carries
+// the effective configuration and section total, each section gets a
+// start/end pair, and every line parses as JSON.
+func TestRunJournal(t *testing.T) {
+	var out, jbuf strings.Builder
+	j := obs.NewJournal(&jbuf)
+	if err := run(&out, "tail", fastOpts, "", j); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(jbuf.String()))
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", sc.Text(), err)
+		}
+		events = append(events, rec)
+	}
+	if len(events) != 4 { // run_start, experiment_start, experiment_end, run_end
+		t.Fatalf("got %d events, want 4: %v", len(events), events)
+	}
+	if events[0]["event"] != "run_start" || events[0]["sections"] != float64(1) ||
+		events[0]["cycles"] != float64(20000) || events[0]["seed"] != float64(3) {
+		t.Fatalf("run_start: %v", events[0])
+	}
+	if events[1]["event"] != "experiment_start" || events[1]["id"] != "tail" {
+		t.Fatalf("experiment_start: %v", events[1])
+	}
+	if events[3]["event"] != "run_end" {
+		t.Fatalf("run_end: %v", events[3])
+	}
+}
+
+// TestProgressHeartbeat covers -progress: one stderr line per completed
+// section with done/total, elapsed and ETA.
+func TestProgressHeartbeat(t *testing.T) {
+	var out, hb strings.Builder
+	j := obs.NewJournal(nil)
+	attachHeartbeat(j, &hb)
+	if err := run(&out, "hw", fastOpts, "", j); err != nil {
+		t.Fatal(err)
+	}
+	line := hb.String()
+	if !strings.Contains(line, "1/1 sections done") || !strings.Contains(line, "eta") {
+		t.Fatalf("heartbeat: %q", line)
 	}
 }

@@ -1,0 +1,103 @@
+// Observability: a live-monitored degradation sweep. The same
+// four-master system runs at rising slave-error rates; each point is
+// journalled as a JSONL event, recorded into a metrics registry served
+// over HTTP while the sweep runs, and summarized with the latency
+// percentiles that mean-only reporting hides.
+//
+//	go run ./examples/observability            # sweep, journal to stdout
+//	go run ./examples/observability -listen :8080
+//	  # ...then: curl localhost:8080/metrics   (Prometheus text)
+//	  #          curl localhost:8080/debug/vars (JSON snapshot)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lotterybus"
+	"lotterybus/internal/obs"
+)
+
+// errorRates is the degradation schedule: fault-free through one beat
+// in fifty erroring.
+var errorRates = []float64{0, 0.001, 0.005, 0.02}
+
+func buildSystem(rate float64) (*lotterybus.System, error) {
+	sys := lotterybus.NewSystem(lotterybus.Config{Seed: 7, RetryLimit: 8})
+	mem := sys.AddSlave("mem", 1)
+	for i, name := range []string{"cpu", "dsp", "dma", "io"} {
+		tr, err := lotterybus.BernoulliTraffic(0.18, 16, mem, uint64(100+i))
+		if err != nil {
+			return nil, err
+		}
+		sys.AddMaster(name, uint64(i+1), tr)
+	}
+	if err := sys.UseLottery(); err != nil {
+		return nil, err
+	}
+	if rate > 0 {
+		if err := sys.SetFaults(lotterybus.FaultConfig{SlaveError: rate}); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+func main() {
+	listen := flag.String("listen", "", "serve live telemetry on this address during the sweep")
+	flag.Parse()
+
+	journal := obs.NewJournal(os.Stdout)
+	reg := obs.NewRegistry()
+	prog := obs.NewProgress(len(errorRates))
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, reg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s\n", srv.Addr())
+	}
+
+	journal.Emit("run_start", map[string]any{
+		"tool": "example-observability", "points": len(errorRates), "seed": 7,
+	})
+
+	fmt.Fprintln(os.Stderr, "\nC4 (weight 4) per-word latency as the slave degrades:")
+	fmt.Fprintf(os.Stderr, "  %-8s  %-8s  %-8s  %-8s  %-8s  %s\n",
+		"err rate", "mean", "p50", "p95", "p99", "retries")
+	for _, rate := range errorRates {
+		sys, err := buildSystem(rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Run(400000); err != nil {
+			log.Fatal(err)
+		}
+		rep := sys.Report()
+
+		// One batched registry update per completed run — the hot loop
+		// never sees the observability layer (the fault-free point still
+		// fast-forwards).
+		sys.RecordObs(reg, obs.Labels{"error_rate": fmt.Sprintf("%g", rate)})
+		prog.Step()
+
+		io := rep.Masters[3]
+		journal.Emit("point_end", map[string]any{
+			"errorRate": rate, "p99": io.LatencyP99, "retries": io.Retries,
+			"fastForwarded": sys.FastForwardedCycles(),
+		})
+		fmt.Fprintf(os.Stderr, "  %-8g  %-8.2f  %-8.2f  %-8.2f  %-8.2f  %d\n",
+			rate, io.PerWordLatency, io.LatencyP50, io.LatencyP95, io.LatencyP99, io.Retries)
+	}
+	journal.Emit("run_end", map[string]any{"points": len(errorRates)})
+
+	s := prog.Snapshot()
+	fmt.Fprintf(os.Stderr, "\nsweep: %d/%d points in %.2fs — retries climb with the error rate while\n", s.Done, s.Total, s.Elapsed)
+	fmt.Fprintln(os.Stderr, "the latency percentiles hold: the retry machinery absorbs the faults, and")
+	fmt.Fprintln(os.Stderr, "only the journal's fault counters (not the means) show the bus degrading.")
+	fmt.Fprintln(os.Stderr, "Note fastForwarded in the journal: the fault-free point ran event-driven;")
+	fmt.Fprintln(os.Stderr, "armed faults force the cycle-accurate loop, and observability never does.")
+}

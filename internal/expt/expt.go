@@ -24,6 +24,7 @@ import (
 	"lotterybus/internal/core"
 	"lotterybus/internal/prng"
 	"lotterybus/internal/runner"
+	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
 )
 
@@ -52,6 +53,12 @@ func (o Options) fill() Options {
 	}
 	return o
 }
+
+// Filled returns the options with defaults applied — the values the
+// experiments actually run with. Run journals record these effective
+// values rather than the zero sentinels, so a journal line is complete
+// seed provenance on its own.
+func (o Options) Filled() Options { return o.fill() }
 
 // workers resolves the sweep worker count.
 func (o Options) workers() int { return runner.Workers(o.Parallel) }
@@ -156,4 +163,36 @@ func latencies(b *bus.Bus) []float64 {
 		out[i] = col.PerWordLatency(i)
 	}
 	return out
+}
+
+// Detail is one master's distributional latency summary after a run:
+// the per-word latency percentiles behind the mean the paper plots,
+// plus the worst arrival-to-first-grant wait. The latency experiments
+// carry a Detail per (point, master) so tables and CSV can distinguish
+// "low and stable" from "merely low on average".
+type Detail struct {
+	Dist stats.Dist
+	// MaxWait is the longest arrival-to-first-grant wait of any started
+	// message, in cycles — collected on every run, no starvation
+	// detector required.
+	MaxWait int64
+}
+
+// details returns per-master latency distribution summaries after a run.
+func details(b *bus.Bus) []Detail {
+	col := b.Collector()
+	out := make([]Detail, b.NumMasters())
+	for i := range out {
+		out[i] = Detail{Dist: col.LatencyDist(i), MaxWait: col.MaxStartWait(i)}
+	}
+	return out
+}
+
+// cell formats one distribution value for a detail table ("-" when the
+// master completed no messages).
+func cell(v float64) string {
+	if v != v { // NaN
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
 }

@@ -107,6 +107,9 @@ type LatencySurface struct {
 	// Lat[k][i] is the per-word latency of the master holding weight
 	// i+1 under class k.
 	Lat [][]float64
+	// Detail[k][i] is the same master's full latency distribution
+	// (p50/p95/p99/max plus worst first-grant wait).
+	Detail [][]Detail
 }
 
 // Figure renders one series per weight.
@@ -121,6 +124,23 @@ func (r *LatencySurface) Figure() *stats.Figure {
 		}
 	}
 	return f
+}
+
+// DetailTable renders the distribution behind each surface point: one
+// row per (class, weight) with percentiles and the worst first-grant
+// wait.
+func (r *LatencySurface) DetailTable() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Latency distribution under %s (cycles/word; waits in cycles)", r.Arch),
+		"class", "weight", "mean", "p50", "p95", "p99", "max", "max wait")
+	for k, c := range r.Classes {
+		for i, d := range r.Detail[k] {
+			t.AddRow(c, fmt.Sprintf("%d", i+1),
+				cell(d.Dist.Mean), cell(d.Dist.P50), cell(d.Dist.P95),
+				cell(d.Dist.P99), cell(d.Dist.Max), fmt.Sprintf("%d", d.MaxWait))
+		}
+	}
+	return t
 }
 
 // MaxHighWeightLatency returns the worst latency the heaviest-weight
@@ -163,28 +183,34 @@ func latencySurface(o Options, arch string, mkArb func(class traffic.Class) (bus
 	o = o.fill()
 	weights := []uint64{1, 2, 3, 4}
 	classes := traffic.LatencyClasses()
-	lat, err := runner.Map(o.workers(), len(classes), func(k int) ([]float64, error) {
+	type point struct {
+		lat []float64
+		det []Detail
+	}
+	pts, err := runner.Map(o.workers(), len(classes), func(k int) (point, error) {
 		class := classes[k]
 		a, err := mkArb(class)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		b, err := newClassBus(o, class, weights, "fig12bc/"+class.Name)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		b.SetArbiter(a)
 		if err := b.Run(o.Cycles); err != nil {
-			return nil, err
+			return point{}, err
 		}
-		return latencies(b), nil
+		return point{lat: latencies(b), det: details(b)}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &LatencySurface{Arch: arch, Lat: lat}
-	for _, class := range classes {
+	res := &LatencySurface{Arch: arch}
+	for k, class := range classes {
 		res.Classes = append(res.Classes, class.Name)
+		res.Lat = append(res.Lat, pts[k].lat)
+		res.Detail = append(res.Detail, pts[k].det)
 	}
 	return res, nil
 }

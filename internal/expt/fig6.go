@@ -32,6 +32,11 @@ type LatencyComparison struct {
 	TDMA    []float64
 	TDMA1   []float64
 	Lottery []float64
+	// TDMADetail[i] etc. carry master i's full latency distribution
+	// (p50/p95/p99/max plus worst first-grant wait) for the same runs.
+	TDMADetail    []Detail
+	TDMA1Detail   []Detail
+	LotteryDetail []Detail
 }
 
 // Figure renders the comparison.
@@ -49,6 +54,26 @@ func (r *LatencyComparison) Figure() *stats.Figure {
 		lo.Add(label, r.Lottery[i])
 	}
 	return f
+}
+
+// DetailTable renders the latency distributions behind the Figure's
+// means: one row per (architecture, component) with percentiles and the
+// worst first-grant wait.
+func (r *LatencyComparison) DetailTable() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Latency distribution, class %s (cycles/word; waits in cycles)", r.Class),
+		"architecture", "component", "mean", "p50", "p95", "p99", "max", "max wait")
+	add := func(arch string, det []Detail) {
+		for i, d := range det {
+			t.AddRow(arch, fmt.Sprintf("C%d(w=%d)", i+1, i+1),
+				cell(d.Dist.Mean), cell(d.Dist.P50), cell(d.Dist.P95),
+				cell(d.Dist.P99), cell(d.Dist.Max), fmt.Sprintf("%d", d.MaxWait))
+		}
+	}
+	add("tdma-2level", r.TDMADetail)
+	add("tdma-1level", r.TDMA1Detail)
+	add("lotterybus", r.LotteryDetail)
+	return t
 }
 
 // HighPriorityImprovement returns the two-level-TDMA/lottery latency
@@ -84,27 +109,27 @@ func Fig6b(o Options) (*LatencyComparison, error) {
 	weights := []uint64{1, 2, 3, 4}
 	res := &LatencyComparison{Class: class.Name}
 
-	run := func(mk func() (bus.Arbiter, error)) ([]float64, error) {
+	run := func(mk func() (bus.Arbiter, error)) ([]float64, []Detail, error) {
 		a, err := mk()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		b, err := newClassBus(o, class, weights, "fig6b")
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		b.SetArbiter(a)
 		if err := b.Run(o.Cycles); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return latencies(b), nil
+		return latencies(b), details(b), nil
 	}
 
 	if err := runner.Do(o.workers(),
 		// Two-level TDMA: contiguous reservation blocks sized in bursts.
 		func() error {
 			var err error
-			res.TDMA, err = run(func() (bus.Arbiter, error) {
+			res.TDMA, res.TDMADetail, err = run(func() (bus.Arbiter, error) {
 				return tdmaArbiter(weights, latencyWheelScale*class.MsgWords)
 			})
 			return err
@@ -112,7 +137,7 @@ func Fig6b(o Options) (*LatencyComparison, error) {
 		// Single-level TDMA: the pure timing wheel of the paper's Fig. 5.
 		func() error {
 			var err error
-			res.TDMA1, err = run(func() (bus.Arbiter, error) {
+			res.TDMA1, res.TDMA1Detail, err = run(func() (bus.Arbiter, error) {
 				slots := make([]int, len(weights))
 				for i, w := range weights {
 					slots[i] = int(w) * latencyWheelScale * class.MsgWords
@@ -124,7 +149,7 @@ func Fig6b(o Options) (*LatencyComparison, error) {
 		// LOTTERYBUS under the identical traffic (same seed derivation).
 		func() error {
 			var err error
-			res.Lottery, err = run(func() (bus.Arbiter, error) {
+			res.Lottery, res.LotteryDetail, err = run(func() (bus.Arbiter, error) {
 				return lotteryArbiter(o, weights, "fig6b")
 			})
 			return err

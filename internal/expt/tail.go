@@ -26,20 +26,27 @@ type TailLatency struct {
 type TailRow struct {
 	Arch string
 	Mean float64
+	P50  float64
+	P95  float64
 	P99  float64
 	// MaxMessage is the worst observed message latency in cycles.
 	MaxMessage int64
+	// MaxWait is the worst arrival-to-first-grant wait in cycles.
+	MaxWait int64
 }
 
 // Table renders the distribution summary.
 func (r *TailLatency) Table() *stats.Table {
-	t := stats.NewTable("Latency tail of the sparse high-weight master (cycles/word; max in cycles)",
-		"architecture", "mean", "p99", "worst message (cycles)")
+	t := stats.NewTable("Latency tail of the sparse high-weight master (cycles/word; waits in cycles)",
+		"architecture", "mean", "p50", "p95", "p99", "worst message (cycles)", "max wait")
 	for _, row := range r.Rows {
 		t.AddRow(row.Arch,
 			fmt.Sprintf("%.2f", row.Mean),
+			fmt.Sprintf("%.2f", row.P50),
+			fmt.Sprintf("%.2f", row.P95),
 			fmt.Sprintf("%.2f", row.P99),
 			fmt.Sprintf("%d", row.MaxMessage),
+			fmt.Sprintf("%d", row.MaxWait),
 		)
 	}
 	return t
@@ -105,12 +112,15 @@ func RunTailLatency(o Options) (*TailLatency, error) {
 			return TailRow{}, err
 		}
 		col := b.Collector()
-		h := col.LatencyHistogram(3)
+		d := col.LatencyDist(3)
 		return TailRow{
 			Arch:       cases[k].name,
 			Mean:       col.PerWordLatency(3),
-			P99:        h.Quantile(0.99),
+			P50:        d.P50,
+			P95:        d.P95,
+			P99:        d.P99,
 			MaxMessage: col.MaxMessageLatency(3),
+			MaxWait:    col.MaxStartWait(3),
 		}, nil
 	})
 	if err != nil {

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"lotterybus/internal/stats"
+)
+
+// RecordRun folds one completed simulation's collector into the
+// registry as a single batched update — the only coupling between the
+// metrics model and the simulation. It is called after Run returns,
+// never from a per-cycle hook, so attaching a registry cannot disturb
+// the fast-forward engine or change a collector fingerprint by a single
+// bit (see TestRecordRunLeavesSimulationUntouched).
+//
+// labels are attached to every emitted metric (e.g. the config name or
+// experiment id); each master additionally gets a "master" label.
+// Only mergeable metrics are emitted — counters and histograms — so
+// replicas of the same labelled run aggregate cleanly through
+// Registry.Merge; ratios (bandwidth fraction, mean latency) are
+// derivable from the counters at presentation time.
+func RecordRun(reg *Registry, labels Labels, masters []string, col *stats.Collector) {
+	reg.Counter("lotterybus_cycles_total", "simulated bus cycles", labels).Add(col.Cycles())
+
+	perMaster := func(m int) Labels {
+		l := make(Labels, len(labels)+1)
+		for k, v := range labels {
+			l[k] = v
+		}
+		name := ""
+		if m < len(masters) {
+			name = masters[m]
+		}
+		l["master"] = name
+		return l
+	}
+
+	for m := 0; m < col.N(); m++ {
+		l := perMaster(m)
+		reg.Counter("lotterybus_words_total", "data words transferred", l).Add(col.Words(m))
+		reg.Counter("lotterybus_messages_total", "messages completed", l).Add(col.Messages(m))
+		reg.Counter("lotterybus_grants_total", "arbitration grants issued", l).Add(col.Grants(m))
+		reg.Counter("lotterybus_control_cycles_total", "bus cycles spent on control beats", l).Add(col.ControlCycles(m))
+		reg.Counter("lotterybus_dropped_messages_total", "arrivals dropped on queue overflow", l).Add(col.Drops(m))
+		reg.Counter("lotterybus_retries_total", "bursts retried after slave errors", l).Add(col.Retries(m))
+		reg.Counter("lotterybus_aborts_total", "messages abandoned by resilience machinery", l).Add(col.Aborts(m))
+		reg.Counter("lotterybus_split_timeouts_total", "split transactions killed by the watchdog", l).Add(col.SplitTimeouts(m))
+		reg.Counter("lotterybus_error_words_total", "bus beats consumed by errored transfers", l).Add(col.ErrorWords(m))
+		reg.Counter("lotterybus_starved_cycles_total", "cycles spent pending beyond the starvation threshold", l).Add(col.StarvedCycles(m))
+		reg.Counter("lotterybus_starvation_events_total", "ended waits that exceeded the starvation threshold", l).Add(col.StarvationEvents(m))
+
+		h := reg.Histogram("lotterybus_latency_cycles_per_word",
+			"per-word message latency distribution (wait + transfer cycles per word)",
+			l, LatencyBuckets())
+		col.LatencyHistogram(m).EachBucket(func(v float64, n int64) {
+			h.ObserveN(v, n)
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package obs_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/obs"
+	"lotterybus/internal/runner"
+	"lotterybus/internal/traffic"
+)
+
+// lowLoadBus builds a fast-forwardable bus: low Bernoulli load, a
+// round-robin arbiter, no hooks, no faults.
+func lowLoadBus(t *testing.T, seed uint64) *bus.Bus {
+	t.Helper()
+	b := bus.New(bus.Config{MaxBurst: 16})
+	for i := 0; i < 4; i++ {
+		g, err := traffic.NewBernoulli(0.03, traffic.Fixed(8), 0, seed+uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.AddMaster(fmt.Sprintf("m%d", i), g, bus.MasterOpts{Tickets: uint64(i + 1)})
+	}
+	b.AddSlave("mem", bus.SlaveOpts{})
+	a, err := arb.NewRoundRobin(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetArbiter(a)
+	return b
+}
+
+// TestRecordRunLeavesSimulationUntouched is the tentpole property:
+// attaching the observability registry is a post-run read of the
+// collector, so it cannot change a fingerprint by a single bit nor
+// knock the bus off the fast-forward path.
+func TestRecordRunLeavesSimulationUntouched(t *testing.T) {
+	plain := lowLoadBus(t, 7)
+	observed := lowLoadBus(t, 7)
+	if err := plain.Run(50000); err != nil {
+		t.Fatal(err)
+	}
+	if err := observed.Run(50000); err != nil {
+		t.Fatal(err)
+	}
+
+	before := observed.Collector().Fingerprint()
+	reg := obs.NewRegistry()
+	obs.RecordRun(reg, obs.Labels{"experiment": "prop"}, []string{"m0", "m1", "m2", "m3"}, observed.Collector())
+
+	if after := observed.Collector().Fingerprint(); after != before {
+		t.Fatalf("RecordRun changed the collector fingerprint: %#x -> %#x", before, after)
+	}
+	if got, want := observed.Collector().Fingerprint(), plain.Collector().Fingerprint(); got != want {
+		t.Fatalf("observed run fingerprint %#x differs from unobserved %#x", got, want)
+	}
+	if observed.FastForwarded() == 0 {
+		t.Fatal("observed bus did not fast-forward: obs must not disturb eligibility")
+	}
+	// And the registry did see the run.
+	if got := reg.Counter("lotterybus_cycles_total", "", obs.Labels{"experiment": "prop"}).Value(); got != 50000 {
+		t.Fatalf("recorded cycles = %d, want 50000", got)
+	}
+}
+
+// buildRegistries simulates a sweep of n points, one registry per point.
+func buildRegistries(t *testing.T, workers, n int) []*obs.Registry {
+	t.Helper()
+	regs, err := runner.Map(workers, n, func(i int) (*obs.Registry, error) {
+		b := lowLoadBus(t, uint64(1000+i))
+		if err := b.Run(20000); err != nil {
+			return nil, err
+		}
+		reg := obs.NewRegistry()
+		obs.RecordRun(reg, obs.Labels{"point": strconv.Itoa(i)}, []string{"m0", "m1", "m2", "m3"}, b.Collector())
+		return reg, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return regs
+}
+
+func mergeAll(t *testing.T, regs []*obs.Registry) string {
+	t.Helper()
+	total := obs.NewRegistry()
+	for _, r := range regs {
+		if err := total.Merge(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := total.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestMergeDeterminismUnderParallelRunner proves the registry merge path
+// scheduling-independent: per-point registries built serially and on an
+// 8-worker pool, merged in index order, render byte-identical
+// Prometheus expositions.
+func TestMergeDeterminismUnderParallelRunner(t *testing.T) {
+	const points = 12
+	serial := mergeAll(t, buildRegistries(t, 1, points))
+	parallel := mergeAll(t, buildRegistries(t, 8, points))
+	if serial != parallel {
+		t.Fatalf("serial and parallel merged expositions differ:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, `lotterybus_latency_cycles_per_word_count{master="m0",point="0"}`) {
+		t.Fatalf("merged exposition missing per-point latency histogram:\n%s", serial)
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Journal is a structured run journal: every simulation lifecycle event
+// (run start/end with configuration and seed provenance, per-experiment
+// progress, fault and starvation summaries) is appended to an io.Writer
+// as one JSON object per line (JSONL). A nil *Journal is a valid no-op
+// sink, so instrumented code paths emit unconditionally.
+//
+// Events carry a monotonically increasing sequence number and a wall
+// timestamp. The journal never participates in simulation results —
+// timestamps and emission order (which may interleave under the
+// parallel runner) are observability data, not experiment data.
+type Journal struct {
+	mu        sync.Mutex
+	w         io.Writer
+	seq       int64
+	now       func() time.Time
+	observers []func(event string, fields map[string]any)
+}
+
+// NewJournal returns a journal writing JSONL events to w (which may be
+// nil to only feed observers).
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, now: time.Now}
+}
+
+// Observe registers fn to run (under the journal lock, in emission
+// order) on every event — the hook progress heartbeats hang off, so the
+// heartbeat and the journal line always agree.
+func (j *Journal) Observe(fn func(event string, fields map[string]any)) {
+	if j == nil || fn == nil {
+		return
+	}
+	j.mu.Lock()
+	j.observers = append(j.observers, fn)
+	j.mu.Unlock()
+}
+
+// Emit appends one event. fields must not contain the reserved keys
+// "seq", "t" or "event" (they are overwritten). Emit on a nil journal
+// is a no-op.
+func (j *Journal) Emit(event string, fields map[string]any) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	rec := make(map[string]any, len(fields)+3)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["seq"] = j.seq
+	rec["t"] = j.now().UTC().Format(time.RFC3339Nano)
+	rec["event"] = event
+	if j.w != nil {
+		// json.Marshal sorts map keys, so each line's field order is
+		// deterministic given the same fields.
+		if b, err := json.Marshal(rec); err == nil {
+			j.w.Write(append(b, '\n'))
+		}
+	}
+	for _, fn := range j.observers {
+		fn(event, fields)
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJournalEmitsParsableJSONL(t *testing.T) {
+	var sb strings.Builder
+	j := NewJournal(&sb)
+	j.now = func() time.Time { return time.Unix(1700000000, 0) }
+	j.Emit("run_start", map[string]any{"seed": 42, "config": "demo"})
+	j.Emit("run_end", map[string]any{"cycles": 1000})
+
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var events []map[string]any
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		events = append(events, rec)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0]["event"] != "run_start" || events[0]["seed"] != float64(42) {
+		t.Fatalf("run_start mangled: %v", events[0])
+	}
+	if events[0]["seq"] != float64(1) || events[1]["seq"] != float64(2) {
+		t.Fatalf("sequence numbers wrong: %v / %v", events[0]["seq"], events[1]["seq"])
+	}
+	if _, err := time.Parse(time.RFC3339Nano, events[0]["t"].(string)); err != nil {
+		t.Fatalf("timestamp not RFC3339Nano: %v", err)
+	}
+}
+
+func TestJournalObserverSeesEveryEvent(t *testing.T) {
+	j := NewJournal(nil)
+	var seen []string
+	j.Observe(func(event string, fields map[string]any) { seen = append(seen, event) })
+	j.Emit("a", nil)
+	j.Emit("b", map[string]any{"k": 1})
+	if len(seen) != 2 || seen[0] != "a" || seen[1] != "b" {
+		t.Fatalf("observer saw %v", seen)
+	}
+}
+
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	j.Emit("anything", map[string]any{"x": 1}) // must not panic
+	j.Observe(func(string, map[string]any) {})
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks a sweep's completion state — runs done out of total,
+// elapsed wall time, and an ETA extrapolated from the mean per-run time
+// so far. All methods are safe for concurrent use from sweep workers
+// and the telemetry server. A nil *Progress is a valid no-op.
+type Progress struct {
+	total atomic.Int64
+	done  atomic.Int64
+	start time.Time
+	now   func() time.Time
+}
+
+// NewProgress returns a tracker for total runs, started now.
+func NewProgress(total int) *Progress {
+	p := &Progress{now: time.Now}
+	p.total.Store(int64(total))
+	p.start = p.now()
+	return p
+}
+
+// SetTotal replaces the expected run count.
+func (p *Progress) SetTotal(n int) {
+	if p != nil {
+		p.total.Store(int64(n))
+	}
+}
+
+// Step records one completed run.
+func (p *Progress) Step() {
+	if p != nil {
+		p.done.Add(1)
+	}
+}
+
+// ProgressSnapshot is an instantaneous view of a sweep.
+type ProgressSnapshot struct {
+	Done    int64   `json:"done"`
+	Total   int64   `json:"total"`
+	Elapsed float64 `json:"elapsedSeconds"`
+	// ETA is the estimated seconds remaining; zero when done or when no
+	// run has completed yet (nothing to extrapolate from).
+	ETA float64 `json:"etaSeconds"`
+}
+
+// Snapshot returns the current progress view.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	done, total := p.done.Load(), p.total.Load()
+	elapsed := p.now().Sub(p.start).Seconds()
+	var eta float64
+	if done > 0 && done < total {
+		eta = elapsed / float64(done) * float64(total-done)
+	}
+	return ProgressSnapshot{Done: done, Total: total, Elapsed: elapsed, ETA: eta}
+}

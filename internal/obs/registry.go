@@ -1,0 +1,567 @@
+// Package obs is the observability layer of the simulator: a
+// zero-dependency metrics model (counters, gauges, fixed-bucket
+// log-scale histograms), a structured JSONL run journal, a sweep
+// progress tracker, and an HTTP telemetry endpoint serving Prometheus
+// text exposition plus a JSON snapshot.
+//
+// The package is deliberately decoupled from the simulation hot loop:
+// nothing here is ever invoked per cycle. internal/stats feeds the
+// registry through RecordRun — one batched update when a run (or sweep
+// point) completes — so the bus fast-forward engine stays eligible and
+// collector fingerprints are byte-identical whether or not a registry
+// is attached.
+//
+// Determinism: a sweep running on the parallel runner gives each point
+// its own Registry and merges them in index order (Merge); counters and
+// histogram buckets are integer sums and gauges are last-writer-wins in
+// merge order, so the merged registry is bit-identical for any worker
+// count.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is a set of Prometheus-style key/value labels. Label sets are
+// canonicalized (sorted by key) when a metric is registered, so two
+// Labels values with equal contents always name the same metric.
+type Labels map[string]string
+
+// metricKind discriminates the registry's metric types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta (negative deltas are ignored:
+// counters only go up).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram over float64 samples. Bucket
+// upper bounds are fixed at registration (log-scale by default, see
+// LatencyBuckets), which is what makes two histograms mergeable
+// deterministically: merging adds bucket counts integer-wise.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // strictly increasing upper bounds (le semantics)
+	counts []int64   // len(bounds)+1; the extra slot is the +Inf bucket
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]int64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records n identical samples — the batched entry point used
+// when folding a completed run's per-master latency buckets in.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if n <= 0 || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i] += n
+	h.count += n
+	h.sum += v * float64(n)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile approximates the q-quantile at bucket resolution: it returns
+// the upper bound of the bucket holding the target sample (clamped to
+// the observed extrema), or NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	var acc int64
+	for i, c := range h.counts {
+		acc += c
+		if acc >= target {
+			if i >= len(h.bounds) {
+				return h.max
+			}
+			b := h.bounds[i]
+			if b > h.max {
+				return h.max
+			}
+			if b < h.min {
+				return h.min
+			}
+			return b
+		}
+	}
+	return h.max
+}
+
+// merge folds o into h. Both histograms must share identical bounds.
+func (h *Histogram) merge(o *Histogram) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d buckets", len(h.bounds), len(o.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			return fmt.Errorf("obs: merging histograms with mismatched bucket %d (%g vs %g)", i, h.bounds[i], o.bounds[i])
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	return nil
+}
+
+// LatencyBuckets returns the default log-scale bucket bounds for bus
+// latency metrics (cycles or cycles/word): quarter-octave resolution
+// (each bound is 2^(1/4) times the previous) spanning 0.25 to 2^20
+// cycles. 89 fixed buckets cover every latency this simulator can
+// plausibly produce while keeping relative error under ~9%.
+func LatencyBuckets() []float64 {
+	const lo, hi = -8, 80 // exponents in quarter-octaves: 2^(-2) .. 2^20
+	b := make([]float64, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		b = append(b, math.Pow(2, float64(i)/4))
+	}
+	return b
+}
+
+// metric is one registered metric instance.
+type metric struct {
+	base   string // metric family name, e.g. lotterybus_words_total
+	labels string // canonical rendering, e.g. {master="cpu"}, or ""
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. All methods are safe for concurrent
+// use; a live telemetry server scrapes the same registry the sweep
+// loop is writing.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric // key: base+labels
+	help    map[string]string  // per metric family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]*metric),
+		help:    make(map[string]string),
+	}
+}
+
+// canonLabels renders a label set canonically: keys sorted, values
+// escaped per the Prometheus text exposition format.
+func canonLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		v := labels[k]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// get returns the metric under base+labels, creating it with mk when
+// absent. Registering the same name with a different kind panics: that
+// is a programming error, not a runtime condition.
+func (r *Registry) get(base, help string, labels Labels, kind metricKind, mk func() *metric) *metric {
+	key := base + canonLabels(labels)
+	r.mu.RLock()
+	m := r.metrics[key]
+	r.mu.RUnlock()
+	if m == nil {
+		r.mu.Lock()
+		if m = r.metrics[key]; m == nil {
+			m = mk()
+			m.base = base
+			m.labels = canonLabels(labels)
+			m.kind = kind
+			r.metrics[key] = m
+			if _, ok := r.help[base]; !ok && help != "" {
+				r.help[base] = help
+			}
+		}
+		r.mu.Unlock()
+	}
+	if m.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", key, m.kind, kind))
+	}
+	return m
+}
+
+// Counter returns (creating if needed) the counter base{labels}.
+func (r *Registry) Counter(base, help string, labels Labels) *Counter {
+	return r.get(base, help, labels, kindCounter, func() *metric {
+		return &metric{c: &Counter{}}
+	}).c
+}
+
+// Gauge returns (creating if needed) the gauge base{labels}.
+func (r *Registry) Gauge(base, help string, labels Labels) *Gauge {
+	return r.get(base, help, labels, kindGauge, func() *metric {
+		return &metric{g: &Gauge{}}
+	}).g
+}
+
+// Histogram returns (creating if needed) the histogram base{labels}
+// with the given bucket bounds (used only on first registration).
+func (r *Registry) Histogram(base, help string, labels Labels, bounds []float64) *Histogram {
+	return r.get(base, help, labels, kindHistogram, func() *metric {
+		return &metric{h: newHistogram(bounds)}
+	}).h
+}
+
+// Merge folds src into r: counters and histogram buckets add, gauges
+// take src's value (last writer wins). Merging per-point registries in
+// index order after a parallel sweep yields a bit-identical result for
+// any worker count.
+func (r *Registry) Merge(src *Registry) error {
+	src.mu.RLock()
+	keys := make([]string, 0, len(src.metrics))
+	for k := range src.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	src.mu.RUnlock()
+	for _, k := range keys {
+		src.mu.RLock()
+		sm := src.metrics[k]
+		help := src.help[sm.base]
+		src.mu.RUnlock()
+		switch sm.kind {
+		case kindCounter:
+			// Labels round-trip through the canonical rendering, so
+			// re-parsing is unnecessary: register under the same key.
+			r.counterByKey(sm.base, help, sm.labels).Add(sm.c.Value())
+		case kindGauge:
+			r.gaugeByKey(sm.base, help, sm.labels).Set(sm.g.Value())
+		case kindHistogram:
+			dst := r.histogramByKey(sm.base, help, sm.labels, sm.h.bounds)
+			if err := dst.merge(sm.h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// counterByKey registers a counter under an already-canonical label
+// rendering (the merge path).
+func (r *Registry) counterByKey(base, help, labels string) *Counter {
+	return r.getByKey(base, help, labels, kindCounter, func() *metric { return &metric{c: &Counter{}} }).c
+}
+
+func (r *Registry) gaugeByKey(base, help, labels string) *Gauge {
+	return r.getByKey(base, help, labels, kindGauge, func() *metric { return &metric{g: &Gauge{}} }).g
+}
+
+func (r *Registry) histogramByKey(base, help, labels string, bounds []float64) *Histogram {
+	return r.getByKey(base, help, labels, kindHistogram, func() *metric { return &metric{h: newHistogram(bounds)} }).h
+}
+
+func (r *Registry) getByKey(base, help, labels string, kind metricKind, mk func() *metric) *metric {
+	key := base + labels
+	r.mu.Lock()
+	m := r.metrics[key]
+	if m == nil {
+		m = mk()
+		m.base = base
+		m.labels = labels
+		m.kind = kind
+		r.metrics[key] = m
+		if _, ok := r.help[base]; !ok && help != "" {
+			r.help[base] = help
+		}
+	}
+	r.mu.Unlock()
+	if m.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", key, m.kind, kind))
+	}
+	return m
+}
+
+// sortedMetrics returns the metrics grouped by family and sorted by
+// (family, labels) for deterministic emission.
+func (r *Registry) sortedMetrics() []*metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].base != ms[j].base {
+			return ms[i].base < ms[j].base
+		}
+		return ms[i].labels < ms[j].labels
+	})
+	return ms
+}
+
+// formatFloat renders a float the way the Prometheus text format
+// expects (shortest round-trip representation; +Inf/-Inf/NaN verbatim).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelJoin splices an extra label (e.g. le="...") into a canonical
+// label rendering.
+func labelJoin(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Output order is deterministic.
+func (r *Registry) WriteProm(w io.Writer) error {
+	ms := r.sortedMetrics()
+	r.mu.RLock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+	lastBase := ""
+	for _, m := range ms {
+		if m.base != lastBase {
+			if h := help[m.base]; h != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.base, h); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.base, m.kind); err != nil {
+				return err
+			}
+			lastBase = m.base
+		}
+		switch m.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.base, m.labels, m.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.base, m.labels, formatFloat(m.g.Value())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if err := writePromHistogram(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, m *metric) error {
+	h := m.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		// Empty buckets are elided (beyond the first) to keep the
+		// exposition compact; cumulative semantics are preserved because
+		// every occupied bucket still appears.
+		if h.counts[i] == 0 && i > 0 && i < len(h.bounds)-1 {
+			continue
+		}
+		le := labelJoin(m.labels, `le="`+formatFloat(bound)+`"`)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.base, le, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)]
+	le := labelJoin(m.labels, `le="+Inf"`)
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.base, le, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.base, m.labels, formatFloat(h.sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.base, m.labels, h.count)
+	return err
+}
+
+// HistSnapshot is a histogram's JSON summary.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is the registry's JSON form, served by the telemetry
+// endpoint's /debug/vars handler.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric. NaN-valued histogram fields (an empty
+// histogram) are zeroed so the snapshot is valid JSON.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for _, m := range r.sortedMetrics() {
+		key := m.base + m.labels
+		switch m.kind {
+		case kindCounter:
+			s.Counters[key] = m.c.Value()
+		case kindGauge:
+			s.Gauges[key] = jsonSafe(m.g.Value())
+		case kindHistogram:
+			h := m.h
+			h.mu.Lock()
+			hs := HistSnapshot{
+				Count: h.count,
+				Sum:   h.sum,
+				Min:   jsonSafe(h.min),
+				Max:   jsonSafe(h.max),
+				P50:   jsonSafe(h.quantileLocked(0.5)),
+				P95:   jsonSafe(h.quantileLocked(0.95)),
+				P99:   jsonSafe(h.quantileLocked(0.99)),
+			}
+			h.mu.Unlock()
+			s.Histograms[key] = hs
+		}
+	}
+	return s
+}
+
+// jsonSafe maps NaN/Inf (unrepresentable in JSON) to zero.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "help", Labels{"master": "cpu"})
+	c.Add(3)
+	c.Add(-5) // ignored: counters only go up
+	c.Add(2)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("x_total", "", Labels{"master": "cpu"}); again != c {
+		t.Fatal("same name+labels returned a different counter")
+	}
+	g := r.Gauge("y", "", nil)
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestLatencyBucketsAreLogScale(t *testing.T) {
+	b := LatencyBuckets()
+	if b[0] >= 1 || b[len(b)-1] < 1<<20 {
+		t.Fatalf("bucket range [%g, %g] does not span latencies", b[0], b[len(b)-1])
+	}
+	ratio := math.Pow(2, 0.25)
+	for i := 1; i < len(b); i++ {
+		if got := b[i] / b[i-1]; math.Abs(got-ratio) > 1e-9 {
+			t.Fatalf("bucket growth %g at %d, want %g", got, i, ratio)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", nil, LatencyBuckets())
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := h.Quantile(0.5); got < 45 || got > 56 {
+		t.Fatalf("p50 = %g, want ~50 at bucket resolution", got)
+	}
+	if got := h.Quantile(0.99); got < 90 || got > 110 {
+		t.Fatalf("p99 = %g, want ~99 at bucket resolution", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("p100 = %g, want exact max 100", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %g, want exact min 1", got)
+	}
+}
+
+func TestMergeAddsCountersAndBuckets(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("c_total", "", Labels{"m": "0"}).Add(2)
+	b.Counter("c_total", "", Labels{"m": "0"}).Add(3)
+	b.Counter("c_total", "", Labels{"m": "1"}).Add(7)
+	a.Histogram("h", "", nil, LatencyBuckets()).ObserveN(4, 10)
+	b.Histogram("h", "", nil, LatencyBuckets()).ObserveN(4, 5)
+	b.Gauge("g", "", nil).Set(1.5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Counter("c_total", "", Labels{"m": "0"}).Value(); got != 5 {
+		t.Fatalf("merged counter = %d, want 5", got)
+	}
+	if got := a.Counter("c_total", "", Labels{"m": "1"}).Value(); got != 7 {
+		t.Fatalf("new-metric merge = %d, want 7", got)
+	}
+	if got := a.Histogram("h", "", nil, LatencyBuckets()).Count(); got != 15 {
+		t.Fatalf("merged histogram count = %d, want 15", got)
+	}
+	if got := a.Gauge("g", "", nil).Value(); got != 1.5 {
+		t.Fatalf("merged gauge = %v, want 1.5", got)
+	}
+}
+
+func TestMergeRejectsMismatchedBounds(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Histogram("h", "", nil, []float64{1, 2, 3})
+	b.Histogram("h", "", nil, []float64{1, 2, 4}).Observe(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of mismatched bucket bounds accepted")
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lb_words_total", "words moved", Labels{"master": "cpu"}).Add(9)
+	r.Gauge("lb_util", "", nil).Set(0.25)
+	h := r.Histogram("lb_lat", "latency", Labels{"master": "cpu"}, []float64{1, 2, 4})
+	h.Observe(1.5)
+	h.Observe(3)
+	h.Observe(100) // +Inf bucket
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP lb_words_total words moved",
+		"# TYPE lb_words_total counter",
+		`lb_words_total{master="cpu"} 9`,
+		"# TYPE lb_util gauge",
+		"lb_util 0.25",
+		"# TYPE lb_lat histogram",
+		`lb_lat_bucket{master="cpu",le="2"} 1`,
+		`lb_lat_bucket{master="cpu",le="4"} 2`,
+		`lb_lat_bucket{master="cpu",le="+Inf"} 3`,
+		`lb_lat_sum{master="cpu"} 104.5`,
+		`lb_lat_count{master="cpu"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Exposition must be deterministic: two renders are byte-identical.
+	var sb2 strings.Builder
+	r.WriteProm(&sb2)
+	if sb2.String() != out {
+		t.Fatal("two renders of the same registry differ")
+	}
+}
+
+func TestSnapshotJSONSafety(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty", "", nil, LatencyBuckets()) // min/max are ±Inf, quantiles NaN
+	s := r.Snapshot()
+	hs := s.Histograms["empty"]
+	if hs.Min != 0 || hs.Max != 0 || hs.P99 != 0 {
+		t.Fatalf("empty histogram snapshot not JSON-safe: %+v", hs)
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the live telemetry endpoint: an HTTP listener serving the
+// registry as Prometheus text exposition on /metrics and as a JSON
+// snapshot (including sweep progress) on /debug/vars. Scrapes read the
+// same registry the sweep loop merges into, so a long run can be
+// watched live without perturbing the simulation.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler returns the telemetry mux for reg and prog (either may be
+// nil), usable directly under httptest or an existing server.
+func Handler(reg *Registry, prog *Progress) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			reg.WriteProm(w)
+		}
+		if prog != nil {
+			s := prog.Snapshot()
+			fmt.Fprintf(w, "# TYPE lotterybus_runs_completed gauge\nlotterybus_runs_completed %d\n", s.Done)
+			fmt.Fprintf(w, "# TYPE lotterybus_runs_total gauge\nlotterybus_runs_total %d\n", s.Total)
+			fmt.Fprintf(w, "# TYPE lotterybus_sweep_elapsed_seconds gauge\nlotterybus_sweep_elapsed_seconds %s\n", formatFloat(s.Elapsed))
+			fmt.Fprintf(w, "# TYPE lotterybus_sweep_eta_seconds gauge\nlotterybus_sweep_eta_seconds %s\n", formatFloat(s.ETA))
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var body struct {
+			Metrics  Snapshot         `json:"metrics"`
+			Progress ProgressSnapshot `json:"progress"`
+		}
+		if reg != nil {
+			body.Metrics = reg.Snapshot()
+		}
+		if prog != nil {
+			body.Progress = prog.Snapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
+	})
+	return mux
+}
+
+// Serve starts the telemetry endpoint on addr (e.g. ":8080" or
+// "127.0.0.1:0") and returns once the listener is bound, so a caller
+// can immediately advertise Addr(). The server runs until Close.
+func Serve(addr string, reg *Registry, prog *Progress) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg, prog),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func telemetryFixture() (*Registry, *Progress) {
+	reg := NewRegistry()
+	reg.Counter("lotterybus_cycles_total", "simulated bus cycles", nil).Add(20000)
+	reg.Counter("lotterybus_words_total", "words", Labels{"master": "cpu"}).Add(123)
+	reg.Histogram("lotterybus_latency_cycles_per_word", "latency", Labels{"master": "cpu"}, LatencyBuckets()).ObserveN(2.5, 50)
+	prog := NewProgress(10)
+	prog.Step()
+	prog.Step()
+	return reg, prog
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg, prog := telemetryFixture()
+	srv := httptest.NewServer(Handler(reg, prog))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE lotterybus_cycles_total counter",
+		"lotterybus_cycles_total 20000",
+		`lotterybus_words_total{master="cpu"} 123`,
+		`lotterybus_latency_cycles_per_word_count{master="cpu"} 50`,
+		"lotterybus_runs_completed 2",
+		"lotterybus_runs_total 10",
+		"lotterybus_sweep_eta_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+	// Well-formed exposition: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Fields(line); len(parts) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestDebugVarsEndpoint(t *testing.T) {
+	reg, prog := telemetryFixture()
+	srv := httptest.NewServer(Handler(reg, prog))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Metrics  Snapshot         `json:"metrics"`
+		Progress ProgressSnapshot `json:"progress"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if body.Metrics.Counters["lotterybus_cycles_total"] != 20000 {
+		t.Fatalf("snapshot counters: %v", body.Metrics.Counters)
+	}
+	h, ok := body.Metrics.Histograms[`lotterybus_latency_cycles_per_word{master="cpu"}`]
+	if !ok || h.Count != 50 {
+		t.Fatalf("snapshot histograms: %v", body.Metrics.Histograms)
+	}
+	if body.Progress.Done != 2 || body.Progress.Total != 10 {
+		t.Fatalf("snapshot progress: %+v", body.Progress)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	reg, prog := telemetryFixture()
+	s, err := Serve("127.0.0.1:0", reg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -136,6 +136,25 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// EachBucket calls fn for every occupied bucket in ascending value
+// order, passing the bucket's midpoint value and its sample count, and
+// finally the overflow bucket (if occupied) at the histogram's range
+// cap. It is the batched export path the observability registry uses to
+// re-bin a completed run's latency distribution.
+func (h *Histogram) EachBucket(fn func(value float64, count int64)) {
+	keys := make([]int64, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		fn((float64(k)+0.5)/bucketsPerUnit, h.buckets[k])
+	}
+	if h.overflow > 0 {
+		fn(float64(maxBucket)/bucketsPerUnit, h.overflow)
+	}
+}
+
 // fingerprint folds the histogram's exact state — count, the bit
 // patterns of the Welford accumulators and extrema, the overflow count
 // and every (bucket, count) pair in bucket order — into h.

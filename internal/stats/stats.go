@@ -37,6 +37,15 @@ type Collector struct {
 	maxMsgLat      []int64
 	grants         []int64
 	hist           []*Histogram
+	// maxStartWait[i] is the longest arrival-to-first-grant wait of any
+	// of master i's started messages. Unlike maxWait (which needs the
+	// starvation detector armed), it is collected on every run, so TDMA
+	// phase sensitivity is visible without touching the bus config. It
+	// is deliberately NOT part of Fingerprint: it is a pure function of
+	// the MessageStarted event stream whose aggregate (waitSum) is
+	// already hashed, and keeping it out preserves fingerprint values
+	// across repository versions.
+	maxStartWait []int64
 
 	// Resilience accumulators, fed by the bus fault machinery (package
 	// bus, FaultModel) and all zero on a fault-free run. They join the
@@ -68,6 +77,7 @@ func NewCollector(n int) *Collector {
 		maxMsgLat:      make([]int64, n),
 		grants:         make([]int64, n),
 		hist:           make([]*Histogram, n),
+		maxStartWait:   make([]int64, n),
 		retries:        make([]int64, n),
 		aborts:         make([]int64, n),
 		timeouts:       make([]int64, n),
@@ -123,7 +133,16 @@ func (c *Collector) Granted(m int) { c.grants[m]++ }
 // that arrived at cycle arrival was granted at cycle start.
 func (c *Collector) MessageStarted(m int, arrival, start int64) {
 	c.waitSum[m] += start - arrival
+	if w := start - arrival; w > c.maxStartWait[m] {
+		c.maxStartWait[m] = w
+	}
 }
+
+// MaxStartWait returns the longest arrival-to-first-grant wait observed
+// for master m's messages, in cycles. It is collected on every run (no
+// starvation detector required) — the worst bus-access delay behind the
+// per-word latency averages.
+func (c *Collector) MaxStartWait(m int) int64 { return c.maxStartWait[m] }
 
 // MessageCompleted records a fully transferred message of the given word
 // count that arrived at cycle arrival and completed at cycle completion
@@ -293,6 +312,28 @@ func (c *Collector) MaxMessageLatency(m int) int64 { return c.maxMsgLat[m] }
 
 // LatencyHistogram returns the per-word latency histogram of master m.
 func (c *Collector) LatencyHistogram(m int) *Histogram { return c.hist[m] }
+
+// Dist is a distributional summary of one master's per-word latency:
+// the mean the paper reports plus the percentiles that distinguish
+// "low and stable" from "merely low on average". All values are in bus
+// cycles per word; NaN when the master completed no messages.
+type Dist struct {
+	Count                    int64
+	Mean, P50, P95, P99, Max float64
+}
+
+// LatencyDist summarizes master m's per-word latency histogram.
+func (c *Collector) LatencyDist(m int) Dist {
+	h := c.hist[m]
+	return Dist{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
 
 // Fingerprint returns an FNV-1a hash over every accumulator in the
 // collector — cycle and busy counters, all per-master arrays, and the

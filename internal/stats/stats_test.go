@@ -80,6 +80,38 @@ func TestWaitAccounting(t *testing.T) {
 	}
 }
 
+func TestMaxStartWait(t *testing.T) {
+	c := NewCollector(2)
+	c.MessageStarted(0, 10, 14)
+	c.MessageStarted(0, 20, 21)
+	if got := c.MaxStartWait(0); got != 4 {
+		t.Fatalf("max start wait = %d, want 4", got)
+	}
+	if got := c.MaxStartWait(1); got != 0 {
+		t.Fatalf("idle master max start wait = %d, want 0", got)
+	}
+}
+
+// TestMaxStartWaitNotFingerprinted pins the compatibility contract: the
+// max-start-wait accumulator is excluded from Fingerprint, so collectors
+// that differ only in it (same waitSum, different worst single wait)
+// hash equal — and fingerprints recorded before the accumulator existed
+// stay valid.
+func TestMaxStartWaitNotFingerprinted(t *testing.T) {
+	a, b := NewCollector(1), NewCollector(1)
+	// Same total wait (8 cycles over two messages), different maxima.
+	a.MessageStarted(0, 0, 5)
+	a.MessageStarted(0, 0, 3)
+	b.MessageStarted(0, 0, 4)
+	b.MessageStarted(0, 0, 4)
+	if a.MaxStartWait(0) == b.MaxStartWait(0) {
+		t.Fatal("test needs collectors with different max start waits")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("max start wait leaked into the fingerprint")
+	}
+}
+
 func TestGrantsCounting(t *testing.T) {
 	c := NewCollector(2)
 	c.Granted(0)

@@ -36,6 +36,7 @@ import (
 	"lotterybus/internal/bus"
 	"lotterybus/internal/core"
 	"lotterybus/internal/fault"
+	"lotterybus/internal/obs"
 	"lotterybus/internal/prng"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/trace"
@@ -364,8 +365,18 @@ type MasterReport struct {
 	// PerWordLatency is the average bus cycles per transferred word,
 	// including waiting (NaN if no message completed).
 	PerWordLatency float64
+	// LatencyP50, LatencyP95, LatencyP99 and LatencyMax summarize the
+	// per-word latency distribution behind PerWordLatency (cycles/word
+	// at the collector histogram's resolution; NaN if no message
+	// completed) — the difference between "low on average" and "low and
+	// stable".
+	LatencyP50, LatencyP95, LatencyP99, LatencyMax float64
 	// AvgMessageLatency is the mean arrival-to-completion latency.
 	AvgMessageLatency float64
+	// MaxStartWait is the longest arrival-to-first-grant wait of any of
+	// this master's started messages, in cycles. Unlike MaxWait it is
+	// collected on every run, with no starvation detector armed.
+	MaxStartWait int64
 	// Messages and Words count completed messages and moved words.
 	Messages, Words int64
 	// Dropped counts messages lost to queue overflow.
@@ -403,12 +414,18 @@ func (s *System) Report() Report {
 	}
 	for i := 0; i < s.b.NumMasters(); i++ {
 		m := s.b.Master(i)
+		d := col.LatencyDist(i)
 		r.Masters = append(r.Masters, MasterReport{
 			Name:              m.Name(),
 			Weight:            s.weights[i],
 			BandwidthFraction: col.BandwidthFraction(i),
 			PerWordLatency:    col.PerWordLatency(i),
+			LatencyP50:        d.P50,
+			LatencyP95:        d.P95,
+			LatencyP99:        d.P99,
+			LatencyMax:        d.Max,
 			AvgMessageLatency: col.AvgMessageLatency(i),
+			MaxStartWait:      col.MaxStartWait(i),
 			Messages:          col.Messages(i),
 			Words:             col.Words(i),
 			Dropped:           m.Dropped(),
@@ -430,14 +447,14 @@ func (s *System) Report() Report {
 func (r Report) String() string {
 	faulty := false
 	for _, m := range r.Masters {
-		if m.Retries|m.Aborts|m.SplitTimeouts|m.ErrorWords|m.StarvedCycles != 0 {
+		if m.Retries|m.Aborts|m.SplitTimeouts|m.ErrorWords|m.StarvedCycles|m.MaxWait != 0 {
 			faulty = true
 			break
 		}
 	}
-	cols := []string{"master", "weight", "bw%", "cyc/word", "msg latency", "messages", "dropped"}
+	cols := []string{"master", "weight", "bw%", "cyc/word", "p95", "p99", "msg latency", "messages", "dropped", "max wait"}
 	if faulty {
-		cols = append(cols, "retries", "aborts", "timeouts", "err words", "starved cyc")
+		cols = append(cols, "retries", "aborts", "timeouts", "err words", "starved cyc", "worst pend")
 	}
 	t := stats.NewTable(
 		fmt.Sprintf("%s after %d cycles (%.1f%% utilized)", r.Arbiter, r.Cycles, 100*r.Utilization),
@@ -447,9 +464,12 @@ func (r Report) String() string {
 			fmt.Sprintf("%d", m.Weight),
 			fmt.Sprintf("%.1f", 100*m.BandwidthFraction),
 			fmt.Sprintf("%.2f", m.PerWordLatency),
+			fmt.Sprintf("%.2f", m.LatencyP95),
+			fmt.Sprintf("%.2f", m.LatencyP99),
 			fmt.Sprintf("%.1f", m.AvgMessageLatency),
 			fmt.Sprintf("%d", m.Messages),
 			fmt.Sprintf("%d", m.Dropped),
+			fmt.Sprintf("%d", m.MaxStartWait),
 		}
 		if faulty {
 			row = append(row,
@@ -458,11 +478,28 @@ func (r Report) String() string {
 				fmt.Sprintf("%d", m.SplitTimeouts),
 				fmt.Sprintf("%d", m.ErrorWords),
 				fmt.Sprintf("%d", m.StarvedCycles),
+				fmt.Sprintf("%d", m.MaxWait),
 			)
 		}
 		t.AddRow(row...)
 	}
 	return strings.TrimRight(t.String(), "\n")
+}
+
+// RecordObs folds the simulation's statistics so far into an
+// observability registry (internal/obs) as one batched update: cycle,
+// word, message, grant and resilience counters plus the per-master
+// latency histograms, all under the given labels (each master
+// additionally labelled with its name). It reads the collector without
+// touching it, so calling it never perturbs fingerprints or the
+// fast-forward engine — the telemetry endpoint and sweep aggregation
+// both build on this single coupling point.
+func (s *System) RecordObs(reg *obs.Registry, labels obs.Labels) {
+	names := make([]string, s.b.NumMasters())
+	for i := range names {
+		names[i] = s.b.Master(i).Name()
+	}
+	obs.RecordRun(reg, labels, names, s.b.Collector())
 }
 
 // AccessProbability returns the probability that a master holding t of

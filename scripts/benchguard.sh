@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# benchguard.sh — guard the simulator hot loop against regressions from
+# the observability layer (or anything else). The obs-disabled per-cycle
+# cost (BenchmarkBusCycleSaturated4Masters) of the current tree must
+# stay within TOLERANCE of a baseline measured on the SAME machine in
+# the SAME session: absolute ns/op from a snapshot file are not
+# comparable across machines (the BENCH_*.json snapshots record ~30%
+# swings between otherwise-identical container hosts), so the baseline
+# tree is rebuilt from git and timed here.
+#
+#   baseline ref = $LOTTERYBUS_BENCH_BASE, else HEAD when the working
+#                  tree is dirty (local use), else merge-base with
+#                  origin/main, else HEAD~1 (a push to main)
+#   tolerance    = $LOTTERYBUS_BENCH_TOLERANCE (fractional, default 0.02)
+#
+# Both test binaries are compiled up front and run in alternating
+# rounds, scoring each side by its minimum ns/op: interleaving means
+# CPU-frequency drift and noisy neighbours hit both trees equally, and
+# the min-of-rounds estimator discards transient stalls. A real
+# regression survives every round; noise does not.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${LOTTERYBUS_BENCH_TOLERANCE:-0.02}"
+ROUNDS="${LOTTERYBUS_BENCH_ROUNDS:-5}"
+BENCH='BenchmarkBusCycleSaturated4Masters'
+
+base_ref="${LOTTERYBUS_BENCH_BASE:-}"
+if [ -z "$base_ref" ] && ! git diff --quiet HEAD; then
+  base_ref=HEAD
+fi
+if [ -z "$base_ref" ]; then
+  base_ref=$(git merge-base origin/main HEAD 2>/dev/null || true)
+fi
+if [ -z "$base_ref" ] || { [ "$base_ref" != HEAD ] &&
+    [ "$(git rev-parse "$base_ref")" = "$(git rev-parse HEAD)" ]; }; then
+  base_ref=HEAD~1
+fi
+
+worktree=$(mktemp -d)
+bindir=$(mktemp -d)
+trap 'git worktree remove --force "$worktree" >/dev/null 2>&1 || true
+      rm -rf "$worktree" "$bindir"' EXIT
+git worktree add --detach "$worktree" "$base_ref" >/dev/null
+
+echo "benchguard: baseline $(git rev-parse --short "$base_ref"), tolerance ${TOLERANCE}, rounds ${ROUNDS}"
+(cd "$worktree" && go test -c -o "$bindir/base.test" ./internal/bus/)
+go test -c -o "$bindir/cur.test" ./internal/bus/
+
+run_once() {
+  "$bindir/$1.test" -test.run '^$' -test.bench "${BENCH}\$" -test.benchtime 1s |
+    awk -v b="$BENCH" '$1 ~ b {print $3; exit}'
+}
+
+# Warm-up round for each binary, discarded: the first run of a process
+# lands a few percent slow while the CPU ramps up.
+run_once base >/dev/null
+run_once cur >/dev/null
+
+base_best='' cur_best=''
+for _ in $(seq "$ROUNDS"); do
+  b=$(run_once base)
+  c=$(run_once cur)
+  if [ -z "$b" ] || [ -z "$c" ]; then
+    echo "benchguard: benchmark produced no sample (base='$b' current='$c')" >&2
+    exit 1
+  fi
+  base_best=$(awk -v x="$b" -v best="$base_best" 'BEGIN {print (best == "" || x+0 < best+0) ? x : best}')
+  cur_best=$(awk -v x="$c" -v best="$cur_best" 'BEGIN {print (best == "" || x+0 < best+0) ? x : best}')
+done
+
+awk -v cur="$cur_best" -v base="$base_best" -v tol="$TOLERANCE" 'BEGIN {
+  limit = base * (1 + tol)
+  printf "benchguard: current %.2f ns/op vs baseline %.2f ns/op (limit %.2f, %+.1f%%)\n",
+    cur, base, limit, 100 * (cur - base) / base
+  exit cur <= limit ? 0 : 1
+}'
