@@ -1,0 +1,33 @@
+// Command lintcheck runs the nondeterminism lint from internal/check
+// over a source tree (default: the current directory) and exits nonzero
+// on any finding. CI runs it on every push; it keeps unseeded
+// randomness and wall-clock reads out of simulation code, which the
+// fingerprint-based verification layer depends on.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lotterybus/internal/check"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	issues, err := check.Lint(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintcheck:", err)
+		os.Exit(1)
+	}
+	for _, is := range issues {
+		fmt.Println(is)
+	}
+	if len(issues) > 0 {
+		fmt.Fprintf(os.Stderr, "lintcheck: %d finding(s)\n", len(issues))
+		os.Exit(1)
+	}
+	fmt.Println("lintcheck: clean")
+}

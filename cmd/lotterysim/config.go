@@ -104,15 +104,41 @@ func ParseConfig(r io.Reader) (*SimConfig, error) {
 	if cfg.Cycles <= 0 {
 		return nil, fmt.Errorf("config: cycles must be positive")
 	}
+	if cfg.MaxBurst < 0 {
+		return nil, fmt.Errorf("config: maxBurst must be non-negative")
+	}
+	if cfg.ArbLatency < 0 {
+		return nil, fmt.Errorf("config: arbLatency must be non-negative")
+	}
 	if len(cfg.Masters) == 0 {
 		return nil, fmt.Errorf("config: at least one master required")
+	}
+	if len(cfg.Masters) > maxMasters {
+		return nil, fmt.Errorf("config: %d masters exceeds the lottery manager's maximum of %d", len(cfg.Masters), maxMasters)
 	}
 	if len(cfg.Slaves) == 0 {
 		return nil, fmt.Errorf("config: at least one slave required")
 	}
+	// The facade quietly promotes a zero weight to one so a single
+	// careless master still works, but a configuration where EVERY
+	// weight is zero describes no bandwidth split at all — accepting it
+	// would silently run a uniform lottery the user never asked for.
+	allZero := true
+	for _, m := range cfg.Masters {
+		if m.Weight != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return nil, fmt.Errorf("config: all master weights are zero; give at least one master a positive weight")
+	}
 	for i, m := range cfg.Masters {
 		if m.Traffic.Slave < 0 || m.Traffic.Slave >= len(cfg.Slaves) {
-			return nil, fmt.Errorf("config: master %d targets invalid slave %d", i, m.Traffic.Slave)
+			return nil, fmt.Errorf("config: master %d targets invalid slave %d (have %d slaves)", i, m.Traffic.Slave, len(cfg.Slaves))
+		}
+		if err := m.Traffic.validate(); err != nil {
+			return nil, fmt.Errorf("config: master %d: %w", i, err)
 		}
 	}
 	if r := cfg.Resilience; r != nil {
@@ -194,6 +220,36 @@ func (cfg *SimConfig) Build() (*lotterybus.System, error) {
 	default:
 		return nil, fmt.Errorf("unknown arbiter kind %q", cfg.Arbiter.Kind)
 	}
+}
+
+// maxMasters mirrors core.MaxMasters: the lottery managers track live
+// ticket subsets in a 64-bit mask.
+const maxMasters = 64
+
+// validate rejects parameter values Build would otherwise coerce or
+// silently mis-simulate: a negative message size (defaultWords would
+// quietly substitute 16), offered loads outside [0,1] (probabilities),
+// and negative periods/phases/dwells.
+func (t *TrafficConfig) validate() error {
+	if t.MsgWords < 0 {
+		return fmt.Errorf("msgWords %d is negative", t.MsgWords)
+	}
+	if t.Load < 0 || t.Load > 1 {
+		return fmt.Errorf("load %g outside [0,1]", t.Load)
+	}
+	if t.LoadOn < 0 || t.LoadOn > 1 {
+		return fmt.Errorf("loadOn %g outside [0,1]", t.LoadOn)
+	}
+	if t.MeanOn < 0 {
+		return fmt.Errorf("meanOn %g is negative", t.MeanOn)
+	}
+	if t.Period < 0 {
+		return fmt.Errorf("period %d is negative", t.Period)
+	}
+	if t.Phase < 0 {
+		return fmt.Errorf("phase %d is negative", t.Phase)
+	}
+	return nil
 }
 
 // build constructs one master's generator.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -34,12 +35,45 @@ func TestParseConfigRejects(t *testing.T) {
 		"no cycles":     `{"slaves": [{"name":"m"}], "masters": [{"name":"c","traffic":{"kind":"saturating"}}]}`,
 		"no masters":    `{"cycles": 1, "slaves": [{"name":"m"}], "masters": []}`,
 		"no slaves":     `{"cycles": 1, "slaves": [], "masters": [{"name":"c","traffic":{"kind":"saturating"}}]}`,
-		"bad slave ref": `{"cycles": 1, "slaves": [{"name":"m"}], "masters": [{"name":"c","traffic":{"kind":"saturating","slave":3}}]}`,
+		"bad slave ref": `{"cycles": 1, "slaves": [{"name":"m"}], "masters": [{"name":"c","weight":1,"traffic":{"kind":"saturating","slave":3}}]}`,
+		// All-zero weights describe no bandwidth split: the facade would
+		// silently promote every weight to 1 and run a uniform lottery
+		// the user never asked for.
+		"all-zero weights": `{"cycles": 1, "slaves": [{"name":"m"}], "masters": [
+			{"name":"a","weight":0,"traffic":{"kind":"saturating"}},
+			{"name":"b","weight":0,"traffic":{"kind":"saturating"}}]}`,
+		"negative slave ref": `{"cycles": 1, "slaves": [{"name":"m"}], "masters": [{"name":"c","weight":1,"traffic":{"kind":"saturating","slave":-1}}]}`,
+		// defaultWords would silently substitute 16 for a negative size.
+		"negative msgWords": `{"cycles": 1, "slaves": [{"name":"m"}], "masters": [{"name":"c","weight":1,"traffic":{"kind":"saturating","msgWords":-4}}]}`,
+		"load above 1":      `{"cycles": 1, "slaves": [{"name":"m"}], "masters": [{"name":"c","weight":1,"traffic":{"kind":"bernoulli","load":1.5}}]}`,
+		"negative load":     `{"cycles": 1, "slaves": [{"name":"m"}], "masters": [{"name":"c","weight":1,"traffic":{"kind":"bernoulli","load":-0.1}}]}`,
+		"loadOn above 1":    `{"cycles": 1, "slaves": [{"name":"m"}], "masters": [{"name":"c","weight":1,"traffic":{"kind":"bursty","load":0.2,"loadOn":1.2}}]}`,
+		"negative meanOn":   `{"cycles": 1, "slaves": [{"name":"m"}], "masters": [{"name":"c","weight":1,"traffic":{"kind":"bursty","load":0.2,"meanOn":-3}}]}`,
+		"negative period":   `{"cycles": 1, "slaves": [{"name":"m"}], "masters": [{"name":"c","weight":1,"traffic":{"kind":"periodic","period":-7}}]}`,
+		"negative phase":    `{"cycles": 1, "slaves": [{"name":"m"}], "masters": [{"name":"c","weight":1,"traffic":{"kind":"periodic","period":7,"phase":-1}}]}`,
+		"negative maxBurst": `{"cycles": 1, "maxBurst": -16, "slaves": [{"name":"m"}], "masters": [{"name":"c","weight":1,"traffic":{"kind":"saturating"}}]}`,
 	}
 	for name, in := range cases {
 		if _, err := ParseConfig(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// TestParseConfigRejectsTooManyMasters proves the 64-master lottery
+// mask bound is enforced at parse time instead of panicking in core.
+func TestParseConfigRejectsTooManyMasters(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`{"cycles": 1, "slaves": [{"name":"m"}], "masters": [`)
+	for i := 0; i < 65; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"name":"m%d","weight":1,"traffic":{"kind":"saturating"}}`, i)
+	}
+	b.WriteString(`]}`)
+	if _, err := ParseConfig(strings.NewReader(b.String())); err == nil {
+		t.Fatal("65-master config accepted")
 	}
 }
 

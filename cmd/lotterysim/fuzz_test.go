@@ -13,6 +13,11 @@ func FuzzParseConfig(f *testing.F) {
 	f.Add(`{"cycles":-5}`)
 	f.Add(`not json at all`)
 	f.Add(`{"cycles":10,"arbiter":{"kind":"tdma"},"slaves":[{"name":"m"}],"masters":[{"name":"c","weight":3,"traffic":{"kind":"periodic","period":7,"msgWords":2}}]}`)
+	f.Add(`{"cycles":10,"slaves":[{"name":"m"}],"masters":[{"name":"a","weight":0,"traffic":{"kind":"saturating"}},{"name":"b","weight":0,"traffic":{"kind":"saturating"}}]}`)
+	f.Add(`{"cycles":10,"slaves":[{"name":"m"}],"masters":[{"name":"c","weight":1,"traffic":{"kind":"saturating","slave":-2}}]}`)
+	f.Add(`{"cycles":10,"slaves":[{"name":"m"}],"masters":[{"name":"c","weight":1,"traffic":{"kind":"bernoulli","load":-0.5}}]}`)
+	f.Add(`{"cycles":10,"slaves":[{"name":"m"}],"masters":[{"name":"c","weight":1,"traffic":{"kind":"bernoulli","load":2,"msgWords":-8}}]}`)
+	f.Add(`{"cycles":10,"maxBurst":-1,"slaves":[{"name":"m"}],"masters":[{"name":"c","weight":1,"traffic":{"kind":"saturating"}}]}`)
 	f.Fuzz(func(t *testing.T, in string) {
 		cfg, err := ParseConfig(strings.NewReader(in))
 		if err != nil {

@@ -10,6 +10,11 @@
 //	lotterysim -config system.json -journal run.jsonl
 //	lotterysim -config system.json -replicate 16 -listen :8080
 //	lotterysim -config system.json -cpuprofile cpu.pb.gz
+//	lotterysim -config system.json -replicate 8 -check
+//
+// With -check, every finished replica is audited against the simulator's
+// conservation and accounting invariants (internal/check); violations
+// print to stderr, are journaled, and make the process exit 1.
 //
 // With -journal FILE, structured JSONL events are appended to FILE:
 // run_start with the full effective configuration and seed provenance,
@@ -59,6 +64,7 @@ func realMain() (code int) {
 	replicate := flag.Int("replicate", 1, "run N seed-replicas of the configuration (seed, seed+1, ...)")
 	parallel := flag.Int("parallel", 0,
 		"replica workers (0 = $"+runner.EnvVar+" then GOMAXPROCS, 1 = serial)")
+	audit := flag.Bool("check", false, "audit conservation/accounting invariants after each replica; any violation exits 1")
 	journalPath := flag.String("journal", "", "append structured JSONL run events to this file")
 	listen := flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /debug/vars JSON); keeps serving after the run until interrupted")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -138,31 +144,41 @@ func realMain() (code int) {
 		// replica label, merged into the live registry as it finishes —
 		// the merged content is the same for any completion order
 		// because replica label sets are disjoint.
-		reports, err := runner.Map(runner.Workers(*parallel), *replicate, func(i int) (lotterybus.Report, error) {
+		type replicaOut struct {
+			rep  lotterybus.Report
+			viol []string
+		}
+		outs, err := runner.Map(runner.Workers(*parallel), *replicate, func(i int) (replicaOut, error) {
 			c := *cfg
 			c.Seed = cfg.Seed + uint64(i)
 			sys, err := c.Build()
 			if err != nil {
-				return lotterybus.Report{}, err
+				return replicaOut{}, err
 			}
 			if err := sys.Run(c.Cycles); err != nil {
-				return lotterybus.Report{}, err
+				return replicaOut{}, err
 			}
-			rep := sys.Report()
+			out := replicaOut{rep: sys.Report()}
+			if *audit {
+				out.viol = sys.CheckInvariants()
+			}
 			pt := obs.NewRegistry()
 			sys.RecordObs(pt, obs.Labels{"replica": strconv.Itoa(i)})
 			if err := reg.Merge(pt); err != nil {
-				return lotterybus.Report{}, err
+				return replicaOut{}, err
 			}
 			prog.Step()
-			emitReplica(j, i, c.Seed, rep)
-			return rep, nil
+			emitReplica(j, i, c.Seed, out.rep)
+			return out, nil
 		})
 		if err != nil {
 			return fail(err)
 		}
-		for i, rep := range reports {
-			fmt.Printf("==== replica %d (seed %d) ====\n%s\n", i, cfg.Seed+uint64(i), rep)
+		reports := make([]lotterybus.Report, len(outs))
+		for i, out := range outs {
+			reports[i] = out.rep
+			fmt.Printf("==== replica %d (seed %d) ====\n%s\n", i, cfg.Seed+uint64(i), out.rep)
+			code = reportViolations(j, i, out.viol, code)
 		}
 		emitRunEnd(j, reports)
 		return serveUntilInterrupt(srv, code)
@@ -183,6 +199,9 @@ func realMain() (code int) {
 	prog.Step()
 	emitReplica(j, 0, cfg.Seed, rep)
 	fmt.Println(rep)
+	if *audit {
+		code = reportViolations(j, 0, sys.CheckInvariants(), code)
+	}
 	if *waveform > 0 {
 		fmt.Println()
 		fmt.Print(sys.Waveform(0, *waveform))
@@ -200,6 +219,24 @@ func realMain() (code int) {
 	}
 	emitRunEnd(j, []lotterybus.Report{rep})
 	return serveUntilInterrupt(srv, code)
+}
+
+// reportViolations prints one replica's invariant violations to stderr,
+// journals them, and escalates the exit code when any were found.
+func reportViolations(j *obs.Journal, replica int, viol []string, code int) int {
+	if len(viol) == 0 {
+		return code
+	}
+	for _, v := range viol {
+		fmt.Fprintf(os.Stderr, "lotterysim: replica %d invariant violation: %s\n", replica, v)
+	}
+	j.Emit("invariant_violations", map[string]any{
+		"replica": replica, "count": len(viol), "violations": viol,
+	})
+	if code == 0 {
+		code = 1
+	}
+	return code
 }
 
 // emitReplica journals one finished replica; resilience counters join

@@ -312,6 +312,21 @@ func sections() []section {
 			return nil
 		}},
 		{"wrr", "extension: lottery vs weighted round robin", tableSection(func(o expt.Options) (tabler, error) { return expt.RunWRRComparison(o) })},
+		{"check", "verification: invariant & engine-equivalence matrix", func(c *secCtx) error {
+			r, err := expt.RunCheck(c.o)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(c.w)
+			if err := c.csv(r.Table()); err != nil {
+				return err
+			}
+			for _, v := range r.Violations() {
+				fmt.Fprintln(c.w, "VIOLATION", v)
+			}
+			fmt.Fprintln(c.w)
+			return nil
+		}},
 		{"degradation", "robustness: arbiters under rising slave-error rates", func(c *secCtx) error {
 			r, err := expt.RunDegradation(c.o)
 			if err != nil {

@@ -216,6 +216,16 @@ func (q *msgQueue) pop() {
 	q.n--
 }
 
+// words sums the remaining word counts of all queued messages.
+func (q *msgQueue) words() int64 {
+	var w int64
+	mask := len(q.buf) - 1
+	for i := 0; i < q.n; i++ {
+		w += int64(q.buf[(q.head+i)&mask].remaining)
+	}
+	return w
+}
+
 // Master is one master interface on the bus.
 type Master struct {
 	name     string
@@ -244,6 +254,16 @@ type Master struct {
 	backoffUntil int64
 	splitIssued  int64
 	waitSince    int64
+	// Conservation ledger (package check audits it after a run): every
+	// word accepted into the queue is accounted enqueued; words of
+	// arrivals refused on overflow are accounted dropped; words of
+	// messages abandoned mid-flight (retry limit, watchdog) are
+	// accounted lost. enqueued == transferred + lost + still queued or
+	// outstanding must hold at any Run boundary.
+	enqMsgs   int64
+	enqWords  int64
+	dropWords int64
+	lostWords int64
 }
 
 // Name returns the master's name.
@@ -265,6 +285,36 @@ func (m *Master) Dropped() int64 { return m.dropped }
 // Outstanding reports whether a split transaction is awaiting its
 // response phase.
 func (m *Master) Outstanding() bool { return m.outstanding != nil }
+
+// EnqueuedMessages returns how many messages were accepted into the
+// master's queue (generator arrivals, Inject calls and babble alike).
+func (m *Master) EnqueuedMessages() int64 { return m.enqMsgs }
+
+// EnqueuedWords returns the total words of all accepted messages.
+func (m *Master) EnqueuedWords() int64 { return m.enqWords }
+
+// DroppedWords returns the total words of arrivals refused on queue
+// overflow (the word-granular counterpart of Dropped).
+func (m *Master) DroppedWords() int64 { return m.dropWords }
+
+// LostWords returns the words of messages abandoned mid-flight by the
+// resilience machinery — the untransferred remainder of bursts killed
+// past the retry limit and of split transactions aborted by the
+// watchdog. Always zero on a fault-free bus.
+func (m *Master) LostWords() int64 { return m.lostWords }
+
+// QueuedWords returns the remaining words of all messages still in the
+// master's queue.
+func (m *Master) QueuedWords() int64 { return m.queue.words() }
+
+// OutstandingWords returns the remaining words of the master's
+// outstanding split transaction, or zero when none is pending.
+func (m *Master) OutstandingWords() int64 {
+	if m.outstanding == nil {
+		return 0
+	}
+	return int64(m.outstanding.remaining)
+}
 
 // Slave is one slave interface on the bus.
 type Slave struct {
@@ -475,20 +525,23 @@ func (b *Bus) Inject(m int, words, slave int) bool {
 }
 
 func (b *Bus) enqueue(m int, words, slave int, cycle int64) bool {
-	mm := b.masters[m]
-	if mm.queue.len() >= mm.queueCap {
-		mm.dropped++
-		if b.col != nil {
-			b.col.MessageDropped(m)
-		}
-		return false
-	}
 	if words <= 0 {
 		panic(fmt.Sprintf("bus: master %d emitted %d-word message", m, words))
 	}
 	if len(b.slaves) > 0 && (slave < 0 || slave >= len(b.slaves)) {
 		panic(fmt.Sprintf("bus: master %d addressed invalid slave %d", m, slave))
 	}
+	mm := b.masters[m]
+	if mm.queue.len() >= mm.queueCap {
+		mm.dropped++
+		mm.dropWords += int64(words)
+		if b.col != nil {
+			b.col.MessageDropped(m)
+		}
+		return false
+	}
+	mm.enqMsgs++
+	mm.enqWords += int64(words)
 	mm.queue.push(message{arrival: cycle, words: words, remaining: words, slave: slave})
 	return true
 }
@@ -595,6 +648,7 @@ func (b *Bus) Run(n int64) error {
 					cycle-m.splitIssued >= splitTO {
 					col.SplitTimeout(i)
 					col.Abort(i)
+					m.lostWords += int64(m.outstanding.remaining)
 					m.outstanding = nil
 					m.retries = 0
 				}
@@ -874,8 +928,10 @@ func (b *Bus) failBurst(col *stats.Collector, cur *burst, m *Master) {
 		col.Abort(mi)
 		m.retries = 0
 		if cur.fromOutstanding {
+			m.lostWords += int64(m.outstanding.remaining)
 			m.outstanding = nil
 		} else {
+			m.lostWords += int64(m.queue.front().remaining)
 			m.queue.pop()
 		}
 	} else {

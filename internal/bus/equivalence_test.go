@@ -1,12 +1,17 @@
 package bus_test
 
 // Equivalence suite for the fast-forward engine: for every arbiter ×
-// traffic class × bus configuration in the matrix below, a bus run with
-// the event-driven fast path must leave the statistics collector (and
-// all other observable state) bit-identical to the same bus run with
-// the naive per-cycle loop. The collector fingerprint covers every
+// traffic class × bus configuration in the verification grid, a bus run
+// with the event-driven fast path must leave the statistics collector
+// (and all other observable state) bit-identical to the same bus run
+// with the naive per-cycle loop. The collector fingerprint covers every
 // accumulator including the order-sensitive floating-point histogram
 // state, so any divergence in counts, timing, or event order fails.
+//
+// The grid itself — arbiters, traffic classes, bus configurations and
+// the per-cell bus builder — lives in internal/check (matrix.go) and is
+// shared with the invariant matrix and the golden fingerprint corpus,
+// so a scheme added there is automatically covered here too.
 
 import (
 	"fmt"
@@ -14,189 +19,22 @@ import (
 
 	"lotterybus/internal/arb"
 	"lotterybus/internal/bus"
-	"lotterybus/internal/core"
-	"lotterybus/internal/prng"
+	"lotterybus/internal/check"
 	"lotterybus/internal/traffic"
 )
 
 const (
-	eqMasters = 4
+	eqMasters = check.MatrixMasters
 	eqCycles  = 20000
 )
 
-// arbMaker builds a fresh arbiter (fresh PRNG state) per bus instance.
-type arbMaker struct {
-	name string
-	make func(t *testing.T) bus.Arbiter
-}
-
-func eqArbiters() []arbMaker {
-	must := func(t *testing.T, err error) {
-		t.Helper()
-		if err != nil {
-			t.Fatal(err)
-		}
-	}
-	return []arbMaker{
-		{"priority", func(t *testing.T) bus.Arbiter {
-			a, err := arb.NewPriority([]uint64{3, 1, 2, 0})
-			must(t, err)
-			return a
-		}},
-		{"roundrobin", func(t *testing.T) bus.Arbiter {
-			a, err := arb.NewRoundRobin(eqMasters)
-			must(t, err)
-			return a
-		}},
-		{"tokenring", func(t *testing.T) bus.Arbiter {
-			a, err := arb.NewTokenRing(eqMasters, 8)
-			must(t, err)
-			return a
-		}},
-		{"tdma", func(t *testing.T) bus.Arbiter {
-			a, err := arb.NewTDMA(arb.ContiguousWheel([]int{4, 3, 2, 1}), eqMasters, false)
-			must(t, err)
-			return a
-		}},
-		{"tdma-2level", func(t *testing.T) bus.Arbiter {
-			a, err := arb.NewTDMA(arb.ContiguousWheel([]int{4, 3, 2, 1}), eqMasters, true)
-			must(t, err)
-			return a
-		}},
-		{"wrr", func(t *testing.T) bus.Arbiter {
-			a, err := arb.NewWeightedRoundRobin([]uint64{1, 2, 3, 4}, 16)
-			must(t, err)
-			return a
-		}},
-		{"static-lottery", func(t *testing.T) bus.Arbiter {
-			mgr, err := core.NewStaticLottery(core.StaticConfig{
-				Tickets: []uint64{1, 2, 3, 4},
-				Source:  prng.NewXorShift64Star(42),
-			})
-			must(t, err)
-			return arb.NewStaticLottery(mgr)
-		}},
-		{"dynamic-lottery", func(t *testing.T) bus.Arbiter {
-			mgr, err := core.NewDynamicLottery(core.DynamicConfig{
-				Masters: eqMasters,
-				Source:  prng.NewXorShift64Star(42),
-			})
-			must(t, err)
-			return arb.NewDynamicLottery(mgr)
-		}},
-		{"compensated-lottery", func(t *testing.T) bus.Arbiter {
-			mgr, err := core.NewDynamicLottery(core.DynamicConfig{
-				Masters: eqMasters,
-				Source:  prng.NewXorShift64Star(42),
-			})
-			must(t, err)
-			a, err := arb.NewCompensatedLottery([]uint64{1, 2, 3, 4}, 64, mgr)
-			must(t, err)
-			return a
-		}},
-	}
-}
-
-// eqTrace builds a deterministic replayable trace with bunched arrivals
-// (including same-cycle duplicates, which Tick must emit in order).
-func eqTrace(seed uint64) *traffic.Trace {
-	src := prng.NewXorShift64Star(seed)
-	var arr []traffic.Arrival
-	c := int64(0)
-	for len(arr) < 300 {
-		c += int64(prng.Geometric(src, 0.02))
-		arr = append(arr, traffic.Arrival{Cycle: c, Words: prng.IntRange(src, 1, 24), Slave: int(c) % 2})
-		if prng.Bernoulli(src, 0.2) {
-			arr = append(arr, traffic.Arrival{Cycle: c, Words: 2, Slave: 0})
-		}
-	}
-	return &traffic.Trace{Arrivals: arr}
-}
-
-// genMaker builds master i's generator; fastForwards reports whether a
-// run under this traffic should actually skip cycles (low-load classes).
-type genMaker struct {
-	name         string
-	fastForwards bool
-	make         func(t *testing.T, i int, seed uint64) bus.Generator
-}
-
-func eqTraffic() []genMaker {
-	bern := func(load float64) func(t *testing.T, i int, seed uint64) bus.Generator {
-		return func(t *testing.T, i int, seed uint64) bus.Generator {
-			g, err := traffic.NewBernoulli(load, traffic.Fixed(16), i%2, seed)
-			if err != nil {
-				t.Fatal(err)
-			}
-			return g
-		}
-	}
-	onoff := func(t *testing.T, i int, seed uint64) bus.Generator {
-		g, err := traffic.NewOnOff(traffic.OnOffConfig{
-			MeanOn: 50, MeanOff: 250, LoadOn: 0.8,
-			Size: traffic.Geometric{MeanWords: 8}, Slave: i % 2, Seed: seed,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return g
-	}
-	return []genMaker{
-		{"bernoulli-low", true, bern(0.04)},
-		{"bernoulli-high", false, bern(0.72)},
-		{"onoff", true, onoff},
-		{"periodic", true, func(t *testing.T, i int, seed uint64) bus.Generator {
-			return &traffic.Periodic{Period: int64(40 + 13*i), Phase: int64(7 * i), Words: 8, Slave: i % 2}
-		}},
-		{"trace", true, func(t *testing.T, i int, seed uint64) bus.Generator {
-			return eqTrace(seed)
-		}},
-		{"mixed", true, func(t *testing.T, i int, seed uint64) bus.Generator {
-			switch i % 4 {
-			case 0:
-				return bern(0.1)(t, i, seed)
-			case 1:
-				return onoff(t, i, seed)
-			case 2:
-				return &traffic.Periodic{Period: 97, Phase: 11, Words: 4, Slave: 1}
-			default:
-				return eqTrace(seed)
-			}
-		}},
-	}
-}
-
-// busConfig is one bus/slave parameterization of the matrix.
-type busConfig struct {
-	name  string
-	cfg   bus.Config
-	ws    int // slave 0 wait states
-	split int // slave 1 split latency (0 = plain slave)
-}
-
-func eqConfigs() []busConfig {
-	return []busConfig{
-		{"base", bus.Config{MaxBurst: 16}, 0, 0},
-		{"waitstates", bus.Config{MaxBurst: 16}, 3, 0},
-		{"split", bus.Config{MaxBurst: 16}, 0, 20},
-		{"arblatency", bus.Config{MaxBurst: 16, ArbLatency: 2}, 1, 0},
-		{"smallburst", bus.Config{MaxBurst: 4}, 0, 0},
-		{"tinyqueue", bus.Config{MaxBurst: 16, DefaultQueueCap: 4}, 2, 12},
-	}
-}
-
-// eqBuild assembles one bus instance for a matrix cell.
-func eqBuild(t *testing.T, bc busConfig, am arbMaker, gm genMaker, disable bool) *bus.Bus {
+// eqBuild assembles one bus instance for a grid cell.
+func eqBuild(t *testing.T, bc check.BusConfig, am check.ArbMaker, gm check.GenMaker, disable bool) *bus.Bus {
 	t.Helper()
-	b := bus.New(bc.cfg)
-	b.DisableFastForward = disable
-	for i := 0; i < eqMasters; i++ {
-		b.AddMaster(fmt.Sprintf("m%d", i), gm.make(t, i, uint64(100+i)),
-			bus.MasterOpts{Tickets: uint64(i + 1)})
+	b, err := check.Build(bc, am, gm, disable)
+	if err != nil {
+		t.Fatal(err)
 	}
-	b.AddSlave("mem", bus.SlaveOpts{WaitStates: bc.ws})
-	b.AddSlave("io", bus.SlaveOpts{SplitLatency: bc.split})
-	b.SetArbiter(am.make(t))
 	return b
 }
 
@@ -245,12 +83,12 @@ func eqCompare(t *testing.T, naive, fast *bus.Bus) {
 }
 
 // TestFastForwardEquivalence proves the fast path bit-identical to the
-// naive loop across the full arbiter × traffic × configuration matrix.
+// naive loop across the full arbiter × traffic × configuration grid.
 func TestFastForwardEquivalence(t *testing.T) {
-	for _, bc := range eqConfigs() {
-		for _, am := range eqArbiters() {
-			for _, gm := range eqTraffic() {
-				t.Run(bc.name+"/"+am.name+"/"+gm.name, func(t *testing.T) {
+	for _, bc := range check.BusConfigs() {
+		for _, am := range check.Arbiters() {
+			for _, gm := range check.TrafficClasses() {
+				t.Run(bc.Name+"/"+am.Name+"/"+gm.Name, func(t *testing.T) {
 					naive := eqBuild(t, bc, am, gm, true)
 					fast := eqBuild(t, bc, am, gm, false)
 					eqCompare(t, naive, fast)
@@ -259,9 +97,9 @@ func TestFastForwardEquivalence(t *testing.T) {
 					// periodic traffic to keep a master permanently
 					// backlogged, so that combination legitimately has
 					// no dead cycles to skip.
-					tdmaPeriodic := gm.name == "periodic" &&
-						(am.name == "tdma" || am.name == "tdma-2level")
-					if gm.fastForwards && !tdmaPeriodic && fast.FastForwarded() == 0 {
+					tdmaPeriodic := gm.Name == "periodic" &&
+						(am.Name == "tdma" || am.Name == "tdma-2level")
+					if gm.FastForwards && !tdmaPeriodic && fast.FastForwarded() == 0 {
 						t.Error("fast path skipped no cycles on a low-load run")
 					}
 				})
@@ -273,9 +111,9 @@ func TestFastForwardEquivalence(t *testing.T) {
 // TestFastForwardChunkedRuns proves repeated short Run calls equal one
 // long call on the fast path (state carries across Run boundaries).
 func TestFastForwardChunkedRuns(t *testing.T) {
-	bc := eqConfigs()[1]
-	am := eqArbiters()[6] // static lottery
-	gm := eqTraffic()[2]  // onoff
+	bc := check.BusConfigs()[1]
+	am := check.Arbiters()[6]       // static lottery
+	gm := check.TrafficClasses()[2] // onoff
 	oneShot := eqBuild(t, bc, am, gm, false)
 	if err := oneShot.Run(eqCycles); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,233 @@
+// Package check is the post-run verification layer: it audits finished
+// simulations against the quantitative invariants the LOTTERYBUS paper's
+// claims rest on, and runs the paired-simulation (metamorphic) and
+// differential-oracle suites that catch accounting bugs a fingerprint
+// comparison cannot see.
+//
+// Everything here is batched and hot-path-free, in the same shape as
+// package obs: an audit walks a finished stats.Collector and the bus's
+// conservation ledger after Run returns, never from a per-cycle hook, so
+// attaching the checker cannot disturb the fast-forward engine or change
+// a collector fingerprint by a single bit.
+//
+// The layer has four parts:
+//
+//   - Audit / AuditCollector: single-run invariant auditing — word and
+//     message conservation, grant exclusivity and work accounting,
+//     non-negative waits and latencies, and (optionally) bandwidth
+//     shares against expected ticket ratios.
+//   - RunMatrix (matrix.go): the serial==fast-forward fingerprint
+//     equivalence matrix over 6 bus configs × 9 arbiters × 6 traffic
+//     classes, with every cell audited.
+//   - TicketScaling / Relabeling (metamorphic.go) and SaturationOracle
+//     (oracle.go): paired-simulation properties and the closed-form
+//     differential oracle against package analytic.
+//   - ComputeGoldens (golden.go) and Lint (lint.go): the pinned
+//     fingerprint corpus under testdata/ and the source-level
+//     nondeterminism lint.
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"lotterybus/internal/bus"
+	"lotterybus/internal/stats"
+)
+
+// Violation is one failed invariant.
+type Violation struct {
+	// Kind is a stable, short identifier of the invariant that failed
+	// (e.g. "word-conservation", "grant-exclusivity").
+	Kind string
+	// Master is the offending master index, or -1 for bus-wide
+	// invariants.
+	Master int
+	// Detail is a human-readable account of the failure.
+	Detail string
+}
+
+// String renders the violation on one line.
+func (v Violation) String() string {
+	if v.Master < 0 {
+		return fmt.Sprintf("%s: %s", v.Kind, v.Detail)
+	}
+	return fmt.Sprintf("%s (master %d): %s", v.Kind, v.Master, v.Detail)
+}
+
+// Opts tunes an audit.
+type Opts struct {
+	// ExpectedShares, when non-nil, asserts each master's share of the
+	// total transferred words against the given fractions (e.g. the
+	// ticket ratios of a saturated lottery) within ShareTol. Length must
+	// match the master count.
+	ExpectedShares []float64
+	// ShareTol is the absolute share tolerance; zero selects 0.05.
+	ShareTol float64
+}
+
+func (o Opts) shareTol() float64 {
+	if o.ShareTol == 0 {
+		return 0.05
+	}
+	return o.ShareTol
+}
+
+// Audit checks every invariant of a finished bus run and returns the
+// violations found (empty when the run is internally consistent). It
+// only reads bus and collector state, so auditing never perturbs a
+// simulation that continues running afterwards.
+func Audit(b *bus.Bus) []Violation { return AuditWith(b, Opts{}) }
+
+// AuditWith is Audit with share expectations.
+func AuditWith(b *bus.Bus, o Opts) []Violation {
+	col := b.Collector()
+	vs := AuditCollector(col)
+
+	// Word conservation, per master: every word accepted into the
+	// queue (generator arrivals, Inject, babble) must be accounted for —
+	// transferred onto the bus, abandoned by the resilience machinery,
+	// or still waiting in the queue or the outstanding split slot.
+	for i := 0; i < b.NumMasters(); i++ {
+		m := b.Master(i)
+		got := col.Words(i) + m.LostWords() + m.QueuedWords() + m.OutstandingWords()
+		if m.EnqueuedWords() != got {
+			vs = append(vs, Violation{"word-conservation", i, fmt.Sprintf(
+				"enqueued %d words != transferred %d + lost %d + queued %d + outstanding %d",
+				m.EnqueuedWords(), col.Words(i), m.LostWords(), m.QueuedWords(), m.OutstandingWords())})
+		}
+		outstanding := int64(0)
+		if m.Outstanding() {
+			outstanding = 1
+		}
+		msgs := col.Messages(i) + col.Aborts(i) + int64(m.QueueLen()) + outstanding
+		if m.EnqueuedMessages() != msgs {
+			vs = append(vs, Violation{"message-conservation", i, fmt.Sprintf(
+				"enqueued %d messages != completed %d + aborted %d + queued %d + outstanding %d",
+				m.EnqueuedMessages(), col.Messages(i), col.Aborts(i), m.QueueLen(), outstanding)})
+		}
+		if m.Dropped() < col.Drops(i) {
+			vs = append(vs, Violation{"drop-accounting", i, fmt.Sprintf(
+				"master drop count %d below collector drop count %d", m.Dropped(), col.Drops(i))})
+		}
+		if m.DroppedWords() < m.Dropped() {
+			vs = append(vs, Violation{"drop-accounting", i, fmt.Sprintf(
+				"%d dropped words for %d dropped messages (every message has >= 1 word)",
+				m.DroppedWords(), m.Dropped())})
+		}
+	}
+
+	// Every word the masters moved was delivered to exactly one slave.
+	if b.NumSlaves() > 0 {
+		var slaveWords, masterWords int64
+		for s := 0; s < b.NumSlaves(); s++ {
+			slaveWords += b.Slave(s).Words()
+		}
+		for i := 0; i < b.NumMasters(); i++ {
+			masterWords += col.Words(i)
+		}
+		if slaveWords != masterWords {
+			vs = append(vs, Violation{"slave-words", -1, fmt.Sprintf(
+				"slaves received %d words, masters sent %d", slaveWords, masterWords)})
+		}
+	}
+
+	if o.ExpectedShares != nil {
+		vs = append(vs, auditShares(col, o)...)
+	}
+	return vs
+}
+
+// AuditCollector checks the invariants visible from a collector alone:
+// grant exclusivity and work accounting, non-negative waits, per-word
+// latencies of at least one cycle, histogram/message agreement, and the
+// absence of negative latency samples.
+func AuditCollector(col *stats.Collector) []Violation {
+	var vs []Violation
+
+	// Grant exclusivity: the bus has one owner per cycle, so busy
+	// cycles can never exceed simulated cycles...
+	if col.BusyCycles() > col.Cycles() {
+		vs = append(vs, Violation{"grant-exclusivity", -1, fmt.Sprintf(
+			"%d busy cycles in %d simulated cycles", col.BusyCycles(), col.Cycles())})
+	}
+	// ...and every busy cycle belongs to exactly one master's data,
+	// control or errored beat.
+	var owned int64
+	for i := 0; i < col.N(); i++ {
+		owned += col.Words(i) + col.ControlCycles(i) + col.ErrorWords(i)
+	}
+	if owned != col.BusyCycles() {
+		vs = append(vs, Violation{"busy-accounting", -1, fmt.Sprintf(
+			"per-master beats sum to %d, bus counted %d busy cycles", owned, col.BusyCycles())})
+	}
+
+	for i := 0; i < col.N(); i++ {
+		if w := col.AvgWait(i); !math.IsNaN(w) && w < 0 {
+			vs = append(vs, Violation{"negative-wait", i, fmt.Sprintf(
+				"mean arrival-to-grant wait %v cycles", w)})
+		}
+		if col.MaxStartWait(i) < 0 {
+			vs = append(vs, Violation{"negative-wait", i, fmt.Sprintf(
+				"max first-grant wait %d cycles", col.MaxStartWait(i))})
+		}
+		// A completed message of w words occupies the bus for at least
+		// w cycles, so per-word latency below one is impossible.
+		if l := col.PerWordLatency(i); !math.IsNaN(l) && l < 1 {
+			vs = append(vs, Violation{"per-word-latency", i, fmt.Sprintf(
+				"%v cycles/word below the 1 cycle/word transfer floor", l)})
+		}
+		h := col.LatencyHistogram(i)
+		if h.Underflow() != 0 {
+			vs = append(vs, Violation{"latency-underflow", i, fmt.Sprintf(
+				"%d negative per-word latency samples recorded", h.Underflow())})
+		}
+		if h.Count() != col.Messages(i) {
+			vs = append(vs, Violation{"histogram-count", i, fmt.Sprintf(
+				"histogram holds %d samples for %d completed messages", h.Count(), col.Messages(i))})
+		}
+		if (col.Words(i) > 0 || col.Messages(i) > 0) && col.Grants(i) == 0 {
+			vs = append(vs, Violation{"grantless-transfer", i, fmt.Sprintf(
+				"%d words and %d messages moved with zero grants", col.Words(i), col.Messages(i))})
+		}
+	}
+	return vs
+}
+
+// auditShares compares each master's fraction of the total transferred
+// words against the expected shares.
+func auditShares(col *stats.Collector, o Opts) []Violation {
+	var vs []Violation
+	if len(o.ExpectedShares) != col.N() {
+		return []Violation{{"share-tolerance", -1, fmt.Sprintf(
+			"%d expected shares for %d masters", len(o.ExpectedShares), col.N())}}
+	}
+	total := col.TotalWords()
+	if total == 0 {
+		return []Violation{{"share-tolerance", -1, "no words transferred"}}
+	}
+	tol := o.shareTol()
+	for i := 0; i < col.N(); i++ {
+		share := float64(col.Words(i)) / float64(total)
+		if diff := math.Abs(share - o.ExpectedShares[i]); diff > tol {
+			vs = append(vs, Violation{"share-tolerance", i, fmt.Sprintf(
+				"measured share %.4f vs expected %.4f (|Δ| %.4f > tol %.4f)",
+				share, o.ExpectedShares[i], diff, tol)})
+		}
+	}
+	return vs
+}
+
+// fnvOffset is the FNV-1a 64-bit offset basis, matching the collector's
+// fingerprint scheme so matrix fingerprints compose the same way.
+const fnvOffset = 14695981039346656037
+
+// fnvMix folds one 64-bit value into an FNV-1a style hash.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}

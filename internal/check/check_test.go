@@ -1,0 +1,90 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"lotterybus/internal/stats"
+)
+
+// kinds collects the violation kinds present in a report.
+func kinds(vs []Violation) map[string]bool {
+	m := map[string]bool{}
+	for _, v := range vs {
+		m[v.Kind] = true
+	}
+	return m
+}
+
+// TestAuditCleanRun proves a healthy grid cell audits clean end to end.
+func TestAuditCleanRun(t *testing.T) {
+	b, err := Build(BusConfigs()[0], Arbiters()[6], TrafficClasses()[1], false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	if vs := Audit(b); len(vs) != 0 {
+		t.Fatalf("clean run reported %d violations: %v", len(vs), vs)
+	}
+}
+
+// TestAuditCollectorFlagsNegativeLatency is the regression test for the
+// histogram underflow fix: a completion stamped before its arrival used
+// to fold silently into latency bucket 0; now the underflow counter
+// records it and the auditor reports it. On the pre-fix histogram this
+// test fails because Underflow does not exist / stays zero.
+func TestAuditCollectorFlagsNegativeLatency(t *testing.T) {
+	col := stats.NewCollector(1)
+	col.AdvanceCycles(200)
+	// completion 50 < arrival 100: impossible on a causal bus, exactly
+	// the corruption the auditor exists to catch.
+	col.MessageCompleted(0, 16, 100, 50)
+	vs := AuditCollector(col)
+	ks := kinds(vs)
+	if !ks["latency-underflow"] {
+		t.Fatalf("negative latency sample not flagged as underflow: %v", vs)
+	}
+	if !ks["per-word-latency"] {
+		t.Fatalf("sub-cycle per-word latency not flagged: %v", vs)
+	}
+}
+
+// TestAuditCollectorFlagsExclusivity proves busy cycles beyond simulated
+// cycles are reported.
+func TestAuditCollectorFlagsExclusivity(t *testing.T) {
+	col := stats.NewCollector(1)
+	col.AdvanceCycles(10)
+	col.Granted(0)
+	for i := 0; i < 20; i++ {
+		col.WordTransferred(0)
+	}
+	col.MessageCompleted(0, 20, 0, 19)
+	vs := AuditCollector(col)
+	if !kinds(vs)["grant-exclusivity"] {
+		t.Fatalf("20 busy cycles in 10 simulated not flagged: %v", vs)
+	}
+}
+
+// TestAuditSharesMismatch proves the share oracle path reports drift.
+func TestAuditSharesMismatch(t *testing.T) {
+	b, err := Build(BusConfigs()[0], Arbiters()[6], TrafficClasses()[1], false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately wrong: the static lottery holds tickets 1..4, so
+	// master 3 cannot be near 1% share.
+	vs := AuditWith(b, Opts{ExpectedShares: []float64{0.97, 0.01, 0.01, 0.01}, ShareTol: 0.05})
+	if !kinds(vs)["share-tolerance"] {
+		t.Fatalf("wrong expected shares audited clean: %v", vs)
+	}
+	for _, v := range vs {
+		if v.Kind == "share-tolerance" && !strings.Contains(v.Detail, "expected") {
+			t.Fatalf("share violation lacks detail: %q", v.Detail)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package check
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestGoldenCorpus recomputes every corpus cell and demands the on-disk
+// corpus match byte-for-byte — the regen-no-op property: on an unchanged
+// tree, scripts/regen-goldens must rewrite testdata/golden.json
+// identically. Fingerprints hash float bit patterns and the corpus is
+// pinned on amd64 (gc fuses FMA on arm64), so other architectures skip.
+func TestGoldenCorpus(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden corpus pinned on amd64, running on %s", runtime.GOARCH)
+	}
+	disk, err := os.ReadFile("testdata/golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := ComputeGoldens(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := GoldenJSON(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(disk, fresh) {
+		return
+	}
+	// Diff cell by cell so a drift names the arbiter/traffic pair
+	// instead of dumping two JSON blobs.
+	var old []Golden
+	if err := json.Unmarshal(disk, &old); err != nil {
+		t.Fatalf("corpus unreadable and regeneration differs: %v", err)
+	}
+	byName := map[string]string{}
+	for _, g := range old {
+		byName[g.Name] = g.Fingerprint
+	}
+	for _, g := range gs {
+		if want, ok := byName[g.Name]; !ok {
+			t.Errorf("cell %s missing from corpus (rerun scripts/regen-goldens)", g.Name)
+		} else if want != g.Fingerprint {
+			t.Errorf("cell %s drifted: corpus %s, computed %s", g.Name, want, g.Fingerprint)
+		}
+	}
+	if len(old) != len(gs) {
+		t.Errorf("corpus has %d cells, grid has %d", len(old), len(gs))
+	}
+	t.Error("corpus bytes differ from regeneration (run scripts/regen-goldens and commit)")
+}

@@ -1,0 +1,145 @@
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Nondeterminism lint: the whole verification layer rests on runs being
+// bit-reproducible from a seed, so ambient entropy must stay quarantined.
+// Lint parses every .go file under a tree (stdlib go/parser — no
+// third-party analysis framework required) and flags:
+//
+//   - imports of math/rand or math/rand/v2 anywhere outside
+//     internal/prng: all simulation randomness must flow through the
+//     repo's seeded xorshift sources;
+//   - calls to time.Now outside internal/obs: wall-clock time is an
+//     observability concern (journal timestamps, progress meters) and
+//     must never influence simulation state.
+//
+// The allowlists are path prefixes relative to the lint root.
+
+// LintIssue is one nondeterminism finding.
+type LintIssue struct {
+	// Pos is the offending file position ("path:line:col", path relative
+	// to the lint root).
+	Pos string
+	// Msg describes the finding.
+	Msg string
+}
+
+func (i LintIssue) String() string { return i.Pos + ": " + i.Msg }
+
+// forbiddenImports maps import paths to the directory (relative to the
+// lint root, slash-separated) allowed to import them.
+var forbiddenImports = map[string]string{
+	"math/rand":    "internal/prng",
+	"math/rand/v2": "internal/prng",
+}
+
+// timeNowAllowed is the one directory allowed to call time.Now.
+const timeNowAllowed = "internal/obs"
+
+// Lint walks root and returns every nondeterminism finding, sorted by
+// position. Vendored trees, testdata and dot-directories are skipped.
+func Lint(root string) ([]LintIssue, error) {
+	var issues []LintIssue
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		found, err := lintFile(fset, path, rel)
+		if err != nil {
+			return err
+		}
+		issues = append(issues, found...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(issues, func(a, b int) bool { return issues[a].Pos < issues[b].Pos })
+	return issues, nil
+}
+
+// inDir reports whether the slash-relative file path sits under dir.
+func inDir(rel, dir string) bool {
+	return strings.HasPrefix(rel, dir+"/")
+}
+
+// lintFile parses one file and applies both rules.
+func lintFile(fset *token.FileSet, path, rel string) ([]LintIssue, error) {
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("check: lint %s: %w", rel, err)
+	}
+	var issues []LintIssue
+	report := func(pos token.Pos, msg string) {
+		p := fset.Position(pos)
+		issues = append(issues, LintIssue{
+			Pos: fmt.Sprintf("%s:%d:%d", rel, p.Line, p.Column),
+			Msg: msg,
+		})
+	}
+
+	// timeNames collects the local names the "time" package is imported
+	// under in this file (usually just "time", but aliases count too).
+	timeNames := map[string]bool{}
+	for _, imp := range f.Imports {
+		ipath, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if allowed, bad := forbiddenImports[ipath]; bad && !inDir(rel, allowed) {
+			report(imp.Pos(), fmt.Sprintf(
+				"import %q: unseeded randomness outside %s breaks run reproducibility; use internal/prng", ipath, allowed))
+		}
+		if ipath == "time" {
+			local := "time"
+			if imp.Name != nil {
+				local = imp.Name.Name
+			}
+			if local != "_" {
+				timeNames[local] = true
+			}
+		}
+	}
+	if len(timeNames) == 0 || inDir(rel, timeNowAllowed) {
+		return issues, nil
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && timeNames[id.Name] {
+			report(sel.Pos(), fmt.Sprintf(
+				"time.Now outside %s: wall-clock reads must not reach simulation code", timeNowAllowed))
+		}
+		return true
+	})
+	return issues, nil
+}

@@ -1,0 +1,81 @@
+package check
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLintFlagsNondeterminism proves both rules fire on a synthetic tree.
+func TestLintFlagsNondeterminism(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("internal/sim/sim.go", `package sim
+
+import (
+	"math/rand"
+	clock "time"
+)
+
+func Jitter() float64 { return rand.Float64() }
+
+func Stamp() int64 { return clock.Now().UnixNano() }
+`)
+	// Allowed homes for the same constructs must stay clean.
+	write("internal/prng/alias.go", `package prng
+
+import "math/rand"
+
+func Legacy() float64 { return rand.Float64() }
+`)
+	write("internal/obs/wall.go", `package obs
+
+import "time"
+
+func Wall() time.Time { return time.Now() }
+`)
+	issues, err := Lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var randHit, nowHit bool
+	for _, is := range issues {
+		if !strings.HasPrefix(is.Pos, "internal/sim/sim.go:") {
+			t.Errorf("unexpected issue outside the bad file: %s", is)
+		}
+		if strings.Contains(is.Msg, "math/rand") {
+			randHit = true
+		}
+		if strings.Contains(is.Msg, "time.Now") {
+			nowHit = true
+		}
+	}
+	if !randHit {
+		t.Error("math/rand import not flagged")
+	}
+	if !nowHit {
+		t.Error("aliased time.Now call not flagged")
+	}
+}
+
+// TestLintRepoClean runs the lint over the real tree: the simulator must
+// hold its own determinism bar.
+func TestLintRepoClean(t *testing.T) {
+	issues, err := Lint("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, is := range issues {
+		t.Error(is)
+	}
+}

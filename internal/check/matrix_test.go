@@ -1,0 +1,47 @@
+package check
+
+import (
+	"testing"
+)
+
+// TestMatrix runs the full verification matrix at a reduced cycle count
+// (the 20000-cycle version runs as the fast-forward equivalence suite in
+// internal/bus and as the CI invariant smoke) and demands a spotless
+// report: every cell's engines agree and every invariant holds.
+func TestMatrix(t *testing.T) {
+	res, err := RunMatrix(5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(BusConfigs()) * len(Arbiters()) * len(TrafficClasses())
+	if len(res.Cells) != want {
+		t.Fatalf("matrix ran %d cells, want %d", len(res.Cells), want)
+	}
+	for _, c := range res.Cells {
+		for _, v := range c.Violations {
+			t.Errorf("%s: %s", c.Name(), v)
+		}
+	}
+	if d := res.Disagreements(); d != 0 {
+		t.Errorf("%d cells diverged between engines", d)
+	}
+	if res.Fingerprint() == 0 {
+		t.Error("matrix fingerprint is zero")
+	}
+}
+
+// TestMatrixDeterministicAcrossWorkers proves the matrix fingerprint is
+// independent of the worker count — each cell owns its PRNG streams.
+func TestMatrixDeterministicAcrossWorkers(t *testing.T) {
+	serial, err := RunMatrix(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := RunMatrix(1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, w := serial.Fingerprint(), wide.Fingerprint(); s != w {
+		t.Fatalf("matrix fingerprint depends on workers: 1 worker %#x, 8 workers %#x", s, w)
+	}
+}

@@ -1,0 +1,170 @@
+package check
+
+import (
+	"fmt"
+
+	"lotterybus/internal/analytic"
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/perm"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
+	"lotterybus/internal/traffic"
+)
+
+// Metamorphic properties: paired simulations whose outputs must relate in
+// a known way. Unlike the equivalence matrix (identical configuration,
+// different engines), these vary the configuration along an axis the
+// lottery is supposed to be indifferent to and assert the indifference.
+
+// ScalingTickets is the base holding vector of the ticket-scaling
+// property. The values are deliberately awkward: a static lottery draws
+// r = prng.Uintn(src, T) over the live ticket total T, and Uintn takes a
+// bitmask fast path when its bound is a power of two — a path that is
+// NOT invariant under scaling the bound. The Lemire multiply path it
+// otherwise uses is (floor(v·kT/2^64) lands in master i's scaled band
+// exactly when floor(v·T/2^64) lands in its base band). {10, 11, 13, 14}
+// is chosen so that no live-subset total — of the base vector or the
+// vector scaled by any factor TicketScaling accepts — is a power of two,
+// keeping every draw on the invariant path.
+var ScalingTickets = []uint64{10, 11, 13, 14}
+
+// TicketScaling checks static-lottery ticket-scaling invariance: holdings
+// are only meaningful as ratios (paper §4: tickets express *fractions* of
+// bus bandwidth), so multiplying every holding by k must leave the grant
+// sequence — and therefore the full collector fingerprint — bit-identical
+// for the same PRNG seed. k must be >= 2; factors that would put any
+// live-subset ticket total on a power of two are rejected up front.
+func TicketScaling(cycles int64, k uint64) error {
+	if cycles <= 0 {
+		cycles = 20000
+	}
+	if k < 2 {
+		return fmt.Errorf("check: scaling factor %d below 2", k)
+	}
+	for mask := 1; mask < 1<<len(ScalingTickets); mask++ {
+		var tot uint64
+		for i, t := range ScalingTickets {
+			if mask>>i&1 == 1 {
+				tot += t
+			}
+		}
+		for _, t := range [2]uint64{tot, tot * k} {
+			if t&(t-1) == 0 {
+				return fmt.Errorf(
+					"check: live-subset total %d is a power of two; draws would leave the scale-invariant Uintn path", t)
+			}
+		}
+	}
+	run := func(tickets []uint64) (uint64, error) {
+		b := bus.New(bus.Config{MaxBurst: 16})
+		for i, t := range tickets {
+			g, err := traffic.NewBernoulli(0.72, traffic.Fixed(16), i%2, uint64(100+i))
+			if err != nil {
+				return 0, err
+			}
+			b.AddMaster(fmt.Sprintf("m%d", i), g, bus.MasterOpts{Tickets: t})
+		}
+		b.AddSlave("mem", bus.SlaveOpts{})
+		b.AddSlave("io", bus.SlaveOpts{})
+		mgr, err := core.NewStaticLottery(core.StaticConfig{
+			Tickets: tickets,
+			Source:  prng.NewXorShift64Star(42),
+		})
+		if err != nil {
+			return 0, err
+		}
+		b.SetArbiter(arb.NewStaticLottery(mgr))
+		if err := b.Run(cycles); err != nil {
+			return 0, err
+		}
+		return b.Collector().Fingerprint(), nil
+	}
+	scaled := make([]uint64, len(ScalingTickets))
+	for i, t := range ScalingTickets {
+		scaled[i] = t * k
+	}
+	base, err := run(ScalingTickets)
+	if err != nil {
+		return err
+	}
+	big, err := run(scaled)
+	if err != nil {
+		return err
+	}
+	if base != big {
+		return fmt.Errorf(
+			"check: ticket scaling broke invariance: tickets %v fingerprint %#x, ×%d fingerprint %#x",
+			ScalingTickets, base, k, big)
+	}
+	return nil
+}
+
+// Relabeling checks master-relabeling equivariance: a saturated static
+// lottery's bandwidth share must follow the ticket a master holds, not
+// the index it sits at. Every permutation of the holdings {1,2,3,4}
+// (enumerated via package perm) is simulated saturated, and each
+// master's measured share is audited against the closed-form share of
+// the ticket it was handed. tol is the absolute share tolerance (0
+// selects the auditor default); cells run on workers goroutines.
+func Relabeling(cycles int64, tol float64, workers int) ([]Violation, error) {
+	if cycles <= 0 {
+		cycles = 20000
+	}
+	perms := perm.Permutations([]uint64{1, 2, 3, 4})
+	per, err := runner.Map(runner.Workers(workers), len(perms), func(p int) ([]Violation, error) {
+		tickets := perms[p]
+		b, err := saturatedBus(tickets, func() (bus.Arbiter, error) {
+			mgr, err := core.NewStaticLottery(core.StaticConfig{
+				Tickets: tickets,
+				Source:  prng.NewXorShift64Star(42),
+			})
+			if err != nil {
+				return nil, err
+			}
+			return arb.NewStaticLottery(mgr), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Run(cycles); err != nil {
+			return nil, err
+		}
+		expected := make([]float64, len(tickets))
+		for i := range tickets {
+			expected[i] = analytic.LotteryShare(tickets, i)
+		}
+		vs := AuditWith(b, Opts{ExpectedShares: expected, ShareTol: tol})
+		label := perm.Label(tickets)
+		for i := range vs {
+			vs[i].Detail = "tickets " + label + ": " + vs[i].Detail
+		}
+		return vs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []Violation
+	for _, vs := range per {
+		all = append(all, vs...)
+	}
+	return all, nil
+}
+
+// saturatedBus builds a four-master bus where every master keeps a
+// backlog of 16-word messages pending at all times — the regime in which
+// bandwidth shares converge to the arbiter's closed-form fractions.
+func saturatedBus(tickets []uint64, mk func() (bus.Arbiter, error)) (*bus.Bus, error) {
+	b := bus.New(bus.Config{MaxBurst: 16})
+	for i, t := range tickets {
+		b.AddMaster(fmt.Sprintf("m%d", i), &traffic.Saturating{Words: 16}, bus.MasterOpts{Tickets: t})
+	}
+	b.AddSlave("mem", bus.SlaveOpts{})
+	a, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	b.SetArbiter(a)
+	return b, nil
+}

@@ -1,0 +1,48 @@
+package check
+
+import "testing"
+
+// TestTicketScaling proves static-lottery scaling invariance: ×3 the
+// holdings, bit-identical run.
+func TestTicketScaling(t *testing.T) {
+	if err := TicketScaling(20000, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTicketScalingRejectsDegenerateFactor proves factors below 2 are
+// refused (k=1 would vacuously pass).
+func TestTicketScalingRejectsDegenerateFactor(t *testing.T) {
+	if err := TicketScaling(1000, 1); err == nil {
+		t.Fatal("scaling factor 1 accepted")
+	}
+}
+
+// TestScalingTicketsAvoidPowerOfTwoTotals pins the property the base
+// vector was chosen for: every live-subset total must keep lottery draws
+// off prng.Uintn's power-of-two mask path, which is not scale-invariant.
+func TestScalingTicketsAvoidPowerOfTwoTotals(t *testing.T) {
+	for mask := 1; mask < 1<<len(ScalingTickets); mask++ {
+		var tot uint64
+		for i, tk := range ScalingTickets {
+			if mask>>i&1 == 1 {
+				tot += tk
+			}
+		}
+		if tot&(tot-1) == 0 {
+			t.Errorf("subset %#x total %d is a power of two", mask, tot)
+		}
+	}
+}
+
+// TestRelabeling proves share-follows-ticket across all 24 relabelings
+// of the holdings {1,2,3,4}.
+func TestRelabeling(t *testing.T) {
+	vs, err := Relabeling(50000, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Error(v)
+	}
+}

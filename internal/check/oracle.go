@@ -1,0 +1,148 @@
+package check
+
+import (
+	"fmt"
+
+	"lotterybus/internal/analytic"
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/runner"
+)
+
+// Differential oracle: saturated simulations checked against package
+// analytic's closed forms. Under saturation every master is always
+// pending, so each arbiter's bandwidth split has an exact expected value
+// — ticket fractions for the lotteries, weight fractions for WRR, slot
+// fractions for TDMA, equality for round-robin, and winner-takes-all for
+// static priority. A simulator that drifts from these is mis-accounting
+// bandwidth even if it is internally consistent.
+
+// oracleCase pairs an arbiter construction with its expected saturated
+// shares and tolerance.
+type oracleCase struct {
+	name     string
+	tol      float64
+	expected func() ([]float64, error)
+	make     func() (bus.Arbiter, error)
+}
+
+// oracleTickets is the holding/weight vector every oracle case uses.
+var oracleTickets = []uint64{1, 2, 3, 4}
+
+func oracleCases() []oracleCase {
+	proportional := func() ([]float64, error) {
+		e := make([]float64, len(oracleTickets))
+		for i := range oracleTickets {
+			e[i] = analytic.LotteryShare(oracleTickets, i)
+		}
+		return e, nil
+	}
+	return []oracleCase{
+		{"static-lottery", 0.05, proportional, func() (bus.Arbiter, error) {
+			mgr, err := core.NewStaticLottery(core.StaticConfig{
+				Tickets: oracleTickets,
+				Source:  prng.NewXorShift64Star(42),
+			})
+			if err != nil {
+				return nil, err
+			}
+			return arb.NewStaticLottery(mgr), nil
+		}},
+		// The dynamic manager samples the masters' live ticket lines each
+		// draw; with constant holdings it must converge to the same
+		// fractions as the static manager.
+		{"dynamic-lottery", 0.05, proportional, func() (bus.Arbiter, error) {
+			mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+				Masters: len(oracleTickets),
+				Source:  prng.NewXorShift64Star(42),
+			})
+			if err != nil {
+				return nil, err
+			}
+			return arb.NewDynamicLottery(mgr), nil
+		}},
+		// Quantum 4 keeps weight·quantum within the bus's 16-word burst
+		// clamp, which the deficit accounting cannot observe.
+		{"wrr", 0.02, proportional, func() (bus.Arbiter, error) {
+			return arb.NewWeightedRoundRobin(oracleTickets, 4)
+		}},
+		{"tdma", 0.02, func() ([]float64, error) {
+			slots := []int{1, 2, 3, 4}
+			e := make([]float64, len(slots))
+			for i := range slots {
+				s, err := analytic.TDMAServiceShare(slots, i, 1<<len(slots)-1)
+				if err != nil {
+					return nil, err
+				}
+				e[i] = s
+			}
+			return e, nil
+		}, func() (bus.Arbiter, error) {
+			return arb.NewTDMA(arb.ContiguousWheel([]int{1, 2, 3, 4}), len(oracleTickets), false)
+		}},
+		{"roundrobin", 0.02, func() ([]float64, error) {
+			e := make([]float64, len(oracleTickets))
+			for i := range e {
+				e[i] = 1 / float64(len(e))
+			}
+			return e, nil
+		}, func() (bus.Arbiter, error) {
+			return arb.NewRoundRobin(len(oracleTickets))
+		}},
+		// Static priority under sustained contention starves everyone but
+		// the top master (the paper's Fig. 4 pathology) — its saturated
+		// share vector is winner-takes-all.
+		{"priority", 0.01, func() ([]float64, error) {
+			return []float64{1, 0, 0, 0}, nil
+		}, func() (bus.Arbiter, error) {
+			return arb.NewPriority([]uint64{3, 2, 1, 0})
+		}},
+	}
+}
+
+// SaturationOracle simulates each oracle case saturated for cycles bus
+// cycles and audits measured bandwidth shares against the closed forms,
+// plus a utilization floor: a saturated bus with pending work everywhere
+// must keep its data path busy almost every cycle. Returns all
+// violations found across cases (empty when the simulator matches the
+// analysis); cases run on workers goroutines.
+func SaturationOracle(cycles int64, workers int) ([]Violation, error) {
+	if cycles <= 0 {
+		cycles = 100000
+	}
+	cases := oracleCases()
+	per, err := runner.Map(runner.Workers(workers), len(cases), func(i int) ([]Violation, error) {
+		c := cases[i]
+		expected, err := c.expected()
+		if err != nil {
+			return nil, fmt.Errorf("check: oracle %s: %w", c.name, err)
+		}
+		b, err := saturatedBus(oracleTickets, c.make)
+		if err != nil {
+			return nil, fmt.Errorf("check: oracle %s: %w", c.name, err)
+		}
+		if err := b.Run(cycles); err != nil {
+			return nil, fmt.Errorf("check: oracle %s: %w", c.name, err)
+		}
+		vs := AuditWith(b, Opts{ExpectedShares: expected, ShareTol: c.tol})
+		col := b.Collector()
+		if util := float64(col.BusyCycles()) / float64(col.Cycles()); util < 0.95 {
+			vs = append(vs, Violation{"saturation-utilization", -1, fmt.Sprintf(
+				"bus only %.2f%% busy under saturating traffic", 100*util)})
+		}
+		for k := range vs {
+			vs[k].Detail = c.name + ": " + vs[k].Detail
+		}
+		return vs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []Violation
+	for _, vs := range per {
+		all = append(all, vs...)
+	}
+	return all, nil
+}

@@ -1,0 +1,15 @@
+package check
+
+import "testing"
+
+// TestSaturationOracle proves every arbiter's saturated bandwidth split
+// matches its closed form from package analytic.
+func TestSaturationOracle(t *testing.T) {
+	vs, err := SaturationOracle(100000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Error(v)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"lotterybus/internal/arb"
 	"lotterybus/internal/bus"
 	"lotterybus/internal/core"
+	"lotterybus/internal/obs"
 	"lotterybus/internal/prng"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/topology"
@@ -29,6 +30,15 @@ type BridgeResult struct {
 	EndToEndLatency float64
 	// Dropped counts bridge FIFO overflows.
 	Dropped int64
+	// Bridge is the full counter snapshot (raw end-to-end sums and FIFO
+	// occupancy included), for observability recording and merging.
+	Bridge topology.BridgeStats
+}
+
+// RecordObs folds the bridge's counters into an observability registry
+// as one batched post-run update.
+func (r *BridgeResult) RecordObs(reg *obs.Registry, labels obs.Labels) {
+	obs.RecordBridge(reg, labels, "A-B", r.Bridge)
 }
 
 // Table renders the outcome.
@@ -43,7 +53,9 @@ func (r *BridgeResult) Table() *stats.Table {
 	}
 	t.AddRow("messages forwarded", fmt.Sprintf("%d", r.Forwarded))
 	t.AddRow("end-to-end latency (cycles)", fmt.Sprintf("%.1f", r.EndToEndLatency))
+	t.AddRow("end-to-end messages measured", fmt.Sprintf("%d", r.Bridge.E2EMessages))
 	t.AddRow("bridge drops", fmt.Sprintf("%d", r.Dropped))
+	t.AddRow("bridge FIFO occupancy at end", fmt.Sprintf("%d", r.Bridge.Queued))
 	return t
 }
 
@@ -124,5 +136,6 @@ func RunBridge(o Options) (*BridgeResult, error) {
 		Forwarded:       br.Forwarded(),
 		EndToEndLatency: br.AvgEndToEndLatency(),
 		Dropped:         br.Dropped(),
+		Bridge:          br.Stats(),
 	}, nil
 }

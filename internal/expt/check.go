@@ -1,0 +1,64 @@
+package expt
+
+import (
+	"fmt"
+
+	"lotterybus/internal/check"
+	"lotterybus/internal/stats"
+)
+
+// CheckResult is the verification-matrix experiment: the full
+// 6-config × 9-arbiter × 6-traffic grid run under both engines with
+// every cell audited. It is the programmatic face of `lotterysim -check`
+// and the CI invariant smoke; a paper figure run that reports a nonzero
+// violation count is not worth reading further.
+type CheckResult struct {
+	Matrix *check.MatrixResult
+}
+
+// Table renders the outcome: per-kind violation counts (when any) and
+// the matrix fingerprint that the golden corpus pins per cell.
+func (r *CheckResult) Table() *stats.Table {
+	t := stats.NewTable("Invariant & equivalence matrix (naive vs fast-forward, audited)",
+		"quantity", "value")
+	t.AddRow("cells", fmt.Sprintf("%d", len(r.Matrix.Cells)))
+	t.AddRow("cycles per engine per cell", fmt.Sprintf("%d", r.Matrix.Cycles))
+	t.AddRow("engine disagreements", fmt.Sprintf("%d", r.Matrix.Disagreements()))
+	t.AddRow("invariant violations", fmt.Sprintf("%d", r.Matrix.ViolationCount()))
+	byKind := map[string]int{}
+	var kinds []string
+	for _, c := range r.Matrix.Cells {
+		for _, v := range c.Violations {
+			if byKind[v.Kind] == 0 {
+				kinds = append(kinds, v.Kind)
+			}
+			byKind[v.Kind]++
+		}
+	}
+	for _, k := range kinds {
+		t.AddRow("  "+k, fmt.Sprintf("%d", byKind[k]))
+	}
+	t.AddRow("matrix fingerprint", fmt.Sprintf("%#016x", r.Matrix.Fingerprint()))
+	return t
+}
+
+// Violations flattens every cell's violations, labelled by cell name.
+func (r *CheckResult) Violations() []string {
+	var out []string
+	for _, c := range r.Matrix.Cells {
+		for _, v := range c.Violations {
+			out = append(out, c.Name()+": "+v.String())
+		}
+	}
+	return out
+}
+
+// RunCheck runs the verification matrix at the experiment's cycle count.
+func RunCheck(o Options) (*CheckResult, error) {
+	o = o.fill()
+	res, err := check.RunMatrix(o.Cycles, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	return &CheckResult{Matrix: res}, nil
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"lotterybus/internal/stats"
+	"lotterybus/internal/topology"
 )
 
 // RecordRun folds one completed simulation's collector into the
@@ -54,4 +55,22 @@ func RecordRun(reg *Registry, labels Labels, masters []string, col *stats.Collec
 			h.ObserveN(v, n)
 		})
 	}
+}
+
+// RecordBridge folds one bridge's counters into the registry, batched
+// after the run like RecordRun. name labels the bridge; the end-to-end
+// latency is emitted as its raw sum/count pair so replicas merge before
+// the mean is derived at presentation time. FIFO occupancy at run end is
+// a gauge (a snapshot, not a mergeable total).
+func RecordBridge(reg *Registry, labels Labels, name string, bs topology.BridgeStats) {
+	l := make(Labels, len(labels)+1)
+	for k, v := range labels {
+		l[k] = v
+	}
+	l["bridge"] = name
+	reg.Counter("lotterybus_bridge_forwarded_total", "messages delivered across the bridge", l).Add(bs.Forwarded)
+	reg.Counter("lotterybus_bridge_dropped_total", "messages lost to bridge FIFO overflow", l).Add(bs.Dropped)
+	reg.Counter("lotterybus_bridge_e2e_messages_total", "messages with measured end-to-end latency", l).Add(bs.E2EMessages)
+	reg.Counter("lotterybus_bridge_e2e_latency_cycles_total", "summed end-to-end latency of bridged messages", l).Add(bs.E2ELatencySum)
+	reg.Gauge("lotterybus_bridge_queued", "bridge FIFO occupancy at run end", l).Set(float64(bs.Queued))
 }

@@ -10,6 +10,7 @@ import (
 	"lotterybus/internal/bus"
 	"lotterybus/internal/obs"
 	"lotterybus/internal/runner"
+	"lotterybus/internal/topology"
 	"lotterybus/internal/traffic"
 )
 
@@ -113,5 +114,30 @@ func TestMergeDeterminismUnderParallelRunner(t *testing.T) {
 	}
 	if !strings.Contains(serial, `lotterybus_latency_cycles_per_word_count{master="m0",point="0"}`) {
 		t.Fatalf("merged exposition missing per-point latency histogram:\n%s", serial)
+	}
+}
+
+// TestRecordBridge proves bridge counters land in the registry as
+// mergeable totals plus the occupancy gauge.
+func TestRecordBridge(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.RecordBridge(reg, obs.Labels{"experiment": "bridge"}, "A-B", topology.BridgeStats{
+		Forwarded: 7, Dropped: 2, E2EMessages: 7, E2ELatencySum: 91, Queued: 3,
+	})
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lotterybus_bridge_forwarded_total{bridge="A-B",experiment="bridge"} 7`,
+		`lotterybus_bridge_dropped_total{bridge="A-B",experiment="bridge"} 2`,
+		`lotterybus_bridge_e2e_messages_total{bridge="A-B",experiment="bridge"} 7`,
+		`lotterybus_bridge_e2e_latency_cycles_total{bridge="A-B",experiment="bridge"} 91`,
+		`lotterybus_bridge_queued{bridge="A-B",experiment="bridge"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -241,6 +241,18 @@ func (c *Collector) MaxPendingWait(m int) int64 { return c.maxWait[m] }
 // Cycles returns the total simulated bus cycles.
 func (c *Collector) Cycles() int64 { return c.cycles }
 
+// BusyCycles returns the cycles in which the bus carried a word,
+// control beat or errored beat. Grant exclusivity (one owner per
+// cycle) implies BusyCycles never exceeds Cycles, and work
+// conservation implies it equals the sum of all per-master word,
+// control and error-word counts — the two identities package check
+// audits after every run.
+func (c *Collector) BusyCycles() int64 { return c.busy }
+
+// CompletedWords returns the total words of master m's completed
+// messages (the denominator of PerWordLatency).
+func (c *Collector) CompletedWords(m int) int64 { return c.completedWords[m] }
+
 // Words returns the words transferred by master m.
 func (c *Collector) Words(m int) int64 { return c.words[m] }
 

@@ -189,6 +189,66 @@ func TestHistogramIgnoresNaN(t *testing.T) {
 	}
 }
 
+// TestHistogramUnderflowBucket is the regression test for negative
+// samples: Add used to fold them into bucket 0 (int64 truncation maps
+// small negatives there), silently dragging quantiles toward zero and
+// hiding the upstream accounting bug that produced them. They must land
+// in the dedicated underflow counter instead, stay out of every value
+// bucket, and still shift quantiles consistently with Count.
+func TestHistogramUnderflowBucket(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 50; i++ {
+		h.Add(-5)
+	}
+	for i := 0; i < 50; i++ {
+		h.Add(10)
+	}
+	if h.Underflow() != 50 {
+		t.Fatalf("underflow %d, want 50", h.Underflow())
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d, want 100", h.Count())
+	}
+	if h.Min() != -5 {
+		t.Fatalf("min %v, want -5 (extrema must keep the evidence)", h.Min())
+	}
+	// Pre-fix, the 50 negative samples occupied bucket 0 and p50 came
+	// out as 0.125; with them below every bucket, p50 sits in the
+	// bucket holding the value-10 samples.
+	if p50 := h.Quantile(0.5); math.Abs(p50-10.125) > 0.001 {
+		t.Fatalf("p50 %v, want 10.125", p50)
+	}
+	// Quantiles inside the underflow mass resolve to the minimum.
+	if p25 := h.Quantile(0.25); p25 != -5 {
+		t.Fatalf("p25 %v, want -5", p25)
+	}
+	if s := h.String(); !strings.Contains(s, "underflow=50") {
+		t.Fatalf("summary hides underflow: %s", s)
+	}
+}
+
+// TestHistogramUnderflowReachesFingerprint proves a recorded negative
+// sample is visible to the fingerprint (the golden corpus pins the
+// complementary property: clean histograms kept their pre-counter
+// fingerprints because the marker is only mixed when armed).
+func TestHistogramUnderflowReachesFingerprint(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Add(3)
+	b.Add(3)
+	if a.fingerprint(12345) != b.fingerprint(12345) {
+		t.Fatal("identical histograms fingerprint differently")
+	}
+	b.Add(-1)
+	a.Add(-1)
+	if a.fingerprint(12345) != b.fingerprint(12345) {
+		t.Fatal("identical underflowed histograms fingerprint differently")
+	}
+	b.Add(-1)
+	if a.fingerprint(12345) == b.fingerprint(12345) {
+		t.Fatal("extra underflow sample invisible to the fingerprint")
+	}
+}
+
 func TestHistogramOverflowBucket(t *testing.T) {
 	h := NewHistogram()
 	h.Add(1e9)

@@ -199,6 +199,38 @@ func (b *Bridge) AvgEndToEndLatency() float64 {
 // Queued returns the bridge FIFO occupancy (waiting plus in flight).
 func (b *Bridge) Queued() int { return len(b.waiting) + len(b.inFlight) }
 
+// BridgeStats is a snapshot of every counter a bridge accumulates.
+// Before it existed only Forwarded/Dropped/AvgEndToEndLatency were
+// reachable and the raw end-to-end sums were private, so reports and
+// observability could not aggregate bridge traffic across replicas.
+type BridgeStats struct {
+	// Forwarded counts messages fully delivered on the destination bus.
+	Forwarded int64
+	// Dropped counts messages lost to FIFO overflow — at the source-bus
+	// completion hook when the FIFO is full, or at injection when the
+	// destination master's queue refuses the message.
+	Dropped int64
+	// E2EMessages and E2ELatencySum are the raw accumulators behind
+	// AvgEndToEndLatency (sum of completion − source arrival + 1, in
+	// cycles); keeping them raw lets replicas merge before dividing.
+	E2EMessages   int64
+	E2ELatencySum int64
+	// Queued is the FIFO occupancy (waiting plus in flight) at snapshot
+	// time.
+	Queued int
+}
+
+// Stats returns a snapshot of the bridge's counters.
+func (b *Bridge) Stats() BridgeStats {
+	return BridgeStats{
+		Forwarded:     b.forwarded,
+		Dropped:       b.dropped,
+		E2EMessages:   b.e2eMessages,
+		E2ELatencySum: b.e2eLatency,
+		Queued:        b.Queued(),
+	}
+}
+
 // Run advances every bus in lock-step for n cycles.
 func (s *System) Run(n int64) error {
 	if len(s.buses) == 0 {

@@ -196,6 +196,65 @@ func TestBridgeFifoOverflowDrops(t *testing.T) {
 	}
 }
 
+// TestBridgeStatsSnapshot is the regression test for Bridge.Stats():
+// before it existed the drop counter and the raw end-to-end sums were
+// unreachable, so replica aggregation and observability recording could
+// not see bridge traffic. The snapshot must agree with the individual
+// accessors on both the forwarding and the overflow-drop path.
+func TestBridgeStatsSnapshot(t *testing.T) {
+	sys := NewSystem()
+	a := bus.New(bus.Config{MaxBurst: 16})
+	a.AddMaster("cpu", nil, bus.MasterOpts{})
+	bs := a.AddSlave("bridge", bus.SlaveOpts{})
+	pa, _ := arb.NewPriority([]uint64{1})
+	a.SetArbiter(pa)
+
+	b := bus.New(bus.Config{MaxBurst: 16})
+	b.AddMaster("bridge", nil, bus.MasterOpts{})
+	b.AddSlave("mem", bus.SlaveOpts{WaitStates: 63})
+	pb, _ := arb.NewPriority([]uint64{1})
+	b.SetArbiter(pb)
+
+	ai := sys.AddBus("A", a)
+	bi := sys.AddBus("B", b)
+	br, err := sys.Connect(ai, bi, BridgeConfig{SrcSlave: bs, DstMaster: 0, DstSlave: 0, FifoCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.OnCycle = func(cycle int64, ab *bus.Bus) {
+		if ab.Master(0).QueueLen() < 2 {
+			ab.Inject(0, 1, bs)
+		}
+	}
+	if err := sys.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	st := br.Stats()
+	if st.Forwarded != br.Forwarded() {
+		t.Errorf("snapshot forwarded %d, accessor %d", st.Forwarded, br.Forwarded())
+	}
+	if st.Dropped != br.Dropped() || st.Dropped == 0 {
+		t.Errorf("snapshot dropped %d, accessor %d (want nonzero)", st.Dropped, br.Dropped())
+	}
+	if st.Queued != br.Queued() {
+		t.Errorf("snapshot queued %d, accessor %d", st.Queued, br.Queued())
+	}
+	if st.E2EMessages != st.Forwarded {
+		t.Errorf("e2e messages %d != forwarded %d", st.E2EMessages, st.Forwarded)
+	}
+	if st.E2EMessages > 0 {
+		mean := float64(st.E2ELatencySum) / float64(st.E2EMessages)
+		if mean != br.AvgEndToEndLatency() {
+			t.Errorf("raw sums give mean %v, accessor %v", mean, br.AvgEndToEndLatency())
+		}
+		if mean < 1 {
+			t.Errorf("end-to-end latency %v below one cycle", mean)
+		}
+	} else {
+		t.Error("no end-to-end messages measured")
+	}
+}
+
 func TestLockStepCycleCount(t *testing.T) {
 	sys, _, a, b := buildPair(t, false)
 	if err := sys.Run(123); err != nil {

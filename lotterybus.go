@@ -34,6 +34,7 @@ import (
 
 	"lotterybus/internal/arb"
 	"lotterybus/internal/bus"
+	"lotterybus/internal/check"
 	"lotterybus/internal/core"
 	"lotterybus/internal/fault"
 	"lotterybus/internal/obs"
@@ -500,6 +501,21 @@ func (s *System) RecordObs(reg *obs.Registry, labels obs.Labels) {
 		names[i] = s.b.Master(i).Name()
 	}
 	obs.RecordRun(reg, labels, names, s.b.Collector())
+}
+
+// CheckInvariants audits the simulation's conservation and accounting
+// invariants (package check) — word/message conservation per master,
+// grant exclusivity, non-negative waits and latencies, slave/master word
+// agreement — and returns one line per violation. Empty means the run is
+// internally consistent. Like RecordObs it only reads finished state, so
+// checking never perturbs a simulation that continues afterwards.
+func (s *System) CheckInvariants() []string {
+	vs := check.Audit(s.b)
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
 }
 
 // AccessProbability returns the probability that a master holding t of

@@ -1,0 +1,60 @@
+// Command regen-goldens recomputes the golden fingerprint corpus under
+// internal/check/testdata. Run it after any deliberate change to
+// simulation semantics and commit the diff; run it with -check (as CI
+// does) to prove an unchanged tree regenerates the corpus byte-for-byte.
+//
+// The corpus hashes floating-point accumulator bit patterns and is
+// pinned on amd64 (see internal/check/golden.go); regenerating on
+// another architecture rewrites it with foreign fingerprints, so the
+// tool refuses unless forced.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"lotterybus/internal/check"
+)
+
+func main() {
+	out := flag.String("out", "internal/check/testdata/golden.json", "corpus path")
+	verify := flag.Bool("check", false, "compare against the existing corpus instead of writing; exit 1 on drift")
+	force := flag.Bool("force", false, "allow regeneration on non-amd64 architectures")
+	flag.Parse()
+
+	if runtime.GOARCH != "amd64" && !*force {
+		fmt.Fprintf(os.Stderr, "regen-goldens: corpus is pinned on amd64, refusing on %s (use -force)\n", runtime.GOARCH)
+		os.Exit(1)
+	}
+	gs, err := check.ComputeGoldens(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regen-goldens:", err)
+		os.Exit(1)
+	}
+	buf, err := check.GoldenJSON(gs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regen-goldens:", err)
+		os.Exit(1)
+	}
+	if *verify {
+		old, err := os.ReadFile(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "regen-goldens:", err)
+			os.Exit(1)
+		}
+		if !bytes.Equal(old, buf) {
+			fmt.Fprintf(os.Stderr, "regen-goldens: %s is stale — simulation semantics changed; rerun without -check and commit\n", *out)
+			os.Exit(1)
+		}
+		fmt.Printf("regen-goldens: %s up to date (%d cells)\n", *out, len(gs))
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "regen-goldens:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("regen-goldens: wrote %s (%d cells)\n", *out, len(gs))
+}
