@@ -1,0 +1,93 @@
+package lotterybus
+
+import (
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+)
+
+// Shared arbiter constructors behind the System.Use* and ReplicaSet.Use*
+// selectors. Each takes the already-derived stream seed (where the
+// scheme is randomized) so System can derive from its single seed and
+// ReplicaSet from one seed per lane, with the same labels — that is what
+// keeps a ReplicaSet lane bit-identical to a scalar System built at the
+// lane's seed.
+
+// Seed-derivation labels, one per randomized scheme.
+const (
+	staticLotteryLabel      = "lotterybus/static"
+	dynamicLotteryLabel     = "lotterybus/dynamic"
+	compensatedLotteryLabel = "lotterybus/compensated"
+)
+
+// buildStaticLottery constructs the static LOTTERYBUS arbiter over the
+// weights, drawing from streamSeed.
+func buildStaticLottery(streamSeed uint64, weights []uint64) (bus.Arbiter, error) {
+	mgr, err := core.NewStaticLottery(core.StaticConfig{
+		Tickets: weights,
+		Source:  prng.NewXorShift64Star(streamSeed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return arb.NewStaticLottery(mgr), nil
+}
+
+// buildDynamicLottery constructs the dynamic LOTTERYBUS arbiter for n
+// masters, drawing from streamSeed.
+func buildDynamicLottery(streamSeed uint64, n int) (bus.Arbiter, error) {
+	mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: n,
+		Source:  prng.NewXorShift64Star(streamSeed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return arb.NewDynamicLottery(mgr), nil
+}
+
+// buildCompensatedLottery constructs the compensated lottery over the
+// weights with the given burst clamp, drawing from streamSeed.
+func buildCompensatedLottery(streamSeed uint64, weights []uint64, maxBurst int) (bus.Arbiter, error) {
+	mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: len(weights),
+		Source:  prng.NewXorShift64Star(streamSeed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if maxBurst == 0 {
+		maxBurst = 16
+	}
+	return arb.NewCompensatedLottery(weights, maxBurst, mgr)
+}
+
+// newPriorityArb constructs static-priority arbitration over the
+// weights (larger wins).
+func newPriorityArb(weights []uint64) (bus.Arbiter, error) {
+	return arb.NewPriority(weights)
+}
+
+// newRoundRobinArb constructs weight-blind round-robin arbitration.
+func newRoundRobinArb(n int) (bus.Arbiter, error) {
+	return arb.NewRoundRobin(n)
+}
+
+// newTokenRingArb constructs token-ring arbitration (one cycle per hop).
+func newTokenRingArb(n int) (bus.Arbiter, error) {
+	return arb.NewTokenRing(n, 0)
+}
+
+// buildTDMA constructs a TDMA arbiter with weight*slotsPerWeight
+// contiguous slots per master.
+func buildTDMA(weights []uint64, slotsPerWeight int, twoLevel bool) (bus.Arbiter, error) {
+	if slotsPerWeight <= 0 {
+		slotsPerWeight = 1
+	}
+	slots := make([]int, len(weights))
+	for i, w := range weights {
+		slots[i] = int(w) * slotsPerWeight
+	}
+	return arb.NewTDMA(arb.ContiguousWheel(slots), len(weights), twoLevel)
+}

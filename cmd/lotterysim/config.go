@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"lotterybus"
+	"lotterybus/internal/analytic"
 )
 
 // SimConfig is the JSON schema of a lotterysim run.
@@ -220,6 +221,144 @@ func (cfg *SimConfig) Build() (*lotterybus.System, error) {
 	default:
 		return nil, fmt.Errorf("unknown arbiter kind %q", cfg.Arbiter.Kind)
 	}
+}
+
+// BuildReplicaSet constructs `replicas` seed-replicas of the system on
+// the lane-batched engine (-lanes): replica i is bit-identical to
+// Build() on a copy of the config with Seed+i — traffic streams are
+// seeded from cfg.Seed+i exactly as the scalar replicate loop seeds
+// them, and the Use* selectors derive replica i's arbiter stream from
+// Seed+i with the scalar labels.
+//
+// The lane engine has no per-cycle hooks, so configurations arming
+// fault injection are rejected here, and ones arming the split
+// watchdog or starvation detector are rejected by the engine at Run.
+// Seed 0 is rejected too: the scalar path promotes a zero system seed
+// to 1 per replica, which collides replica 0's and replica 1's arbiter
+// streams — a degenerate shape the replica set will not reproduce.
+func (cfg *SimConfig) BuildReplicaSet(replicas int) (*lotterybus.ReplicaSet, error) {
+	if cfg.Faults != nil {
+		return nil, fmt.Errorf("fault injection needs the per-cycle scalar engine; drop -lanes")
+	}
+	if cfg.Seed == 0 {
+		return nil, fmt.Errorf("the lane engine needs a positive seed (seed 0 collides replica arbiter streams)")
+	}
+	sysCfg := lotterybus.Config{
+		MaxBurst:   cfg.MaxBurst,
+		ArbLatency: cfg.ArbLatency,
+		Seed:       cfg.Seed,
+	}
+	if r := cfg.Resilience; r != nil {
+		sysCfg.RetryLimit = r.RetryLimit
+		sysCfg.RetryBackoff = r.RetryBackoff
+		sysCfg.SplitTimeout = r.SplitTimeout
+		sysCfg.StarvationThreshold = r.StarvationThreshold
+	}
+	rs := lotterybus.NewReplicaSet(sysCfg, replicas)
+	for _, s := range cfg.Slaves {
+		if s.SplitLatency > 0 {
+			rs.AddSplitSlave(s.Name, s.SplitLatency)
+		} else {
+			rs.AddSlave(s.Name, s.WaitStates)
+		}
+	}
+	for i, m := range cfg.Masters {
+		i, m := i, m
+		rs.AddMaster(m.Name, m.Weight, func(replica int) (lotterybus.Generator, error) {
+			return m.Traffic.build(i, cfg.Seed+uint64(replica))
+		})
+	}
+	switch cfg.Arbiter.Kind {
+	case "lottery", "":
+		return rs, rs.UseLottery()
+	case "dynamic-lottery":
+		return rs, rs.UseDynamicLottery()
+	case "compensated-lottery":
+		return rs, rs.UseCompensatedLottery()
+	case "priority":
+		return rs, rs.UsePriority()
+	case "tdma":
+		spw := cfg.Arbiter.SlotsPerWeight
+		if spw == 0 {
+			spw = 16
+		}
+		return rs, rs.UseTDMA(spw, true)
+	case "tdma1":
+		spw := cfg.Arbiter.SlotsPerWeight
+		if spw == 0 {
+			spw = 16
+		}
+		return rs, rs.UseTDMA(spw, false)
+	case "round-robin":
+		return rs, rs.UseRoundRobin()
+	case "token-ring":
+		return rs, rs.UseTokenRing()
+	default:
+		return nil, fmt.Errorf("unknown arbiter kind %q", cfg.Arbiter.Kind)
+	}
+}
+
+// AnalyticPoint reduces the configuration to the regime classifier's
+// vocabulary (internal/analytic). ok is false when the config arms
+// machinery classification cannot reason about — fault injection, the
+// split watchdog or the starvation detector — so such runs always
+// simulate.
+func (cfg *SimConfig) AnalyticPoint() (analytic.Point, bool) {
+	if cfg.Faults != nil {
+		return analytic.Point{}, false
+	}
+	if r := cfg.Resilience; r != nil && (r.SplitTimeout > 0 || r.StarvationThreshold > 0) {
+		return analytic.Point{}, false
+	}
+	kind := cfg.Arbiter.Kind
+	if kind == "" {
+		kind = "lottery"
+	}
+	p := analytic.Point{
+		Arbiter:    kind,
+		MaxBurst:   cfg.MaxBurst,
+		ArbLatency: cfg.ArbLatency,
+	}
+	if p.MaxBurst == 0 {
+		p.MaxBurst = 16
+	}
+	for _, s := range cfg.Slaves {
+		p.Slaves = append(p.Slaves, analytic.PointSlave{
+			WaitStates: s.WaitStates,
+			Split:      s.SplitLatency > 0,
+		})
+	}
+	for _, m := range cfg.Masters {
+		w := m.Weight
+		if w == 0 {
+			w = 1 // the facade promotes a zero weight to one
+		}
+		p.Weights = append(p.Weights, w)
+		p.Masters = append(p.Masters, m.Traffic.point())
+	}
+	return p, true
+}
+
+// point describes what this arrival process provably does, independent
+// of its seeding. Kinds classification cannot bound (traffic classes,
+// unknown kinds) report LoadKnown false and therefore classify Mixed.
+func (t *TrafficConfig) point() analytic.PointMaster {
+	pm := analytic.PointMaster{Words: defaultWords(t.MsgWords), Slave: t.Slave}
+	switch t.Kind {
+	case "saturating":
+		pm.Saturating = true
+	case "none":
+		pm.LoadKnown = true // exactly zero offered load
+	case "bernoulli", "bursty":
+		// Both are parameterized by their long-run load directly.
+		pm.LoadKnown, pm.OfferedLoad = true, t.Load
+	case "periodic":
+		if t.Period > 0 {
+			pm.LoadKnown = true
+			pm.OfferedLoad = float64(pm.Words) / float64(t.Period)
+		}
+	}
+	return pm
 }
 
 // maxMasters mirrors core.MaxMasters: the lottery managers track live

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lotterybus"
+	"lotterybus/internal/analytic"
+)
+
+// TestBuildReplicaSetMatchesScalarReplicas pins the -lanes contract:
+// for every arbiter kind, replica i of the lane-batched engine reports
+// exactly what the scalar replicate loop reports for the same config at
+// Seed+i. Reports are compared as rendered strings, which also equates
+// the NaN latency fields of starved masters (priority starves the
+// periodic master; NaN != NaN would break struct comparison).
+func TestBuildReplicaSetMatchesScalarReplicas(t *testing.T) {
+	const replicas, cycles = 3, 10000
+	for _, kind := range []string{"lottery", "dynamic-lottery", "compensated-lottery", "priority", "tdma", "tdma1", "round-robin", "token-ring"} {
+		cfg := SampleConfig()
+		cfg.Cycles = cycles
+		cfg.Arbiter.Kind = kind
+		rs, err := cfg.BuildReplicaSet(replicas)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := rs.Run(cfg.Cycles); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for i := 0; i < replicas; i++ {
+			c := *cfg
+			c.Seed = cfg.Seed + uint64(i)
+			sys, err := c.Build()
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			if err := sys.Run(c.Cycles); err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			got, want := rs.Report(i).String(), sys.Report().String()
+			if got != want {
+				t.Errorf("%s replica %d diverges from scalar\nlanes:\n%s\nscalar:\n%s", kind, i, got, want)
+			}
+			if viol := rs.CheckInvariants(i); len(viol) != 0 {
+				t.Errorf("%s replica %d: %s", kind, i, strings.Join(viol, "; "))
+			}
+		}
+	}
+}
+
+// TestBuildReplicaSetRejects pins the clear-error contract for configs
+// the lane engine cannot run.
+func TestBuildReplicaSetRejects(t *testing.T) {
+	cfg := SampleConfig()
+	cfg.Faults = &lotterybus.FaultConfig{SlaveError: 0.01}
+	if _, err := cfg.BuildReplicaSet(2); err == nil || !strings.Contains(err.Error(), "fault") {
+		t.Errorf("faulted config: error %v, want fault-injection rejection", err)
+	}
+
+	cfg = SampleConfig()
+	cfg.Seed = 0
+	if _, err := cfg.BuildReplicaSet(2); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Errorf("seed 0: error %v, want seed rejection", err)
+	}
+
+	cfg = SampleConfig()
+	cfg.Arbiter.Kind = "fcfs"
+	if _, err := cfg.BuildReplicaSet(2); err == nil {
+		t.Error("unknown arbiter accepted")
+	}
+
+	// Watchdog/starvation configs build but fail loudly at Run.
+	cfg = SampleConfig()
+	cfg.Cycles = 100
+	cfg.Resilience = &ResilienceConfig{SplitTimeout: 500}
+	rs, err := cfg.BuildReplicaSet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Run(cfg.Cycles); err == nil || !strings.Contains(err.Error(), "SplitTimeout") {
+		t.Errorf("split watchdog: error %v, want SplitTimeout rejection", err)
+	}
+}
+
+// TestAnalyticPointClassification pins the config-to-regime mapping the
+// -no-analytic A/B flag toggles.
+func TestAnalyticPointClassification(t *testing.T) {
+	saturated := func() *SimConfig {
+		return &SimConfig{
+			Cycles: 1000, Seed: 7, MaxBurst: 16,
+			Arbiter: ArbiterConfig{Kind: "lottery"},
+			Slaves:  []SlaveConfig{{Name: "mem"}},
+			Masters: []MasterConfig{
+				{Name: "a", Weight: 3, Traffic: TrafficConfig{Kind: "saturating", MsgWords: 16}},
+				{Name: "b", Weight: 1, Traffic: TrafficConfig{Kind: "saturating", MsgWords: 16}},
+			},
+		}
+	}
+
+	cfg := saturated()
+	pt, ok := cfg.AnalyticPoint()
+	if !ok {
+		t.Fatal("clean config not classifiable")
+	}
+	if r := analytic.Classify(pt); r != analytic.Saturated {
+		t.Fatalf("saturated config classifies %v", r)
+	}
+	shares, _, err := analytic.SaturatedShares(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(shares[0]-0.75) > 1e-12 || math.Abs(shares[1]-0.25) > 1e-12 {
+		t.Fatalf("shares %v, want ticket fractions 0.75/0.25", shares)
+	}
+
+	// The mixed sample config must simulate.
+	if pt, ok := SampleConfig().AnalyticPoint(); !ok {
+		t.Fatal("sample config not classifiable")
+	} else if r := analytic.Classify(pt); r != analytic.Mixed {
+		t.Fatalf("sample config classifies %v", r)
+	}
+
+	// All-silent masters are provably idle.
+	idle := saturated()
+	for i := range idle.Masters {
+		idle.Masters[i].Traffic = TrafficConfig{Kind: "none"}
+	}
+	if pt, ok := idle.AnalyticPoint(); !ok {
+		t.Fatal("idle config not classifiable")
+	} else if r := analytic.Classify(pt); r != analytic.Idle {
+		t.Fatalf("idle config classifies %v", r)
+	}
+
+	// Wait states break the saturated closed form: mixed, so simulated.
+	waity := saturated()
+	waity.Slaves[0].WaitStates = 2
+	if pt, ok := waity.AnalyticPoint(); !ok {
+		t.Fatal("wait-state config not classifiable")
+	} else if r := analytic.Classify(pt); r != analytic.Mixed {
+		t.Fatalf("wait-state config classifies %v", r)
+	}
+
+	// Armed machinery the classifier cannot model disables it entirely.
+	faulted := saturated()
+	faulted.Faults = &lotterybus.FaultConfig{WordError: 0.1}
+	if _, ok := faulted.AnalyticPoint(); ok {
+		t.Fatal("faulted config classifiable")
+	}
+	watched := saturated()
+	watched.Resilience = &ResilienceConfig{StarvationThreshold: 100}
+	if _, ok := watched.AnalyticPoint(); ok {
+		t.Fatal("starvation-armed config classifiable")
+	}
+}

@@ -36,9 +36,11 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 
 	"lotterybus"
+	"lotterybus/internal/analytic"
 	"lotterybus/internal/obs"
 	"lotterybus/internal/prof"
 	"lotterybus/internal/runner"
@@ -62,6 +64,8 @@ func realMain() (code int) {
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this path")
 	waveform := flag.Int("waveform", 0, "print an ASCII waveform of the first N cycles")
 	replicate := flag.Int("replicate", 1, "run N seed-replicas of the configuration (seed, seed+1, ...)")
+	lanes := flag.Bool("lanes", false, "run the replicas on the lane-batched engine (bit-identical to the scalar path; no per-cycle hooks)")
+	noAnalytic := flag.Bool("no-analytic", false, "always simulate, even when the regime classifier proves the result in closed form")
 	parallel := flag.Int("parallel", 0,
 		"replica workers (0 = $"+runner.EnvVar+" then GOMAXPROCS, 1 = serial)")
 	audit := flag.Bool("check", false, "audit conservation/accounting invariants after each replica; any violation exits 1")
@@ -104,6 +108,18 @@ func realMain() (code int) {
 		return fail(err)
 	}
 
+	// The lane engine steps all replicas through one fused loop with no
+	// per-cycle hooks; features that need a callback every cycle are
+	// incompatible and must fail loudly, never silently fall back.
+	if *lanes {
+		if *vcdPath != "" || *waveform > 0 {
+			return fail(fmt.Errorf("-lanes runs the batched replica engine, which has no per-cycle waveform hooks; drop -lanes or drop -vcd/-waveform"))
+		}
+		if cfg.Faults != nil {
+			return fail(fmt.Errorf("-lanes cannot inject faults (fault hooks run per cycle); drop -lanes or the faults block"))
+		}
+	}
+
 	var j *obs.Journal
 	if *journalPath != "" {
 		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -131,6 +147,25 @@ func realMain() (code int) {
 		"arbiter": cfg.Arbiter.Kind, "masters": len(cfg.Masters),
 		"replicate": *replicate, "parallel": runner.Workers(*parallel),
 	})
+
+	// Analytic short-circuit: when the regime classifier proves the
+	// point idle or saturated, the long-run statistics are known in
+	// closed form within the saturation oracle's tolerance — print them
+	// and skip the simulation. Flags that exist to observe a real run
+	// (-check, -vcd, -waveform, -listen) force simulation, as does
+	// -no-analytic (the A/B switch).
+	if !*noAnalytic && *vcdPath == "" && *waveform == 0 && !*audit && *listen == "" {
+		if pt, ok := cfg.AnalyticPoint(); ok {
+			if out, hit := analyticShortCircuit(cfg, pt, *replicate, j); hit {
+				fmt.Print(out)
+				return serveUntilInterrupt(srv, 0)
+			}
+		}
+	}
+
+	if *lanes {
+		return runLanes(cfg, *replicate, *parallel, *audit, j, reg, prog, srv)
+	}
 
 	if *replicate > 1 {
 		if *vcdPath != "" || *waveform > 0 {
@@ -219,6 +254,86 @@ func realMain() (code int) {
 	}
 	emitRunEnd(j, []lotterybus.Report{rep})
 	return serveUntilInterrupt(srv, code)
+}
+
+// runLanes runs all replicas through the lane-batched engine and prints
+// the same per-replica reports, in the same format, as the scalar
+// replicate path — each replica is bit-identical to its scalar twin.
+func runLanes(cfg *SimConfig, replicas, parallel int, audit bool, j *obs.Journal, reg *obs.Registry, prog *obs.Progress, srv *obs.Server) int {
+	code := 0
+	rs, err := cfg.BuildReplicaSet(replicas)
+	if err != nil {
+		return fail(err)
+	}
+	rs.SetParallel(parallel)
+	if err := rs.Run(cfg.Cycles); err != nil {
+		return fail(err)
+	}
+	reports := make([]lotterybus.Report, replicas)
+	for i := 0; i < replicas; i++ {
+		rep := rs.Report(i)
+		reports[i] = rep
+		pt := obs.NewRegistry()
+		rs.RecordObs(i, pt, obs.Labels{"replica": strconv.Itoa(i)})
+		if err := reg.Merge(pt); err != nil {
+			return fail(err)
+		}
+		prog.Step()
+		emitReplica(j, i, cfg.Seed+uint64(i), rep)
+		if replicas > 1 {
+			fmt.Printf("==== replica %d (seed %d) ====\n%s\n", i, cfg.Seed+uint64(i), rep)
+		} else {
+			fmt.Println(rep)
+		}
+		if audit {
+			code = reportViolations(j, i, rs.CheckInvariants(i), code)
+		}
+	}
+	emitRunEnd(j, reports)
+	return serveUntilInterrupt(srv, code)
+}
+
+// analyticShortCircuit classifies the configured point; when it is
+// provably idle or saturated it journals the skip and returns the
+// closed-form report and true. A Mixed classification returns false —
+// the caller simulates as usual.
+func analyticShortCircuit(cfg *SimConfig, pt analytic.Point, replicas int, j *obs.Journal) (string, bool) {
+	regime := analytic.Classify(pt)
+	var b strings.Builder
+	switch regime {
+	case analytic.Idle:
+		fmt.Fprintf(&b, "regime: idle — every master provably offers zero load; simulation skipped (rerun with -no-analytic to simulate)\n")
+		fmt.Fprintf(&b, "%s over %d cycles: utilization 0.0%%, no words move\n",
+			pt.Arbiter, cfg.Cycles)
+		j.Emit("analytic_shortcircuit", map[string]any{
+			"regime": regime.String(), "replicas": replicas,
+		})
+	case analytic.Saturated:
+		shares, tol, err := analytic.SaturatedShares(pt)
+		if err != nil {
+			return "", false // Classify and SaturatedShares disagree; simulate
+		}
+		fmt.Fprintf(&b, "regime: saturated — oracle-proven closed form, simulation skipped (rerun with -no-analytic to simulate)\n")
+		fmt.Fprintf(&b, "%s over %d cycles: utilization 100.0%%, shares within ±%.2f\n",
+			pt.Arbiter, cfg.Cycles, tol)
+		fmt.Fprintf(&b, "  %-8s %-7s %-7s %s\n", "master", "weight", "share", "cyc/word")
+		for i, m := range cfg.Masters {
+			perWord := "inf"
+			if shares[i] > 0 {
+				perWord = fmt.Sprintf("%.2f", analytic.SaturatedPerWordLatency(shares[i]))
+			}
+			fmt.Fprintf(&b, "  %-8s %-7d %-7.3f %s\n", m.Name, pt.Weights[i], shares[i], perWord)
+		}
+		j.Emit("analytic_shortcircuit", map[string]any{
+			"regime": regime.String(), "replicas": replicas, "tolerance": tol,
+		})
+	default:
+		return "", false
+	}
+	if replicas > 1 {
+		fmt.Fprintf(&b, "(one block for all %d replicas: the regime is seed-independent)\n", replicas)
+	}
+	return b.String(), true
 }
 
 // reportViolations prints one replica's invariant violations to stderr,

@@ -6,10 +6,17 @@
 //
 //	paperfigs [-fig all|4|5|6a|6b|12a|12b|12b1|12c|table1|hw|gates|starvation|dynamic|bridge|
 //	           slack|pipeline|compensation|burst|models|tail|replay|split|scale|adaptation|wrr|
-//	           degradation|babble]
+//	           regimes|degradation|babble]
 //	          [-cycles N] [-seed S] [-parallel W] [-csv DIR]
+//	          [-lanes] [-no-analytic]
 //	          [-journal FILE] [-progress]
 //	          [-cpuprofile FILE] [-memprofile FILE]
+//
+// With -no-analytic, sweep points the regime classifier proves in closed
+// form (see the "regimes" section) are simulated anyway and the share
+// error against the closed form is reported. With -lanes, experiments
+// that support it run on the lane-batched engine; results are
+// bit-identical to the scalar engine's.
 //
 // With -csv DIR, every table and figure is additionally written as an
 // RFC-4180 CSV file under DIR for downstream plotting; the latency
@@ -50,6 +57,8 @@ func realMain() (code int) {
 	parallel := flag.Int("parallel", 0,
 		"sweep workers (0 = $"+runner.EnvVar+" then GOMAXPROCS, 1 = serial); results are identical for any value")
 	csvDir := flag.String("csv", "", "also write each table/figure as CSV into this directory")
+	lanesFlag := flag.Bool("lanes", false, "run lane-engine-capable experiments (regimes) on the lane-batched engine; results are bit-identical")
+	noAnalytic := flag.Bool("no-analytic", false, "disable the analytic short-circuit: simulate every sweep point and report the share error against the closed forms")
 	journalPath := flag.String("journal", "", "append structured JSONL run events to this file")
 	progress := flag.Bool("progress", false, "print a progress heartbeat (done/total, elapsed, ETA) to stderr after each section")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -87,7 +96,8 @@ func realMain() (code int) {
 		attachHeartbeat(j, os.Stderr)
 	}
 
-	o := expt.Options{Cycles: *cycles, Seed: *seed, Parallel: *parallel}
+	o := expt.Options{Cycles: *cycles, Seed: *seed, Parallel: *parallel,
+		Lanes: *lanesFlag, NoAnalytic: *noAnalytic}
 	if err := run(os.Stdout, *fig, o, *csvDir, j); err != nil {
 		return fail(err)
 	}
@@ -312,6 +322,19 @@ func sections() []section {
 			return nil
 		}},
 		{"wrr", "extension: lottery vs weighted round robin", tableSection(func(o expt.Options) (tabler, error) { return expt.RunWRRComparison(o) })},
+		{"regimes", "extension: regime classification and analytic short-circuit", func(c *secCtx) error {
+			r, err := expt.RunRegimes(c.o)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(c.w)
+			if err := c.csv(r.Table()); err != nil {
+				return err
+			}
+			fmt.Fprintf(c.w, "%d points short-circuited by closed forms, %d simulated (rerun with -no-analytic to simulate all)\n\n",
+				r.Skipped, r.Simulated)
+			return nil
+		}},
 		{"check", "verification: invariant & engine-equivalence matrix", func(c *secCtx) error {
 			r, err := expt.RunCheck(c.o)
 			if err != nil {

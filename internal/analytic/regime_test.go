@@ -1,0 +1,244 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+	"lotterybus/internal/traffic"
+)
+
+// satPoint returns the canonical provably-saturated point: four
+// backlogged masters with equal 16-word messages into one ideal slave.
+func satPoint(arbiter string, weights []uint64) Point {
+	p := Point{
+		Arbiter:  arbiter,
+		Weights:  weights,
+		MaxBurst: 16,
+		Slaves:   []PointSlave{{}},
+	}
+	for range weights {
+		p.Masters = append(p.Masters, PointMaster{Saturating: true, Words: 16})
+	}
+	return p
+}
+
+func TestClassify(t *testing.T) {
+	w := []uint64{1, 2, 3, 4}
+	cases := []struct {
+		name string
+		p    Point
+		want Regime
+	}{
+		{"saturated-lottery", satPoint(KindLottery, w), Saturated},
+		{"saturated-priority", satPoint(KindPriority, w), Saturated},
+		{"idle", Point{Arbiter: KindLottery, Weights: w, MaxBurst: 16,
+			Slaves:  []PointSlave{{}},
+			Masters: []PointMaster{{LoadKnown: true}, {LoadKnown: true}, {LoadKnown: true}, {LoadKnown: true}}}, Idle},
+		{"empty", Point{}, Mixed},
+		{"unknown-load", Point{Arbiter: KindLottery, Weights: w[:1], MaxBurst: 16,
+			Slaves: []PointSlave{{}}, Masters: []PointMaster{{}}}, Mixed},
+		{"nonzero-load", Point{Arbiter: KindLottery, Weights: w[:1], MaxBurst: 16,
+			Slaves: []PointSlave{{}}, Masters: []PointMaster{{LoadKnown: true, OfferedLoad: 0.3, Words: 16}}}, Mixed},
+	}
+	// Each saturation condition, violated one at a time.
+	arbLat := satPoint(KindLottery, w)
+	arbLat.ArbLatency = 1
+	cases = append(cases, struct {
+		name string
+		p    Point
+		want Regime
+	}{"arb-latency", arbLat, Mixed})
+
+	waits := satPoint(KindLottery, w)
+	waits.Slaves[0].WaitStates = 2
+	cases = append(cases, struct {
+		name string
+		p    Point
+		want Regime
+	}{"wait-states", waits, Mixed})
+
+	split := satPoint(KindLottery, w)
+	split.Slaves[0].Split = true
+	cases = append(cases, struct {
+		name string
+		p    Point
+		want Regime
+	}{"split-slave", split, Mixed})
+
+	uneq := satPoint(KindLottery, w)
+	uneq.Masters[2].Words = 4
+	cases = append(cases, struct {
+		name string
+		p    Point
+		want Regime
+	}{"unequal-bursts", uneq, Mixed})
+
+	unk := satPoint("token-ring", w)
+	cases = append(cases, struct {
+		name string
+		p    Point
+		want Regime
+	}{"unproven-arbiter", unk, Mixed})
+
+	dup := satPoint(KindPriority, []uint64{4, 4, 1, 1})
+	cases = append(cases, struct {
+		name string
+		p    Point
+		want Regime
+	}{"duplicate-priority", dup, Mixed})
+
+	for _, tc := range cases {
+		if got := Classify(tc.p); got != tc.want {
+			t.Errorf("%s: classified %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// regimeArbiter builds the named arbiter over the weights, mirroring the
+// constructions the saturation oracle proves against.
+func regimeArbiter(kind string, weights []uint64) (bus.Arbiter, error) {
+	switch kind {
+	case KindLottery:
+		mgr, err := core.NewStaticLottery(core.StaticConfig{
+			Tickets: weights,
+			Source:  prng.NewXorShift64Star(42),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return arb.NewStaticLottery(mgr), nil
+	case KindDynamicLottery:
+		mgr, err := core.NewDynamicLottery(core.DynamicConfig{
+			Masters: len(weights),
+			Source:  prng.NewXorShift64Star(42),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return arb.NewDynamicLottery(mgr), nil
+	case KindRoundRobin:
+		return arb.NewRoundRobin(len(weights))
+	case KindPriority:
+		return arb.NewPriority(weights)
+	case KindTDMA, KindTDMA1:
+		slots := make([]int, len(weights))
+		for i, w := range weights {
+			slots[i] = int(w)
+		}
+		return arb.NewTDMA(arb.ContiguousWheel(slots), len(weights), kind == KindTDMA)
+	}
+	return nil, nil
+}
+
+// TestSaturatedSharesMatchSimulation is the classifier's ground truth:
+// every arbiter kind it admits must simulate, saturated, to the closed
+// form within the returned tolerance.
+func TestSaturatedSharesMatchSimulation(t *testing.T) {
+	weights := []uint64{1, 2, 3, 4}
+	for _, kind := range []string{KindLottery, KindDynamicLottery, KindRoundRobin, KindPriority, KindTDMA, KindTDMA1} {
+		p := satPoint(kind, weights)
+		if got := Classify(p); got != Saturated {
+			t.Fatalf("%s: classified %v, want saturated", kind, got)
+		}
+		shares, tol, err := SaturatedShares(p)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		b := bus.New(bus.Config{MaxBurst: 16})
+		for _, w := range weights {
+			b.AddMaster("m", &saturating{words: 16}, bus.MasterOpts{Tickets: w})
+		}
+		b.AddSlave("mem", bus.SlaveOpts{})
+		a, err := regimeArbiter(kind, weights)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		b.SetArbiter(a)
+		if err := b.Run(100000); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		col := b.Collector()
+		if util := float64(col.BusyCycles()) / float64(col.Cycles()); util < 0.95 {
+			t.Errorf("%s: only %.1f%% utilized under saturation", kind, 100*util)
+		}
+		for i := range weights {
+			if got := col.BandwidthFraction(i); math.Abs(got-shares[i]) > tol {
+				t.Errorf("%s master %d: simulated share %.4f, closed form %.4f (tol %.3f)",
+					kind, i, got, shares[i], tol)
+			}
+		}
+	}
+}
+
+func TestOnOffClosedForms(t *testing.T) {
+	if got := OnOffOfferedLoad(50, 250, 0.8); math.Abs(got-0.8/6) > 1e-12 {
+		t.Fatalf("offered load %v", got)
+	}
+	if got := OnOffOfferedLoad(0, 250, 0.8); got != 0 {
+		t.Fatalf("degenerate offered load %v", got)
+	}
+	if got := OnOffPeakToMean(50, 250); got != 6 {
+		t.Fatalf("peak-to-mean %v", got)
+	}
+	if got := OnOffPeakToMean(100, 0); got != 1 {
+		t.Fatalf("pure-ON peak-to-mean %v", got)
+	}
+	if _, err := OnOffLoneWait(50, 250, 1.0, 8); err == nil {
+		t.Fatal("in-burst saturation accepted")
+	}
+	if _, err := OnOffLoneWait(50, 250, 0.5, 0); err == nil {
+		t.Fatal("zero message size accepted")
+	}
+}
+
+// onOffBus builds a lone ON/OFF master on a dedicated bus.
+func onOffBus(t *testing.T, meanOn, meanOff, loadOn float64, words int) *bus.Bus {
+	t.Helper()
+	b := bus.New(bus.Config{MaxBurst: 16})
+	gen, err := traffic.NewOnOff(traffic.OnOffConfig{
+		MeanOn: meanOn, MeanOff: meanOff, LoadOn: loadOn,
+		Size: traffic.Fixed(words), Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddMaster("m0", gen, bus.MasterOpts{})
+	b.AddSlave("mem", bus.SlaveOpts{})
+	p, _ := arb.NewPriority([]uint64{1})
+	b.SetArbiter(p)
+	return b
+}
+
+func TestOnOffOfferedLoadMatchesSimulation(t *testing.T) {
+	b := onOffBus(t, 50, 250, 0.8, 8)
+	if err := b.Run(2000000); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Collector().BandwidthFraction(0)
+	want := OnOffOfferedLoad(50, 250, 0.8)
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("simulated throughput %v words/cycle, closed form %v", got, want)
+	}
+}
+
+func TestOnOffLoneWaitApproximation(t *testing.T) {
+	// Long dwells relative to the 8-cycle service keep the
+	// regime-switching approximation honest; the documented guarantee is
+	// only a factor of two.
+	b := onOffBus(t, 400, 1200, 0.6, 8)
+	if err := b.Run(4000000); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Collector().AvgWait(0)
+	want, err := OnOffLoneWait(400, 1200, 0.6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < want/2 || got > want*2 {
+		t.Fatalf("simulated wait %v outside factor-2 band of approximation %v", got, want)
+	}
+}

@@ -1,0 +1,64 @@
+package lanes_test
+
+import (
+	"testing"
+
+	"lotterybus/internal/bus"
+	"lotterybus/internal/lanes"
+	"lotterybus/internal/traffic"
+)
+
+// fixedArb mirrors the scalar benchmark's arbiter: grant the lowest
+// pending master a huge budget (clamped by MaxBurst).
+type fixedArb struct{ words int }
+
+func (a fixedArb) Name() string { return "fixed" }
+
+func (a fixedArb) Arbitrate(_ int64, req bus.Requests) (bus.Grant, bool) {
+	for i := 0; i < req.NumMasters(); i++ {
+		if req.Pending(i) {
+			return bus.Grant{Master: i, Words: a.words}, true
+		}
+	}
+	return bus.Grant{}, false
+}
+
+// buildSatEngine assembles the lane-engine twin of the scalar hot-loop
+// benchmark (BenchmarkBusCycleSaturated4Masters): four saturating
+// masters emitting 8-word messages, one zero-wait slave, fixed grants.
+func buildSatEngine(lanesN, workers int) *lanes.Engine {
+	e := lanes.New(bus.Config{MaxBurst: 16}, lanesN)
+	for i := 0; i < 4; i++ {
+		e.AddMaster("m", bus.MasterOpts{}, func(int) (bus.Generator, error) {
+			return &traffic.Saturating{Words: 8}, nil
+		})
+	}
+	e.AddSlave("mem", bus.SlaveOpts{})
+	e.SetArbiter(func(int) (bus.Arbiter, error) { return fixedArb{words: 1 << 20}, nil })
+	e.Parallel = workers
+	return e
+}
+
+// BenchmarkLaneCycleSaturated4Masters reports single-core ns per
+// lane-cycle of an 8-lane engine: b.N counts lane-cycles, so the value
+// is directly comparable with BenchmarkBusCycleSaturated4Masters' ns
+// per bus-cycle. scripts/benchguard.sh gates the ratio at >= 2x.
+func BenchmarkLaneCycleSaturated4Masters(b *testing.B) {
+	const L = 8
+	e := buildSatEngine(L, 1)
+	b.ResetTimer()
+	if err := e.Run(int64((b.N + L - 1) / L)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkLaneCycleSaturated32Lanes measures the wide-sweep shape
+// (-replicate 32) on a single core.
+func BenchmarkLaneCycleSaturated32Lanes(b *testing.B) {
+	const L = 32
+	e := buildSatEngine(L, 1)
+	b.ResetTimer()
+	if err := e.Run(int64((b.N + L - 1) / L)); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+package lanes_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lotterybus/internal/bus"
+	"lotterybus/internal/check"
+	"lotterybus/internal/lanes"
+	"lotterybus/internal/traffic"
+)
+
+// The lane engine's correctness claim is bit-identity: lane l of an
+// Engine must produce exactly the collector fingerprint of a scalar
+// bus.Bus built from the same configuration with lane l's generator
+// seeds and arbiter instance. This suite proves it over the same
+// 6-config x 9-arbiter x 6-traffic grid the fast-forward equivalence
+// suite uses, plus a saturating class (absent from the grid) that
+// exercises the engine's inlined Saturating fast path.
+
+const (
+	eqLanes  = 3
+	eqCycles = 15000
+	// laneSeedStride separates per-lane generator seed spaces, mirroring
+	// how lotterysim -replicate offsets each replica's seed.
+	laneSeedStride = 1000
+)
+
+// buildLaneCell assembles the lane-engine twin of check.BuildSeeded:
+// same masters, tickets, slaves and arbiter, with lane l's generators
+// seeded at offset laneSeedStride*l.
+func buildLaneCell(bc check.BusConfig, am check.ArbMaker, gm check.GenMaker) *lanes.Engine {
+	e := lanes.New(bc.Cfg, eqLanes)
+	for i := 0; i < check.MatrixMasters; i++ {
+		i := i
+		e.AddMaster(fmt.Sprintf("m%d", i), bus.MasterOpts{Tickets: uint64(i + 1)},
+			func(lane int) (bus.Generator, error) {
+				return gm.Make(i, uint64(100+i)+laneSeedStride*uint64(lane))
+			})
+	}
+	e.AddSlave("mem", bus.SlaveOpts{WaitStates: bc.WaitStates})
+	e.AddSlave("io", bus.SlaveOpts{SplitLatency: bc.SplitLatency})
+	e.SetArbiter(func(lane int) (bus.Arbiter, error) { return am.Make() })
+	return e
+}
+
+// compareLane asserts lane is bit-identical to its scalar reference.
+func compareLane(t *testing.T, eng *lanes.Engine, ref *bus.Bus, lane int) {
+	t.Helper()
+	if got, want := eng.Cycle(), ref.Cycle(); got != want {
+		t.Errorf("lane %d: cycle %d, scalar %d", lane, got, want)
+	}
+	lc, rc := eng.Collector(lane), ref.Collector()
+	if lc.Fingerprint() != rc.Fingerprint() {
+		t.Errorf("lane %d: fingerprint %#x, scalar %#x", lane, lc.Fingerprint(), rc.Fingerprint())
+		for m := 0; m < check.MatrixMasters; m++ {
+			t.Logf("lane %d  lanes: %s", lane, lc.Summary(m))
+			t.Logf("lane %d scalar: %s", lane, rc.Summary(m))
+		}
+	}
+	for m := 0; m < check.MatrixMasters; m++ {
+		if got, want := eng.Dropped(lane, m), ref.Master(m).Dropped(); got != want {
+			t.Errorf("lane %d master %d: dropped %d, scalar %d", lane, m, got, want)
+		}
+		if got, want := eng.QueueLen(lane, m), ref.Master(m).QueueLen(); got != want {
+			t.Errorf("lane %d master %d: queue %d, scalar %d", lane, m, got, want)
+		}
+		if got, want := eng.Outstanding(lane, m), ref.Master(m).Outstanding(); got != want {
+			t.Errorf("lane %d master %d: outstanding %v, scalar %v", lane, m, got, want)
+		}
+	}
+	for s := 0; s < eng.NumSlaves(); s++ {
+		if got, want := eng.SlaveWords(lane, s), ref.Slave(s).Words(); got != want {
+			t.Errorf("lane %d slave %d: words %d, scalar %d", lane, s, got, want)
+		}
+	}
+	if a := eng.Audit(lane); len(a) != 0 {
+		t.Errorf("lane %d: audit violations: %s", lane, strings.Join(a, "; "))
+	}
+}
+
+// runGridCell runs one grid cell lane-vs-scalar and compares each lane.
+func runGridCell(t *testing.T, bc check.BusConfig, am check.ArbMaker, gm check.GenMaker) {
+	t.Helper()
+	eng := buildLaneCell(bc, am, gm)
+	if err := eng.Run(eqCycles); err != nil {
+		t.Fatalf("lanes: %v", err)
+	}
+	for lane := 0; lane < eqLanes; lane++ {
+		ref, err := check.BuildSeeded(bc, am, gm, false, laneSeedStride*uint64(lane))
+		if err != nil {
+			t.Fatalf("scalar build: %v", err)
+		}
+		if err := ref.Run(eqCycles); err != nil {
+			t.Fatalf("scalar run: %v", err)
+		}
+		compareLane(t, eng, ref, lane)
+	}
+}
+
+// TestLaneEquivalenceGrid proves per-lane bit-identity over the full
+// verification grid.
+func TestLaneEquivalenceGrid(t *testing.T) {
+	for _, bc := range check.BusConfigs() {
+		for _, am := range check.Arbiters() {
+			for _, gm := range check.TrafficClasses() {
+				bc, am, gm := bc, am, gm
+				t.Run(bc.Name+"/"+am.Name+"/"+gm.Name, func(t *testing.T) {
+					t.Parallel()
+					runGridCell(t, bc, am, gm)
+				})
+			}
+		}
+	}
+}
+
+// TestLaneEquivalenceSaturating covers the engine's inlined Saturating
+// fast path (the grid's traffic classes are all Scheduler-backed, so the
+// inline top-up is otherwise untested) across every bus config and
+// arbiter.
+func TestLaneEquivalenceSaturating(t *testing.T) {
+	gm := check.GenMaker{
+		Name: "saturating",
+		Make: func(i int, seed uint64) (bus.Generator, error) {
+			return &traffic.Saturating{Words: 8 + i, Slave: i % 2}, nil
+		},
+	}
+	for _, bc := range check.BusConfigs() {
+		for _, am := range check.Arbiters() {
+			bc, am := bc, am
+			t.Run(bc.Name+"/"+am.Name, func(t *testing.T) {
+				t.Parallel()
+				runGridCell(t, bc, am, gm)
+			})
+		}
+	}
+}
+
+// TestLaneChunkedRuns proves Run may be split at arbitrary boundaries:
+// accumulators flushed at each boundary must leave the fingerprints
+// identical to a one-shot run.
+func TestLaneChunkedRuns(t *testing.T) {
+	pick := func() (check.BusConfig, check.ArbMaker, check.GenMaker) {
+		bc := check.BusConfigs()[2]  // split
+		am := check.Arbiters()[7]    // dynamic-lottery
+		gm := check.TrafficClasses()[2] // onoff
+		return bc, am, gm
+	}
+	bc, am, gm := pick()
+	one := buildLaneCell(bc, am, gm)
+	if err := one.Run(eqCycles); err != nil {
+		t.Fatal(err)
+	}
+	chunked := buildLaneCell(bc, am, gm)
+	for _, n := range []int64{1, 7, 4992, 10000} {
+		if err := chunked.Run(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := chunked.Cycle(), one.Cycle(); got != want {
+		t.Fatalf("chunked cycles %d, one-shot %d", got, want)
+	}
+	for lane := 0; lane < eqLanes; lane++ {
+		if got, want := chunked.Collector(lane).Fingerprint(), one.Collector(lane).Fingerprint(); got != want {
+			t.Errorf("lane %d: chunked fingerprint %#x, one-shot %#x", lane, got, want)
+		}
+	}
+}
+
+// TestLaneParallelDeterminism proves worker count does not influence
+// results: lanes are independent, so any sharding yields the same bits.
+func TestLaneParallelDeterminism(t *testing.T) {
+	bc := check.BusConfigs()[0]
+	am := check.Arbiters()[6] // static-lottery
+	gm := check.TrafficClasses()[1]
+	build := func(workers int) *lanes.Engine {
+		e := lanes.New(bc.Cfg, 8)
+		for i := 0; i < check.MatrixMasters; i++ {
+			i := i
+			e.AddMaster(fmt.Sprintf("m%d", i), bus.MasterOpts{Tickets: uint64(i + 1)},
+				func(lane int) (bus.Generator, error) {
+					return gm.Make(i, uint64(100+i)+laneSeedStride*uint64(lane))
+				})
+		}
+		e.AddSlave("mem", bus.SlaveOpts{WaitStates: bc.WaitStates})
+		e.AddSlave("io", bus.SlaveOpts{SplitLatency: bc.SplitLatency})
+		e.SetArbiter(func(lane int) (bus.Arbiter, error) { return am.Make() })
+		e.Parallel = workers
+		return e
+	}
+	serial, parallel := build(1), build(4)
+	if err := serial.Run(eqCycles); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Run(eqCycles); err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < 8; lane++ {
+		if got, want := parallel.Collector(lane).Fingerprint(), serial.Collector(lane).Fingerprint(); got != want {
+			t.Errorf("lane %d: 4-worker fingerprint %#x, serial %#x", lane, got, want)
+		}
+	}
+}
+
+// TestLaneRejectsPerCycleFeatures asserts the engine refuses
+// configurations that require the scalar per-cycle loop, with an error
+// naming the feature.
+func TestLaneRejectsPerCycleFeatures(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  bus.Config
+		want string
+	}{
+		{"preemption", bus.Config{Preemption: true}, "preemption"},
+		{"split-timeout", bus.Config{SplitTimeout: 100}, "SplitTimeout"},
+		{"starvation", bus.Config{StarvationThreshold: 50}, "StarvationThreshold"},
+	}
+	am := check.Arbiters()[1]
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := lanes.New(tc.cfg, 2)
+			e.AddMaster("m0", bus.MasterOpts{}, func(int) (bus.Generator, error) {
+				return &traffic.Saturating{Words: 4}, nil
+			})
+			e.AddSlave("mem", bus.SlaveOpts{})
+			e.SetArbiter(func(int) (bus.Arbiter, error) { return am.Make() })
+			err := e.Run(10)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -32,7 +32,6 @@ import (
 	"fmt"
 	"strings"
 
-	"lotterybus/internal/arb"
 	"lotterybus/internal/bus"
 	"lotterybus/internal/check"
 	"lotterybus/internal/core"
@@ -143,14 +142,11 @@ func (s *System) Inject(master, words, slave int) bool {
 // UseLottery selects the static LOTTERYBUS arbiter: master weights are
 // lottery tickets, and bandwidth is allocated in proportion to them.
 func (s *System) UseLottery() error {
-	mgr, err := core.NewStaticLottery(core.StaticConfig{
-		Tickets: s.weights,
-		Source:  prng.NewXorShift64Star(prng.Derive(s.cfg.Seed, "lotterybus/static")),
-	})
+	a, err := buildStaticLottery(prng.Derive(s.cfg.Seed, staticLotteryLabel), s.weights)
 	if err != nil {
 		return err
 	}
-	s.b.SetArbiter(arb.NewStaticLottery(mgr))
+	s.b.SetArbiter(a)
 	return nil
 }
 
@@ -158,14 +154,11 @@ func (s *System) UseLottery() error {
 // holdings are sampled live on every arbitration, so SetWeight
 // re-provisions bandwidth at run time.
 func (s *System) UseDynamicLottery() error {
-	mgr, err := core.NewDynamicLottery(core.DynamicConfig{
-		Masters: len(s.weights),
-		Source:  prng.NewXorShift64Star(prng.Derive(s.cfg.Seed, "lotterybus/dynamic")),
-	})
+	a, err := buildDynamicLottery(prng.Derive(s.cfg.Seed, dynamicLotteryLabel), len(s.weights))
 	if err != nil {
 		return err
 	}
-	s.b.SetArbiter(arb.NewDynamicLottery(mgr))
+	s.b.SetArbiter(a)
 	return nil
 }
 
@@ -175,18 +168,7 @@ func (s *System) UseDynamicLottery() error {
 // next win, so bandwidth shares track the configured weights even when
 // masters send differently sized messages.
 func (s *System) UseCompensatedLottery() error {
-	mgr, err := core.NewDynamicLottery(core.DynamicConfig{
-		Masters: len(s.weights),
-		Source:  prng.NewXorShift64Star(prng.Derive(s.cfg.Seed, "lotterybus/compensated")),
-	})
-	if err != nil {
-		return err
-	}
-	maxBurst := s.cfg.MaxBurst
-	if maxBurst == 0 {
-		maxBurst = 16
-	}
-	a, err := arb.NewCompensatedLottery(s.weights, maxBurst, mgr)
+	a, err := buildCompensatedLottery(prng.Derive(s.cfg.Seed, compensatedLotteryLabel), s.weights, s.cfg.MaxBurst)
 	if err != nil {
 		return err
 	}
@@ -197,7 +179,7 @@ func (s *System) UseCompensatedLottery() error {
 // UsePriority selects static-priority arbitration: master weights are
 // priorities (larger wins).
 func (s *System) UsePriority() error {
-	a, err := arb.NewPriority(s.weights)
+	a, err := newPriorityArb(s.weights)
 	if err != nil {
 		return err
 	}
@@ -209,14 +191,7 @@ func (s *System) UsePriority() error {
 // owns weight*slotsPerWeight contiguous slots of the timing wheel.
 // twoLevel enables round-robin reclamation of idle slots.
 func (s *System) UseTDMA(slotsPerWeight int, twoLevel bool) error {
-	if slotsPerWeight <= 0 {
-		slotsPerWeight = 1
-	}
-	slots := make([]int, len(s.weights))
-	for i, w := range s.weights {
-		slots[i] = int(w) * slotsPerWeight
-	}
-	a, err := arb.NewTDMA(arb.ContiguousWheel(slots), len(s.weights), twoLevel)
+	a, err := buildTDMA(s.weights, slotsPerWeight, twoLevel)
 	if err != nil {
 		return err
 	}
@@ -226,7 +201,7 @@ func (s *System) UseTDMA(slotsPerWeight int, twoLevel bool) error {
 
 // UseRoundRobin selects weight-blind round-robin arbitration.
 func (s *System) UseRoundRobin() error {
-	a, err := arb.NewRoundRobin(len(s.weights))
+	a, err := newRoundRobinArb(len(s.weights))
 	if err != nil {
 		return err
 	}
@@ -236,7 +211,7 @@ func (s *System) UseRoundRobin() error {
 
 // UseTokenRing selects token-ring arbitration (one cycle per token hop).
 func (s *System) UseTokenRing() error {
-	a, err := arb.NewTokenRing(len(s.weights), 0)
+	a, err := newTokenRingArb(len(s.weights))
 	if err != nil {
 		return err
 	}

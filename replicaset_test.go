@@ -1,0 +1,146 @@
+package lotterybus
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// rsTopology describes the mixed test system both engines build: a
+// saturating master, a heavy Bernoulli master and a periodic master over
+// a wait-state slave and a split slave — every master completes
+// messages, so the reports carry no NaNs and compare with DeepEqual.
+func rsAddMasters(add func(name string, weight uint64, gen func(replica int) (Generator, error))) {
+	add("sat", 3, func(int) (Generator, error) {
+		return SaturatingTraffic(8, 0), nil
+	})
+	add("bern", 2, func(replica int) (Generator, error) {
+		return BernoulliTraffic(0.3, 4, 0, 1000+uint64(replica))
+	})
+	add("per", 1, func(int) (Generator, error) {
+		return PeriodicTraffic(50, 7, 4, 1), nil
+	})
+}
+
+// normalizeNaNs replaces NaN latency fields (starved masters) with a
+// sentinel so DeepEqual can compare reports — NaN != NaN would otherwise
+// flag two identical reports as diverging.
+func normalizeNaNs(rep *Report) {
+	for i := range rep.Masters {
+		m := &rep.Masters[i]
+		for _, f := range []*float64{
+			&m.PerWordLatency, &m.LatencyP50, &m.LatencyP95,
+			&m.LatencyP99, &m.LatencyMax, &m.AvgMessageLatency,
+		} {
+			if math.IsNaN(*f) {
+				*f = -1
+			}
+		}
+	}
+}
+
+// buildScalarReplica builds the scalar twin of replica l: same system at
+// Seed+l, exactly as lotterysim's -replicate loop does.
+func buildScalarReplica(t *testing.T, base Config, replica int, use func(*System) error) *System {
+	t.Helper()
+	cfg := base
+	cfg.Seed = base.Seed + uint64(replica)
+	sys := NewSystem(cfg)
+	sys.AddSlave("mem", 2)
+	sys.AddSplitSlave("io", 12)
+	rsAddMasters(func(name string, weight uint64, gen func(int) (Generator, error)) {
+		g, err := gen(replica)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.AddMaster(name, weight, g)
+	})
+	if err := use(sys); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestReplicaSetMatchesScalarReplicas proves the facade contract for
+// every arbiter selector: ReplicaSet replica l reports field for field
+// what a scalar System at Seed+l reports.
+func TestReplicaSetMatchesScalarReplicas(t *testing.T) {
+	const replicas, cycles = 3, 20000
+	base := Config{Seed: 42, MaxBurst: 16}
+	selectors := []struct {
+		name string
+		sys  func(*System) error
+		rs   func(*ReplicaSet) error
+	}{
+		{"lottery", (*System).UseLottery, (*ReplicaSet).UseLottery},
+		{"dynamic-lottery", (*System).UseDynamicLottery, (*ReplicaSet).UseDynamicLottery},
+		{"compensated-lottery", (*System).UseCompensatedLottery, (*ReplicaSet).UseCompensatedLottery},
+		{"priority", (*System).UsePriority, (*ReplicaSet).UsePriority},
+		{"tdma", func(s *System) error { return s.UseTDMA(4, true) },
+			func(r *ReplicaSet) error { return r.UseTDMA(4, true) }},
+		{"tdma1", func(s *System) error { return s.UseTDMA(4, false) },
+			func(r *ReplicaSet) error { return r.UseTDMA(4, false) }},
+		{"round-robin", (*System).UseRoundRobin, (*ReplicaSet).UseRoundRobin},
+		{"token-ring", (*System).UseTokenRing, (*ReplicaSet).UseTokenRing},
+	}
+	for _, sel := range selectors {
+		sel := sel
+		t.Run(sel.name, func(t *testing.T) {
+			t.Parallel()
+			rs := NewReplicaSet(base, replicas)
+			rs.AddSlave("mem", 2)
+			rs.AddSplitSlave("io", 12)
+			rsAddMasters(func(name string, weight uint64, gen func(int) (Generator, error)) {
+				rs.AddMaster(name, weight, gen)
+			})
+			if err := sel.rs(rs); err != nil {
+				t.Fatal(err)
+			}
+			if err := rs.Run(cycles); err != nil {
+				t.Fatal(err)
+			}
+			for l := 0; l < replicas; l++ {
+				sys := buildScalarReplica(t, base, l, sel.sys)
+				if err := sys.Run(cycles); err != nil {
+					t.Fatal(err)
+				}
+				got, want := rs.Report(l), sys.Report()
+				normalizeNaNs(&got)
+				normalizeNaNs(&want)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("replica %d: lane report diverges from scalar\nlanes:  %+v\nscalar: %+v", l, got, want)
+				}
+				if viol := rs.CheckInvariants(l); len(viol) != 0 {
+					t.Errorf("replica %d: %s", l, strings.Join(viol, "; "))
+				}
+			}
+		})
+	}
+}
+
+// TestReplicaSetRejectsPerCycleFeatures asserts the facade surfaces the
+// lane engine's clear rejection of watchdog/starvation configs.
+func TestReplicaSetRejectsPerCycleFeatures(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"split-timeout", Config{Seed: 1, SplitTimeout: 100}, "SplitTimeout"},
+		{"starvation", Config{Seed: 1, StarvationThreshold: 10}, "StarvationThreshold"},
+	} {
+		rs := NewReplicaSet(tc.cfg, 2)
+		rs.AddSlave("mem", 0)
+		rs.AddMaster("m", 1, func(int) (Generator, error) {
+			return SaturatingTraffic(8, 0), nil
+		})
+		if err := rs.UseLottery(); err != nil {
+			t.Fatal(err)
+		}
+		err := rs.Run(100)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,20 +1,29 @@
 #!/usr/bin/env bash
-# benchguard.sh — guard the simulator hot loop against regressions from
-# the observability layer (or anything else). The obs-disabled per-cycle
-# cost (BenchmarkBusCycleSaturated4Masters) of the current tree must
-# stay within TOLERANCE of a baseline measured on the SAME machine in
-# the SAME session: absolute ns/op from a snapshot file are not
-# comparable across machines (the BENCH_*.json snapshots record ~30%
-# swings between otherwise-identical container hosts), so the baseline
-# tree is rebuilt from git and timed here.
+# benchguard.sh — guard the simulator hot loops against regressions.
+# Two gates run on the SAME machine in the SAME session (absolute ns/op
+# from a snapshot file are not comparable across machines: the
+# BENCH_*.json snapshots record ~30% swings between otherwise-identical
+# container hosts), so the baseline tree is rebuilt from git and timed
+# here:
+#
+#   1. Scalar regression gate: the obs-disabled per-cycle cost
+#      (BenchmarkBusCycleSaturated4Masters) of the current tree must stay
+#      within TOLERANCE of the baseline tree's.
+#   2. Lane gates: the lane-batched replica engine
+#      (BenchmarkLaneCycleSaturated4Masters, internal/lanes) must be at
+#      least LANES_SPEEDUP x faster per lane-cycle than the current
+#      tree's scalar per-cycle cost, and — when the baseline tree already
+#      has internal/lanes — must itself stay within TOLERANCE of the
+#      baseline lane cost.
 #
 #   baseline ref = $LOTTERYBUS_BENCH_BASE, else HEAD when the working
 #                  tree is dirty (local use), else merge-base with
 #                  origin/main, else HEAD~1 (a push to main)
 #   tolerance    = $LOTTERYBUS_BENCH_TOLERANCE (fractional, default 0.02)
+#   lane speedup = $LOTTERYBUS_LANES_SPEEDUP (factor, default 2.0)
 #
-# Both test binaries are compiled up front and run in alternating
-# rounds, scoring each side by its minimum ns/op: interleaving means
+# All test binaries are compiled up front and run in alternating rounds,
+# scoring each side by its minimum ns/op: interleaving means
 # CPU-frequency drift and noisy neighbours hit both trees equally, and
 # the min-of-rounds estimator discards transient stalls. A real
 # regression survives every round; noise does not.
@@ -22,8 +31,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TOLERANCE="${LOTTERYBUS_BENCH_TOLERANCE:-0.02}"
+LANES_SPEEDUP="${LOTTERYBUS_LANES_SPEEDUP:-2.0}"
 ROUNDS="${LOTTERYBUS_BENCH_ROUNDS:-5}"
 BENCH='BenchmarkBusCycleSaturated4Masters'
+LANE_BENCH='BenchmarkLaneCycleSaturated4Masters'
 
 base_ref="${LOTTERYBUS_BENCH_BASE:-}"
 if [ -z "$base_ref" ] && ! git diff --quiet HEAD; then
@@ -43,35 +54,72 @@ trap 'git worktree remove --force "$worktree" >/dev/null 2>&1 || true
       rm -rf "$worktree" "$bindir"' EXIT
 git worktree add --detach "$worktree" "$base_ref" >/dev/null
 
-echo "benchguard: baseline $(git rev-parse --short "$base_ref"), tolerance ${TOLERANCE}, rounds ${ROUNDS}"
+echo "benchguard: baseline $(git rev-parse --short "$base_ref"), tolerance ${TOLERANCE}, lane speedup >=${LANES_SPEEDUP}x, rounds ${ROUNDS}"
 (cd "$worktree" && go test -c -o "$bindir/base.test" ./internal/bus/)
 go test -c -o "$bindir/cur.test" ./internal/bus/
+go test -c -o "$bindir/cur-lanes.test" ./internal/lanes/
+base_has_lanes=0
+if [ -d "$worktree/internal/lanes" ]; then
+  base_has_lanes=1
+  (cd "$worktree" && go test -c -o "$bindir/base-lanes.test" ./internal/lanes/)
+fi
 
-run_once() {
-  "$bindir/$1.test" -test.run '^$' -test.bench "${BENCH}\$" -test.benchtime 1s |
-    awk -v b="$BENCH" '$1 ~ b {print $3; exit}'
+run_once() { # binary, benchmark
+  "$bindir/$1.test" -test.run '^$' -test.bench "$2\$" -test.benchtime 1s |
+    awk -v b="$2" '$1 ~ b {print $3; exit}'
+}
+
+min() { # sample, best-so-far
+  awk -v x="$1" -v best="$2" 'BEGIN {print (best == "" || x+0 < best+0) ? x : best}'
 }
 
 # Warm-up round for each binary, discarded: the first run of a process
 # lands a few percent slow while the CPU ramps up.
-run_once base >/dev/null
-run_once cur >/dev/null
+run_once base "$BENCH" >/dev/null
+run_once cur "$BENCH" >/dev/null
+run_once cur-lanes "$LANE_BENCH" >/dev/null
+[ "$base_has_lanes" = 1 ] && run_once base-lanes "$LANE_BENCH" >/dev/null
 
-base_best='' cur_best=''
+base_best='' cur_best='' lane_best='' base_lane_best=''
 for _ in $(seq "$ROUNDS"); do
-  b=$(run_once base)
-  c=$(run_once cur)
-  if [ -z "$b" ] || [ -z "$c" ]; then
-    echo "benchguard: benchmark produced no sample (base='$b' current='$c')" >&2
+  b=$(run_once base "$BENCH")
+  c=$(run_once cur "$BENCH")
+  l=$(run_once cur-lanes "$LANE_BENCH")
+  if [ -z "$b" ] || [ -z "$c" ] || [ -z "$l" ]; then
+    echo "benchguard: benchmark produced no sample (base='$b' current='$c' lanes='$l')" >&2
     exit 1
   fi
-  base_best=$(awk -v x="$b" -v best="$base_best" 'BEGIN {print (best == "" || x+0 < best+0) ? x : best}')
-  cur_best=$(awk -v x="$c" -v best="$cur_best" 'BEGIN {print (best == "" || x+0 < best+0) ? x : best}')
+  base_best=$(min "$b" "$base_best")
+  cur_best=$(min "$c" "$cur_best")
+  lane_best=$(min "$l" "$lane_best")
+  if [ "$base_has_lanes" = 1 ]; then
+    bl=$(run_once base-lanes "$LANE_BENCH")
+    [ -n "$bl" ] && base_lane_best=$(min "$bl" "$base_lane_best")
+  fi
 done
+
+fail=0
 
 awk -v cur="$cur_best" -v base="$base_best" -v tol="$TOLERANCE" 'BEGIN {
   limit = base * (1 + tol)
-  printf "benchguard: current %.2f ns/op vs baseline %.2f ns/op (limit %.2f, %+.1f%%)\n",
+  printf "benchguard: scalar  %.2f ns/op vs baseline %.2f ns/op (limit %.2f, %+.1f%%)\n",
     cur, base, limit, 100 * (cur - base) / base
   exit cur <= limit ? 0 : 1
-}'
+}' || fail=1
+
+awk -v lane="$lane_best" -v cur="$cur_best" -v need="$LANES_SPEEDUP" 'BEGIN {
+  printf "benchguard: lanes   %.2f ns/lane-cycle vs scalar %.2f ns/cycle (%.2fx, need >=%.2fx)\n",
+    lane, cur, cur / lane, need
+  exit cur / lane >= need ? 0 : 1
+}' || fail=1
+
+if [ "$base_has_lanes" = 1 ] && [ -n "$base_lane_best" ]; then
+  awk -v cur="$lane_best" -v base="$base_lane_best" -v tol="$TOLERANCE" 'BEGIN {
+    limit = base * (1 + tol)
+    printf "benchguard: lanes   %.2f ns/lane-cycle vs baseline %.2f ns/lane-cycle (limit %.2f, %+.1f%%)\n",
+      cur, base, limit, 100 * (cur - base) / base
+    exit cur <= limit ? 0 : 1
+  }' || fail=1
+fi
+
+exit "$fail"
