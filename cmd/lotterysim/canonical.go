@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"lotterybus"
+	"lotterybus/internal/prng"
+)
+
+// Canonical returns the effective configuration as deterministic JSON:
+// every default Build would apply is materialized, and every field
+// Build would ignore for the given kind is zeroed. Two configs that
+// build bit-identical systems therefore serialize to identical bytes,
+// and two configs that differ anywhere Build cares about serialize
+// differently — which is exactly what a content-addressed result
+// cache needs in a key, and what the run journal's provenance event
+// needs to make a journal line reproducible on its own.
+//
+// The receiver is not modified. Field order is the struct order, so
+// the output is stable across runs and Go versions (encoding/json
+// emits struct fields in declaration order).
+func (cfg *SimConfig) Canonical() ([]byte, error) {
+	c := *cfg // shallow copy; slices/pointers are replaced below
+
+	if c.MaxBurst == 0 {
+		c.MaxBurst = 16 // bus.Config default
+	}
+	if c.Arbiter.Kind == "" {
+		c.Arbiter.Kind = "lottery"
+	}
+	switch c.Arbiter.Kind {
+	case "tdma", "tdma1":
+		if c.Arbiter.SlotsPerWeight == 0 {
+			c.Arbiter.SlotsPerWeight = 16
+		}
+	default:
+		// Only the TDMA wheels read SlotsPerWeight; zeroing it for
+		// every other kind keeps configs that differ only in an ignored
+		// field on one cache entry.
+		c.Arbiter.SlotsPerWeight = 0
+	}
+
+	c.Slaves = append([]SlaveConfig(nil), cfg.Slaves...)
+	for i := range c.Slaves {
+		if c.Slaves[i].SplitLatency > 0 {
+			c.Slaves[i].WaitStates = 0 // ignored by AddSplitSlave
+		}
+	}
+
+	c.Masters = append([]MasterConfig(nil), cfg.Masters...)
+	for i := range c.Masters {
+		m := &c.Masters[i]
+		if m.Weight == 0 {
+			m.Weight = 1 // the facade promotes a zero weight to one
+		}
+		if err := m.Traffic.canonicalize(); err != nil {
+			return nil, fmt.Errorf("master %d: %w", i, err)
+		}
+	}
+
+	// The resilience defaults apply whether or not the section is
+	// present, so the canonical form always spells them out.
+	res := ResilienceConfig{RetryLimit: 16}
+	if r := cfg.Resilience; r != nil {
+		res = *r
+		if res.RetryLimit == 0 {
+			res.RetryLimit = 16 // bus.Config default
+		}
+	}
+	c.Resilience = &res
+
+	if f := cfg.Faults; f != nil {
+		ff := *f
+		if ff.Seed == 0 {
+			// SetFaults derives the fault seed from the (promoted)
+			// system seed; materializing the derivation keeps an
+			// explicit seed and its implicit equal on one entry.
+			sysSeed := cfg.Seed
+			if sysSeed == 0 {
+				sysSeed = 1
+			}
+			ff.Seed = prng.Derive(sysSeed, "lotterybus/fault")
+		}
+		ff.Babblers = append([]lotterybus.Babbler(nil), f.Babblers...)
+		for i := range ff.Babblers {
+			if ff.Babblers[i].Words == 0 {
+				ff.Babblers[i].Words = 1 // fault.Babbler default
+			}
+		}
+		c.Faults = &ff
+	}
+
+	return json.Marshal(&c)
+}
+
+// canonicalize rewrites one traffic section in place: the message-size
+// default is applied and every parameter the kind's generator ignores
+// is zeroed, mirroring TrafficConfig.build field for field.
+func (t *TrafficConfig) canonicalize() error {
+	words := defaultWords(t.MsgWords)
+	switch t.Kind {
+	case "saturating":
+		*t = TrafficConfig{Kind: t.Kind, MsgWords: words, Slave: t.Slave}
+	case "bernoulli":
+		*t = TrafficConfig{Kind: t.Kind, MsgWords: words, Slave: t.Slave, Load: t.Load}
+	case "bursty":
+		meanOn := t.MeanOn
+		if meanOn == 0 {
+			meanOn = 40 * float64(words)
+		}
+		loadOn := t.LoadOn
+		if loadOn == 0 {
+			loadOn = 5 * t.Load
+			if loadOn > 0.9 {
+				loadOn = 0.9
+			}
+		}
+		*t = TrafficConfig{Kind: t.Kind, MsgWords: words, Slave: t.Slave,
+			Load: t.Load, LoadOn: loadOn, MeanOn: meanOn}
+	case "periodic":
+		*t = TrafficConfig{Kind: t.Kind, MsgWords: words, Slave: t.Slave,
+			Period: t.Period, Phase: t.Phase}
+	case "class":
+		// The class's own definition fixes sizes and loads; only the
+		// name, destination and master index (positional) matter.
+		*t = TrafficConfig{Kind: t.Kind, Slave: t.Slave, Class: t.Class}
+	case "none":
+		*t = TrafficConfig{Kind: t.Kind}
+	default:
+		return fmt.Errorf("unknown traffic kind %q", t.Kind)
+	}
+	return nil
+}

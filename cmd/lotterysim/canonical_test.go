@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lotterybus"
+	"lotterybus/internal/prng"
+)
+
+// sampleCanonical pins the exact canonical serialization of
+// SampleConfig. The canonical form is a cache-key input and a journal
+// provenance format: changing these bytes silently invalidates every
+// persistent cache entry and breaks journal comparability, so any
+// intentional format change must update this constant consciously.
+const sampleCanonical = `{"cycles":200000,"seed":42,"maxBurst":16,"arbiter":{"kind":"lottery"},"slaves":[{"name":"shared-memory"}],"masters":[{"name":"cpu","weight":4,"traffic":{"kind":"bernoulli","msgWords":16,"load":0.4}},{"name":"dsp","weight":3,"traffic":{"kind":"bursty","msgWords":16,"load":0.2,"loadOn":0.9,"meanOn":640}},{"name":"dma","weight":2,"traffic":{"kind":"saturating","msgWords":16}},{"name":"io","weight":1,"traffic":{"kind":"periodic","msgWords":4,"period":100}}],"resilience":{"retryLimit":16}}`
+
+func TestCanonicalStability(t *testing.T) {
+	got, err := SampleConfig().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != sampleCanonical {
+		t.Fatalf("canonical form changed:\n got: %s\nwant: %s", got, sampleCanonical)
+	}
+}
+
+// TestCanonicalRoundTrip proves the canonical form is a fixed point:
+// it parses back through the strict config parser and re-canonicalizes
+// to the same bytes, and it does not modify the receiver.
+func TestCanonicalRoundTrip(t *testing.T) {
+	cfg := SampleConfig()
+	cfg.Faults = &lotterybus.FaultConfig{
+		SlaveError: 0.01,
+		Babblers:   []lotterybus.Babbler{{Master: 1, Load: 0.5}},
+	}
+	before, err := cfg.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Resilience != nil || cfg.Faults.Seed != 0 || cfg.Faults.Babblers[0].Words != 0 {
+		t.Fatal("Canonical mutated its receiver")
+	}
+	reparsed, err := ParseConfig(strings.NewReader(string(before)))
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v", err)
+	}
+	after, err := reparsed.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("canonical form is not a fixed point:\n1st: %s\n2nd: %s", before, after)
+	}
+}
+
+// TestCanonicalEquivalence proves configurations that build identical
+// systems canonicalize identically — defaults spelled out or omitted,
+// parameters the selected kind ignores — while any parameter Build
+// reads changes the bytes.
+func TestCanonicalEquivalence(t *testing.T) {
+	base := func() *SimConfig {
+		return &SimConfig{
+			Cycles:  50000,
+			Seed:    7,
+			Arbiter: ArbiterConfig{Kind: ""},
+			Slaves:  []SlaveConfig{{Name: "mem"}},
+			Masters: []MasterConfig{
+				{Name: "a", Weight: 0, Traffic: TrafficConfig{Kind: "bernoulli", Load: 0.3}},
+			},
+		}
+	}
+	want, err := base().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same := map[string]func(*SimConfig){
+		"explicit defaults": func(c *SimConfig) {
+			c.MaxBurst = 16
+			c.Arbiter.Kind = "lottery"
+			c.Masters[0].Weight = 1
+			c.Masters[0].Traffic.MsgWords = 16
+			c.Resilience = &ResilienceConfig{RetryLimit: 16}
+		},
+		"ignored slots on non-tdma": func(c *SimConfig) {
+			c.Arbiter.SlotsPerWeight = 5
+		},
+		"ignored bursty params on bernoulli": func(c *SimConfig) {
+			c.Masters[0].Traffic.MeanOn = 99
+			c.Masters[0].Traffic.Period = 3
+		},
+	}
+	for name, mutate := range same {
+		c := base()
+		mutate(c)
+		got, err := c.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: canonical bytes differ:\n got: %s\nwant: %s", name, got, want)
+		}
+	}
+
+	diff := map[string]func(*SimConfig){
+		"cycles":   func(c *SimConfig) { c.Cycles = 50001 },
+		"seed":     func(c *SimConfig) { c.Seed = 8 },
+		"maxBurst": func(c *SimConfig) { c.MaxBurst = 8 },
+		"arbiter":  func(c *SimConfig) { c.Arbiter.Kind = "priority" },
+		"load":     func(c *SimConfig) { c.Masters[0].Traffic.Load = 0.31 },
+		"weight":   func(c *SimConfig) { c.Masters[0].Weight = 2 },
+		"retries":  func(c *SimConfig) { c.Resilience = &ResilienceConfig{RetryLimit: 3} },
+	}
+	for name, mutate := range diff {
+		c := base()
+		mutate(c)
+		got, err := c.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bytes.Equal(got, want) {
+			t.Fatalf("%s: canonical form ignores a parameter Build reads", name)
+		}
+	}
+}
+
+// TestCanonicalTDMADefaults proves the TDMA wheels keep (and default)
+// SlotsPerWeight while every other kind collapses it.
+func TestCanonicalTDMADefaults(t *testing.T) {
+	cfg := SampleConfig()
+	cfg.Arbiter = ArbiterConfig{Kind: "tdma"}
+	implicit, err := cfg.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Arbiter.SlotsPerWeight = 16
+	explicit, err := cfg.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(implicit, explicit) {
+		t.Fatal("tdma slotsPerWeight default not materialized")
+	}
+	cfg.Arbiter.SlotsPerWeight = 4
+	four, err := cfg.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(four, explicit) {
+		t.Fatal("tdma slotsPerWeight not part of the canonical form")
+	}
+}
+
+// TestCanonicalFaultSeed proves an implicit fault seed canonicalizes
+// to the same bytes as the explicitly spelled-out derivation.
+func TestCanonicalFaultSeed(t *testing.T) {
+	cfg := SampleConfig()
+	cfg.Faults = &lotterybus.FaultConfig{SlaveError: 0.02}
+	implicit, err := cfg.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults.Seed = prng.Derive(cfg.Seed, "lotterybus/fault")
+	explicit, err := cfg.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(implicit, explicit) {
+		t.Fatal("implicit fault seed not materialized to the derived value")
+	}
+}

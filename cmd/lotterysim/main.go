@@ -41,9 +41,11 @@ import (
 
 	"lotterybus"
 	"lotterybus/internal/analytic"
+	"lotterybus/internal/cache"
 	"lotterybus/internal/obs"
 	"lotterybus/internal/prof"
 	"lotterybus/internal/runner"
+	"lotterybus/internal/stats"
 )
 
 func main() {
@@ -69,6 +71,8 @@ func realMain() (code int) {
 	parallel := flag.Int("parallel", 0,
 		"replica workers (0 = $"+runner.EnvVar+" then GOMAXPROCS, 1 = serial)")
 	audit := flag.Bool("check", false, "audit conservation/accounting invariants after each replica; any violation exits 1")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory: replicas whose (canonical config, seed) digest is already stored replay from the cache instead of simulating")
+	noCache := flag.Bool("no-cache", false, "ignore -cache-dir and always simulate (the cache A/B switch)")
 	journalPath := flag.String("journal", "", "append structured JSONL run events to this file")
 	listen := flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /debug/vars JSON); keeps serving after the run until interrupted")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -142,11 +146,24 @@ func realMain() (code int) {
 		fmt.Fprintf(os.Stderr, "lotterysim: telemetry on http://%s (/metrics, /debug/vars)\n", srv.Addr())
 	}
 
+	// The run_start event carries the canonical effective configuration
+	// — every default materialized, every ignored field zeroed — so a
+	// journal line is reproducible on its own and two journals of
+	// equivalent configs compare equal. The same bytes feed the result
+	// cache keys below.
+	canonical, err := cfg.Canonical()
+	if err != nil {
+		return fail(err)
+	}
 	j.Emit("run_start", map[string]any{
-		"tool": "lotterysim", "cycles": cfg.Cycles, "seed": cfg.Seed,
-		"arbiter": cfg.Arbiter.Kind, "masters": len(cfg.Masters),
+		"tool": "lotterysim", "config": json.RawMessage(canonical),
 		"replicate": *replicate, "parallel": runner.Workers(*parallel),
 	})
+
+	var resultCache *cache.Cache
+	if *cacheDir != "" && !*noCache {
+		resultCache = cache.New(*cacheDir)
+	}
 
 	// Analytic short-circuit: when the regime classifier proves the
 	// point idle or saturated, the long-run statistics are known in
@@ -164,7 +181,7 @@ func realMain() (code int) {
 	}
 
 	if *lanes {
-		return runLanes(cfg, *replicate, *parallel, *audit, j, reg, prog, srv)
+		return runLanes(cfg, *replicate, *parallel, *audit, resultCache, j, reg, prog, srv)
 	}
 
 	if *replicate > 1 {
@@ -190,15 +207,35 @@ func realMain() (code int) {
 			if err != nil {
 				return replicaOut{}, err
 			}
-			if err := sys.Run(c.Cycles); err != nil {
+			key, err := replicaKey(resultCache, &c)
+			if err != nil {
 				return replicaOut{}, err
 			}
-			out := replicaOut{rep: sys.Report()}
+			// -check audits a live system, so it forces a simulation; the
+			// result is still Put so the run warms the cache.
+			col, src, err := runCached(resultCache, key, *audit, func() (*stats.Collector, error) {
+				if err := sys.Run(c.Cycles); err != nil {
+					return nil, err
+				}
+				return sys.Collector(), nil
+			})
+			if err != nil {
+				return replicaOut{}, err
+			}
+			var out replicaOut
+			if src == cache.SourceComputed {
+				out.rep = sys.Report()
+			} else {
+				out.rep = sys.ReportFor(col)
+				j.Emit("cache_hit", map[string]any{
+					"replica": i, "key": key.String(), "source": src.String(),
+				})
+			}
 			if *audit {
 				out.viol = sys.CheckInvariants()
 			}
 			pt := obs.NewRegistry()
-			sys.RecordObs(pt, obs.Labels{"replica": strconv.Itoa(i)})
+			sys.RecordObsFor(col, pt, obs.Labels{"replica": strconv.Itoa(i)})
 			if err := reg.Merge(pt); err != nil {
 				return replicaOut{}, err
 			}
@@ -216,21 +253,42 @@ func realMain() (code int) {
 			code = reportViolations(j, i, out.viol, code)
 		}
 		emitRunEnd(j, reports)
-		return serveUntilInterrupt(srv, code)
+		return finishRun(resultCache, reg, srv, code)
 	}
 
 	sys, err := cfg.Build()
 	if err != nil {
 		return fail(err)
 	}
+	// Tracing and auditing observe a live run, so they force a
+	// simulation even on a cached key (the result is still Put).
+	forceSim := *vcdPath != "" || *waveform > 0 || *audit
 	if *vcdPath != "" || *waveform > 0 {
 		sys.EnableTrace(0)
 	}
-	if err := sys.Run(cfg.Cycles); err != nil {
+	key, err := replicaKey(resultCache, cfg)
+	if err != nil {
 		return fail(err)
 	}
-	rep := sys.Report()
-	sys.RecordObs(reg, obs.Labels{"replica": "0"})
+	col, src, err := runCached(resultCache, key, forceSim, func() (*stats.Collector, error) {
+		if err := sys.Run(cfg.Cycles); err != nil {
+			return nil, err
+		}
+		return sys.Collector(), nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	var rep lotterybus.Report
+	if src == cache.SourceComputed {
+		rep = sys.Report()
+	} else {
+		rep = sys.ReportFor(col)
+		j.Emit("cache_hit", map[string]any{
+			"replica": 0, "key": key.String(), "source": src.String(),
+		})
+	}
+	sys.RecordObsFor(col, reg, obs.Labels{"replica": "0"})
 	prog.Step()
 	emitReplica(j, 0, cfg.Seed, rep)
 	fmt.Println(rep)
@@ -253,28 +311,114 @@ func realMain() (code int) {
 		fmt.Printf("\nVCD written to %s\n", *vcdPath)
 	}
 	emitRunEnd(j, []lotterybus.Report{rep})
+	return finishRun(resultCache, reg, srv, code)
+}
+
+// replicaKey derives one replica's cache key from its canonical
+// effective configuration (which embeds the replica's seed). With no
+// cache configured the key is unused; skip the work.
+func replicaKey(rc *cache.Cache, c *SimConfig) (cache.Key, error) {
+	if rc == nil {
+		return cache.Key{}, nil
+	}
+	canon, err := c.Canonical()
+	if err != nil {
+		return cache.Key{}, err
+	}
+	return cache.KeyOf(canon, c.Seed, ""), nil
+}
+
+// runCached resolves one replica through the result cache: a lookup,
+// then — on a miss or with no cache — exactly one simulation via run.
+// forceSim bypasses the read side (flags like -check and -vcd exist to
+// observe a live run) but still publishes the result, so even an
+// auditing run warms the cache.
+func runCached(rc *cache.Cache, key cache.Key, forceSim bool, run func() (*stats.Collector, error)) (*stats.Collector, cache.Source, error) {
+	if forceSim {
+		col, err := run()
+		if err != nil {
+			return nil, cache.SourceComputed, err
+		}
+		rc.Put(key, col) // nil-safe no-op without a cache
+		return col, cache.SourceComputed, nil
+	}
+	return rc.GetOrCompute(key, run)
+}
+
+// finishRun records the cache outcome in the registry and on stderr,
+// then hands off to the telemetry server's interrupt wait.
+func finishRun(rc *cache.Cache, reg *obs.Registry, srv *obs.Server, code int) int {
+	if rc != nil {
+		s := rc.Stats()
+		obs.RecordCacheStats(reg, obs.Labels{"tool": "lotterysim"}, s)
+		fmt.Fprintf(os.Stderr,
+			"lotterysim: cache: %d hits (%d memory, %d disk), %d misses, %d evicted, %d B read, %d B written\n",
+			s.Hits(), s.MemoryHits, s.DiskHits, s.Misses, s.Evictions, s.BytesRead, s.BytesWritten)
+	}
 	return serveUntilInterrupt(srv, code)
 }
 
 // runLanes runs all replicas through the lane-batched engine and prints
 // the same per-replica reports, in the same format, as the scalar
 // replicate path — each replica is bit-identical to its scalar twin.
-func runLanes(cfg *SimConfig, replicas, parallel int, audit bool, j *obs.Journal, reg *obs.Registry, prog *obs.Progress, srv *obs.Server) int {
+// Because scalar and lane replicas are bit-identical, they share cache
+// entries: a lane run replays a scalar run's cache and vice versa, and
+// when every lane's key hits (and -check does not demand a live
+// engine), the fused Run is skipped entirely.
+func runLanes(cfg *SimConfig, replicas, parallel int, audit bool, rc *cache.Cache, j *obs.Journal, reg *obs.Registry, prog *obs.Progress, srv *obs.Server) int {
 	code := 0
 	rs, err := cfg.BuildReplicaSet(replicas)
 	if err != nil {
 		return fail(err)
 	}
 	rs.SetParallel(parallel)
-	if err := rs.Run(cfg.Cycles); err != nil {
-		return fail(err)
+
+	keys := make([]cache.Key, replicas)
+	cols := make([]*stats.Collector, replicas)
+	srcs := make([]cache.Source, replicas)
+	hits := 0
+	if rc != nil {
+		for i := 0; i < replicas; i++ {
+			c := *cfg
+			c.Seed = cfg.Seed + uint64(i)
+			if keys[i], err = replicaKey(rc, &c); err != nil {
+				return fail(err)
+			}
+			if !audit {
+				if col, src, ok := rc.Get(keys[i]); ok {
+					cols[i], srcs[i] = col, src
+					hits++
+				}
+			}
+		}
+	}
+	// All replicas cached: replay without running. Collector(0) forces
+	// the engine's lazy build so master and arbiter names resolve; a nil
+	// return means the build failed — fall through to Run for the real
+	// error.
+	warm := rc != nil && !audit && hits == replicas && rs.Collector(0) != nil
+	if !warm {
+		if err := rs.Run(cfg.Cycles); err != nil {
+			return fail(err)
+		}
 	}
 	reports := make([]lotterybus.Report, replicas)
 	for i := 0; i < replicas; i++ {
-		rep := rs.Report(i)
+		var rep lotterybus.Report
+		col := cols[i]
+		if col != nil {
+			rep = rs.ReportFor(i, col)
+			j.Emit("cache_hit", map[string]any{
+				"replica": i, "key": keys[i].String(), "source": srcs[i].String(),
+			})
+		} else {
+			col = rs.Collector(i)
+			rep = rs.Report(i)
+			rc.Put(keys[i], col) // nil-safe no-op without a cache
+		}
 		reports[i] = rep
 		pt := obs.NewRegistry()
-		rs.RecordObs(i, pt, obs.Labels{"replica": strconv.Itoa(i)})
+		rs.RecordObsFor(col, pt, obs.Labels{"replica": strconv.Itoa(i)})
 		if err := reg.Merge(pt); err != nil {
 			return fail(err)
 		}
@@ -290,7 +434,7 @@ func runLanes(cfg *SimConfig, replicas, parallel int, audit bool, j *obs.Journal
 		}
 	}
 	emitRunEnd(j, reports)
-	return serveUntilInterrupt(srv, code)
+	return finishRun(rc, reg, srv, code)
 }
 
 // analyticShortCircuit classifies the configured point; when it is

@@ -9,6 +9,7 @@
 //	           regimes|degradation|babble]
 //	          [-cycles N] [-seed S] [-parallel W] [-csv DIR]
 //	          [-lanes] [-no-analytic]
+//	          [-cache-dir DIR] [-no-cache]
 //	          [-journal FILE] [-progress]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -17,6 +18,12 @@
 // error against the closed form is reported. With -lanes, experiments
 // that support it run on the lane-batched engine; results are
 // bit-identical to the scalar engine's.
+//
+// With -cache-dir DIR, the cache-wired sweeps (Figs. 4, 6a, 6b, 12a,
+// 12b, 12b1, 12c) resolve each point through a content-addressed result
+// cache persisted under DIR: a second invocation with the same cycles
+// and seed replays those points from verified snapshots instead of
+// simulating, with bit-identical output. -no-cache is the A/B switch.
 //
 // With -csv DIR, every table and figure is additionally written as an
 // RFC-4180 CSV file under DIR for downstream plotting; the latency
@@ -37,6 +44,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"lotterybus/internal/cache"
 	"lotterybus/internal/expt"
 	"lotterybus/internal/obs"
 	"lotterybus/internal/prof"
@@ -59,6 +67,8 @@ func realMain() (code int) {
 	csvDir := flag.String("csv", "", "also write each table/figure as CSV into this directory")
 	lanesFlag := flag.Bool("lanes", false, "run lane-engine-capable experiments (regimes) on the lane-batched engine; results are bit-identical")
 	noAnalytic := flag.Bool("no-analytic", false, "disable the analytic short-circuit: simulate every sweep point and report the share error against the closed forms")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory: sweep points whose key is already stored replay from the cache instead of simulating")
+	noCache := flag.Bool("no-cache", false, "ignore -cache-dir and always simulate (the cache A/B switch)")
 	journalPath := flag.String("journal", "", "append structured JSONL run events to this file")
 	progress := flag.Bool("progress", false, "print a progress heartbeat (done/total, elapsed, ETA) to stderr after each section")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -98,8 +108,17 @@ func realMain() (code int) {
 
 	o := expt.Options{Cycles: *cycles, Seed: *seed, Parallel: *parallel,
 		Lanes: *lanesFlag, NoAnalytic: *noAnalytic}
+	if *cacheDir != "" && !*noCache {
+		o.Cache = cache.New(*cacheDir)
+	}
 	if err := run(os.Stdout, *fig, o, *csvDir, j); err != nil {
 		return fail(err)
+	}
+	if o.Cache != nil {
+		s := o.Cache.Stats()
+		fmt.Fprintf(os.Stderr,
+			"paperfigs: cache: %d hits (%d memory, %d disk), %d misses, %d evicted, %d B read, %d B written\n",
+			s.Hits(), s.MemoryHits, s.DiskHits, s.Misses, s.Evictions, s.BytesRead, s.BytesWritten)
 	}
 	return code
 }

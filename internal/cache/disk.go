@@ -1,0 +1,68 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// diskStore is the persistent layer: one file per key, named by the
+// key's hex digest with a .lbc extension, in a single flat directory.
+// Writes go to a temp file in the same directory followed by an atomic
+// rename, so a reader (or a crash) can never observe a half-written
+// entry — at worst a torn file fails snapshot validation and is
+// evicted.
+type diskStore struct {
+	dir string
+}
+
+// snapshotExt is the cache-file extension ("lotterybus cache").
+const snapshotExt = ".lbc"
+
+func newDiskStore(dir string) *diskStore { return &diskStore{dir: dir} }
+
+// path returns the entry file for key.
+func (d *diskStore) path(key Key) string {
+	return filepath.Join(d.dir, key.String()+snapshotExt)
+}
+
+// read returns the stored bytes for key, or nil when absent. I/O
+// errors degrade to a miss: the cache is an accelerator, never a
+// correctness dependency.
+func (d *diskStore) read(key Key) ([]byte, error) {
+	b, err := os.ReadFile(d.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
+// write persists enc under key atomically.
+func (d *diskStore) write(key Key, enc []byte) error {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, "tmp-*"+snapshotExt)
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(enc); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// remove deletes the entry for key (eviction of a corrupt file).
+func (d *diskStore) remove(key Key) { os.Remove(d.path(key)) }

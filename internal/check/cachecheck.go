@@ -1,0 +1,135 @@
+package check
+
+import (
+	"fmt"
+
+	"lotterybus/internal/cache"
+	"lotterybus/internal/runner"
+	"lotterybus/internal/stats"
+)
+
+// This file proves the result cache exact over the verification grid:
+// a cold pass simulates every cell through one cache, a warm pass
+// resolves the same keys through another (typically a fresh instance
+// over the same directory, or the same instance for the memory layer),
+// and every warm cell must be a hit with a collector fingerprint
+// identical to the cold run's. Any divergence — a warm cell that
+// simulated, or a fingerprint that moved — is a cache defect, because
+// cached and uncached runs are bit-identical by construction.
+
+// CacheCell is one grid cell's cold/warm outcome.
+type CacheCell struct {
+	// Name is the cell's grid coordinates (config/arbiter/traffic).
+	Name string
+	// Cold and Warm are the collector fingerprints of the two passes.
+	Cold, Warm uint64
+	// WarmSource says where the warm pass got its result; anything but a
+	// cache layer (SourceComputed) means the warm pass simulated.
+	WarmSource cache.Source
+}
+
+// CacheEquivalenceResult is the outcome of a full cold/warm sweep.
+type CacheEquivalenceResult struct {
+	Cycles int64
+	Cells  []CacheCell
+}
+
+// Mismatches counts cells whose warm fingerprint differs from cold.
+func (r *CacheEquivalenceResult) Mismatches() int {
+	n := 0
+	for _, c := range r.Cells {
+		if c.Cold != c.Warm {
+			n++
+		}
+	}
+	return n
+}
+
+// WarmMisses counts warm-pass cells that fell through to simulation.
+func (r *CacheEquivalenceResult) WarmMisses() int {
+	n := 0
+	for _, c := range r.Cells {
+		if c.WarmSource == cache.SourceComputed {
+			n++
+		}
+	}
+	return n
+}
+
+// cellKey derives one grid cell's cache key. The variant pins the
+// engine: the grid's naive/fast A/B runs exist to be computed
+// independently and compared, so they must never share an entry.
+func cellKey(name string, cycles int64) cache.Key {
+	desc := fmt.Sprintf("lotterybus/check/grid|%s|cycles=%d", name, cycles)
+	return cache.KeyOf([]byte(desc), 0, "fast")
+}
+
+// CacheEquivalence runs the full 6×9×6 verification grid twice on the
+// fast-forward engine — a cold pass resolved through cold, a warm pass
+// through warm — and reports both passes' fingerprints and the warm
+// sources. Pass the same instance twice to prove the memory layer, or
+// two instances over one directory to prove the persistent layer; the
+// caller asserts Mismatches() == 0 and WarmMisses() == 0. Cells run on
+// workers goroutines; cycles <= 0 selects 20000.
+func CacheEquivalence(cycles int64, workers int, cold, warm *cache.Cache) (*CacheEquivalenceResult, error) {
+	if cycles <= 0 {
+		cycles = 20000
+	}
+	type coord struct {
+		bc BusConfig
+		am ArbMaker
+		gm GenMaker
+	}
+	var coords []coord
+	for _, bc := range BusConfigs() {
+		for _, am := range Arbiters() {
+			for _, gm := range TrafficClasses() {
+				coords = append(coords, coord{bc, am, gm})
+			}
+		}
+	}
+	pass := func(c *cache.Cache, i int) (uint64, cache.Source, error) {
+		co := coords[i]
+		name := co.bc.Name + "/" + co.am.Name + "/" + co.gm.Name
+		col, src, err := c.GetOrCompute(cellKey(name, cycles), func() (*stats.Collector, error) {
+			b, err := Build(co.bc, co.am, co.gm, false)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.Run(cycles); err != nil {
+				return nil, fmt.Errorf("check: %s: %w", name, err)
+			}
+			return b.Collector(), nil
+		})
+		if err != nil {
+			return 0, src, err
+		}
+		return col.Fingerprint(), src, nil
+	}
+	cells, err := runner.Map(runner.Workers(workers), len(coords), func(i int) (CacheCell, error) {
+		co := coords[i]
+		cell := CacheCell{Name: co.bc.Name + "/" + co.am.Name + "/" + co.gm.Name}
+		var err error
+		if cell.Cold, _, err = pass(cold, i); err != nil {
+			return CacheCell{}, err
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The warm pass starts only after every cold cell has published, so
+	// a warm hit can never be satisfied by the warm pass's own writes.
+	cells, err = runner.Map(runner.Workers(workers), len(coords), func(i int) (CacheCell, error) {
+		cell := cells[i]
+		var err error
+		if cell.Warm, cell.WarmSource, err = pass(warm, i); err != nil {
+			return CacheCell{}, err
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CacheEquivalenceResult{Cycles: cycles, Cells: cells}, nil
+}

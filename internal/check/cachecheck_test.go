@@ -1,0 +1,64 @@
+package check
+
+import (
+	"testing"
+
+	"lotterybus/internal/cache"
+)
+
+// runCacheEquivalence asserts one cold/warm sweep is exact: every warm
+// cell a hit, every fingerprint unchanged.
+func runCacheEquivalence(t *testing.T, cold, warm *cache.Cache) *CacheEquivalenceResult {
+	t.Helper()
+	res, err := CacheEquivalence(2000, 0, cold, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Cells); got != 6*9*6 {
+		t.Fatalf("grid has %d cells, want %d", got, 6*9*6)
+	}
+	if n := res.WarmMisses(); n != 0 {
+		t.Errorf("%d warm cells simulated instead of hitting the cache", n)
+	}
+	if n := res.Mismatches(); n != 0 {
+		for _, c := range res.Cells {
+			if c.Cold != c.Warm {
+				t.Errorf("%s: cold fingerprint %#x, warm %#x (source %s)",
+					c.Name, c.Cold, c.Warm, c.WarmSource)
+			}
+		}
+	}
+	return res
+}
+
+// TestCacheEquivalenceMemory proves the in-memory layer exact over the
+// full verification grid: warm cells replay from memory with identical
+// fingerprints.
+func TestCacheEquivalenceMemory(t *testing.T) {
+	c := cache.New("")
+	res := runCacheEquivalence(t, c, c)
+	for _, cell := range res.Cells {
+		if cell.WarmSource != cache.SourceMemory {
+			t.Fatalf("%s: warm source %s, want memory", cell.Name, cell.WarmSource)
+		}
+	}
+	if s := c.Stats(); s.Misses != int64(len(res.Cells)) || s.MemoryHits != int64(len(res.Cells)) {
+		t.Errorf("counters: %+v, want %d misses and %d memory hits", s, len(res.Cells), len(res.Cells))
+	}
+}
+
+// TestCacheEquivalenceDisk proves the persistent layer exact: a fresh
+// cache instance over the cold run's directory — a second process, in
+// effect — replays every cell from disk with identical fingerprints.
+func TestCacheEquivalenceDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("persistent grid sweep in -short mode")
+	}
+	dir := t.TempDir()
+	res := runCacheEquivalence(t, cache.New(dir), cache.New(dir))
+	for _, cell := range res.Cells {
+		if cell.WarmSource != cache.SourceDisk {
+			t.Fatalf("%s: warm source %s, want disk", cell.Name, cell.WarmSource)
+		}
+	}
+}

@@ -73,7 +73,7 @@ func RunSlackAblation(o Options) (*SlackAblation, error) {
 			return SlackRow{}, err
 		}
 		row := SlackRow{Policy: policy, Utilization: b.Collector().Utilization()}
-		copy(row.BW[:], bandwidths(b))
+		copy(row.BW[:], bandwidths(b.Collector()))
 		if d := mgr.Draws(); d > 0 {
 			row.RedrawRate = float64(mgr.Redraws()) / float64(d)
 		}

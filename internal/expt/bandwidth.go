@@ -83,19 +83,23 @@ func permutationSweep(o Options, arch string, mkArb func(assign []uint64) (bus.A
 	assigns := perm.Permutations([]uint64{1, 2, 3, 4})
 	bw, err := runner.Map(o.workers(), len(assigns), func(k int) ([]float64, error) {
 		assign := assigns[k]
-		a, err := mkArb(assign)
+		tag := arch + "/" + perm.Label(assign)
+		col, err := runPoint(o, tag, func() (*bus.Bus, error) {
+			a, err := mkArb(assign)
+			if err != nil {
+				return nil, err
+			}
+			b, err := newBusyBus(o, assign, tag)
+			if err != nil {
+				return nil, err
+			}
+			b.SetArbiter(a)
+			return b, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		b, err := newBusyBus(o, assign, arch+"/"+perm.Label(assign))
-		if err != nil {
-			return nil, err
-		}
-		b.SetArbiter(a)
-		if err := b.Run(o.Cycles); err != nil {
-			return nil, err
-		}
-		return bandwidths(b), nil
+		return bandwidths(col), nil
 	})
 	if err != nil {
 		return nil, err

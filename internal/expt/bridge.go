@@ -131,8 +131,8 @@ func RunBridge(o Options) (*BridgeResult, error) {
 		return nil, err
 	}
 	return &BridgeResult{
-		BusABW:          bandwidths(a),
-		BusBBW:          bandwidths(b),
+		BusABW:          bandwidths(a.Collector()),
+		BusBBW:          bandwidths(b.Collector()),
 		Forwarded:       br.Forwarded(),
 		EndToEndLatency: br.AvgEndToEndLatency(),
 		Dropped:         br.Dropped(),

@@ -21,6 +21,7 @@ import (
 
 	"lotterybus/internal/arb"
 	"lotterybus/internal/bus"
+	"lotterybus/internal/cache"
 	"lotterybus/internal/core"
 	"lotterybus/internal/prng"
 	"lotterybus/internal/runner"
@@ -50,6 +51,14 @@ type Options struct {
 	// simulates, even ones the regime classifier proves in closed form,
 	// and the simulated/analytic share error is recorded instead.
 	NoAnalytic bool
+	// Cache, when non-nil, is the content-addressed result cache the
+	// sweep experiments resolve their points through: a point whose
+	// (descriptor, cycles, seed) key is already stored replays from its
+	// snapshot instead of simulating, and concurrent workers landing on
+	// one key share a single simulation (singleflight). nil disables
+	// caching with no behavioural difference — cached and uncached runs
+	// are bit-identical.
+	Cache *cache.Cache
 }
 
 func (o Options) fill() Options {
@@ -153,10 +162,38 @@ func tdmaArbiter(weights []uint64, blockScale int) (bus.Arbiter, error) {
 	return arb.NewTDMA(arb.ContiguousWheel(slots), len(weights), true)
 }
 
+// pointKey derives the cache key for one sweep point. tag must name
+// the point unambiguously within the experiment namespace — the
+// architecture, the experiment, and every swept parameter — because
+// together with the run length and seed it is the entire content
+// address.
+func (o Options) pointKey(tag string) cache.Key {
+	desc := fmt.Sprintf("lotterybus/expt/v1|%s|cycles=%d", tag, o.Cycles)
+	return cache.KeyOf([]byte(desc), o.Seed, "expt")
+}
+
+// runPoint resolves one sweep point through the options' result cache.
+// On a miss (or with no cache) build constructs the fully configured
+// bus, which is simulated for o.Cycles and snapshotted; on a hit the
+// simulation is skipped and the stored collector — verified against
+// its embedded fingerprint and checksum — is returned.
+func runPoint(o Options, tag string, build func() (*bus.Bus, error)) (*stats.Collector, error) {
+	col, _, err := o.Cache.GetOrCompute(o.pointKey(tag), func() (*stats.Collector, error) {
+		b, err := build()
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Run(o.Cycles); err != nil {
+			return nil, err
+		}
+		return b.Collector(), nil
+	})
+	return col, err
+}
+
 // bandwidths returns per-master bandwidth fractions after a run.
-func bandwidths(b *bus.Bus) []float64 {
-	col := b.Collector()
-	out := make([]float64, b.NumMasters())
+func bandwidths(col *stats.Collector) []float64 {
+	out := make([]float64, col.N())
 	for i := range out {
 		out[i] = col.BandwidthFraction(i)
 	}
@@ -164,9 +201,8 @@ func bandwidths(b *bus.Bus) []float64 {
 }
 
 // latencies returns per-master per-word latencies after a run.
-func latencies(b *bus.Bus) []float64 {
-	col := b.Collector()
-	out := make([]float64, b.NumMasters())
+func latencies(col *stats.Collector) []float64 {
+	out := make([]float64, col.N())
 	for i := range out {
 		out[i] = col.PerWordLatency(i)
 	}
@@ -187,9 +223,8 @@ type Detail struct {
 }
 
 // details returns per-master latency distribution summaries after a run.
-func details(b *bus.Bus) []Detail {
-	col := b.Collector()
-	out := make([]Detail, b.NumMasters())
+func details(col *stats.Collector) []Detail {
+	out := make([]Detail, col.N())
 	for i := range out {
 		out[i] = Detail{Dist: col.LatencyDist(i), MaxWait: col.MaxStartWait(i)}
 	}

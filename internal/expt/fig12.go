@@ -71,19 +71,22 @@ func RunFig12a(o Options) (*Fig12a, error) {
 	}
 	pts, err := runner.Map(o.workers(), len(classes), func(k int) (point, error) {
 		class := classes[k]
-		a, err := lotteryArbiter(o, tickets, "fig12a/"+class.Name)
+		col, err := runPoint(o, "fig12a/"+class.Name, func() (*bus.Bus, error) {
+			a, err := lotteryArbiter(o, tickets, "fig12a/"+class.Name)
+			if err != nil {
+				return nil, err
+			}
+			b, err := newClassBus(o, class, tickets, "fig12a/"+class.Name)
+			if err != nil {
+				return nil, err
+			}
+			b.SetArbiter(a)
+			return b, nil
+		})
 		if err != nil {
 			return point{}, err
 		}
-		b, err := newClassBus(o, class, tickets, "fig12a/"+class.Name)
-		if err != nil {
-			return point{}, err
-		}
-		b.SetArbiter(a)
-		if err := b.Run(o.Cycles); err != nil {
-			return point{}, err
-		}
-		return point{bw: bandwidths(b), unutilized: 1 - b.Collector().Utilization()}, nil
+		return point{bw: bandwidths(col), unutilized: 1 - col.Utilization()}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -189,19 +192,26 @@ func latencySurface(o Options, arch string, mkArb func(class traffic.Class) (bus
 	}
 	pts, err := runner.Map(o.workers(), len(classes), func(k int) (point, error) {
 		class := classes[k]
-		a, err := mkArb(class)
+		// The cache tag carries the architecture even though the traffic
+		// tag deliberately does not (the three surfaces share identical
+		// traffic streams): the arbiters differ, so the results must not
+		// share a cache entry.
+		col, err := runPoint(o, arch+"/fig12bc/"+class.Name, func() (*bus.Bus, error) {
+			a, err := mkArb(class)
+			if err != nil {
+				return nil, err
+			}
+			b, err := newClassBus(o, class, weights, "fig12bc/"+class.Name)
+			if err != nil {
+				return nil, err
+			}
+			b.SetArbiter(a)
+			return b, nil
+		})
 		if err != nil {
 			return point{}, err
 		}
-		b, err := newClassBus(o, class, weights, "fig12bc/"+class.Name)
-		if err != nil {
-			return point{}, err
-		}
-		b.SetArbiter(a)
-		if err := b.Run(o.Cycles); err != nil {
-			return point{}, err
-		}
-		return point{lat: latencies(b), det: details(b)}, nil
+		return point{lat: latencies(col), det: details(col)}, nil
 	})
 	if err != nil {
 		return nil, err

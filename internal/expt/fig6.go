@@ -109,27 +109,33 @@ func Fig6b(o Options) (*LatencyComparison, error) {
 	weights := []uint64{1, 2, 3, 4}
 	res := &LatencyComparison{Class: class.Name}
 
-	run := func(mk func() (bus.Arbiter, error)) ([]float64, []Detail, error) {
-		a, err := mk()
+	// The cache tag carries the architecture; the traffic tag is "fig6b"
+	// for all three runs on purpose (identical streams), so the arch is
+	// what keeps their cache entries apart.
+	run := func(archTag string, mk func() (bus.Arbiter, error)) ([]float64, []Detail, error) {
+		col, err := runPoint(o, "fig6b/"+archTag, func() (*bus.Bus, error) {
+			a, err := mk()
+			if err != nil {
+				return nil, err
+			}
+			b, err := newClassBus(o, class, weights, "fig6b")
+			if err != nil {
+				return nil, err
+			}
+			b.SetArbiter(a)
+			return b, nil
+		})
 		if err != nil {
 			return nil, nil, err
 		}
-		b, err := newClassBus(o, class, weights, "fig6b")
-		if err != nil {
-			return nil, nil, err
-		}
-		b.SetArbiter(a)
-		if err := b.Run(o.Cycles); err != nil {
-			return nil, nil, err
-		}
-		return latencies(b), details(b), nil
+		return latencies(col), details(col), nil
 	}
 
 	if err := runner.Do(o.workers(),
 		// Two-level TDMA: contiguous reservation blocks sized in bursts.
 		func() error {
 			var err error
-			res.TDMA, res.TDMADetail, err = run(func() (bus.Arbiter, error) {
+			res.TDMA, res.TDMADetail, err = run("tdma-2level", func() (bus.Arbiter, error) {
 				return tdmaArbiter(weights, latencyWheelScale*class.MsgWords)
 			})
 			return err
@@ -137,7 +143,7 @@ func Fig6b(o Options) (*LatencyComparison, error) {
 		// Single-level TDMA: the pure timing wheel of the paper's Fig. 5.
 		func() error {
 			var err error
-			res.TDMA1, res.TDMA1Detail, err = run(func() (bus.Arbiter, error) {
+			res.TDMA1, res.TDMA1Detail, err = run("tdma-1level", func() (bus.Arbiter, error) {
 				slots := make([]int, len(weights))
 				for i, w := range weights {
 					slots[i] = int(w) * latencyWheelScale * class.MsgWords
@@ -149,7 +155,7 @@ func Fig6b(o Options) (*LatencyComparison, error) {
 		// LOTTERYBUS under the identical traffic (same seed derivation).
 		func() error {
 			var err error
-			res.Lottery, res.LotteryDetail, err = run(func() (bus.Arbiter, error) {
+			res.Lottery, res.LotteryDetail, err = run("lotterybus", func() (bus.Arbiter, error) {
 				return lotteryArbiter(o, weights, "fig6b")
 			})
 			return err

@@ -3,6 +3,8 @@ package expt
 import (
 	"fmt"
 	"testing"
+
+	"lotterybus/internal/cache"
 )
 
 // TestParallelDeterminism proves the tentpole property of the sweep
@@ -59,6 +61,75 @@ func TestParallelDeterminism(t *testing.T) {
 			ws, gs := fmt.Sprintf("%#v", want), fmt.Sprintf("%#v", got)
 			if ws != gs {
 				t.Errorf("parallel result diverged from serial:\nserial:   %s\nparallel: %s", ws, gs)
+			}
+		})
+	}
+}
+
+// TestCachedDeterminism proves the result cache is invisible to the
+// numbers. For every cache-wired experiment: a cold run that populates
+// the cache, a warm replay from it, and warm replays at several worker
+// counts all reproduce the uncached serial baseline bit for bit (the
+// same %#v comparison as TestParallelDeterminism); the warm runs
+// simulate nothing (miss count frozen after the cold pass) and every
+// warm point is a hit.
+func TestCachedDeterminism(t *testing.T) {
+	experiments := []struct {
+		name   string
+		points int64 // distinct sweep points = expected cold misses
+		run    func(Options) (any, error)
+	}{
+		{"Fig4", 24, func(o Options) (any, error) { return Fig4(o) }},
+		{"Fig6a", 24, func(o Options) (any, error) { return Fig6a(o) }},
+		{"Fig6b", 3, func(o Options) (any, error) { return Fig6b(o) }},
+		{"Fig12a", 9, func(o Options) (any, error) { return RunFig12a(o) }},
+		{"Fig12b", 6, func(o Options) (any, error) { return RunFig12b(o) }},
+		{"Fig12c", 6, func(o Options) (any, error) { return RunFig12c(o) }},
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			base := Options{Cycles: 20000, Seed: 7, Parallel: 1}
+			want, err := e.run(base)
+			if err != nil {
+				t.Fatalf("uncached run: %v", err)
+			}
+			ws := fmt.Sprintf("%#v", want)
+
+			c := cache.New("")
+			cold := base
+			cold.Cache = c
+			cold.Parallel = 8
+			got, err := e.run(cold)
+			if err != nil {
+				t.Fatalf("cold cached run: %v", err)
+			}
+			if gs := fmt.Sprintf("%#v", got); gs != ws {
+				t.Fatalf("cold cached result diverged:\nwant: %s\n got: %s", ws, gs)
+			}
+			if s := c.Stats(); s.Misses != e.points {
+				t.Fatalf("cold pass: %d misses, want one per point (%d)", s.Misses, e.points)
+			}
+
+			for _, workers := range []int{1, 3, 8} {
+				warm := base
+				warm.Cache = c
+				warm.Parallel = workers
+				got, err := e.run(warm)
+				if err != nil {
+					t.Fatalf("warm run (%d workers): %v", workers, err)
+				}
+				if gs := fmt.Sprintf("%#v", got); gs != ws {
+					t.Errorf("warm result diverged (%d workers):\nwant: %s\n got: %s", workers, ws, gs)
+				}
+			}
+			s := c.Stats()
+			if s.Misses != e.points {
+				t.Errorf("warm runs simulated: miss count rose from %d to %d", e.points, s.Misses)
+			}
+			if s.Hits() != 3*e.points {
+				t.Errorf("warm runs: %d hits, want %d (every point, every run)", s.Hits(), 3*e.points)
 			}
 		})
 	}

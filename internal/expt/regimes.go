@@ -212,7 +212,7 @@ func simulateRegimePoint(o Options, kind, regime, tag string) ([]float64, float6
 	if err := b.Run(o.Cycles); err != nil {
 		return nil, 0, err
 	}
-	return bandwidths(b), b.Collector().Utilization(), nil
+	return bandwidths(b.Collector()), b.Collector().Utilization(), nil
 }
 
 // RunRegimes sweeps arbiter × traffic regime, short-circuiting every

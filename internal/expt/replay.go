@@ -138,7 +138,7 @@ func RunReplay(o Options) (*Replay, error) {
 			C4Latency:   col.PerWordLatency(3),
 			Utilization: col.Utilization(),
 		}
-		copy(row.BW[:], bandwidths(b))
+		copy(row.BW[:], bandwidths(b.Collector()))
 		return row, nil
 	})
 	if err != nil {

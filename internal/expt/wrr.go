@@ -80,7 +80,7 @@ func RunWRRComparison(o Options) (*WRRComparison, error) {
 			if err != nil {
 				return err
 			}
-			copy(res.LotteryBW[:], bandwidths(bl))
+			copy(res.LotteryBW[:], bandwidths(bl.Collector()))
 			res.LotteryLatency = bl.Collector().PerWordLatency(3)
 			res.LotteryJitter = bl.Collector().LatencyHistogram(3).StdDev()
 			return nil
@@ -92,7 +92,7 @@ func RunWRRComparison(o Options) (*WRRComparison, error) {
 			if err != nil {
 				return err
 			}
-			copy(res.WRRBW[:], bandwidths(bw))
+			copy(res.WRRBW[:], bandwidths(bw.Collector()))
 			res.WRRLatency = bw.Collector().PerWordLatency(3)
 			res.WRRJitter = bw.Collector().LatencyHistogram(3).StdDev()
 			return nil

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"lotterybus/internal/cache"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/topology"
 )
@@ -73,4 +74,26 @@ func RecordBridge(reg *Registry, labels Labels, name string, bs topology.BridgeS
 	reg.Counter("lotterybus_bridge_e2e_messages_total", "messages with measured end-to-end latency", l).Add(bs.E2EMessages)
 	reg.Counter("lotterybus_bridge_e2e_latency_cycles_total", "summed end-to-end latency of bridged messages", l).Add(bs.E2ELatencySum)
 	reg.Gauge("lotterybus_bridge_queued", "bridge FIFO occupancy at run end", l).Set(float64(bs.Queued))
+}
+
+// RecordCacheStats folds a result cache's counters into the registry,
+// batched at the end of the run like everything else here. Hits are
+// split by layer through a "source" label (memory/disk) so a warm
+// persistent replay is distinguishable from in-sweep dedup at a
+// glance.
+func RecordCacheStats(reg *Registry, labels Labels, s cache.Stats) {
+	bySource := func(source string) Labels {
+		l := make(Labels, len(labels)+1)
+		for k, v := range labels {
+			l[k] = v
+		}
+		l["source"] = source
+		return l
+	}
+	reg.Counter("lotterybus_cache_hits_total", "simulations served from the result cache", bySource("memory")).Add(s.MemoryHits)
+	reg.Counter("lotterybus_cache_hits_total", "simulations served from the result cache", bySource("disk")).Add(s.DiskHits)
+	reg.Counter("lotterybus_cache_misses_total", "cache lookups that fell through to simulation", labels).Add(s.Misses)
+	reg.Counter("lotterybus_cache_evictions_total", "corrupt or mismatched cache entries removed", labels).Add(s.Evictions)
+	reg.Counter("lotterybus_cache_bytes_read_total", "bytes read from the persistent cache", labels).Add(s.BytesRead)
+	reg.Counter("lotterybus_cache_bytes_written_total", "bytes written to the persistent cache", labels).Add(s.BytesWritten)
 }

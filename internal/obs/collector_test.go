@@ -8,6 +8,7 @@ import (
 
 	"lotterybus/internal/arb"
 	"lotterybus/internal/bus"
+	"lotterybus/internal/cache"
 	"lotterybus/internal/obs"
 	"lotterybus/internal/runner"
 	"lotterybus/internal/topology"
@@ -135,6 +136,33 @@ func TestRecordBridge(t *testing.T) {
 		`lotterybus_bridge_e2e_messages_total{bridge="A-B",experiment="bridge"} 7`,
 		`lotterybus_bridge_e2e_latency_cycles_total{bridge="A-B",experiment="bridge"} 91`,
 		`lotterybus_bridge_queued{bridge="A-B",experiment="bridge"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRecordCacheStats proves result-cache counters land in the
+// registry split by hit source, alongside miss/eviction/byte totals.
+func TestRecordCacheStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.RecordCacheStats(reg, obs.Labels{"tool": "lotterysim"}, cache.Stats{
+		MemoryHits: 5, DiskHits: 2, Misses: 3, Evictions: 1,
+		BytesRead: 4096, BytesWritten: 8192,
+	})
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lotterybus_cache_hits_total{source="memory",tool="lotterysim"} 5`,
+		`lotterybus_cache_hits_total{source="disk",tool="lotterysim"} 2`,
+		`lotterybus_cache_misses_total{tool="lotterysim"} 3`,
+		`lotterybus_cache_evictions_total{tool="lotterysim"} 1`,
+		`lotterybus_cache_bytes_read_total{tool="lotterysim"} 4096`,
+		`lotterybus_cache_bytes_written_total{tool="lotterysim"} 8192`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)

@@ -380,7 +380,28 @@ type Report struct {
 
 // Report returns the current simulation statistics.
 func (s *System) Report() Report {
-	col := s.b.Collector()
+	return s.reportFrom(s.b.Collector(), true)
+}
+
+// Collector returns the system's statistics collector — the complete
+// numeric outcome of the simulation so far. It is what the result
+// cache (internal/cache) snapshots: every Report/RecordObs value
+// except live queue depths derives from it.
+func (s *System) Collector() *stats.Collector { return s.b.Collector() }
+
+// ReportFor builds the Report this system would produce had col been
+// its collector — the warm path of the result cache, where a hit's
+// decoded snapshot replaces a simulation. Dropped comes from the
+// collector's in-run drop counter (identical to the live counter for
+// generator-driven runs) and Queued is zero: queue depth is
+// transient bus state, deliberately outside the cached result.
+func (s *System) ReportFor(col *stats.Collector) Report {
+	return s.reportFrom(col, false)
+}
+
+// reportFrom renders col; live selects the bus's master-side drop and
+// queue-depth counters over the collector-only view.
+func (s *System) reportFrom(col *stats.Collector, live bool) Report {
 	r := Report{
 		Cycles:      col.Cycles(),
 		Utilization: col.Utilization(),
@@ -391,6 +412,10 @@ func (s *System) Report() Report {
 	for i := 0; i < s.b.NumMasters(); i++ {
 		m := s.b.Master(i)
 		d := col.LatencyDist(i)
+		dropped, queued := col.Drops(i), 0
+		if live {
+			dropped, queued = m.Dropped(), m.QueueLen()
+		}
 		r.Masters = append(r.Masters, MasterReport{
 			Name:              m.Name(),
 			Weight:            s.weights[i],
@@ -404,8 +429,8 @@ func (s *System) Report() Report {
 			MaxStartWait:      col.MaxStartWait(i),
 			Messages:          col.Messages(i),
 			Words:             col.Words(i),
-			Dropped:           m.Dropped(),
-			Queued:            m.QueueLen(),
+			Dropped:           dropped,
+			Queued:            queued,
 			Retries:           col.Retries(i),
 			Aborts:            col.Aborts(i),
 			SplitTimeouts:     col.SplitTimeouts(i),
@@ -471,11 +496,18 @@ func (r Report) String() string {
 // fast-forward engine — the telemetry endpoint and sweep aggregation
 // both build on this single coupling point.
 func (s *System) RecordObs(reg *obs.Registry, labels obs.Labels) {
+	s.RecordObsFor(s.b.Collector(), reg, labels)
+}
+
+// RecordObsFor is RecordObs over an explicit collector — used by the
+// result cache's warm path, where a decoded snapshot stands in for a
+// simulation that never ran in this process.
+func (s *System) RecordObsFor(col *stats.Collector, reg *obs.Registry, labels obs.Labels) {
 	names := make([]string, s.b.NumMasters())
 	for i := range names {
 		names[i] = s.b.Master(i).Name()
 	}
-	obs.RecordRun(reg, labels, names, s.b.Collector())
+	obs.RecordRun(reg, labels, names, col)
 }
 
 // CheckInvariants audits the simulation's conservation and accounting

@@ -5,6 +5,7 @@ import (
 	"lotterybus/internal/lanes"
 	"lotterybus/internal/obs"
 	"lotterybus/internal/prng"
+	"lotterybus/internal/stats"
 )
 
 // ReplicaSet simulates N independent seed-replicas of one system — the
@@ -168,10 +169,31 @@ func (r *ReplicaSet) Cycle() int64 { return r.eng.Cycle() }
 // repeatedly. Replicas run sharded across SetParallel workers.
 func (r *ReplicaSet) Run(n int64) error { return r.eng.Run(n) }
 
+// Collector returns replica l's statistics collector, or nil before
+// the engine is built by the first Run — the value the result cache
+// snapshots per replica.
+func (r *ReplicaSet) Collector(replica int) *stats.Collector {
+	return r.eng.Collector(replica)
+}
+
 // Report returns replica l's simulation statistics — field for field
 // what a scalar System at Seed+l reports.
 func (r *ReplicaSet) Report(replica int) Report {
-	col := r.eng.Collector(replica)
+	return r.reportFrom(r.eng.Collector(replica), replica, true)
+}
+
+// ReportFor builds the Report replica `replica` would produce had col
+// been its collector — the result cache's warm path (see
+// System.ReportFor): Dropped comes from the collector's in-run drop
+// counter and Queued is zero.
+func (r *ReplicaSet) ReportFor(replica int, col *stats.Collector) Report {
+	return r.reportFrom(col, replica, false)
+}
+
+// reportFrom renders col as replica `replica`'s report; live selects
+// the engine's drop and queue-depth counters over the collector-only
+// view.
+func (r *ReplicaSet) reportFrom(col *stats.Collector, replica int, live bool) Report {
 	if col == nil {
 		return Report{}
 	}
@@ -182,6 +204,10 @@ func (r *ReplicaSet) Report(replica int) Report {
 	}
 	for i := 0; i < r.eng.NumMasters(); i++ {
 		d := col.LatencyDist(i)
+		dropped, queued := col.Drops(i), 0
+		if live {
+			dropped, queued = r.eng.Dropped(replica, i), r.eng.QueueLen(replica, i)
+		}
 		rep.Masters = append(rep.Masters, MasterReport{
 			Name:              r.eng.MasterName(i),
 			Weight:            r.weights[i],
@@ -195,8 +221,8 @@ func (r *ReplicaSet) Report(replica int) Report {
 			MaxStartWait:      col.MaxStartWait(i),
 			Messages:          col.Messages(i),
 			Words:             col.Words(i),
-			Dropped:           r.eng.Dropped(replica, i),
-			Queued:            r.eng.QueueLen(replica, i),
+			Dropped:           dropped,
+			Queued:            queued,
 			Retries:           col.Retries(i),
 			Aborts:            col.Aborts(i),
 			SplitTimeouts:     col.SplitTimeouts(i),
@@ -211,7 +237,12 @@ func (r *ReplicaSet) Report(replica int) Report {
 // RecordObs folds replica l's statistics into an observability registry
 // under the given labels (see System.RecordObs).
 func (r *ReplicaSet) RecordObs(replica int, reg *obs.Registry, labels obs.Labels) {
-	col := r.eng.Collector(replica)
+	r.RecordObsFor(r.eng.Collector(replica), reg, labels)
+}
+
+// RecordObsFor is RecordObs over an explicit collector (the result
+// cache's warm path; see System.RecordObsFor).
+func (r *ReplicaSet) RecordObsFor(col *stats.Collector, reg *obs.Registry, labels obs.Labels) {
 	if col == nil {
 		return
 	}

@@ -15,12 +15,19 @@
 #      tree's scalar per-cycle cost, and — when the baseline tree already
 #      has internal/lanes — must itself stay within TOLERANCE of the
 #      baseline lane cost.
+#   3. Cache gate (current tree only, no baseline needed): a warm sweep
+#      replayed from the result cache (BenchmarkSparseSweepWarm,
+#      internal/expt) must be at least CACHE_SPEEDUP x faster than the
+#      same sweep simulated cold on the fast-forward engine
+#      (BenchmarkSparseSweepFast). Gate 1 separately proves the hot loop
+#      itself did not pay for the cache.
 #
 #   baseline ref = $LOTTERYBUS_BENCH_BASE, else HEAD when the working
 #                  tree is dirty (local use), else merge-base with
 #                  origin/main, else HEAD~1 (a push to main)
 #   tolerance    = $LOTTERYBUS_BENCH_TOLERANCE (fractional, default 0.02)
 #   lane speedup = $LOTTERYBUS_LANES_SPEEDUP (factor, default 2.0)
+#   cache speedup= $LOTTERYBUS_CACHE_SPEEDUP (factor, default 5.0)
 #
 # All test binaries are compiled up front and run in alternating rounds,
 # scoring each side by its minimum ns/op: interleaving means
@@ -32,9 +39,12 @@ cd "$(dirname "$0")/.."
 
 TOLERANCE="${LOTTERYBUS_BENCH_TOLERANCE:-0.02}"
 LANES_SPEEDUP="${LOTTERYBUS_LANES_SPEEDUP:-2.0}"
+CACHE_SPEEDUP="${LOTTERYBUS_CACHE_SPEEDUP:-5.0}"
 ROUNDS="${LOTTERYBUS_BENCH_ROUNDS:-5}"
 BENCH='BenchmarkBusCycleSaturated4Masters'
 LANE_BENCH='BenchmarkLaneCycleSaturated4Masters'
+COLD_BENCH='BenchmarkSparseSweepFast'
+WARM_BENCH='BenchmarkSparseSweepWarm'
 
 base_ref="${LOTTERYBUS_BENCH_BASE:-}"
 if [ -z "$base_ref" ] && ! git diff --quiet HEAD; then
@@ -58,6 +68,7 @@ echo "benchguard: baseline $(git rev-parse --short "$base_ref"), tolerance ${TOL
 (cd "$worktree" && go test -c -o "$bindir/base.test" ./internal/bus/)
 go test -c -o "$bindir/cur.test" ./internal/bus/
 go test -c -o "$bindir/cur-lanes.test" ./internal/lanes/
+go test -c -o "$bindir/cur-expt.test" ./internal/expt/
 base_has_lanes=0
 if [ -d "$worktree/internal/lanes" ]; then
   base_has_lanes=1
@@ -79,19 +90,24 @@ run_once base "$BENCH" >/dev/null
 run_once cur "$BENCH" >/dev/null
 run_once cur-lanes "$LANE_BENCH" >/dev/null
 [ "$base_has_lanes" = 1 ] && run_once base-lanes "$LANE_BENCH" >/dev/null
+run_once cur-expt "$COLD_BENCH" >/dev/null
 
-base_best='' cur_best='' lane_best='' base_lane_best=''
+base_best='' cur_best='' lane_best='' base_lane_best='' cold_best='' warm_best=''
 for _ in $(seq "$ROUNDS"); do
   b=$(run_once base "$BENCH")
   c=$(run_once cur "$BENCH")
   l=$(run_once cur-lanes "$LANE_BENCH")
-  if [ -z "$b" ] || [ -z "$c" ] || [ -z "$l" ]; then
-    echo "benchguard: benchmark produced no sample (base='$b' current='$c' lanes='$l')" >&2
+  cold=$(run_once cur-expt "$COLD_BENCH")
+  warm=$(run_once cur-expt "$WARM_BENCH")
+  if [ -z "$b" ] || [ -z "$c" ] || [ -z "$l" ] || [ -z "$cold" ] || [ -z "$warm" ]; then
+    echo "benchguard: benchmark produced no sample (base='$b' current='$c' lanes='$l' cold='$cold' warm='$warm')" >&2
     exit 1
   fi
   base_best=$(min "$b" "$base_best")
   cur_best=$(min "$c" "$cur_best")
   lane_best=$(min "$l" "$lane_best")
+  cold_best=$(min "$cold" "$cold_best")
+  warm_best=$(min "$warm" "$warm_best")
   if [ "$base_has_lanes" = 1 ]; then
     bl=$(run_once base-lanes "$LANE_BENCH")
     [ -n "$bl" ] && base_lane_best=$(min "$bl" "$base_lane_best")
@@ -121,5 +137,11 @@ if [ "$base_has_lanes" = 1 ] && [ -n "$base_lane_best" ]; then
     exit cur <= limit ? 0 : 1
   }' || fail=1
 fi
+
+awk -v warm="$warm_best" -v cold="$cold_best" -v need="$CACHE_SPEEDUP" 'BEGIN {
+  printf "benchguard: cache   %.0f ns/sweep warm vs %.0f ns/sweep cold (%.1fx, need >=%.1fx)\n",
+    warm, cold, cold / warm, need
+  exit cold / warm >= need ? 0 : 1
+}' || fail=1
 
 exit "$fail"
