@@ -1,0 +1,163 @@
+// Command lotteryd serves simulations over HTTP: a hardened job server
+// (internal/serve) accepting canonical lotterysim configurations as
+// JSON jobs, running them on the deterministic runner pool against the
+// shared content-addressed result cache, and streaming progress and
+// results as JSONL.
+//
+// Usage:
+//
+//	lotteryd -listen :8080 -cache-dir /var/cache/lotterybus -data-dir /var/lib/lotteryd
+//	lotteryd -listen :8080 -tickets alice=4,bob=1 -queue-cap 128 -job-timeout 5m
+//
+// The API:
+//
+//	POST   /v1/jobs             submit a job  -> 202 {"id":"j1",...}
+//	GET    /v1/jobs/{id}        job status and results
+//	DELETE /v1/jobs/{id}        cancel (stops running simulations)
+//	GET    /v1/jobs/{id}/stream JSONL event stream (replay + follow)
+//	GET    /v1/stats            queue, job and cache counters
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz, /readyz    liveness and readiness
+//
+// Robustness contract: the queue is bounded (full -> 429 with
+// Retry-After); admission is scheduled by the paper's dynamic lottery
+// over per-client ticket weights (-tickets), so under overload each
+// client's completed throughput tracks its ticket share; every accepted
+// job is journaled to a write-ahead log before its 202, and a restart
+// re-enqueues unfinished jobs, replaying already-simulated replicas
+// from the cache; SIGTERM/SIGINT drains gracefully — stop admitting,
+// finish in-flight jobs within -drain-timeout, checkpoint the rest.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lotterybus/internal/obs"
+	"lotterybus/internal/serve"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "lotteryd:", err)
+	return 1
+}
+
+// parseTickets parses "alice=4,bob=1" into ticket holdings.
+func parseTickets(s string) (map[string]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]uint64)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("tickets: %q is not client=weight", pair)
+		}
+		w, err := strconv.ParseUint(val, 10, 64)
+		if err != nil || w == 0 {
+			return nil, fmt.Errorf("tickets: %q: weight must be a positive integer", pair)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+func realMain() int {
+	listen := flag.String("listen", ":8080", "serve the job API and telemetry on this address")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (shared with lotterysim -cache-dir); empty keeps results in memory only")
+	dataDir := flag.String("data-dir", "", "write-ahead job journal directory; empty disables crash recovery")
+	queueCap := flag.Int("queue-cap", 256, "bound on queued jobs across all clients; beyond it submissions shed with 429")
+	perClientCap := flag.Int("per-client-cap", 0, "bound on one client's queued jobs (0 = queue-cap/4)")
+	jobs := flag.Int("jobs", 2, "concurrent job dispatch workers")
+	parallel := flag.Int("parallel", 0, "replica workers per job (0 = GOMAXPROCS)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock budget; expired jobs end failed (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM; in-flight jobs still running at expiry checkpoint to the WAL")
+	tickets := flag.String("tickets", "", "per-client admission lottery tickets, e.g. alice=4,bob=1")
+	defaultTickets := flag.Uint64("default-tickets", 1, "ticket holding for clients not named in -tickets")
+	maxReplicate := flag.Int("max-replicate", 64, "largest replicate a single job may request")
+	maxCycles := flag.Int64("max-cycles", 1_000_000_000, "largest per-replica cycle count a job may request")
+	journalPath := flag.String("journal", "", "append structured JSONL lifecycle events to this file")
+	flag.Parse()
+
+	weights, err := parseTickets(*tickets)
+	if err != nil {
+		return fail(err)
+	}
+	var j *obs.Journal
+	if *journalPath != "" {
+		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		j = obs.NewJournal(f)
+	}
+
+	reg := obs.NewRegistry()
+	health := obs.NewHealth()
+	srv, err := serve.New(serve.Options{
+		CacheDir:       *cacheDir,
+		DataDir:        *dataDir,
+		QueueCap:       *queueCap,
+		PerClientCap:   *perClientCap,
+		Jobs:           *jobs,
+		ReplicaWorkers: *parallel,
+		Limits:         serve.Limits{MaxReplicate: *maxReplicate, MaxCycles: *maxCycles},
+		JobTimeout:     *jobTimeout,
+		Tickets:        weights,
+		DefaultTickets: *defaultTickets,
+		Registry:       reg,
+		Journal:        j,
+		Health:         health,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	srv.Start()
+
+	// One mux, one port: the job API under /v1/ and the telemetry and
+	// health surface (obs) at the root.
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv.Handler())
+	mux.Handle("/", obs.Handler(reg, nil, health))
+	httpSrv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "lotteryd: serving on %s (POST /v1/jobs)\n", *listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return fail(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "lotteryd: %s: draining (budget %s)\n", s, *drainTimeout)
+	}
+
+	// Graceful drain: stop admitting (submissions 503, readiness
+	// fails), finish in-flight jobs within the budget, checkpoint the
+	// rest to the WAL, then stop the listener.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "lotteryd: drain:", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	httpSrv.Shutdown(shutCtx)
+	fmt.Fprintln(os.Stderr, "lotteryd: drained")
+	return 0
+}

@@ -16,6 +16,11 @@
 // conservation and accounting invariants (internal/check); violations
 // print to stderr, are journaled, and make the process exit 1.
 //
+// With -deadline DURATION, the whole run gets a wall-clock budget: on
+// expiry the simulation stops at the next chunk boundary, unfinished
+// replicas never reach the result cache, a deadline_exceeded event is
+// journaled, and the process exits 3 (distinct from failure's 1).
+//
 // With -journal FILE, structured JSONL events are appended to FILE:
 // run_start with the full effective configuration and seed provenance,
 // one replica_end per finished replica (including its resilience
@@ -30,7 +35,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +45,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"lotterybus"
 	"lotterybus/internal/analytic"
@@ -45,6 +53,7 @@ import (
 	"lotterybus/internal/obs"
 	"lotterybus/internal/prof"
 	"lotterybus/internal/runner"
+	"lotterybus/internal/simcfg"
 	"lotterybus/internal/stats"
 )
 
@@ -74,6 +83,7 @@ func realMain() (code int) {
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory: replicas whose (canonical config, seed) digest is already stored replay from the cache instead of simulating")
 	noCache := flag.Bool("no-cache", false, "ignore -cache-dir and always simulate (the cache A/B switch)")
 	journalPath := flag.String("journal", "", "append structured JSONL run events to this file")
+	deadline := flag.Duration("deadline", 0, "wall-clock limit for the whole run; on expiry simulation stops at the next chunk boundary, partial results stay out of the cache, a deadline_exceeded event is journaled, and the exit code is 3")
 	listen := flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /debug/vars JSON); keeps serving after the run until interrupted")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
@@ -82,7 +92,7 @@ func realMain() (code int) {
 	if *sample {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(SampleConfig()); err != nil {
+		if err := enc.Encode(simcfg.SampleConfig()); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -107,7 +117,7 @@ func realMain() (code int) {
 		defer f.Close()
 		in = f
 	}
-	cfg, err := ParseConfig(in)
+	cfg, err := simcfg.ParseConfig(in)
 	if err != nil {
 		return fail(err)
 	}
@@ -165,6 +175,16 @@ func realMain() (code int) {
 		resultCache = cache.New(*cacheDir)
 	}
 
+	// The run context carries the -deadline budget. With no deadline the
+	// context has no Done channel and RunContext degenerates to Run —
+	// the hot loop is untouched (see runChunked).
+	runCtx := context.Background()
+	if *deadline > 0 {
+		var cancelRun context.CancelFunc
+		runCtx, cancelRun = context.WithTimeout(runCtx, *deadline)
+		defer cancelRun()
+	}
+
 	// Analytic short-circuit: when the regime classifier proves the
 	// point idle or saturated, the long-run statistics are known in
 	// closed form within the saturation oracle's tolerance — print them
@@ -181,7 +201,7 @@ func realMain() (code int) {
 	}
 
 	if *lanes {
-		return runLanes(cfg, *replicate, *parallel, *audit, resultCache, j, reg, prog, srv)
+		return runLanes(runCtx, *deadline, cfg, *replicate, *parallel, *audit, resultCache, j, reg, prog, srv)
 	}
 
 	if *replicate > 1 {
@@ -200,7 +220,7 @@ func realMain() (code int) {
 			rep  lotterybus.Report
 			viol []string
 		}
-		outs, err := runner.Map(runner.Workers(*parallel), *replicate, func(i int) (replicaOut, error) {
+		outs, err := runner.MapCtx(runCtx, runner.Workers(*parallel), *replicate, func(i int) (replicaOut, error) {
 			c := *cfg
 			c.Seed = cfg.Seed + uint64(i)
 			sys, err := c.Build()
@@ -214,7 +234,7 @@ func realMain() (code int) {
 			// -check audits a live system, so it forces a simulation; the
 			// result is still Put so the run warms the cache.
 			col, src, err := runCached(resultCache, key, *audit, func() (*stats.Collector, error) {
-				if err := sys.Run(c.Cycles); err != nil {
+				if err := sys.RunContext(runCtx, c.Cycles); err != nil {
 					return nil, err
 				}
 				return sys.Collector(), nil
@@ -244,6 +264,9 @@ func realMain() (code int) {
 			return out, nil
 		})
 		if err != nil {
+			if code, hit := deadlineExit(j, *deadline, err); hit {
+				return code
+			}
 			return fail(err)
 		}
 		reports := make([]lotterybus.Report, len(outs))
@@ -271,12 +294,15 @@ func realMain() (code int) {
 		return fail(err)
 	}
 	col, src, err := runCached(resultCache, key, forceSim, func() (*stats.Collector, error) {
-		if err := sys.Run(cfg.Cycles); err != nil {
+		if err := sys.RunContext(runCtx, cfg.Cycles); err != nil {
 			return nil, err
 		}
 		return sys.Collector(), nil
 	})
 	if err != nil {
+		if code, hit := deadlineExit(j, *deadline, err); hit {
+			return code
+		}
 		return fail(err)
 	}
 	var rep lotterybus.Report
@@ -314,10 +340,23 @@ func realMain() (code int) {
 	return finishRun(resultCache, reg, srv, code)
 }
 
+// deadlineExit handles a run error caused by the -deadline budget:
+// journal the partial run and exit 3 so scripts can tell "ran out of
+// time" from "failed". Partial results were never Put, so the cache
+// holds only complete replicas. Any other error is not ours to handle.
+func deadlineExit(j *obs.Journal, d time.Duration, err error) (int, bool) {
+	if !errors.Is(err, context.DeadlineExceeded) {
+		return 0, false
+	}
+	j.Emit("deadline_exceeded", map[string]any{"deadline": d.String()})
+	fmt.Fprintf(os.Stderr, "lotterysim: wall-clock deadline %s exceeded; partial run, nothing cached for unfinished replicas\n", d)
+	return 3, true
+}
+
 // replicaKey derives one replica's cache key from its canonical
 // effective configuration (which embeds the replica's seed). With no
 // cache configured the key is unused; skip the work.
-func replicaKey(rc *cache.Cache, c *SimConfig) (cache.Key, error) {
+func replicaKey(rc *cache.Cache, c *simcfg.SimConfig) (cache.Key, error) {
 	if rc == nil {
 		return cache.Key{}, nil
 	}
@@ -365,7 +404,7 @@ func finishRun(rc *cache.Cache, reg *obs.Registry, srv *obs.Server, code int) in
 // entries: a lane run replays a scalar run's cache and vice versa, and
 // when every lane's key hits (and -check does not demand a live
 // engine), the fused Run is skipped entirely.
-func runLanes(cfg *SimConfig, replicas, parallel int, audit bool, rc *cache.Cache, j *obs.Journal, reg *obs.Registry, prog *obs.Progress, srv *obs.Server) int {
+func runLanes(ctx context.Context, deadline time.Duration, cfg *simcfg.SimConfig, replicas, parallel int, audit bool, rc *cache.Cache, j *obs.Journal, reg *obs.Registry, prog *obs.Progress, srv *obs.Server) int {
 	code := 0
 	rs, err := cfg.BuildReplicaSet(replicas)
 	if err != nil {
@@ -398,7 +437,10 @@ func runLanes(cfg *SimConfig, replicas, parallel int, audit bool, rc *cache.Cach
 	// error.
 	warm := rc != nil && !audit && hits == replicas && rs.Collector(0) != nil
 	if !warm {
-		if err := rs.Run(cfg.Cycles); err != nil {
+		if err := rs.RunContext(ctx, cfg.Cycles); err != nil {
+			if code, hit := deadlineExit(j, deadline, err); hit {
+				return code
+			}
 			return fail(err)
 		}
 	}
@@ -441,7 +483,7 @@ func runLanes(cfg *SimConfig, replicas, parallel int, audit bool, rc *cache.Cach
 // provably idle or saturated it journals the skip and returns the
 // closed-form report and true. A Mixed classification returns false —
 // the caller simulates as usual.
-func analyticShortCircuit(cfg *SimConfig, pt analytic.Point, replicas int, j *obs.Journal) (string, bool) {
+func analyticShortCircuit(cfg *simcfg.SimConfig, pt analytic.Point, replicas int, j *obs.Journal) (string, bool) {
 	regime := analytic.Classify(pt)
 	var b strings.Builder
 	switch regime {

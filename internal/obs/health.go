@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health is the process health surface shared by every HTTP front end
+// (the telemetry listener and the simulation job server mount the same
+// instance): /healthz is liveness — the process is up and serving —
+// and /readyz is readiness — every registered check passes, e.g. the
+// job queue is not saturated and the cache directory is writable.
+//
+// A nil *Health is valid: liveness always passes and readiness has no
+// checks, so a bare telemetry endpoint is born healthy.
+type Health struct {
+	mu     sync.Mutex
+	checks map[string]func() error
+}
+
+// NewHealth returns an empty health surface.
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]func() error)}
+}
+
+// SetReadiness registers (or replaces) a named readiness check. fn
+// returns nil when ready; its error text is reported in the /readyz
+// body. A nil fn removes the check.
+func (h *Health) SetReadiness(name string, fn func() error) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if fn == nil {
+		delete(h.checks, name)
+		return
+	}
+	h.checks[name] = fn
+}
+
+// Ready runs every readiness check and returns the failures, sorted by
+// check name so the report is deterministic.
+func (h *Health) Ready() []error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	names := make([]string, 0, len(h.checks))
+	for name := range h.checks {
+		names = append(names, name)
+	}
+	fns := make([]func() error, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		fns[i] = h.checks[name]
+	}
+	h.mu.Unlock()
+	var errs []error
+	for i, fn := range fns {
+		if err := fn(); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", names[i], err))
+		}
+	}
+	return errs
+}
+
+// handleLive serves /healthz: 200 whenever the process can answer.
+func (h *Health) handleLive(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReady serves /readyz: 200 with "ok" when every check passes,
+// 503 with one failure per line otherwise.
+func (h *Health) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	errs := h.Ready()
+	if len(errs) == 0 {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	for _, err := range errs {
+		fmt.Fprintln(w, err)
+	}
+}
+
+// Now returns the wall-clock time. It exists so that code outside this
+// package never calls time.Now directly: the nondeterminism lint
+// (internal/check) confines wall-clock reads to internal/obs, because
+// simulation results must be a pure function of the seed. Server-side
+// timing (Retry-After estimates, job timestamps) flows through here,
+// keeping the confinement auditable.
+func Now() time.Time { return time.Now() }

@@ -19,9 +19,18 @@ type Server struct {
 }
 
 // Handler returns the telemetry mux for reg and prog (either may be
-// nil), usable directly under httptest or an existing server.
-func Handler(reg *Registry, prog *Progress) http.Handler {
+// nil), usable directly under httptest or an existing server. An
+// optional Health adds its readiness checks to /readyz; without one,
+// /healthz and /readyz both answer 200 unconditionally, so every
+// telemetry listener shares one health surface with the job server.
+func Handler(reg *Registry, prog *Progress, health ...*Health) http.Handler {
+	var h *Health
+	if len(health) > 0 {
+		h = health[0]
+	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", h.handleLive)
+	mux.HandleFunc("/readyz", h.handleReady)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if reg != nil {
@@ -57,13 +66,13 @@ func Handler(reg *Registry, prog *Progress) http.Handler {
 // Serve starts the telemetry endpoint on addr (e.g. ":8080" or
 // "127.0.0.1:0") and returns once the listener is bound, so a caller
 // can immediately advertise Addr(). The server runs until Close.
-func Serve(addr string, reg *Registry, prog *Progress) (*Server, error) {
+func Serve(addr string, reg *Registry, prog *Progress, health ...*Health) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{
-		Handler:           Handler(reg, prog),
+		Handler:           Handler(reg, prog, health...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go srv.Serve(ln)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -104,5 +105,68 @@ func TestServeBindsAndCloses(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	reg, prog := telemetryFixture()
+
+	// Without a Health, both endpoints answer 200: a bare telemetry
+	// listener is born live and ready.
+	bare := httptest.NewServer(Handler(reg, prog))
+	defer bare.Close()
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(bare.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s without Health: status %d", path, resp.StatusCode)
+		}
+	}
+
+	h := NewHealth()
+	ready := true
+	h.SetReadiness("queue", func() error {
+		if !ready {
+			return fmt.Errorf("queue saturated")
+		}
+		return nil
+	})
+	srv := httptest.NewServer(Handler(reg, prog, h))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz while ready: status %d", resp.StatusCode)
+	}
+
+	ready = false
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while saturated: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "queue: queue saturated") {
+		t.Fatalf("/readyz body %q missing failing check", body)
+	}
+
+	// Liveness is independent of readiness.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while not ready: status %d", resp.StatusCode)
 	}
 }

@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
@@ -88,6 +89,55 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is cancelled no
+// new points are dispatched, and MapCtx returns ctx.Err() instead of
+// partial results. Points already running are not interrupted — a point
+// that must stop mid-flight should watch ctx itself (e.g. via
+// System.RunContext) — so MapCtx returns only after every started point
+// has finished, and never lets a worker outlive the call.
+//
+// With an un-cancellable ctx (context.Background()), MapCtx is exactly
+// Map: same dispatch order, same deterministic error semantics.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if ctx.Done() == nil {
+		return Map(workers, n, fn)
+	}
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -98,5 +99,59 @@ func TestDo(t *testing.T) {
 	want := fmt.Errorf("boom")
 	if err := Do(2, func() error { return nil }, func() error { return want }); err != want {
 		t.Fatalf("Do error = %v", err)
+	}
+}
+
+func TestMapCtxBackgroundMatchesMap(t *testing.T) {
+	fn := func(i int) (int, error) { return i * i, nil }
+	want, err := Map(4, 40, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MapCtx(context.Background(), 4, 40, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMapCtxStopsDispatchingOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := MapCtx(ctx, 2, 1000, func(i int) (int, error) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return i, nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Two workers may each have had one point in flight at cancel time,
+	// but dispatch must stop almost immediately afterwards.
+	if n := ran.Load(); n >= 1000 || n < 10 {
+		t.Fatalf("ran %d of 1000 points after cancel at 10", n)
+	}
+}
+
+func TestMapCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	if _, err := MapCtx(ctx, 4, 50, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-cancelled MapCtx ran %d points", ran.Load())
 	}
 }

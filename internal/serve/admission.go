@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+)
+
+// ErrQueueFull is returned by enqueue when admitting the job would
+// exceed the queue capacity (or the client table is exhausted); the
+// HTTP layer translates it to 429 + Retry-After.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrDraining is returned by enqueue once drain has begun; the HTTP
+// layer translates it to 503.
+var ErrDraining = errors.New("serve: draining, not admitting jobs")
+
+// admitter is the bounded, lottery-scheduled admission queue: per-client
+// FIFO queues under one global capacity, dispatched by drawing the
+// paper's dynamic lottery over the clients that currently have queued
+// work, weighted by their configured ticket holdings.
+//
+// This is the ROADMAP's dogfood: the fairness mechanism the simulator
+// studies is the mechanism that schedules the simulator. A flood from
+// one client fills its own FIFO and the shared capacity, but dispatch
+// throughput still splits by ticket ratio — exactly the paper's
+// saturated-bus bandwidth claim, applied to the API.
+type admitter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	cap       int
+	clientCap int // per-client FIFO bound
+	queued    int
+	maxQueued int // high-water mark, for tests and /v1/stats
+	draining  bool
+
+	lot     *core.DynamicLottery
+	slots   [core.MaxMasters]*clientQ
+	tickets []uint64 // live holdings per slot; 0 = slot free
+	mask    uint64   // slots with nonempty queues
+
+	byName         map[string]*clientQ
+	weights        map[string]uint64
+	defaultTickets uint64
+}
+
+// clientQ is one client's FIFO of accepted jobs.
+type clientQ struct {
+	name   string
+	slot   int
+	weight uint64
+	jobs   []*Job
+}
+
+// newAdmitter builds the queue. capacity bounds the total queued jobs
+// across all clients and clientCap bounds any one client's FIFO (0
+// defaults to capacity/4, min 1) — without the per-client bound, one
+// flooding tenant wins freed slots at arrival rate and the ticket
+// weights stop shaping throughput; with it, each backlogged client
+// refills exactly as fast as the lottery drains it, so completion
+// shares converge to the ticket ratio. weights maps client names to
+// ticket holdings (defaultTickets, min 1, for everyone else); seed
+// fixes the lottery stream so admission sequences are reproducible in
+// tests.
+func newAdmitter(capacity, clientCap int, weights map[string]uint64, defaultTickets uint64, seed uint64) (*admitter, error) {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if clientCap <= 0 {
+		clientCap = capacity / 4
+		if clientCap < 1 {
+			clientCap = 1
+		}
+	}
+	if clientCap > capacity {
+		clientCap = capacity
+	}
+	if defaultTickets == 0 {
+		defaultTickets = 1
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	lot, err := core.NewDynamicLottery(core.DynamicConfig{
+		Masters: core.MaxMasters,
+		Source:  prng.NewXorShift64Star(prng.Derive(seed, "serve/admission")),
+		Policy:  core.PolicyExact,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: admission lottery: %w", err)
+	}
+	a := &admitter{
+		cap:            capacity,
+		clientCap:      clientCap,
+		lot:            lot,
+		tickets:        make([]uint64, core.MaxMasters),
+		byName:         make(map[string]*clientQ),
+		weights:        weights,
+		defaultTickets: defaultTickets,
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a, nil
+}
+
+// weightOf resolves a client's configured ticket holding.
+func (a *admitter) weightOf(client string) uint64 {
+	if w, ok := a.weights[client]; ok && w > 0 {
+		return w
+	}
+	return a.defaultTickets
+}
+
+// enqueue admits one job, or reports why it cannot. recovered jobs
+// (WAL replay of already-accepted work) bypass the capacity check —
+// they were admitted before the crash and must not be shed by it.
+func (a *admitter) enqueue(job *Job, recovered bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.draining {
+		return ErrDraining
+	}
+	if !recovered && a.queued >= a.cap {
+		return ErrQueueFull
+	}
+	if q := a.byName[job.Client]; !recovered && q != nil && len(q.jobs) >= a.clientCap {
+		return ErrQueueFull
+	}
+	q := a.byName[job.Client]
+	if q == nil {
+		slot := -1
+		for i := range a.slots {
+			if a.slots[i] == nil {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			// 64 distinct clients already queued: the client table is the
+			// paper's MaxMasters-wide request mask. Shed rather than grow.
+			return ErrQueueFull
+		}
+		q = &clientQ{name: job.Client, slot: slot, weight: a.weightOf(job.Client)}
+		a.slots[slot] = q
+		a.byName[job.Client] = q
+	}
+	q.jobs = append(q.jobs, job)
+	a.queued++
+	if a.queued > a.maxQueued {
+		a.maxQueued = a.queued
+	}
+	a.tickets[q.slot] = q.weight
+	a.mask |= uint64(1) << uint(q.slot)
+	a.cond.Signal()
+	return nil
+}
+
+// next blocks until a job is available and returns it, drawing the
+// admission lottery over the clients with queued work. It returns
+// ok=false once the admitter is draining — workers finish their current
+// job and exit, leaving the rest of the queue checkpointed in the WAL.
+func (a *admitter) next() (*Job, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if a.draining {
+			return nil, false
+		}
+		if a.mask != 0 {
+			break
+		}
+		a.cond.Wait()
+	}
+	slot := a.lot.Draw(a.mask, a.tickets)
+	if slot == core.NoWinner {
+		// Unreachable with a nonzero mask and positive tickets; fall
+		// back to the lowest live slot rather than deadlock.
+		for i := range a.slots {
+			if a.mask>>uint(i)&1 == 1 {
+				slot = i
+				break
+			}
+		}
+	}
+	q := a.slots[slot]
+	job := q.jobs[0]
+	a.popLocked(q, 0)
+	return job, true
+}
+
+// remove pulls a still-queued job out of its client queue (client
+// cancellation). It reports whether the job was found queued.
+func (a *admitter) remove(job *Job) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	q := a.byName[job.Client]
+	if q == nil {
+		return false
+	}
+	for i, j := range q.jobs {
+		if j == job {
+			a.popLocked(q, i)
+			return true
+		}
+	}
+	return false
+}
+
+// popLocked removes q.jobs[i], freeing the client slot when its queue
+// empties so the 64-slot table turns over with the live client set.
+func (a *admitter) popLocked(q *clientQ, i int) {
+	q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+	a.queued--
+	if len(q.jobs) == 0 {
+		a.slots[q.slot] = nil
+		a.tickets[q.slot] = 0
+		a.mask &^= uint64(1) << uint(q.slot)
+		delete(a.byName, q.name)
+	}
+}
+
+// drain stops admission and wakes every blocked worker so it can exit.
+// Jobs still queued stay queued — the WAL holds their accept records,
+// and the next start re-enqueues them.
+func (a *admitter) drain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// depth returns the current and high-water queue occupancy.
+func (a *admitter) depth() (queued, max, capacity int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued, a.maxQueued, a.cap
+}
+
+// saturated reports whether the queue is at capacity (the readiness
+// check's definition of "not ready").
+func (a *admitter) saturated() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued >= a.cap
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"testing"
+)
+
+func testJob(client string) *Job {
+	return &Job{
+		Client: client,
+		state:  StateQueued,
+		notify: make(chan struct{}),
+	}
+}
+
+func TestAdmitterFIFOWithinClient(t *testing.T) {
+	a, err := newAdmitter(16, 16, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []*Job{testJob("solo"), testJob("solo"), testJob("solo")}
+	for i, j := range jobs {
+		j.ID = string(rune('a' + i))
+		if err := a.enqueue(j, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range jobs {
+		got, ok := a.next()
+		if !ok {
+			t.Fatal("next: drained unexpectedly")
+		}
+		if got != jobs[i] {
+			t.Fatalf("dispatch %d: got job %q, want %q (FIFO order within a client)", i, got.ID, jobs[i].ID)
+		}
+	}
+}
+
+func TestAdmitterCapacity(t *testing.T) {
+	a, err := newAdmitter(4, 4, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := a.enqueue(testJob("c"), false); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if err := a.enqueue(testJob("c"), false); err != ErrQueueFull {
+		t.Fatalf("enqueue past capacity: got %v, want ErrQueueFull", err)
+	}
+	// Recovered jobs were admitted before the crash; the restart must
+	// not shed them.
+	if err := a.enqueue(testJob("c"), true); err != nil {
+		t.Fatalf("recovered enqueue past capacity: %v", err)
+	}
+}
+
+func TestAdmitterPerClientCap(t *testing.T) {
+	a, err := newAdmitter(16, 2, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.enqueue(testJob("hog"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.enqueue(testJob("hog"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.enqueue(testJob("hog"), false); err != ErrQueueFull {
+		t.Fatalf("third job of a capped client: got %v, want ErrQueueFull", err)
+	}
+	// Another client still has room: the hog did not occupy the queue.
+	if err := a.enqueue(testJob("other"), false); err != nil {
+		t.Fatalf("other client behind a capped hog: %v", err)
+	}
+}
+
+// TestAdmitterShares is the scheduling claim in miniature: with both
+// clients backlogged, dispatch splits by ticket ratio, because each
+// draw is the paper's dynamic lottery over the live client mask.
+func TestAdmitterShares(t *testing.T) {
+	const perClient = 600
+	a, err := newAdmitter(2*perClient, perClient, map[string]uint64{"alice": 2, "bob": 1}, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < perClient; i++ {
+		if err := a.enqueue(testJob("alice"), false); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.enqueue(testJob("bob"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Draw while both clients stay backlogged; stop before either
+	// queue can empty.
+	counts := map[string]int{}
+	for i := 0; i < perClient; i++ {
+		job, ok := a.next()
+		if !ok {
+			t.Fatal("drained unexpectedly")
+		}
+		counts[job.Client]++
+	}
+	share := float64(counts["alice"]) / float64(perClient)
+	if share < 0.6 || share > 0.74 {
+		t.Fatalf("alice dispatch share %.3f outside [0.60,0.74] (want 2/3 for 2:1 tickets; counts %v)", share, counts)
+	}
+}
+
+func TestAdmitterDrain(t *testing.T) {
+	a, err := newAdmitter(4, 4, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.enqueue(testJob("c"), false); err != nil {
+		t.Fatal(err)
+	}
+	a.drain()
+	if _, ok := a.next(); ok {
+		t.Fatal("next after drain: got a job, want ok=false")
+	}
+	if err := a.enqueue(testJob("c"), false); err != ErrDraining {
+		t.Fatalf("enqueue after drain: got %v, want ErrDraining", err)
+	}
+	// The queued job stays queued — it is the WAL's problem now.
+	if queued, _, _ := a.depth(); queued != 1 {
+		t.Fatalf("queued after drain = %d, want 1", queued)
+	}
+}
+
+func TestAdmitterRemove(t *testing.T) {
+	a, err := newAdmitter(4, 4, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, j2 := testJob("c"), testJob("c")
+	if err := a.enqueue(j1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.enqueue(j2, false); err != nil {
+		t.Fatal(err)
+	}
+	if !a.remove(j1) {
+		t.Fatal("remove(queued job) = false")
+	}
+	if a.remove(j1) {
+		t.Fatal("second remove of the same job = true")
+	}
+	got, ok := a.next()
+	if !ok || got != j2 {
+		t.Fatalf("next after remove: got %v ok=%v, want j2", got, ok)
+	}
+}

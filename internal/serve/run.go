@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"syscall"
+	"time"
+
+	"lotterybus"
+	"lotterybus/internal/cache"
+	"lotterybus/internal/runner"
+	"lotterybus/internal/stats"
+)
+
+// errClass sorts job-execution failures into retry policy.
+type errClass int
+
+const (
+	classOK errClass = iota
+	classCanceled
+	classTimeout
+	classTransient
+	classPermanent
+)
+
+// classify maps an execution error to its class. Disk I/O failures
+// (cache directory, WAL volume) are transient — the cache already
+// evicts and resimulates corrupt entries, and a retry after backoff
+// rides out a full or flaky volume — while configuration and engine
+// errors are permanent: deterministic inputs produce the same failure
+// every time, so retrying would only burn the queue.
+func classify(err error) errClass {
+	switch {
+	case err == nil:
+		return classOK
+	case errors.Is(err, context.Canceled):
+		return classCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return classTimeout
+	}
+	var pathErr *fs.PathError
+	var errno syscall.Errno
+	if errors.As(err, &pathErr) || errors.As(err, &errno) {
+		return classTransient
+	}
+	return classPermanent
+}
+
+// retryBaseBackoff is the first retry delay; attempt k waits
+// retryBaseBackoff << (k-1).
+const retryBaseBackoff = 100 * time.Millisecond
+
+// maxAttempts bounds transient-failure retries per job.
+const maxAttempts = 3
+
+// runJob drives one dequeued job to a terminal state: execute with
+// retry-with-backoff on transient failures, classify the outcome, write
+// the WAL end record (or deliberately not, for interrupted jobs), and
+// emit the final stream event.
+func (s *Server) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(s.rootCtx)
+	if s.opts.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(s.rootCtx, s.opts.JobTimeout)
+	}
+	defer cancel()
+
+	job.mu.Lock()
+	job.state = StateRunning
+	job.cancel = cancel
+	alreadyCanceled := job.byClient
+	job.mu.Unlock()
+	if alreadyCanceled {
+		cancel() // cancel arrived between dequeue and here
+	}
+	job.emit("started", map[string]any{"client": job.Client, "replicate": job.Replicate})
+
+	var err error
+	for attempt := 1; ; attempt++ {
+		job.mu.Lock()
+		job.attempts = attempt
+		job.mu.Unlock()
+		err = s.execute(ctx, job)
+		if classify(err) != classTransient || attempt >= maxAttempts {
+			break
+		}
+		s.m.retried.Add(1)
+		job.emit("retrying", map[string]any{"attempt": attempt, "error": err.Error()})
+		select {
+		case <-time.After(retryBaseBackoff << uint(attempt-1)):
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			err = ctx.Err()
+			break
+		}
+	}
+
+	switch classify(err) {
+	case classOK:
+		if job.terminate(StateDone, "", "done", map[string]any{"replicas": job.Replicate}) {
+			s.walEnd(job, StateDone, "")
+			s.m.completed(job.Client).Add(1)
+		}
+	case classCanceled:
+		job.mu.Lock()
+		byClient := job.byClient
+		job.mu.Unlock()
+		if byClient {
+			if job.terminate(StateCanceled, "canceled by client", "canceled", nil) {
+				s.walEnd(job, StateCanceled, "canceled by client")
+				s.m.canceled.Add(1)
+			}
+		} else {
+			// Interrupted by drain timeout or abort: no WAL end record —
+			// the accept record is the checkpoint that re-enqueues the
+			// job on the next start, where finished replicas replay from
+			// the cache.
+			job.setState(StateQueued, "interrupted; re-runs on restart")
+			job.emit("interrupted", nil)
+		}
+	case classTimeout:
+		reason := fmt.Sprintf("wall-clock timeout after %s", s.opts.JobTimeout)
+		if job.terminate(StateFailed, reason, "failed", map[string]any{"reason": reason}) {
+			// A deterministic job that timed out once would time out on
+			// every restart; end it so recovery does not loop.
+			s.walEnd(job, StateFailed, reason)
+			s.m.failed.Add(1)
+		}
+	default:
+		if job.terminate(StateFailed, err.Error(), "failed", map[string]any{"reason": err.Error()}) {
+			s.walEnd(job, StateFailed, err.Error())
+			s.m.failed.Add(1)
+		}
+	}
+	s.finishJob(job)
+}
+
+// walEnd appends a terminal record, tolerating WAL write failure (the
+// worst case is a finished job re-running into pure cache hits on the
+// next start — never a lost result, never a 500).
+func (s *Server) walEnd(job *Job, status JobState, reason string) {
+	if err := s.wal.appendEnd(job.ID, status, reason); err != nil {
+		s.journal.Emit("wal_error", map[string]any{"id": job.ID, "error": err.Error()})
+	}
+}
+
+// execute runs every replica of the job through the result cache on the
+// deterministic runner pool, filling job.replicas in replica order.
+func (s *Server) execute(ctx context.Context, job *Job) error {
+	if s.execHook != nil {
+		return s.execHook(ctx, job)
+	}
+	if job.Lanes {
+		return s.executeLanes(ctx, job)
+	}
+	outs, err := runner.MapCtx(ctx, s.opts.ReplicaWorkers, job.Replicate, func(i int) (ReplicaResult, error) {
+		return s.runReplica(ctx, job, i)
+	})
+	if err != nil {
+		return err
+	}
+	job.mu.Lock()
+	job.replicas = outs
+	job.mu.Unlock()
+	return nil
+}
+
+// runReplica resolves one replica through the cache: a hit decodes the
+// stored snapshot and renders the report from it; a miss simulates
+// under ctx (stopping at the next chunk boundary on cancellation) and
+// publishes the snapshot so a crash between replicas loses nothing.
+func (s *Server) runReplica(ctx context.Context, job *Job, i int) (ReplicaResult, error) {
+	c := *job.cfg
+	c.Seed = job.cfg.Seed + uint64(i)
+	sys, err := c.Build()
+	if err != nil {
+		return ReplicaResult{}, err
+	}
+	canon, err := c.Canonical()
+	if err != nil {
+		return ReplicaResult{}, err
+	}
+	key := cache.KeyOf(canon, c.Seed, "")
+	col, src, err := s.cache.GetOrCompute(key, func() (*stats.Collector, error) {
+		if err := sys.RunContext(ctx, c.Cycles); err != nil {
+			return nil, err
+		}
+		return sys.Collector(), nil
+	})
+	if err != nil {
+		return ReplicaResult{}, err
+	}
+	rep := sys.ReportFor(col)
+	res := ReplicaResult{
+		Replica:     i,
+		Seed:        c.Seed,
+		Cycles:      rep.Cycles,
+		Utilization: rep.Utilization,
+		Fingerprint: fmt.Sprintf("%016x", col.Fingerprint()),
+		Source:      src.String(),
+		Report:      rep.String(),
+	}
+	job.emit("replica_done", map[string]any{
+		"replica": i, "seed": c.Seed,
+		"fingerprint": res.Fingerprint, "source": res.Source,
+	})
+	return res, nil
+}
+
+// executeLanes runs all replicas through the lane-batched engine.
+// Replica results are bit-identical to the scalar path, so lane and
+// scalar jobs share cache entries; a fully warm job skips the fused Run
+// entirely.
+func (s *Server) executeLanes(ctx context.Context, job *Job) error {
+	rs, err := job.cfg.BuildReplicaSet(job.Replicate)
+	if err != nil {
+		return err
+	}
+	rs.SetParallel(s.opts.ReplicaWorkers)
+	n := job.Replicate
+	keys := make([]cache.Key, n)
+	cols := make([]*stats.Collector, n)
+	srcs := make([]cache.Source, n)
+	hits := 0
+	for i := 0; i < n; i++ {
+		c := *job.cfg
+		c.Seed = job.cfg.Seed + uint64(i)
+		canon, err := c.Canonical()
+		if err != nil {
+			return err
+		}
+		keys[i] = cache.KeyOf(canon, c.Seed, "")
+		if col, src, ok := s.cache.Get(keys[i]); ok {
+			cols[i], srcs[i] = col, src
+			hits++
+		}
+	}
+	warm := s.cache != nil && hits == n && rs.Collector(0) != nil
+	if !warm {
+		if err := rs.RunContext(ctx, job.cfg.Cycles); err != nil {
+			return err
+		}
+	}
+	results := make([]ReplicaResult, n)
+	for i := 0; i < n; i++ {
+		col := cols[i]
+		src := srcs[i]
+		var rep lotterybus.Report
+		if col != nil {
+			rep = rs.ReportFor(i, col)
+		} else {
+			col = rs.Collector(i)
+			rep = rs.Report(i)
+			src = cache.SourceComputed
+			s.cache.Put(keys[i], col) // nil-safe without a cache
+		}
+		results[i] = ReplicaResult{
+			Replica:     i,
+			Seed:        job.cfg.Seed + uint64(i),
+			Cycles:      rep.Cycles,
+			Utilization: rep.Utilization,
+			Fingerprint: fmt.Sprintf("%016x", col.Fingerprint()),
+			Source:      src.String(),
+			Report:      rep.String(),
+		}
+		job.emit("replica_done", map[string]any{
+			"replica": i, "seed": results[i].Seed,
+			"fingerprint": results[i].Fingerprint, "source": results[i].Source,
+		})
+	}
+	job.mu.Lock()
+	job.replicas = results
+	job.mu.Unlock()
+	return nil
+}

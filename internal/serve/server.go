@@ -1,0 +1,510 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lotterybus/internal/cache"
+	"lotterybus/internal/obs"
+	"lotterybus/internal/runner"
+	"lotterybus/internal/simcfg"
+)
+
+// Options configures a Server. The zero value is usable: memory-only
+// cache, no WAL (no crash recovery), queue of 256, two dispatch
+// workers, and a private metrics registry.
+type Options struct {
+	// CacheDir backs the shared result cache on disk; "" keeps results
+	// in memory only (still deduplicated, not crash-durable).
+	CacheDir string
+	// DataDir holds the write-ahead job journal; "" disables crash
+	// recovery (accepted jobs die with the process).
+	DataDir string
+	// QueueCap bounds the total queued jobs across all clients
+	// (default 256). Beyond it, submissions shed with 429.
+	QueueCap int
+	// PerClientCap bounds one client's queued jobs (default QueueCap/4)
+	// so a flooding tenant cannot occupy the whole queue; a backlogged
+	// client then refills exactly as fast as the admission lottery
+	// drains it, and completion shares track the ticket ratio.
+	PerClientCap int
+	// Jobs is the number of concurrent job dispatch workers (default 2).
+	Jobs int
+	// ReplicaWorkers sizes each job's replica pool (default: all cores).
+	ReplicaWorkers int
+	// Limits bounds a single request (see Limits).
+	Limits Limits
+	// MaxBodyBytes caps a request body (default 1 MiB).
+	MaxBodyBytes int64
+	// JobTimeout is the per-job wall-clock budget; 0 means no limit.
+	JobTimeout time.Duration
+	// Tickets assigns per-client lottery ticket holdings for admission
+	// control; clients not listed hold DefaultTickets (default 1).
+	Tickets        map[string]uint64
+	DefaultTickets uint64
+	// AdmissionSeed fixes the admission lottery's draw stream (default 1)
+	// so scheduling is reproducible.
+	AdmissionSeed uint64
+	// Registry receives serve metrics; nil uses a private registry.
+	Registry *obs.Registry
+	// Journal receives lifecycle events; nil disables.
+	Journal *obs.Journal
+	// Health, when non-nil, gains the server's readiness checks
+	// (queue saturation, WAL writability, draining).
+	Health *obs.Health
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 2
+	}
+	o.ReplicaWorkers = runner.Workers(o.ReplicaWorkers)
+	o.Limits = o.Limits.withDefaults()
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.DefaultTickets == 0 {
+		o.DefaultTickets = 1
+	}
+	if o.AdmissionSeed == 0 {
+		o.AdmissionSeed = 1
+	}
+	return o
+}
+
+// serveMetrics is the server's observability surface in the obs
+// registry.
+type serveMetrics struct {
+	reg        *obs.Registry
+	retried    *obs.Counter
+	canceled   *obs.Counter
+	failed     *obs.Counter
+	recovered  *obs.Counter
+	queueDepth *obs.Gauge
+}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &serveMetrics{
+		reg:        reg,
+		retried:    reg.Counter("lotterybus_serve_retries_total", "transient-failure retries", nil),
+		canceled:   reg.Counter("lotterybus_serve_canceled_total", "jobs canceled by clients", nil),
+		failed:     reg.Counter("lotterybus_serve_failed_total", "jobs that ended failed", nil),
+		recovered:  reg.Counter("lotterybus_serve_recovered_total", "jobs re-enqueued from the WAL", nil),
+		queueDepth: reg.Gauge("lotterybus_serve_queue_depth", "jobs currently queued", nil),
+	}
+}
+
+func (m *serveMetrics) admitted(client string) *obs.Counter {
+	return m.reg.Counter("lotterybus_serve_admitted_total", "jobs admitted", obs.Labels{"client": client})
+}
+
+func (m *serveMetrics) shed(client string) *obs.Counter {
+	return m.reg.Counter("lotterybus_serve_shed_total", "jobs shed with 429", obs.Labels{"client": client})
+}
+
+func (m *serveMetrics) completed(client string) *obs.Counter {
+	return m.reg.Counter("lotterybus_serve_completed_total", "jobs completed", obs.Labels{"client": client})
+}
+
+// maxRetainedJobs bounds how many terminal jobs stay queryable before
+// the oldest are forgotten.
+const maxRetainedJobs = 4096
+
+// Server is the hardened simulation job server. Build one with New,
+// start its dispatchers with Start, mount Handler on an HTTP listener,
+// and stop it with Drain (graceful) or Abort (crash-stop, for tests).
+type Server struct {
+	opts    Options
+	adm     *admitter
+	wal     *wal
+	cache   *cache.Cache
+	journal *obs.Journal
+	m       *serveMetrics
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	wg         sync.WaitGroup
+	draining   atomic.Bool
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	done []string // terminal job IDs, oldest first, for retention
+	seq  int64
+
+	// execHook replaces execute in tests (stubbed job bodies for
+	// scheduling-behavior tests that should not burn simulation time).
+	execHook func(ctx context.Context, job *Job) error
+}
+
+// New builds a Server: opens (and compacts) the WAL, re-enqueues every
+// accepted-but-unfinished job from it, and registers readiness checks.
+// Dispatch workers do not run until Start.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	adm, err := newAdmitter(opts.QueueCap, opts.PerClientCap, opts.Tickets, opts.DefaultTickets, opts.AdmissionSeed)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:    opts,
+		adm:     adm,
+		journal: opts.Journal,
+		m:       newServeMetrics(opts.Registry),
+		jobs:    make(map[string]*Job),
+	}
+	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+	if opts.CacheDir != "" {
+		s.cache = cache.New(opts.CacheDir)
+	} else {
+		s.cache = cache.New("")
+	}
+	if opts.DataDir != "" {
+		w, pending, maxID, err := openWAL(opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = w
+		s.seq = maxID
+		for _, rec := range pending {
+			job, err := jobFromWAL(rec)
+			if err != nil {
+				// A WAL accept that no longer parses cannot re-run;
+				// end it so it stops resurfacing.
+				s.journal.Emit("recover_failed", map[string]any{"id": rec.ID, "error": err.Error()})
+				_ = s.wal.appendEnd(rec.ID, StateFailed, "recovery: "+err.Error())
+				continue
+			}
+			if err := s.adm.enqueue(job, true); err != nil {
+				s.journal.Emit("recover_failed", map[string]any{"id": rec.ID, "error": err.Error()})
+				continue
+			}
+			s.mu.Lock()
+			s.jobs[job.ID] = job
+			s.mu.Unlock()
+			s.m.recovered.Add(1)
+			s.journal.Emit("job_recovered", map[string]any{"id": job.ID, "client": job.Client})
+		}
+	}
+	if opts.Health != nil {
+		opts.Health.SetReadiness("serve-queue", func() error {
+			if s.adm.saturated() {
+				return fmt.Errorf("job queue saturated")
+			}
+			return nil
+		})
+		opts.Health.SetReadiness("serve-wal", s.wal.writable)
+		opts.Health.SetReadiness("serve-draining", func() error {
+			if s.draining.Load() {
+				return fmt.Errorf("draining")
+			}
+			return nil
+		})
+	}
+	return s, nil
+}
+
+// jobFromWAL rebuilds a job from its accept record. The stored config
+// bytes are canonical — a fixed point of the strict parser — so the
+// rebuilt job is exactly the one that was accepted.
+func jobFromWAL(rec walRecord) (*Job, error) {
+	cfg, err := simcfg.ParseConfig(bytes.NewReader(rec.Config))
+	if err != nil {
+		return nil, err
+	}
+	canonical, err := cfg.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	replicate := rec.Replicate
+	if replicate < 1 {
+		replicate = 1
+	}
+	return &Job{
+		ID:        rec.ID,
+		Client:    rec.Client,
+		Replicate: replicate,
+		Lanes:     rec.Lanes,
+		Canonical: canonical,
+		cfg:       cfg,
+		state:     StateQueued,
+		notify:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the dispatch workers. Each worker loops: draw the
+// admission lottery for the next job, run it, repeat — until drain.
+func (s *Server) Start() {
+	for i := 0; i < s.opts.Jobs; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				job, ok := s.adm.next()
+				if !ok {
+					return
+				}
+				queued, _, _ := s.adm.depth()
+				s.m.queueDepth.Set(float64(queued))
+				s.runJob(job)
+			}
+		}()
+	}
+}
+
+// Cache exposes the server's result cache (shared with any sibling
+// lotterysim runs pointed at the same directory).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Handler returns the job API mux:
+//
+//	POST   /v1/jobs             submit  -> 202 {"id":...} | 400 | 429 | 503
+//	GET    /v1/jobs/{id}        status  -> 200 JobStatus | 404
+//	DELETE /v1/jobs/{id}        cancel  -> 202 JobStatus | 404
+//	GET    /v1/jobs/{id}/stream JSONL event stream (replay + follow)
+//	GET    /v1/stats            queue/cache/job counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining, not accepting jobs", http.StatusServiceUnavailable)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	job, err := ParseJob(body, s.opts.Limits)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	job.ID = fmt.Sprintf("j%d", s.seq)
+	s.mu.Unlock()
+	// Record the accepted event before the job becomes reachable by a
+	// dispatch worker, so stream replay always starts with it — a warm
+	// job can otherwise finish before this handler gets back to it. A
+	// shed job is discarded whole, so the early event leaves no trace.
+	job.emit("accepted", map[string]any{"client": job.Client})
+	// Reserve the queue slot first: shedding must happen before any
+	// durable write, so a 429 leaves no trace to recover.
+	if err := s.adm.enqueue(job, false); err != nil {
+		switch err {
+		case ErrDraining:
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			s.m.shed(job.Client).Add(1)
+			s.journal.Emit("job_shed", map[string]any{"client": job.Client})
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfter()))
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		}
+		return
+	}
+	// Durably journal the accept before acknowledging: after the 202 the
+	// job survives a crash of this process.
+	if err := s.wal.appendAccept(job); err != nil {
+		s.adm.remove(job)
+		http.Error(w, "journal write failed: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.mu.Lock()
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+	queued, _, _ := s.adm.depth()
+	s.m.queueDepth.Set(float64(queued))
+	s.m.admitted(job.Client).Add(1)
+	s.journal.Emit("job_accepted", map[string]any{"id": job.ID, "client": job.Client, "replicate": job.Replicate})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(job.Status())
+}
+
+// retryAfter estimates seconds until the queue has room: current
+// backlog over dispatch width, clamped to [1, 60].
+func (s *Server) retryAfter() int {
+	queued, _, _ := s.adm.depth()
+	est := queued / s.opts.Jobs
+	if est < 1 {
+		est = 1
+	}
+	if est > 60 {
+		est = 60
+	}
+	return est
+}
+
+func (s *Server) lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(job.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	if s.adm.remove(job) {
+		// Still queued: cancel is immediate and terminal here.
+		if job.terminate(StateCanceled, "canceled by client", "canceled", nil) {
+			s.walEnd(job, StateCanceled, "canceled by client")
+			s.m.canceled.Add(1)
+			s.finishJob(job)
+		}
+		queued, _, _ := s.adm.depth()
+		s.m.queueDepth.Set(float64(queued))
+	} else {
+		// Running (or between dequeue and context wiring): flag it; the
+		// run loop observes the cancellation at the next chunk boundary.
+		job.requestCancel()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(job.Status())
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	from := 0
+	for {
+		evs, next, ch, terminal := job.follow(from)
+		for _, e := range evs {
+			w.Write(e)
+			w.Write([]byte("\n"))
+		}
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		from = next
+		if terminal {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		case <-s.rootCtx.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	queued, maxQueued, capacity := s.adm.depth()
+	s.mu.Lock()
+	counts := map[JobState]int{}
+	for _, j := range s.jobs {
+		counts[j.State()]++
+	}
+	s.mu.Unlock()
+	var body struct {
+		Queue struct {
+			Depth    int `json:"depth"`
+			MaxDepth int `json:"max_depth"`
+			Capacity int `json:"capacity"`
+		} `json:"queue"`
+		Jobs  map[JobState]int `json:"jobs"`
+		Cache cache.Stats      `json:"cache"`
+	}
+	body.Queue.Depth = queued
+	body.Queue.MaxDepth = maxQueued
+	body.Queue.Capacity = capacity
+	body.Jobs = counts
+	body.Cache = s.cache.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
+}
+
+// finishJob records retention and the journal beat after a job reaches
+// its final (or interrupted) state.
+func (s *Server) finishJob(job *Job) {
+	state := job.State()
+	s.journal.Emit("job_"+string(state), map[string]any{"id": job.ID, "client": job.Client})
+	if !state.Terminal() {
+		return // interrupted: stays queryable, re-runs on restart
+	}
+	s.mu.Lock()
+	s.done = append(s.done, job.ID)
+	for len(s.done) > maxRetainedJobs {
+		delete(s.jobs, s.done[0])
+		s.done = s.done[1:]
+	}
+	s.mu.Unlock()
+}
+
+// Drain gracefully stops the server: stop admitting (submissions get
+// 503, readiness fails), let in-flight jobs finish, then flush and
+// close the WAL. If ctx expires first, in-flight jobs are interrupted
+// at their next chunk boundary and deliberately keep their WAL accept
+// records — the next start resumes them, replaying finished replicas
+// from the cache.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.journal.Emit("drain_begin", nil)
+	s.adm.drain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	forced := false
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = true
+		s.rootCancel()
+		<-done
+	}
+	err := s.wal.close()
+	s.journal.Emit("drain_end", map[string]any{"forced": forced})
+	s.rootCancel()
+	return err
+}
+
+// Abort crash-stops the server: cancel everything in flight and close
+// the WAL without writing end records, exactly as a kill -9 would leave
+// it. Tests use it to exercise recovery.
+func (s *Server) Abort() {
+	s.draining.Store(true)
+	s.rootCancel()
+	s.adm.drain()
+	s.wg.Wait()
+	s.wal.close()
+}

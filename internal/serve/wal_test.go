@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, pending, maxID, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 || maxID != 0 {
+		t.Fatalf("fresh WAL: pending=%d maxID=%d, want 0,0", len(pending), maxID)
+	}
+	j1 := &Job{ID: "j1", Client: "a", Replicate: 2, Canonical: []byte(`{"cycles":1}`)}
+	j2 := &Job{ID: "j2", Client: "b", Replicate: 1, Lanes: true, Canonical: []byte(`{"cycles":2}`)}
+	if err := w.appendAccept(j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.appendAccept(j2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.appendEnd("j1", StateDone, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, pending, maxID, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	if maxID != 2 {
+		t.Fatalf("maxID = %d, want 2", maxID)
+	}
+	if len(pending) != 1 || pending[0].ID != "j2" {
+		t.Fatalf("pending = %+v, want exactly j2 (j1 ended)", pending)
+	}
+	if !pending[0].Lanes || pending[0].Client != "b" {
+		t.Fatalf("pending j2 lost fields: %+v", pending[0])
+	}
+	// Compaction on open rewrote the file to pending accepts only.
+	b, err := os.ReadFile(filepath.Join(dir, "jobs.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("compacted WAL has %d lines, want 1:\n%s", len(lines), b)
+	}
+	var rec walRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil || rec.ID != "j2" {
+		t.Fatalf("compacted record = %q (err %v), want accept j2", lines[0], err)
+	}
+}
+
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.wal")
+	content := `{"op":"accept","id":"j3","client":"a","replicate":1,"config":{"cycles":5}}` + "\n" +
+		`{"op":"accept","id":"j4","cli` // torn mid-write by the crash
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, pending, maxID, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if len(pending) != 1 || pending[0].ID != "j3" {
+		t.Fatalf("pending = %+v, want exactly j3 (torn j4 dropped)", pending)
+	}
+	// j4's ID never parsed, so the sequence resumes from j3.
+	if maxID != 3 {
+		t.Fatalf("maxID = %d, want 3", maxID)
+	}
+}
+
+func TestWALDuplicateEndIsHarmless(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Job{ID: "j9", Client: "a", Replicate: 1, Canonical: []byte(`{}`)}
+	if err := w.appendAccept(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.appendEnd("j9", StateDone, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.appendEnd("j9", StateCanceled, "late duplicate"); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	w2, pending, _, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	if len(pending) != 0 {
+		t.Fatalf("pending = %+v, want none", pending)
+	}
+}
+
+func TestWALNilIsNoOp(t *testing.T) {
+	var w *wal
+	if err := w.appendAccept(&Job{ID: "j1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.appendEnd("j1", StateDone, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.writable(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,4 +1,13 @@
-package main
+// Package simcfg is the JSON schema of a simulation run: the SimConfig
+// structure, its strict parser/validator, the canonical effective-form
+// serialization that result-cache keys and journal provenance hash, and
+// the builders that turn a config into a live System or ReplicaSet.
+//
+// It started life inside cmd/lotterysim; the simulation job server
+// (internal/serve) accepts the same schema over HTTP, so the config
+// layer lives here where both front ends — and any future one — share a
+// single parse/validate/canonicalize/build pipeline.
+package simcfg
 
 import (
 	"encoding/json"

@@ -1,4 +1,4 @@
-package main
+package simcfg
 
 import (
 	"encoding/json"

@@ -29,6 +29,7 @@
 package lotterybus
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -313,6 +314,45 @@ func (s *System) Cycle() int64 { return s.b.Cycle() }
 // transfers while producing bit-identical statistics; see
 // FastForwardedCycles.
 func (s *System) Run(n int64) error { return s.b.Run(n) }
+
+// RunChunk is the number of cycles RunContext simulates between
+// cancellation checks. Chunked runs are bit-identical to a single Run
+// of the same total length (Run is resumable by contract), so the only
+// cost of cancellability is one branch per chunk — zero per-cycle
+// overhead in the hot loop.
+const RunChunk = 1 << 20
+
+// RunContext simulates n bus cycles like Run, checking ctx between
+// RunChunk-cycle slices. On cancellation or deadline expiry it stops at
+// the next chunk boundary and returns ctx.Err(); statistics up to that
+// point are valid partial results (Cycle() says how far it got). A
+// context that can never be cancelled runs the whole span in one Run
+// call, making RunContext(context.Background(), n) exactly Run(n).
+func (s *System) RunContext(ctx context.Context, n int64) error {
+	return runChunked(ctx, n, s.b.Run)
+}
+
+// runChunked drives a resumable run function in RunChunk slices with a
+// cancellation check before each.
+func runChunked(ctx context.Context, n int64, run func(int64) error) error {
+	if ctx.Done() == nil {
+		return run(n)
+	}
+	for done := int64(0); done < n; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		step := n - done
+		if step > RunChunk {
+			step = RunChunk
+		}
+		if err := run(step); err != nil {
+			return err
+		}
+		done += step
+	}
+	return ctx.Err()
+}
 
 // FastForwardedCycles returns how many simulated cycles were advanced
 // in bulk by the fast-forward engine rather than executed one by one —

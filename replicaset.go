@@ -1,6 +1,8 @@
 package lotterybus
 
 import (
+	"context"
+
 	"lotterybus/internal/bus"
 	"lotterybus/internal/lanes"
 	"lotterybus/internal/obs"
@@ -168,6 +170,15 @@ func (r *ReplicaSet) Cycle() int64 { return r.eng.Cycle() }
 // Run simulates n bus cycles on every replica; it may be called
 // repeatedly. Replicas run sharded across SetParallel workers.
 func (r *ReplicaSet) Run(n int64) error { return r.eng.Run(n) }
+
+// RunContext simulates n bus cycles on every replica like Run, checking
+// ctx between RunChunk-cycle slices (see System.RunContext): chunked
+// lane runs are bit-identical to a single Run, so cancellability costs
+// nothing per cycle. On cancellation it returns ctx.Err() with every
+// replica stopped at the same chunk boundary.
+func (r *ReplicaSet) RunContext(ctx context.Context, n int64) error {
+	return runChunked(ctx, n, r.eng.Run)
+}
 
 // Collector returns replica l's statistics collector, or nil before
 // the engine is built by the first Run — the value the result cache
