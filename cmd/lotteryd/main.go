@@ -15,9 +15,11 @@
 //	GET    /v1/jobs/{id}        job status and results
 //	DELETE /v1/jobs/{id}        cancel (stops running simulations)
 //	GET    /v1/jobs/{id}/stream JSONL event stream (replay + follow)
-//	GET    /v1/stats            queue, job and cache counters
+//	GET    /v1/jobs/{id}/trace  Chrome trace-event JSON span tree
+//	GET    /v1/stats            queue, job, client and cache counters
 //	GET    /metrics             Prometheus text exposition
 //	GET    /healthz, /readyz    liveness and readiness
+//	GET    /debug/pprof/        profiling (only with -debug)
 //
 // Robustness contract: the queue is bounded (full -> 429 with
 // Retry-After); admission is scheduled by the paper's dynamic lottery
@@ -89,6 +91,8 @@ func realMain() int {
 	maxReplicate := flag.Int("max-replicate", 64, "largest replicate a single job may request")
 	maxCycles := flag.Int64("max-cycles", 1_000_000_000, "largest per-replica cycle count a job may request")
 	journalPath := flag.String("journal", "", "append structured JSONL lifecycle events to this file")
+	slowJob := flag.Duration("slow-job", 0, "journal the full span tree of any job slower than this end to end (0 = off)")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	weights, err := parseTickets(*tickets)
@@ -121,6 +125,7 @@ func realMain() int {
 		Registry:       reg,
 		Journal:        j,
 		Health:         health,
+		SlowJob:        *slowJob,
 	})
 	if err != nil {
 		return fail(err)
@@ -131,7 +136,7 @@ func realMain() int {
 	// health surface (obs) at the root.
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", srv.Handler())
-	mux.Handle("/", obs.Handler(reg, nil, health))
+	mux.Handle("/", obs.NewHandler(obs.ServeConfig{Registry: reg, Health: health, Debug: *debug}))
 	httpSrv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 
 	errCh := make(chan error, 1)

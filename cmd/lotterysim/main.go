@@ -87,6 +87,7 @@ func realMain() (code int) {
 	listen := flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /debug/vars JSON); keeps serving after the run until interrupted")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ on the -listen endpoint")
 	flag.Parse()
 
 	if *sample {
@@ -148,7 +149,7 @@ func realMain() (code int) {
 	prog := obs.NewProgress(*replicate)
 	var srv *obs.Server
 	if *listen != "" {
-		srv, err = obs.Serve(*listen, reg, prog)
+		srv, err = obs.ServeWith(*listen, obs.ServeConfig{Registry: reg, Progress: prog, Debug: *debug})
 		if err != nil {
 			return fail(err)
 		}

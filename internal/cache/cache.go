@@ -164,6 +164,16 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
+// Writable probes the persistent layer with a real write+remove and
+// returns the failure, if any — the job server's cache readiness check.
+// A nil or memory-only cache is always writable.
+func (c *Cache) Writable() error {
+	if c == nil || c.disk == nil {
+		return nil
+	}
+	return c.disk.writable()
+}
+
 // Len returns the number of entries in the memory layer.
 func (c *Cache) Len() int {
 	if c == nil {

@@ -25,6 +25,18 @@ func (d *diskStore) path(key Key) string {
 	return filepath.Join(d.dir, key.String()+snapshotExt)
 }
 
+// writable probes the directory with a real write+remove. It is a
+// readiness check, so it deliberately does not create the directory:
+// a deleted or unmounted cache volume must report unready, not be
+// silently recreated by the probe.
+func (d *diskStore) writable() error {
+	probe := filepath.Join(d.dir, ".writable-probe")
+	if err := os.WriteFile(probe, []byte("ok"), 0o644); err != nil {
+		return err
+	}
+	return os.Remove(probe)
+}
+
 // read returns the stored bytes for key, or nil when absent. I/O
 // errors degrade to a miss: the cache is an accelerator, never a
 // correctness dependency.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -18,6 +19,18 @@ type Server struct {
 	srv *http.Server
 }
 
+// ServeConfig configures a telemetry handler. Every field is optional;
+// the zero value serves an empty registry with unconditional health.
+type ServeConfig struct {
+	Registry *Registry
+	Progress *Progress
+	Health   *Health
+	// Debug mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiling handlers expose goroutine dumps and CPU profiles, so
+	// they are opt-in via the -debug flag on lotteryd/lotterysim.
+	Debug bool
+}
+
 // Handler returns the telemetry mux for reg and prog (either may be
 // nil), usable directly under httptest or an existing server. An
 // optional Health adds its readiness checks to /readyz; without one,
@@ -28,6 +41,12 @@ func Handler(reg *Registry, prog *Progress, health ...*Health) http.Handler {
 	if len(health) > 0 {
 		h = health[0]
 	}
+	return NewHandler(ServeConfig{Registry: reg, Progress: prog, Health: h})
+}
+
+// NewHandler returns the telemetry mux for cfg.
+func NewHandler(cfg ServeConfig) http.Handler {
+	reg, prog, h := cfg.Registry, cfg.Progress, cfg.Health
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", h.handleLive)
 	mux.HandleFunc("/readyz", h.handleReady)
@@ -60,6 +79,13 @@ func Handler(reg *Registry, prog *Progress, health ...*Health) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(body)
 	})
+	if cfg.Debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -67,12 +93,22 @@ func Handler(reg *Registry, prog *Progress, health ...*Health) http.Handler {
 // "127.0.0.1:0") and returns once the listener is bound, so a caller
 // can immediately advertise Addr(). The server runs until Close.
 func Serve(addr string, reg *Registry, prog *Progress, health ...*Health) (*Server, error) {
+	var h *Health
+	if len(health) > 0 {
+		h = health[0]
+	}
+	return ServeWith(addr, ServeConfig{Registry: reg, Progress: prog, Health: h})
+}
+
+// ServeWith is Serve with the full config surface (notably Debug,
+// which mounts pprof).
+func ServeWith(addr string, cfg ServeConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{
-		Handler:           Handler(reg, prog, health...),
+		Handler:           NewHandler(cfg),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go srv.Serve(ln)

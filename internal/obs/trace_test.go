@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stepClock is a deterministic clock advancing a fixed step per read.
+type stepClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func newStepClock(step time.Duration) *stepClock {
+	return &stepClock{now: time.Unix(1700000000, 0), step: step}
+}
+
+func (c *stepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+// fixedClock returns a manually advanced time.
+type fixedClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFixedClock() *fixedClock { return &fixedClock{now: time.Unix(1700000000, 0)} }
+
+func (c *fixedClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fixedClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTraceSpanTreeDeterministic(t *testing.T) {
+	clk := newFixedClock()
+	tr := NewTrace("job-1", clk.Now, 0)
+
+	admit := tr.Start("admit", nil)
+	clk.Advance(2 * time.Millisecond)
+	wal := tr.Start("wal_accept", admit)
+	clk.Advance(1 * time.Millisecond)
+	wal.End()
+	admit.End()
+
+	run := tr.Start("run", nil)
+	clk.Advance(5 * time.Millisecond)
+	run.Arg("engine", "scalar").End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Deterministic sequential ids in creation order.
+	for i, s := range spans {
+		if s.ID != i+1 {
+			t.Fatalf("span %d has id %d, want %d", i, s.ID, i+1)
+		}
+	}
+	if spans[0].Name != "admit" || spans[0].Parent != 0 {
+		t.Fatalf("span 0 = %+v, want top-level admit", spans[0])
+	}
+	if spans[1].Name != "wal_accept" || spans[1].Parent != spans[0].ID {
+		t.Fatalf("wal_accept parent = %d, want %d", spans[1].Parent, spans[0].ID)
+	}
+	if spans[0].DurUS != 3000 {
+		t.Fatalf("admit dur = %dus, want 3000", spans[0].DurUS)
+	}
+	if spans[1].DurUS != 1000 {
+		t.Fatalf("wal_accept dur = %dus, want 1000", spans[1].DurUS)
+	}
+	if spans[2].DurUS != 5000 {
+		t.Fatalf("run dur = %dus, want 5000", spans[2].DurUS)
+	}
+	if spans[2].Args["engine"] != "scalar" {
+		t.Fatalf("run args = %v, want engine=scalar", spans[2].Args)
+	}
+}
+
+func TestTraceEndIdempotent(t *testing.T) {
+	clk := newFixedClock()
+	tr := NewTrace("job", clk.Now, 0)
+	s := tr.Start("probe", nil)
+	clk.Advance(time.Millisecond)
+	s.End()
+	clk.Advance(time.Hour)
+	s.End() // second End must not stretch the span
+	if got := tr.Spans()[0].DurUS; got != 1000 {
+		t.Fatalf("dur after double End = %dus, want 1000", got)
+	}
+}
+
+func TestTraceBoundedAndDropped(t *testing.T) {
+	clk := newFixedClock()
+	tr := NewTrace("job", clk.Now, 4)
+	var last *Span
+	for i := 0; i < 10; i++ {
+		s := tr.Start("s", nil)
+		if i < 4 && s == nil {
+			t.Fatalf("span %d unexpectedly dropped", i)
+		}
+		if i >= 4 && s != nil {
+			t.Fatalf("span %d exceeded bound but was recorded", i)
+		}
+		last = s
+	}
+	last.End() // nil-safe End on the dropped span
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	s := tr.Start("x", nil)
+	s.Arg("k", "v").End()
+	tr.AddSpan("y", nil, 0, time.Time{}, time.Second, nil)
+	tr.SetID("z")
+	if tr.ID() != "" || tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil || tr.Summary() != nil || tr.TotalsUS() != nil {
+		t.Fatal("nil trace accessors must return zero values")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil WriteChrome output not JSON: %v", err)
+	}
+}
+
+func TestTraceWriteChromeFormat(t *testing.T) {
+	clk := newFixedClock()
+	tr := NewTrace("job-7", clk.Now, 0)
+	parent := tr.Start("run", nil)
+	clk.Advance(time.Millisecond)
+	child := tr.StartTrack("replica 0", parent, 1)
+	clk.Advance(2 * time.Millisecond)
+	child.End()
+	parent.End()
+	tr.AddSpan("lottery_draw", nil, 0, clk.Now(), 40*time.Microsecond, map[string]any{"queued": 3})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.PID != 1 {
+			t.Fatalf("event %q pid = %d, want 1", ev.Name, ev.PID)
+		}
+		if ev.Args["span_id"] == nil {
+			t.Fatalf("event %q missing span_id arg", ev.Name)
+		}
+	}
+	if doc.TraceEvents[1].TID != 1 {
+		t.Fatalf("replica event tid = %d, want 1", doc.TraceEvents[1].TID)
+	}
+	if got := doc.TraceEvents[1].Args["parent"]; got != float64(1) {
+		t.Fatalf("replica parent arg = %v, want 1", got)
+	}
+	if doc.TraceEvents[2].Dur != 40 {
+		t.Fatalf("lottery_draw dur = %dus, want 40", doc.TraceEvents[2].Dur)
+	}
+}
+
+func TestTraceOpenSpansExported(t *testing.T) {
+	clk := newFixedClock()
+	tr := NewTrace("job", clk.Now, 0)
+	tr.Start("queue_wait", nil) // never ended
+	clk.Advance(7 * time.Millisecond)
+	spans := tr.Spans()
+	if spans[0].DurUS != 7000 {
+		t.Fatalf("open span dur = %dus, want 7000 (duration so far)", spans[0].DurUS)
+	}
+}
+
+func TestTraceSummaryAndTotals(t *testing.T) {
+	clk := newFixedClock()
+	tr := NewTrace("job", clk.Now, 0)
+	for i := 0; i < 3; i++ {
+		s := tr.Start("chunk", nil)
+		clk.Advance(time.Duration(i+1) * time.Millisecond)
+		s.End()
+	}
+	s := tr.Start("admit", nil)
+	clk.Advance(time.Millisecond)
+	s.End()
+
+	sum := tr.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("got %d summary rows, want 2", len(sum))
+	}
+	// Sorted by name: admit before chunk.
+	if sum[0].Name != "admit" || sum[1].Name != "chunk" {
+		t.Fatalf("summary order = %q,%q, want admit,chunk", sum[0].Name, sum[1].Name)
+	}
+	if sum[1].Count != 3 || sum[1].TotalUS != 6000 || sum[1].MaxUS != 3000 {
+		t.Fatalf("chunk summary = %+v, want count 3 total 6000 max 3000", sum[1])
+	}
+	totals := tr.TotalsUS()
+	if totals["chunk"] != 6000 || totals["admit"] != 1000 {
+		t.Fatalf("totals = %v", totals)
+	}
+}
+
+func TestSecondsBuckets(t *testing.T) {
+	b := SecondsBuckets()
+	if len(b) == 0 {
+		t.Fatal("empty bounds")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %g <= %g", i, b[i], b[i-1])
+		}
+	}
+	if b[0] > 2e-6 {
+		t.Fatalf("lowest bound %g too coarse for microsecond latencies", b[0])
+	}
+	if b[len(b)-1] < 60 {
+		t.Fatalf("highest bound %g below 60s", b[len(b)-1])
+	}
+	// Usable in a registry histogram.
+	reg := NewRegistry()
+	h := reg.Histogram("lotterybus_serve_run_seconds", "run latency", nil, SecondsBuckets())
+	h.Observe(0.25)
+	if h.Count() != 1 {
+		t.Fatal("observe failed")
+	}
+}
+
+func TestHandlerPprofGatedByDebug(t *testing.T) {
+	off := httptest.NewServer(NewHandler(ServeConfig{}))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("pprof served without Debug (status %d)", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(NewHandler(ServeConfig{Debug: true}))
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with Debug: status %d, want 200", resp.StatusCode)
+	}
+}

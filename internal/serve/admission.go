@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"lotterybus/internal/core"
+	"lotterybus/internal/obs"
 	"lotterybus/internal/prng"
 )
 
@@ -46,6 +48,10 @@ type admitter struct {
 	byName         map[string]*clientQ
 	weights        map[string]uint64
 	defaultTickets uint64
+
+	// clock times the lottery draw for the trace layer; injected so the
+	// nondeterminism lint's time.Now confinement to internal/obs holds.
+	clock func() time.Time
 }
 
 // clientQ is one client's FIFO of accepted jobs.
@@ -101,6 +107,7 @@ func newAdmitter(capacity, clientCap int, weights map[string]uint64, defaultTick
 		byName:         make(map[string]*clientQ),
 		weights:        weights,
 		defaultTickets: defaultTickets,
+		clock:          obs.Now,
 	}
 	a.cond = sync.NewCond(&a.mu)
 	return a, nil
@@ -159,21 +166,24 @@ func (a *admitter) enqueue(job *Job, recovered bool) error {
 }
 
 // next blocks until a job is available and returns it, drawing the
-// admission lottery over the clients with queued work. It returns
-// ok=false once the admitter is draining — workers finish their current
-// job and exit, leaving the rest of the queue checkpointed in the WAL.
-func (a *admitter) next() (*Job, bool) {
+// admission lottery over the clients with queued work. The returned
+// duration is the draw's own wall time — the "lottery_draw" span in the
+// winning job's trace. It returns ok=false once the admitter is
+// draining — workers finish their current job and exit, leaving the
+// rest of the queue checkpointed in the WAL.
+func (a *admitter) next() (*Job, time.Duration, bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	for {
 		if a.draining {
-			return nil, false
+			return nil, 0, false
 		}
 		if a.mask != 0 {
 			break
 		}
 		a.cond.Wait()
 	}
+	drawStart := a.clock()
 	slot := a.lot.Draw(a.mask, a.tickets)
 	if slot == core.NoWinner {
 		// Unreachable with a nonzero mask and positive tickets; fall
@@ -185,10 +195,21 @@ func (a *admitter) next() (*Job, bool) {
 			}
 		}
 	}
+	drawDur := a.clock().Sub(drawStart)
 	q := a.slots[slot]
 	job := q.jobs[0]
 	a.popLocked(q, 0)
-	return job, true
+	return job, drawDur, true
+}
+
+// queuedFor returns one client's current FIFO depth (for /v1/stats).
+func (a *admitter) queuedFor(client string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if q := a.byName[client]; q != nil {
+		return len(q.jobs)
+	}
+	return 0
 }
 
 // remove pulls a still-queued job out of its client queue (client

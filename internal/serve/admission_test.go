@@ -25,7 +25,7 @@ func TestAdmitterFIFOWithinClient(t *testing.T) {
 		}
 	}
 	for i := range jobs {
-		got, ok := a.next()
+		got, _, ok := a.next()
 		if !ok {
 			t.Fatal("next: drained unexpectedly")
 		}
@@ -96,7 +96,7 @@ func TestAdmitterShares(t *testing.T) {
 	// queue can empty.
 	counts := map[string]int{}
 	for i := 0; i < perClient; i++ {
-		job, ok := a.next()
+		job, _, ok := a.next()
 		if !ok {
 			t.Fatal("drained unexpectedly")
 		}
@@ -117,7 +117,7 @@ func TestAdmitterDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 	a.drain()
-	if _, ok := a.next(); ok {
+	if _, _, ok := a.next(); ok {
 		t.Fatal("next after drain: got a job, want ok=false")
 	}
 	if err := a.enqueue(testJob("c"), false); err != ErrDraining {
@@ -147,7 +147,7 @@ func TestAdmitterRemove(t *testing.T) {
 	if a.remove(j1) {
 		t.Fatal("second remove of the same job = true")
 	}
-	got, ok := a.next()
+	got, _, ok := a.next()
 	if !ok || got != j2 {
 		t.Fatalf("next after remove: got %v ok=%v, want j2", got, ok)
 	}

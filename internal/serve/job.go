@@ -35,7 +35,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
+	"lotterybus/internal/obs"
 	"lotterybus/internal/simcfg"
 )
 
@@ -112,6 +114,14 @@ type Job struct {
 
 	cfg *simcfg.SimConfig
 
+	// trace is the job's span tree (admit → queue → run → replicas),
+	// written only by the serving layer — never by the simulation.
+	// Both fields are assigned before enqueue makes the job reachable
+	// by workers and never after: the one dispatch worker that dequeues
+	// the job reads them without further synchronization.
+	trace      *obs.Trace
+	acceptedAt time.Time
+
 	mu       sync.Mutex
 	state    JobState
 	reason   string
@@ -122,6 +132,9 @@ type Job struct {
 	cancel   func() // non-nil while running; client cancellation hook
 	byClient bool   // cancel came from the API, not drain/crash
 }
+
+// Trace returns the job's span tree (nil-safe to use when absent).
+func (j *Job) Trace() *obs.Trace { return j.trace }
 
 // Limits bounds what a single request may ask for.
 type Limits struct {

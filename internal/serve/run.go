@@ -58,8 +58,17 @@ const maxAttempts = 3
 // runJob drives one dequeued job to a terminal state: execute with
 // retry-with-backoff on transient failures, classify the outcome, write
 // the WAL end record (or deliberately not, for interrupted jobs), and
-// emit the final stream event.
-func (s *Server) runJob(job *Job) {
+// emit the final stream event. drawDur is how long the admission
+// lottery's winning draw took, recorded as the "lottery_draw" span.
+func (s *Server) runJob(job *Job, drawDur time.Duration) {
+	dispatched := s.clock()
+	if !job.acceptedAt.IsZero() {
+		wait := dispatched.Sub(job.acceptedAt)
+		job.trace.AddSpan("queue_wait", nil, 0, job.acceptedAt, wait, nil)
+		s.m.queueWaitSec.Observe(wait.Seconds())
+	}
+	job.trace.AddSpan("lottery_draw", nil, 0, dispatched.Add(-drawDur), drawDur, nil)
+
 	ctx, cancel := context.WithCancel(s.rootCtx)
 	if s.opts.JobTimeout > 0 {
 		ctx, cancel = context.WithTimeout(s.rootCtx, s.opts.JobTimeout)
@@ -76,12 +85,15 @@ func (s *Server) runJob(job *Job) {
 	}
 	job.emit("started", map[string]any{"client": job.Client, "replicate": job.Replicate})
 
+	runSpan := job.trace.Start("run", nil)
 	var err error
 	for attempt := 1; ; attempt++ {
 		job.mu.Lock()
 		job.attempts = attempt
 		job.mu.Unlock()
+		attemptSpan := job.trace.Start("attempt", runSpan).Arg("n", attempt)
 		err = s.execute(ctx, job)
+		attemptSpan.End()
 		if classify(err) != classTransient || attempt >= maxAttempts {
 			break
 		}
@@ -96,21 +108,42 @@ func (s *Server) runJob(job *Job) {
 			break
 		}
 	}
+	runSpan.End()
+	runDur := s.clock().Sub(dispatched)
+	s.m.runSec.Observe(runDur.Seconds())
+
+	// The terminal stream event carries the per-stage latency totals, so
+	// a streaming client gets the decomposition without a second request.
+	spanTotals := job.trace.TotalsUS()
+	withSpans := func(fields map[string]any) map[string]any {
+		if spanTotals == nil {
+			return fields
+		}
+		if fields == nil {
+			fields = map[string]any{}
+		}
+		fields["spans_us"] = spanTotals
+		return fields
+	}
 
 	switch classify(err) {
 	case classOK:
-		if job.terminate(StateDone, "", "done", map[string]any{"replicas": job.Replicate}) {
+		if job.terminate(StateDone, "", "done", withSpans(map[string]any{"replicas": job.Replicate})) {
 			s.walEnd(job, StateDone, "")
 			s.m.completed(job.Client).Add(1)
+			s.bumpClient(job.Client, func(c *clientCounters) { c.Completed++ })
+			s.observeService(runDur)
+			s.updateShares()
 		}
 	case classCanceled:
 		job.mu.Lock()
 		byClient := job.byClient
 		job.mu.Unlock()
 		if byClient {
-			if job.terminate(StateCanceled, "canceled by client", "canceled", nil) {
+			if job.terminate(StateCanceled, "canceled by client", "canceled", withSpans(nil)) {
 				s.walEnd(job, StateCanceled, "canceled by client")
 				s.m.canceled.Add(1)
+				s.bumpClient(job.Client, func(c *clientCounters) { c.Canceled++ })
 			}
 		} else {
 			// Interrupted by drain timeout or abort: no WAL end record —
@@ -122,26 +155,48 @@ func (s *Server) runJob(job *Job) {
 		}
 	case classTimeout:
 		reason := fmt.Sprintf("wall-clock timeout after %s", s.opts.JobTimeout)
-		if job.terminate(StateFailed, reason, "failed", map[string]any{"reason": reason}) {
+		if job.terminate(StateFailed, reason, "failed", withSpans(map[string]any{"reason": reason})) {
 			// A deterministic job that timed out once would time out on
 			// every restart; end it so recovery does not loop.
 			s.walEnd(job, StateFailed, reason)
 			s.m.failed.Add(1)
+			s.bumpClient(job.Client, func(c *clientCounters) { c.Failed++ })
 		}
 	default:
-		if job.terminate(StateFailed, err.Error(), "failed", map[string]any{"reason": err.Error()}) {
+		if job.terminate(StateFailed, err.Error(), "failed", withSpans(map[string]any{"reason": err.Error()})) {
 			s.walEnd(job, StateFailed, err.Error())
 			s.m.failed.Add(1)
+			s.bumpClient(job.Client, func(c *clientCounters) { c.Failed++ })
 		}
 	}
 	s.finishJob(job)
+	if job.State().Terminal() {
+		total := job.trace.Elapsed()
+		s.m.totalSec.Observe(total.Seconds())
+		s.m.spansDropped.Add(job.trace.Dropped())
+		if s.opts.SlowJob > 0 && total >= s.opts.SlowJob {
+			s.m.slowJobs.Add(1)
+			s.journal.Emit("slow_job", map[string]any{
+				"id": job.ID, "client": job.Client, "state": string(job.State()),
+				"total_ms": float64(total.Microseconds()) / 1e3,
+				"spans":    job.trace.Spans(),
+			})
+		}
+	}
 }
 
 // walEnd appends a terminal record, tolerating WAL write failure (the
 // worst case is a finished job re-running into pure cache hits on the
 // next start — never a lost result, never a 500).
 func (s *Server) walEnd(job *Job, status JobState, reason string) {
-	if err := s.wal.appendEnd(job.ID, status, reason); err != nil {
+	start := s.clock()
+	err := s.wal.appendEnd(job.ID, status, reason)
+	if s.wal != nil {
+		dur := s.clock().Sub(start)
+		s.m.walAppendSec.Observe(dur.Seconds())
+		job.trace.AddSpan("wal_end", nil, 0, start, dur, nil)
+	}
+	if err != nil {
 		s.journal.Emit("wal_error", map[string]any{"id": job.ID, "error": err.Error()})
 	}
 }
@@ -171,7 +226,16 @@ func (s *Server) execute(ctx context.Context, job *Job) error {
 // stored snapshot and renders the report from it; a miss simulates
 // under ctx (stopping at the next chunk boundary on cancellation) and
 // publishes the snapshot so a crash between replicas loses nothing.
+//
+// Each replica traces on its own track (i+1): a cache_probe span, then
+// — only on a miss — a simulate span with one chunk child per RunChunk
+// slice and a snapshot_publish span covering encode+store. All span
+// work happens at chunk boundaries or around the run, never inside it,
+// so fast-forward eligibility and collector fingerprints are untouched.
 func (s *Server) runReplica(ctx context.Context, job *Job, i int) (ReplicaResult, error) {
+	track := i + 1
+	repSpan := job.trace.StartTrack(fmt.Sprintf("replica %d", i), nil, track)
+	defer repSpan.End()
 	c := *job.cfg
 	c.Seed = job.cfg.Seed + uint64(i)
 	sys, err := c.Build()
@@ -183,14 +247,40 @@ func (s *Server) runReplica(ctx context.Context, job *Job, i int) (ReplicaResult
 		return ReplicaResult{}, err
 	}
 	key := cache.KeyOf(canon, c.Seed, "")
+	probe := job.trace.StartTrack("cache_probe", repSpan, track)
+	computed := false
+	var computeEnd time.Time
 	col, src, err := s.cache.GetOrCompute(key, func() (*stats.Collector, error) {
-		if err := sys.RunContext(ctx, c.Cycles); err != nil {
-			return nil, err
+		computed = true
+		probe.Arg("hit", false).End()
+		sim := job.trace.StartTrack("simulate", repSpan, track).Arg("engine", "scalar")
+		chunkStart := s.clock()
+		runErr := sys.RunContextObserved(ctx, c.Cycles, func(done, total int64) {
+			now := s.clock()
+			job.trace.AddSpan("chunk", sim, track, chunkStart, now.Sub(chunkStart),
+				map[string]any{"cycles_done": done, "cycles_total": total})
+			chunkStart = now
+		})
+		sim.End()
+		if runErr != nil {
+			return nil, runErr
 		}
+		computeEnd = s.clock()
 		return sys.Collector(), nil
 	})
+	// On a hit the closure never ran: close the probe here (End is
+	// idempotent, so the miss path is unaffected).
+	probe.Arg("hit", !computed).End()
 	if err != nil {
 		return ReplicaResult{}, err
+	}
+	if computed {
+		// GetOrCompute encodes and publishes the snapshot between the
+		// closure's return and its own; recover that window as a span.
+		job.trace.AddSpan("snapshot_publish", repSpan, track, computeEnd, s.clock().Sub(computeEnd), nil)
+		s.m.cacheMisses.Add(1)
+	} else {
+		s.m.cacheHits(src.String()).Add(1)
 	}
 	rep := sys.ReportFor(col)
 	res := ReplicaResult{
@@ -224,23 +314,37 @@ func (s *Server) executeLanes(ctx context.Context, job *Job) error {
 	cols := make([]*stats.Collector, n)
 	srcs := make([]cache.Source, n)
 	hits := 0
+	probe := job.trace.Start("cache_probe", nil)
 	for i := 0; i < n; i++ {
 		c := *job.cfg
 		c.Seed = job.cfg.Seed + uint64(i)
 		canon, err := c.Canonical()
 		if err != nil {
+			probe.End()
 			return err
 		}
 		keys[i] = cache.KeyOf(canon, c.Seed, "")
 		if col, src, ok := s.cache.Get(keys[i]); ok {
 			cols[i], srcs[i] = col, src
 			hits++
+			s.m.cacheHits(src.String()).Add(1)
 		}
 	}
+	probe.Arg("hits", hits).Arg("replicas", n).Arg("hit", hits == n).End()
 	warm := s.cache != nil && hits == n && rs.Collector(0) != nil
 	if !warm {
-		if err := rs.RunContext(ctx, job.cfg.Cycles); err != nil {
-			return err
+		s.m.cacheMisses.Add(int64(n - hits))
+		sim := job.trace.Start("simulate", nil).Arg("engine", "lanes")
+		chunkStart := s.clock()
+		runErr := rs.RunContextObserved(ctx, job.cfg.Cycles, func(done, total int64) {
+			now := s.clock()
+			job.trace.AddSpan("chunk", sim, 0, chunkStart, now.Sub(chunkStart),
+				map[string]any{"cycles_done": done, "cycles_total": total})
+			chunkStart = now
+		})
+		sim.End()
+		if runErr != nil {
+			return runErr
 		}
 	}
 	results := make([]ReplicaResult, n)
@@ -254,7 +358,9 @@ func (s *Server) executeLanes(ctx context.Context, job *Job) error {
 			col = rs.Collector(i)
 			rep = rs.Report(i)
 			src = cache.SourceComputed
+			pubStart := s.clock()
 			s.cache.Put(keys[i], col) // nil-safe without a cache
+			job.trace.AddSpan("snapshot_publish", nil, i+1, pubStart, s.clock().Sub(pubStart), nil)
 		}
 		results[i] = ReplicaResult{
 			Replica:     i,

@@ -332,10 +332,27 @@ func (s *System) RunContext(ctx context.Context, n int64) error {
 	return runChunked(ctx, n, s.b.Run)
 }
 
+// RunContextObserved is RunContext with a progress observer invoked
+// after every completed chunk with (cycles done so far, total). The
+// observer runs between chunks, never inside one, so it adds nothing to
+// the per-cycle loop and leaves fast-forward eligibility untouched —
+// it exists so the job server can mark simulate-chunk span boundaries.
+// A nil observe degrades to RunContext exactly.
+func (s *System) RunContextObserved(ctx context.Context, n int64, observe func(done, total int64)) error {
+	return runChunkedObserved(ctx, n, s.b.Run, observe)
+}
+
 // runChunked drives a resumable run function in RunChunk slices with a
 // cancellation check before each.
 func runChunked(ctx context.Context, n int64, run func(int64) error) error {
-	if ctx.Done() == nil {
+	return runChunkedObserved(ctx, n, run, nil)
+}
+
+// runChunkedObserved is runChunked plus a per-chunk observer. With a
+// nil observer and an uncancellable context the whole span runs in one
+// call, exactly as before.
+func runChunkedObserved(ctx context.Context, n int64, run func(int64) error, observe func(done, total int64)) error {
+	if ctx.Done() == nil && observe == nil {
 		return run(n)
 	}
 	for done := int64(0); done < n; {
@@ -350,6 +367,9 @@ func runChunked(ctx context.Context, n int64, run func(int64) error) error {
 			return err
 		}
 		done += step
+		if observe != nil {
+			observe(done, n)
+		}
 	}
 	return ctx.Err()
 }

@@ -180,6 +180,13 @@ func (r *ReplicaSet) RunContext(ctx context.Context, n int64) error {
 	return runChunked(ctx, n, r.eng.Run)
 }
 
+// RunContextObserved is RunContext with a per-chunk progress observer
+// (see System.RunContextObserved); the observer fires between chunks
+// only, so the fused lane loop is untouched.
+func (r *ReplicaSet) RunContextObserved(ctx context.Context, n int64, observe func(done, total int64)) error {
+	return runChunkedObserved(ctx, n, r.eng.Run, observe)
+}
+
 // Collector returns replica l's statistics collector, or nil before
 // the engine is built by the first Run — the value the result cache
 // snapshots per replica.
