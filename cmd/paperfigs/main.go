@@ -5,8 +5,8 @@
 // Usage:
 //
 //	paperfigs [-fig all|4|5|6a|6b|12a|12b|12b1|12c|table1|hw|gates|starvation|dynamic|bridge|
-//	           slack|pipeline|compensation|burst|models|tail|replay|split|scale|adaptation|wrr|
-//	           regimes|degradation|babble]
+//	           slack|pipeline|compensation|burst|models|tail|replay|split|scale|cmp64|adaptation|
+//	           wrr|regimes|degradation|babble]
 //	          [-cycles N] [-seed S] [-parallel W] [-csv DIR]
 //	          [-lanes] [-no-analytic]
 //	          [-cache-dir DIR] [-no-cache]
@@ -331,6 +331,7 @@ func sections() []section {
 		{"replay", "extension: all architectures on one recorded workload", tableSection(func(o expt.Options) (tabler, error) { return expt.RunReplay(o) })},
 		{"split", "extension: split transactions vs blocking slave", tableSection(func(o expt.Options) (tabler, error) { return expt.RunSplitAblation(o) })},
 		{"scale", "extension: proportional sharing at scale", tableSection(func(o expt.Options) (tabler, error) { return expt.RunScalability(o) })},
+		{"cmp64", "extension: 64-core CMP over the partial-crossbar fabric", tableSection(func(o expt.Options) (tabler, error) { return expt.RunCMP64(o) })},
 		{"adaptation", "extension: dynamic re-provisioning transient", func(c *secCtx) error {
 			r, err := expt.RunAdaptation(c.o)
 			if err != nil {

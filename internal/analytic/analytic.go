@@ -9,6 +9,8 @@ package analytic
 import (
 	"fmt"
 	"math"
+
+	"lotterybus/internal/core"
 )
 
 // LotteryShare returns the long-run bandwidth fraction master i receives
@@ -81,12 +83,24 @@ func TDMAAlignmentWait(block, wheel int) (float64, error) {
 // TDMAServiceShare returns the fraction of bus words a master drains
 // under two-level TDMA when the masters in pendingMask are all
 // continuously backlogged: its own slots plus an equal (round-robin)
-// share of every idle master's slots.
+// share of every idle master's slots. A uint64 mask only addresses
+// masters 0..63; wider wheels go through TDMAServiceShareSet.
 func TDMAServiceShare(slots []int, i int, pendingMask uint64) (float64, error) {
+	return TDMAServiceShareSet(slots, i, core.Mask64Bitset(pendingMask))
+}
+
+// TDMAServiceShareSet is TDMAServiceShare over a wide request map, for
+// wheels beyond one machine word. The old 1<<n-1 full-mask idiom could
+// never assert bit 64 and above — build the saturated map with
+// core.FullBitset(len(slots)) instead.
+func TDMAServiceShareSet(slots []int, i int, pending core.Bitset) (float64, error) {
 	if i < 0 || i >= len(slots) {
 		return 0, fmt.Errorf("analytic: master %d out of range", i)
 	}
-	if pendingMask>>uint(i)&1 == 0 {
+	if len(slots) > core.MaxMasters {
+		return 0, fmt.Errorf("analytic: %d masters exceeds core.MaxMasters (%d)", len(slots), core.MaxMasters)
+	}
+	if !pending.Test(i) {
 		return 0, nil
 	}
 	total := 0
@@ -97,7 +111,7 @@ func TDMAServiceShare(slots []int, i int, pendingMask uint64) (float64, error) {
 			return 0, fmt.Errorf("analytic: negative slot count")
 		}
 		total += s
-		if pendingMask>>uint(j)&1 == 1 {
+		if pending.Test(j) {
 			contenders++
 		} else {
 			idle += s

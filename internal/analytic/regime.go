@@ -1,6 +1,10 @@
 package analytic
 
-import "fmt"
+import (
+	"fmt"
+
+	"lotterybus/internal/core"
+)
 
 // Regime classification: deciding, from a sweep point's configuration
 // alone, whether its long-run statistics are already known in closed
@@ -189,7 +193,7 @@ func SaturatedShares(p Point) (shares []float64, tol float64, err error) {
 			slots[i] = int(w)
 		}
 		for i := range shares {
-			s, err := TDMAServiceShare(slots, i, 1<<uint(n)-1)
+			s, err := TDMAServiceShareSet(slots, i, core.FullBitset(n))
 			if err != nil {
 				return nil, 0, err
 			}

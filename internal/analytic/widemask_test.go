@@ -1,0 +1,93 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"lotterybus/internal/core"
+)
+
+// TestTDMAServiceShareFullWheel64 pins the exactly-64-master boundary:
+// the saturated full mask must assert all 64 request bits, and the
+// reclaimed-slack share math must see zero idle slots.
+func TestTDMAServiceShareFullWheel64(t *testing.T) {
+	slots := make([]int, 64)
+	for i := range slots {
+		slots[i] = 1
+	}
+	sum := 0.0
+	for i := range slots {
+		s, err := TDMAServiceShare(slots, i, core.FullMask(64))
+		if err != nil {
+			t.Fatalf("master %d: %v", i, err)
+		}
+		if math.Abs(s-1.0/64) > 1e-12 {
+			t.Fatalf("master %d share %v, want 1/64", i, s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+}
+
+// TestSaturatedSharesWideTDMA is the cap-lift regression test: with 65
+// masters the old 1<<n-1 full-mask idiom could not assert bit 64, so
+// SaturatedShares starved master 64 (share 0) and handed its slot to
+// the others as reclaimed slack. The wide request map must give every
+// master exactly 1/65.
+func TestSaturatedSharesWideTDMA(t *testing.T) {
+	const n = 65
+	p := Point{
+		Arbiter:  KindTDMA,
+		Weights:  make([]uint64, n),
+		MaxBurst: 4,
+		Slaves:   []PointSlave{{}},
+	}
+	p.Masters = make([]PointMaster, n)
+	for i := range p.Masters {
+		p.Masters[i] = PointMaster{Saturating: true, Words: 4}
+		p.Weights[i] = 1
+	}
+	shares, _, err := SaturatedShares(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i, s := range shares {
+		if math.Abs(s-1.0/n) > 1e-12 {
+			t.Fatalf("master %d share %v, want 1/%d", i, s, n)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+}
+
+// TestTDMAServiceShareSetWide checks the wide entry point directly: a
+// 96-slot wheel where only masters above bit 63 contend.
+func TestTDMAServiceShareSetWide(t *testing.T) {
+	slots := make([]int, 96)
+	for i := range slots {
+		slots[i] = 1
+	}
+	var pending core.Bitset
+	pending.Set(70)
+	pending.Set(90)
+	s, err := TDMAServiceShareSet(slots, 70, pending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Own slot 1/96 plus half of the 94 idle slots.
+	want := 1.0/96 + 94.0/96/2
+	if math.Abs(s-want) > 1e-12 {
+		t.Fatalf("share %v, want %v", s, want)
+	}
+	if s, _ := TDMAServiceShareSet(slots, 0, pending); s != 0 {
+		t.Fatalf("idle master share %v, want 0", s)
+	}
+	if _, err := TDMAServiceShareSet(make([]int, core.MaxMasters+1), 0, pending); err == nil {
+		t.Fatal("over-cap wheel accepted")
+	}
+}

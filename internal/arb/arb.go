@@ -302,7 +302,7 @@ func (l *StaticLottery) Name() string { return "lottery-static" }
 // Arbitrate draws one lottery; a redraw-policy slack miss declines the
 // grant for this cycle.
 func (l *StaticLottery) Arbitrate(_ int64, req bus.Requests) (bus.Grant, bool) {
-	w := l.mgr.Draw(req.Mask())
+	w := l.mgr.DrawSet(req.Mask())
 	if w == core.NoWinner {
 		return bus.Grant{}, false
 	}
@@ -333,7 +333,7 @@ func (l *DynamicLottery) Arbitrate(_ int64, req bus.Requests) (bus.Grant, bool) 
 	for i := 0; i < n; i++ {
 		l.tickets[i] = req.Tickets(i)
 	}
-	w := l.mgr.Draw(req.Mask(), l.tickets)
+	w := l.mgr.DrawSet(req.Mask(), l.tickets)
 	if w == core.NoWinner {
 		return bus.Grant{}, false
 	}

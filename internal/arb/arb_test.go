@@ -20,11 +20,11 @@ func (f *fakeReq) NumMasters() int { return len(f.pending) }
 
 func (f *fakeReq) Pending(i int) bool { return f.pending[i] }
 
-func (f *fakeReq) Mask() uint64 {
-	var m uint64
+func (f *fakeReq) Mask() core.Bitset {
+	var m core.Bitset
 	for i, p := range f.pending {
 		if p {
-			m |= 1 << uint(i)
+			m.Set(i)
 		}
 	}
 	return m

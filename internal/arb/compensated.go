@@ -94,7 +94,7 @@ func (c *CompensatedLottery) Arbitrate(_ int64, req bus.Requests) (bus.Grant, bo
 	for i := range c.base {
 		c.scratch[i] = c.effective(i)
 	}
-	w := c.mgr.Draw(req.Mask(), c.scratch)
+	w := c.mgr.DrawSet(req.Mask(), c.scratch)
 	if w == core.NoWinner {
 		return bus.Grant{}, false
 	}

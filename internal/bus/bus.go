@@ -24,6 +24,7 @@ package bus
 import (
 	"fmt"
 
+	"lotterybus/internal/core"
 	"lotterybus/internal/stats"
 )
 
@@ -44,8 +45,9 @@ type Requests interface {
 	NumMasters() int
 	// Pending reports whether master i has a pending request (r_i).
 	Pending(i int) bool
-	// Mask returns the request map as a bit mask (bit i == r_i).
-	Mask() uint64
+	// Mask returns the request map as a bitset (bit i == r_i). On a
+	// bus of at most 64 masters the whole map is Mask().Mask64().
+	Mask() core.Bitset
 	// PendingWords returns the remaining word count of master i's head
 	// message, or 0 when idle.
 	PendingWords(i int) int
@@ -415,7 +417,7 @@ type Bus struct {
 	// pending state is a function of the cycle (respReady), so the cache
 	// is valid for exactly one cycle; maskFor is -1 when nothing is
 	// cached.
-	mask    uint64
+	mask    core.Bitset
 	maskFor int64
 
 	// ffCycles counts simulated cycles advanced in bulk by the
@@ -551,8 +553,8 @@ func (b *Bus) validate() error {
 	if len(b.masters) == 0 {
 		return fmt.Errorf("bus: no masters")
 	}
-	if len(b.masters) > 64 {
-		return fmt.Errorf("bus: %d masters exceeds 64", len(b.masters))
+	if len(b.masters) > core.MaxMasters {
+		return fmt.Errorf("bus: %d masters exceeds core.MaxMasters (%d)", len(b.masters), core.MaxMasters)
 	}
 	if b.arb == nil {
 		return fmt.Errorf("bus: no arbiter attached")
@@ -621,6 +623,7 @@ func (b *Bus) Run(n int64) error {
 	}
 	splitTO := b.cfg.SplitTimeout
 	starveThr := b.cfg.StarvationThreshold
+	wide := len(b.masters) > 64
 	end := b.cycle + n
 	for ; b.cycle < end; b.cycle++ {
 		cycle := b.cycle
@@ -657,7 +660,19 @@ func (b *Bus) Run(n int64) error {
 
 		// Phase 2: arbitration when idle; pre-emption check otherwise.
 		if b.cur == nil {
-			if mask := b.requestMask(); mask != 0 {
+			if !wide {
+				if w := b.requestMask64(); w != 0 {
+					// Narrow buses never set mask words 1..3, so storing
+					// word 0 alone keeps the cache current without
+					// copying the whole bitset.
+					b.mask[0], b.maskFor = w, cycle
+					if g, ok := b.arb.Arbitrate(cycle, &b.reqView); ok {
+						if err := b.startBurst(g, col); err != nil {
+							return err
+						}
+					}
+				}
+			} else if mask := b.requestMaskWide(); mask.Any() {
 				b.mask, b.maskFor = mask, cycle
 				if g, ok := b.arb.Arbitrate(cycle, &b.reqView); ok {
 					if err := b.startBurst(g, col); err != nil {
@@ -732,14 +747,41 @@ func (b *Bus) scanStarvation(col *stats.Collector, thr int64) {
 	}
 }
 
-func (b *Bus) requestMask() uint64 {
-	var mask uint64
+// requestMask64 builds the cycle's request map for buses of at most 64
+// masters — one register word, kept small enough to inline into the
+// cycle loops so the pre-bitset hot path survives unchanged. Wide
+// fabrics go through requestMaskWide instead.
+func (b *Bus) requestMask64() uint64 {
+	var w uint64
 	for i := range b.masters {
 		if b.masterPending(i) {
-			mask |= 1 << uint(i)
+			w |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
+// requestMaskWide is requestMask64 for fabrics beyond one mask word.
+func (b *Bus) requestMaskWide() core.Bitset {
+	var mask core.Bitset
+	for i := range b.masters {
+		if b.masterPending(i) {
+			mask.Set(i)
 		}
 	}
 	return mask
+}
+
+// requestMask builds the cycle's request map at either width; the hot
+// loops dispatch to the narrow/wide variants themselves to keep the
+// ≤64-master path inlined.
+func (b *Bus) requestMask() core.Bitset {
+	if len(b.masters) <= 64 {
+		var mask core.Bitset
+		mask[0] = b.requestMask64()
+		return mask
+	}
+	return b.requestMaskWide()
 }
 
 // masterPending reports whether master i's request line is asserted: a
@@ -950,7 +992,7 @@ func (v *requestView) Pending(i int) bool { return v.b.masterPending(i) }
 
 // Mask serves the request map cached by the cycle loop when it is fresh
 // (the common case during arbitration) and recomputes otherwise.
-func (v *requestView) Mask() uint64 {
+func (v *requestView) Mask() core.Bitset {
 	if v.b.maskFor == v.b.cycle {
 		return v.b.mask
 	}

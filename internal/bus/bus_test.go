@@ -338,8 +338,8 @@ func TestRequestViewExposesState(t *testing.T) {
 	if !v.Pending(0) || v.Pending(1) {
 		t.Fatal("Pending")
 	}
-	if v.Mask() != 0b01 {
-		t.Fatalf("Mask %b", v.Mask())
+	if v.Mask().Mask64() != 0b01 {
+		t.Fatalf("Mask %b", v.Mask().Mask64())
 	}
 	if v.PendingWords(0) != 5 || v.PendingWords(1) != 0 {
 		t.Fatal("PendingWords")

@@ -124,6 +124,7 @@ func (b *Bus) nextSplitReady() int64 {
 // executed cycle it leaps to the next event.
 func (b *Bus) runFast(n int64, col *stats.Collector) error {
 	scheds := b.schedulers()
+	wide := len(b.masters) > 64
 	end := b.cycle + n
 	for b.cycle < end {
 		cycle := b.cycle
@@ -141,7 +142,19 @@ func (b *Bus) runFast(n int64, col *stats.Collector) error {
 
 		// Phase 2: arbitration when idle.
 		if b.cur == nil {
-			if mask := b.requestMask(); mask != 0 {
+			if !wide {
+				if w := b.requestMask64(); w != 0 {
+					// Narrow buses never set mask words 1..3, so storing
+					// word 0 alone keeps the cache current without
+					// copying the whole bitset.
+					b.mask[0], b.maskFor = w, cycle
+					if g, ok := b.arb.Arbitrate(cycle, &b.reqView); ok {
+						if err := b.startBurst(g, col); err != nil {
+							return err
+						}
+					}
+				}
+			} else if mask := b.requestMaskWide(); mask.Any() {
 				b.mask, b.maskFor = mask, cycle
 				if g, ok := b.arb.Arbitrate(cycle, &b.reqView); ok {
 					if err := b.startBurst(g, col); err != nil {
@@ -171,7 +184,7 @@ func (b *Bus) runFast(n int64, col *stats.Collector) error {
 				b.batchBurst(limit, col)
 				b.ffCycles += b.cycle - from
 			}
-		} else if b.requestMask() == 0 {
+		} else if !wide && b.requestMask64() == 0 || wide && b.requestMaskWide().None() {
 			// Dead gap: bus idle, no requests. Nothing can happen until
 			// the next arrival or a split response becomes ready.
 			target := min(end, min(b.nextArrival(scheds), b.nextSplitReady()))

@@ -72,7 +72,7 @@ func oracleCases() []oracleCase {
 			slots := []int{1, 2, 3, 4}
 			e := make([]float64, len(slots))
 			for i := range slots {
-				s, err := analytic.TDMAServiceShare(slots, i, 1<<len(slots)-1)
+				s, err := analytic.TDMAServiceShareSet(slots, i, core.FullBitset(len(slots)))
 				if err != nil {
 					return nil, err
 				}

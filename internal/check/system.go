@@ -1,0 +1,51 @@
+package check
+
+import (
+	"fmt"
+
+	"lotterybus/internal/topology"
+)
+
+// Multi-segment auditing: a hierarchical fabric is consistent exactly
+// when every segment passes the single-bus audit on its own ledger and
+// every bridge's word ledger balances — words entering a bridge from
+// its source segment equal the words injected into the destination
+// segment plus those still waiting in (or shed by) the bridge FIFO.
+
+// AuditSystem audits every segment and bridge of a multi-bus fabric.
+// Each segment's violations are prefixed with its registered name; the
+// returned slice is empty when the whole fabric is consistent.
+func AuditSystem(sys *topology.System) []Violation {
+	return AuditSystemWith(sys, nil)
+}
+
+// AuditSystemWith is AuditSystem with per-segment audit options; opts
+// maps a segment index to the Opts passed to its AuditWith call
+// (segments absent from the map audit with defaults). A nil map audits
+// every segment with defaults.
+func AuditSystemWith(sys *topology.System, opts map[int]Opts) []Violation {
+	var all []Violation
+	for i := 0; i < sys.NumBuses(); i++ {
+		for _, v := range AuditWith(sys.Bus(i), opts[i]) {
+			v.Detail = fmt.Sprintf("segment %s: %s", sys.BusName(i), v.Detail)
+			all = append(all, v)
+		}
+	}
+	for _, br := range sys.Bridges() {
+		if err := br.CheckConservation(); err != nil {
+			all = append(all, Violation{
+				Kind:   "bridge-word-conservation",
+				Master: -1,
+				Detail: err.Error(),
+			})
+		}
+	}
+	return all
+}
+
+// AuditCrossbar audits every output port of a partial crossbar — each
+// port is an independent arbitration domain with its own ledger, so
+// the single-bus invariants must hold per port.
+func AuditCrossbar(x *topology.Crossbar) []Violation {
+	return AuditSystem(x.System())
+}

@@ -1,0 +1,83 @@
+package check
+
+import (
+	"testing"
+
+	"lotterybus/internal/analytic"
+	"lotterybus/internal/arb"
+	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
+	"lotterybus/internal/prng"
+)
+
+// TestOracleTDMAAtMaskBoundary runs the saturation-oracle audit at the
+// exactly-64-master mask boundary the old 1<<n-1 idiom sat on: a
+// saturated 64-master TDMA bus must split bandwidth uniformly per the
+// closed form evaluated with the saturating full mask.
+func TestOracleTDMAAtMaskBoundary(t *testing.T) {
+	const n = 64
+	tickets := make([]uint64, n)
+	slots := make([]int, n)
+	for i := range tickets {
+		tickets[i], slots[i] = 1, 1
+	}
+	b, err := saturatedBus(tickets, func() (bus.Arbiter, error) {
+		return arb.NewTDMA(arb.ContiguousWheel(slots), n, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(64 * 1024); err != nil {
+		t.Fatal(err)
+	}
+	expected := make([]float64, n)
+	for i := range expected {
+		s, err := analytic.TDMAServiceShareSet(slots, i, core.FullBitset(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[i] = s
+	}
+	for _, v := range AuditWith(b, Opts{ExpectedShares: expected, ShareTol: 0.005}) {
+		t.Errorf("violation: %s: %s", v.Kind, v.Detail)
+	}
+}
+
+// TestOracleLotteryBeyondMaskBoundary pushes the same audit past the
+// word boundary: a saturated 96-master static lottery, unrepresentable
+// in any uint64 request map, must still satisfy every bus invariant and
+// track its ticket-ratio shares.
+func TestOracleLotteryBeyondMaskBoundary(t *testing.T) {
+	const n = 96
+	tickets := make([]uint64, n)
+	for i := range tickets {
+		tickets[i] = uint64(i%4 + 1)
+	}
+	b, err := saturatedBus(tickets, func() (bus.Arbiter, error) {
+		mgr, err := core.NewStaticLottery(core.StaticConfig{
+			Tickets: tickets,
+			Source:  prng.NewXorShift64Star(42),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return arb.NewStaticLottery(mgr), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(200000); err != nil {
+		t.Fatal(err)
+	}
+	expected := make([]float64, n)
+	for i := range expected {
+		expected[i] = analytic.LotteryShare(tickets, i)
+	}
+	for _, v := range AuditWith(b, Opts{ExpectedShares: expected, ShareTol: 0.01}) {
+		t.Errorf("violation: %s: %s", v.Kind, v.Detail)
+	}
+	col := b.Collector()
+	if util := float64(col.BusyCycles()) / float64(col.Cycles()); util < 0.95 {
+		t.Errorf("bus only %.2f%% busy under saturating traffic", 100*util)
+	}
+}

@@ -36,10 +36,6 @@ import (
 	"lotterybus/internal/prng"
 )
 
-// MaxMasters is the largest number of contenders a lottery manager
-// supports; request sets are passed as uint64 bit masks.
-const MaxMasters = 64
-
 // lutMaxMasters bounds the request-map lookup table (2^n entries of n
 // partial sums each). Beyond this the static manager computes ranges on
 // demand, which is behaviourally identical.
@@ -171,6 +167,20 @@ func (l *rangeLUT) live(mask uint64) ([]uint64, uint64) {
 	return l.scratch, acc
 }
 
+// liveSet is live for a wide request map (more than 64 masters, beyond
+// any LUT). The returned slice is shared; callers must not retain it
+// across draws.
+func (l *rangeLUT) liveSet(set Bitset) ([]uint64, uint64) {
+	var acc uint64
+	for i := range l.holdings {
+		if set.Test(i) {
+			acc += l.holdings[i]
+		}
+		l.scratch[i] = acc
+	}
+	return l.scratch, acc
+}
+
 // StaticConfig parameterizes NewStaticLottery.
 type StaticConfig struct {
 	// Tickets holds one positive ticket count per master.
@@ -193,7 +203,7 @@ func NewStaticLottery(cfg StaticConfig) (*StaticLottery, error) {
 		return nil, fmt.Errorf("core: no masters")
 	}
 	if n > MaxMasters {
-		return nil, fmt.Errorf("core: %d masters exceeds maximum %d", n, MaxMasters)
+		return nil, fmt.Errorf("core: %d masters exceeds core.MaxMasters (%d)", n, MaxMasters)
 	}
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("core: nil random source")
@@ -302,6 +312,50 @@ func (l *StaticLottery) Draw(mask uint64) int {
 	return selectWinner(ps, r)
 }
 
+// DrawSet runs one lottery over the masters in set — the wide-fabric
+// entry point. For managers of at most 64 masters it reduces to
+// Draw(set.Mask64()): same PRNG consumption, same winner, so existing
+// fingerprints are untouched and the hot loop stays word-wide. Beyond
+// 64 masters the partial sums are scanned over the full set.
+func (l *StaticLottery) DrawSet(set Bitset) int {
+	if l.n <= 64 {
+		return l.Draw(set.Mask64())
+	}
+	set.Trim(l.n)
+	if set.None() {
+		return NoWinner
+	}
+	l.draws++
+	var ps []uint64
+	var total, r uint64
+	switch l.policy {
+	case PolicyModulo:
+		ps, total = l.origLUT.liveSet(set)
+		if total >= 1<<24 {
+			r = prng.Uintn(l.src, total)
+		} else {
+			r = (l.src.Uint64() & (1<<32 - 1)) % total
+		}
+	case PolicyRedraw:
+		ps, total = l.scaledLUT.liveSet(set)
+		r = l.word()
+		if r >= total {
+			l.redraws++
+			return NoWinner
+		}
+	case PolicyAbsorbLast:
+		ps, total = l.scaledLUT.liveSet(set)
+		r = l.word()
+		if r >= total {
+			return set.HighestSet()
+		}
+	default: // PolicyExact
+		ps, total = l.origLUT.liveSet(set)
+		r = prng.Uintn(l.src, total)
+	}
+	return selectWinner(ps, r)
+}
+
 // word draws one RNG word in [0, 1<<width).
 func (l *StaticLottery) word() uint64 {
 	return l.src.Uint64() & (uint64(1)<<l.width - 1)
@@ -369,7 +423,7 @@ func NewDynamicLottery(cfg DynamicConfig) (*DynamicLottery, error) {
 		return nil, fmt.Errorf("core: no masters")
 	}
 	if cfg.Masters > MaxMasters {
-		return nil, fmt.Errorf("core: %d masters exceeds maximum %d", cfg.Masters, MaxMasters)
+		return nil, fmt.Errorf("core: %d masters exceeds core.MaxMasters (%d)", cfg.Masters, MaxMasters)
 	}
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("core: nil random source")
@@ -452,6 +506,59 @@ func (l *DynamicLottery) Draw(mask uint64, tickets []uint64) int {
 		r = l.word()
 		if r >= total {
 			return highestBit(mask)
+		}
+	default: // PolicyModulo — the paper's dynamic manager hardware.
+		r = l.word() % total
+	}
+	return selectWinner(l.psums, r)
+}
+
+// DrawSet runs one lottery over the masters in set with the given live
+// ticket holdings — the wide-fabric entry point. For managers of at
+// most 64 masters it reduces to Draw(set.Mask64(), tickets): same PRNG
+// consumption, same winner. Beyond 64 masters the adder tree runs over
+// the full set.
+func (l *DynamicLottery) DrawSet(set Bitset, tickets []uint64) int {
+	if l.n <= 64 {
+		return l.Draw(set.Mask64(), tickets)
+	}
+	if len(tickets) != l.n {
+		panic(fmt.Sprintf("core: DrawSet with %d tickets for %d masters", len(tickets), l.n))
+	}
+	set.Trim(l.n)
+	if set.None() {
+		return NoWinner
+	}
+	var acc uint64
+	for i := 0; i < l.n; i++ {
+		if set.Test(i) {
+			acc += tickets[i]
+		}
+		l.psums[i] = acc
+	}
+	total := acc
+	if total == 0 {
+		return set.LowestSet()
+	}
+	if total >= uint64(1)<<l.width && l.policy != PolicyExact {
+		l.draws++
+		return selectWinner(l.psums, prng.Uintn(l.src, total))
+	}
+	l.draws++
+	var r uint64
+	switch l.policy {
+	case PolicyExact:
+		r = prng.Uintn(l.src, total)
+	case PolicyRedraw:
+		r = l.word()
+		if r >= total {
+			l.redraws++
+			return NoWinner
+		}
+	case PolicyAbsorbLast:
+		r = l.word()
+		if r >= total {
+			return set.HighestSet()
 		}
 	default: // PolicyModulo — the paper's dynamic manager hardware.
 		r = l.word() % total

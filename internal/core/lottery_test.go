@@ -46,7 +46,7 @@ func TestStaticConfigValidation(t *testing.T) {
 	}
 }
 
-func make65() []uint64 { return make([]uint64, 65) }
+func make65() []uint64 { return make([]uint64, MaxMasters+1) }
 
 func TestDrawEmptyMask(t *testing.T) {
 	l := newStatic(t, []uint64{1, 2, 3, 4}, PolicyExact, 1)
@@ -340,7 +340,7 @@ func TestDynamicConfigValidation(t *testing.T) {
 	if _, err := NewDynamicLottery(DynamicConfig{Masters: 4, Source: src, Width: 48}); err == nil {
 		t.Error("excess width accepted")
 	}
-	if _, err := NewDynamicLottery(DynamicConfig{Masters: 65, Source: src}); err == nil {
+	if _, err := NewDynamicLottery(DynamicConfig{Masters: MaxMasters + 1, Source: src}); err == nil {
 		t.Error("too many masters accepted")
 	}
 }

@@ -24,7 +24,7 @@ func TicketsForShares(shares []float64, maxErr float64) ([]uint64, float64, erro
 		return nil, 0, fmt.Errorf("core: no shares")
 	}
 	if n > MaxMasters {
-		return nil, 0, fmt.Errorf("core: %d masters exceeds maximum %d", n, MaxMasters)
+		return nil, 0, fmt.Errorf("core: %d masters exceeds core.MaxMasters (%d)", n, MaxMasters)
 	}
 	if maxErr <= 0 {
 		return nil, 0, fmt.Errorf("core: maxErr must be positive")

@@ -136,8 +136,8 @@ type DynamicManager struct {
 
 // NewDynamicManager builds the structural dynamic model.
 func NewDynamicManager(masters int, width uint, src WordSource) (*DynamicManager, error) {
-	if masters <= 0 || masters > 64 {
-		return nil, fmt.Errorf("hw: dynamic manager supports 1..64 masters, got %d", masters)
+	if masters <= 0 || masters > core.MaxMasters {
+		return nil, fmt.Errorf("hw: %d masters exceeds core.MaxMasters (%d)", masters, core.MaxMasters)
 	}
 	if src == nil {
 		return nil, fmt.Errorf("hw: nil word source")
@@ -176,6 +176,42 @@ func (m *DynamicManager) Draw(mask uint64, tickets []uint64) int {
 			}
 		}
 		return core.NoWinner
+	}
+	r := m.src.Word() & (uint64(1)<<m.width - 1)
+	r = modulo(r, total)
+	for i, p := range m.psums {
+		if r < p {
+			return i
+		}
+	}
+	return core.NoWinner
+}
+
+// DrawSet performs one arbitration over a wide request map — managers
+// wider than one machine word replicate the AND/adder-tree datapath
+// across request words. For managers of at most 64 masters it reduces
+// to Draw(set.Mask64(), tickets), consuming the same random word.
+func (m *DynamicManager) DrawSet(set core.Bitset, tickets []uint64) int {
+	if m.n <= 64 {
+		return m.Draw(set.Mask64(), tickets)
+	}
+	if len(tickets) != m.n {
+		panic(fmt.Sprintf("hw: draw with %d tickets for %d masters", len(tickets), m.n))
+	}
+	set.Trim(m.n)
+	if set.None() {
+		return core.NoWinner
+	}
+	var acc uint64
+	for i := 0; i < m.n; i++ {
+		if set.Test(i) {
+			acc += tickets[i]
+		}
+		m.psums[i] = acc
+	}
+	total := acc
+	if total == 0 {
+		return set.LowestSet()
 	}
 	r := m.src.Word() & (uint64(1)<<m.width - 1)
 	r = modulo(r, total)

@@ -142,8 +142,8 @@ func TestLaneEquivalenceSaturating(t *testing.T) {
 // identical to a one-shot run.
 func TestLaneChunkedRuns(t *testing.T) {
 	pick := func() (check.BusConfig, check.ArbMaker, check.GenMaker) {
-		bc := check.BusConfigs()[2]  // split
-		am := check.Arbiters()[7]    // dynamic-lottery
+		bc := check.BusConfigs()[2]     // split
+		am := check.Arbiters()[7]       // dynamic-lottery
 		gm := check.TrafficClasses()[2] // onoff
 		return bc, am, gm
 	}

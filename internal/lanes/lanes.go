@@ -50,6 +50,7 @@ import (
 	"math"
 
 	"lotterybus/internal/bus"
+	"lotterybus/internal/core"
 	"lotterybus/internal/runner"
 	"lotterybus/internal/stats"
 	"lotterybus/internal/traffic"
@@ -271,8 +272,8 @@ func (e *Engine) validate() error {
 	if len(e.masters) == 0 {
 		return fmt.Errorf("lanes: no masters")
 	}
-	if len(e.masters) > 64 {
-		return fmt.Errorf("lanes: %d masters exceeds 64", len(e.masters))
+	if len(e.masters) > core.MaxMasters {
+		return fmt.Errorf("lanes: %d masters exceeds core.MaxMasters (%d)", len(e.masters), core.MaxMasters)
 	}
 	if e.arbFac == nil {
 		return fmt.Errorf("lanes: no arbiter attached")
@@ -477,8 +478,11 @@ func (e *Engine) pending(lane, i int, cycle int64) bool {
 	return e.queues[idx].n > 0
 }
 
-// pendingMask builds lane's request map for cycle.
-func (e *Engine) pendingMask(lane, base int, cycle int64) uint64 {
+// pendingMask64 builds lane's request map for cycle as a single
+// register word — the hot path for systems of at most 64 masters. It is
+// kept small enough to inline into runLane so narrow fabrics pay
+// nothing for the wide bitset support.
+func (e *Engine) pendingMask64(lane, base int, cycle int64) uint64 {
 	var mask uint64
 	for i := 0; i < len(e.masters); i++ {
 		idx := base + i
@@ -488,6 +492,43 @@ func (e *Engine) pendingMask(lane, base int, cycle int64) uint64 {
 			}
 		} else if e.queues[idx].n > 0 {
 			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// arbitrateWide runs the idle-bus arbitration phase for fabrics beyond
+// one mask word. It lives outside runLane so the narrow hot loop stays
+// compact; it reports whether the lane is in a dead gap (idle bus,
+// empty request map).
+//
+//go:noinline
+func (e *Engine) arbitrateWide(lane, base int, cycle int64) (deadGap bool, err error) {
+	mask := e.pendingMaskWide(lane, base, cycle)
+	if !mask.Any() {
+		return true, nil
+	}
+	v := &e.views[lane]
+	v.cycle, v.mask = cycle, mask
+	if g, ok := e.arbs[lane].Arbitrate(cycle, v); ok {
+		if err := e.startBurst(lane, base, g, cycle); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// pendingMaskWide is pendingMask64 for fabrics beyond one mask word.
+func (e *Engine) pendingMaskWide(lane, base int, cycle int64) core.Bitset {
+	var mask core.Bitset
+	for i := 0; i < len(e.masters); i++ {
+		idx := base + i
+		if e.outOn[idx] {
+			if cycle >= e.respReady[idx] {
+				mask.Set(i)
+			}
+		} else if e.queues[idx].n > 0 {
+			mask.Set(i)
 		}
 	}
 	return mask
@@ -708,8 +749,19 @@ func (e *Engine) laneNextEvent(lane, base int, from int64) int64 {
 // runLane executes cycles [start, end) for one lane: the naive loop's
 // three phases on every decision-relevant cycle, with burst interiors
 // and dead gaps advanced in bulk exactly like the scalar fast-forward
-// engine.
+// engine. The narrow and wide loops are separate functions so fabrics
+// of at most 64 masters keep a hot loop with no trace of the
+// multi-word path — not even its register pressure.
 func (e *Engine) runLane(lane, base int, start, end int64) error {
+	if len(e.masters) > 64 {
+		return e.runLaneWide(lane, base, start, end)
+	}
+	return e.runLaneNarrow(lane, base, start, end)
+}
+
+// runLaneNarrow is runLane for fabrics of at most 64 masters: the
+// request map is one register word and the mask build stays inlined.
+func (e *Engine) runLaneNarrow(lane, base int, start, end int64) error {
 	for cycle := start; cycle < end; {
 		// Phase 1: traffic arrival (gated; the scan is a no-op off every
 		// generator's arrival cycles, so it only runs when due).
@@ -720,9 +772,12 @@ func (e *Engine) runLane(lane, base int, start, end int64) error {
 		// Phase 2: arbitration when idle.
 		mask := uint64(1) // sentinel: "bus busy, not a dead gap"
 		if !e.burstOn[lane] {
-			if mask = e.pendingMask(lane, base, cycle); mask != 0 {
+			if mask = e.pendingMask64(lane, base, cycle); mask != 0 {
+				// Narrow engines never set mask words 1..3, so storing
+				// word 0 alone keeps the view current without copying
+				// the whole bitset.
 				v := &e.views[lane]
-				v.cycle, v.mask = cycle, mask
+				v.cycle, v.mask[0] = cycle, mask
 				if g, ok := e.arbs[lane].Arbitrate(cycle, v); ok {
 					if err := e.startBurst(lane, base, g, cycle); err != nil {
 						return err
@@ -753,6 +808,58 @@ func (e *Engine) runLane(lane, base int, start, end int64) error {
 		} else if mask == 0 {
 			// Dead gap: bus idle, no requests. Nothing can happen until
 			// the next arrival or a split response becomes ready.
+			if target := min(end, e.laneNextEvent(lane, base, cycle)); target > cycle {
+				for m := 0; m < len(e.masters); m++ {
+					if s := e.scheds[base+m]; s != nil {
+						s.SkipTo(target)
+					}
+				}
+				cycle = target
+			}
+		}
+	}
+	return nil
+}
+
+// runLaneWide is runLane for fabrics beyond one mask word: identical
+// phase structure, with arbitration over the full bitset.
+func (e *Engine) runLaneWide(lane, base int, start, end int64) error {
+	for cycle := start; cycle < end; {
+		// Phase 1: traffic arrival.
+		if e.satLow[lane] != 0 || e.laneNextArr[lane] <= cycle {
+			e.scanArrivals(lane, base, cycle)
+		}
+
+		// Phase 2: arbitration when idle.
+		deadGap := false // bus idle with an empty request map
+		if !e.burstOn[lane] {
+			dead, err := e.arbitrateWide(lane, base, cycle)
+			if err != nil {
+				return err
+			}
+			deadGap = dead
+		}
+
+		// Phase 3: word transfer.
+		if e.burstOn[lane] {
+			b := &e.bursts[lane]
+			if b.waitLeft > 0 {
+				b.waitLeft--
+			} else {
+				e.transferWord(lane, base, b, cycle)
+			}
+		}
+		cycle++
+
+		if e.burstOn[lane] {
+			// Mid-burst: batch up to the next arrival on this lane.
+			if e.satLow[lane] == 0 {
+				if limit := min(end, e.laneNextArr[lane]); limit > cycle {
+					cycle = e.batchBurst(lane, base, cycle, limit)
+				}
+			}
+		} else if deadGap {
+			// Dead gap: bus idle, no requests.
 			if target := min(end, e.laneNextEvent(lane, base, cycle)); target > cycle {
 				for m := 0; m < len(e.masters); m++ {
 					if s := e.scheds[base+m]; s != nil {
@@ -913,14 +1020,14 @@ type laneView struct {
 	e     *Engine
 	lane  int
 	cycle int64
-	mask  uint64
+	mask  core.Bitset
 }
 
 func (v *laneView) NumMasters() int { return len(v.e.masters) }
 
 func (v *laneView) Pending(i int) bool { return v.e.pending(v.lane, i, v.cycle) }
 
-func (v *laneView) Mask() uint64 { return v.mask }
+func (v *laneView) Mask() core.Bitset { return v.mask }
 
 func (v *laneView) PendingWords(i int) int {
 	if !v.e.pending(v.lane, i, v.cycle) {

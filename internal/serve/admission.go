@@ -20,6 +20,14 @@ var ErrQueueFull = errors.New("serve: job queue full")
 // layer translates it to 503.
 var ErrDraining = errors.New("serve: draining, not admitting jobs")
 
+// maxClients bounds the number of distinct clients with queued work at
+// once — the width of the admission lottery's request mask. It is
+// deliberately NOT core.MaxMasters: the fabric's master cap sizes
+// simulated buses and can grow with them, while this table sizes
+// per-server memory and must stay a deliberate serving-capacity choice.
+// Shed rather than grow.
+const maxClients = 64
+
 // admitter is the bounded, lottery-scheduled admission queue: per-client
 // FIFO queues under one global capacity, dispatched by drawing the
 // paper's dynamic lottery over the clients that currently have queued
@@ -41,7 +49,7 @@ type admitter struct {
 	draining  bool
 
 	lot     *core.DynamicLottery
-	slots   [core.MaxMasters]*clientQ
+	slots   [maxClients]*clientQ
 	tickets []uint64 // live holdings per slot; 0 = slot free
 	mask    uint64   // slots with nonempty queues
 
@@ -92,7 +100,7 @@ func newAdmitter(capacity, clientCap int, weights map[string]uint64, defaultTick
 		seed = 1
 	}
 	lot, err := core.NewDynamicLottery(core.DynamicConfig{
-		Masters: core.MaxMasters,
+		Masters: maxClients,
 		Source:  prng.NewXorShift64Star(prng.Derive(seed, "serve/admission")),
 		Policy:  core.PolicyExact,
 	})
@@ -103,7 +111,7 @@ func newAdmitter(capacity, clientCap int, weights map[string]uint64, defaultTick
 		cap:            capacity,
 		clientCap:      clientCap,
 		lot:            lot,
-		tickets:        make([]uint64, core.MaxMasters),
+		tickets:        make([]uint64, maxClients),
 		byName:         make(map[string]*clientQ),
 		weights:        weights,
 		defaultTickets: defaultTickets,
@@ -146,8 +154,9 @@ func (a *admitter) enqueue(job *Job, recovered bool) error {
 			}
 		}
 		if slot < 0 {
-			// 64 distinct clients already queued: the client table is the
-			// paper's MaxMasters-wide request mask. Shed rather than grow.
+			// maxClients distinct clients already queued: the client table
+			// is one request mask wide by design, whatever the fabric's
+			// core.MaxMasters grows to. Shed rather than grow.
 			return ErrQueueFull
 		}
 		q = &clientQ{name: job.Client, slot: slot, weight: a.weightOf(job.Client)}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -150,5 +151,40 @@ func TestAdmitterRemove(t *testing.T) {
 	got, _, ok := a.next()
 	if !ok || got != j2 {
 		t.Fatalf("next after remove: got %v ok=%v, want j2", got, ok)
+	}
+}
+
+// TestAdmitterClientTableCap proves the client table sheds rather than
+// grows: maxClients distinct clients can hold queued work at once, and
+// the maxClients+1'th distinct client is refused with ErrQueueFull even
+// though global capacity remains — the admission lottery's request mask
+// is exactly maxClients wide, whatever core.MaxMasters grows to.
+func TestAdmitterClientTableCap(t *testing.T) {
+	a, err := newAdmitter(4*maxClients, 4, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxClients; i++ {
+		if err := a.enqueue(testJob(fmt.Sprintf("A%02d", i)), false); err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if err := a.enqueue(testJob("one-too-many"), false); err != ErrQueueFull {
+		t.Fatalf("client %d: got %v, want ErrQueueFull (client table exhausted)", maxClients, err)
+	}
+	// An already-admitted client still gets through: the table, not the
+	// queue, is what filled.
+	if err := a.enqueue(testJob("A00"), false); err != nil {
+		t.Fatalf("existing client after table fill: %v", err)
+	}
+	// Dispatching a client's last job frees its slot; once the table has
+	// room again the previously shed name is admitted.
+	for i := 0; i < maxClients+1; i++ {
+		if _, _, ok := a.next(); !ok {
+			t.Fatal("drained unexpectedly")
+		}
+	}
+	if err := a.enqueue(testJob("one-too-many"), false); err != nil {
+		t.Fatalf("new client after slots freed: %v", err)
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"lotterybus"
 	"lotterybus/internal/analytic"
+	"lotterybus/internal/core"
 )
 
 // SimConfig is the JSON schema of a lotterysim run.
@@ -124,7 +125,7 @@ func ParseConfig(r io.Reader) (*SimConfig, error) {
 		return nil, fmt.Errorf("config: at least one master required")
 	}
 	if len(cfg.Masters) > maxMasters {
-		return nil, fmt.Errorf("config: %d masters exceeds the lottery manager's maximum of %d", len(cfg.Masters), maxMasters)
+		return nil, fmt.Errorf("config: %d masters exceeds core.MaxMasters (%d)", len(cfg.Masters), maxMasters)
 	}
 	if len(cfg.Slaves) == 0 {
 		return nil, fmt.Errorf("config: at least one slave required")
@@ -370,9 +371,10 @@ func (t *TrafficConfig) point() analytic.PointMaster {
 	return pm
 }
 
-// maxMasters mirrors core.MaxMasters: the lottery managers track live
-// ticket subsets in a 64-bit mask.
-const maxMasters = 64
+// maxMasters is the fabric-wide master limit, derived from the one
+// exported constant so the validation layer can never drift from the
+// lottery managers' own cap.
+const maxMasters = core.MaxMasters
 
 // validate rejects parameter values Build would otherwise coerce or
 // silently mis-simulate: a negative message size (defaultWords would

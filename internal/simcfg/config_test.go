@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"lotterybus/internal/core"
 )
 
 func TestParseConfigValid(t *testing.T) {
@@ -60,12 +62,12 @@ func TestParseConfigRejects(t *testing.T) {
 	}
 }
 
-// TestParseConfigRejectsTooManyMasters proves the 64-master lottery
-// mask bound is enforced at parse time instead of panicking in core.
+// TestParseConfigRejectsTooManyMasters proves the core.MaxMasters
+// fabric bound is enforced at parse time instead of panicking in core.
 func TestParseConfigRejectsTooManyMasters(t *testing.T) {
 	var b strings.Builder
 	b.WriteString(`{"cycles": 1, "slaves": [{"name":"m"}], "masters": [`)
-	for i := 0; i < 65; i++ {
+	for i := 0; i < core.MaxMasters+1; i++ {
 		if i > 0 {
 			b.WriteString(",")
 		}
@@ -73,7 +75,7 @@ func TestParseConfigRejectsTooManyMasters(t *testing.T) {
 	}
 	b.WriteString(`]}`)
 	if _, err := ParseConfig(strings.NewReader(b.String())); err == nil {
-		t.Fatal("65-master config accepted")
+		t.Fatal("over-cap master config accepted")
 	}
 }
 

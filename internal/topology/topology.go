@@ -35,8 +35,15 @@ func (s *System) AddBus(name string, b *bus.Bus) int {
 // Bus returns the i-th bus.
 func (s *System) Bus(i int) *bus.Bus { return s.buses[i] }
 
+// BusName returns the i-th bus's registered name.
+func (s *System) BusName(i int) string { return s.names[i] }
+
 // NumBuses returns the bus count.
 func (s *System) NumBuses() int { return len(s.buses) }
+
+// Bridges returns every bridge installed by Connect, in installation
+// order, so audits can walk the fabric's word ledgers.
+func (s *System) Bridges() []*Bridge { return s.bridges }
 
 // Bridge forwards transactions completed against a designated slave on
 // the source bus onto a master of the destination bus, after a fixed
@@ -55,14 +62,23 @@ type Bridge struct {
 	// waiting holds transactions that completed on the source bus and
 	// are serving their forwarding delay before injection downstream.
 	waiting []pendingXfer
-	// inFlight tracks source-arrival times of messages currently queued
-	// or transferring on the destination bus, in FIFO order.
-	inFlight []int64
+	// inFlight tracks messages currently queued or transferring on the
+	// destination bus, in FIFO order (readyAt is unused there).
+	inFlight []pendingXfer
 
 	forwarded   int64
 	dropped     int64
 	e2eLatency  int64
 	e2eMessages int64
+
+	// Word-conservation ledger: every word accepted into the bridge FIFO
+	// is eventually injected downstream, still waiting, or dropped at
+	// injection — wordsIn == wordsOut + wordsWaiting + wordsDropped at
+	// every cycle boundary. check.AuditSystem re-proves this per bridge.
+	wordsIn      int64 // accepted from the source bus
+	wordsOut     int64 // injected into the destination bus
+	wordsWaiting int64 // accepted, still serving the forwarding delay
+	wordsDropped int64 // accepted, then refused by the destination queue
 }
 
 type pendingXfer struct {
@@ -145,6 +161,8 @@ func (s *System) Connect(src, dst int, cfg BridgeConfig) (*Bridge, error) {
 			words:   words,
 			arrival: arrival,
 		})
+		br.wordsIn += int64(words)
+		br.wordsWaiting += int64(words)
 	}
 
 	prevDstHook := db.OnMessageComplete
@@ -155,9 +173,9 @@ func (s *System) Connect(src, dst int, cfg BridgeConfig) (*Bridge, error) {
 		if master != br.dstMaster || len(br.inFlight) == 0 {
 			return
 		}
-		srcArrival := br.inFlight[0]
+		p := br.inFlight[0]
 		br.inFlight = br.inFlight[1:]
-		br.e2eLatency += completion - srcArrival + 1
+		br.e2eLatency += completion - p.arrival + 1
 		br.e2eMessages++
 		br.forwarded++
 	}
@@ -168,13 +186,15 @@ func (s *System) Connect(src, dst int, cfg BridgeConfig) (*Bridge, error) {
 func (b *Bridge) drain(cycle int64) {
 	for len(b.waiting) > 0 && b.waiting[0].readyAt <= cycle {
 		p := b.waiting[0]
+		b.waiting = b.waiting[1:]
+		b.wordsWaiting -= int64(p.words)
 		if !b.dst.Inject(b.dstMaster, p.words, b.dstSlave) {
 			b.dropped++
-			b.waiting = b.waiting[1:]
+			b.wordsDropped += int64(p.words)
 			continue
 		}
-		b.inFlight = append(b.inFlight, p.arrival)
-		b.waiting = b.waiting[1:]
+		b.wordsOut += int64(p.words)
+		b.inFlight = append(b.inFlight, p)
 	}
 }
 
@@ -218,6 +238,16 @@ type BridgeStats struct {
 	// Queued is the FIFO occupancy (waiting plus in flight) at snapshot
 	// time.
 	Queued int
+	// WordsIn counts words accepted into the bridge FIFO from the
+	// source bus; WordsOut counts words injected into the destination
+	// bus; WordsWaiting counts accepted words still serving the
+	// forwarding delay; WordsDropped counts accepted words the
+	// destination queue later refused. Conservation holds at every cycle
+	// boundary: WordsIn == WordsOut + WordsWaiting + WordsDropped.
+	WordsIn      int64
+	WordsOut     int64
+	WordsWaiting int64
+	WordsDropped int64
 }
 
 // Stats returns a snapshot of the bridge's counters.
@@ -228,7 +258,23 @@ func (b *Bridge) Stats() BridgeStats {
 		E2EMessages:   b.e2eMessages,
 		E2ELatencySum: b.e2eLatency,
 		Queued:        b.Queued(),
+		WordsIn:       b.wordsIn,
+		WordsOut:      b.wordsOut,
+		WordsWaiting:  b.wordsWaiting,
+		WordsDropped:  b.wordsDropped,
 	}
+}
+
+// CheckConservation verifies the bridge's word ledger: every word
+// accepted from the source bus is injected downstream, still waiting,
+// or dropped at injection. A nonzero residue means the bridge is
+// inventing or losing words between segments.
+func (b *Bridge) CheckConservation() error {
+	if residue := b.wordsIn - b.wordsOut - b.wordsWaiting - b.wordsDropped; residue != 0 {
+		return fmt.Errorf("topology: bridge %s word ledger off by %d (in %d, out %d, waiting %d, dropped %d)",
+			b.name, residue, b.wordsIn, b.wordsOut, b.wordsWaiting, b.wordsDropped)
+	}
+	return nil
 }
 
 // Run advances every bus in lock-step for n cycles.
